@@ -1,0 +1,114 @@
+//! Criterion micro-benchmarks for the building blocks on Redshift's
+//! critical path: plan featurization + hashing, cache operations, WLM
+//! simulation throughput, and model training costs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stage_core::{CacheConfig, ExecTimeCache};
+use stage_gbdt::{Dataset, Gbm, GbmParams, NgBoost, NgBoostParams};
+use stage_plan::{plan_feature_vector, PlanBuilder, S3Format};
+use stage_wlm::{SimQuery, Simulation, WlmConfig};
+use std::hint::black_box;
+
+fn plan_ops(c: &mut Criterion) {
+    let plan = PlanBuilder::select()
+        .scan("lineitem", S3Format::Local, 6e6, 120.0)
+        .scan("orders", S3Format::Local, 1.5e6, 96.0)
+        .hash_join(0.1)
+        .scan("customer", S3Format::Parquet, 1.5e5, 80.0)
+        .hash_join(0.2)
+        .hash_aggregate(0.01)
+        .sort()
+        .finish();
+    let mut group = c.benchmark_group("plan");
+    group.bench_function("feature_vector_33d", |b| {
+        b.iter(|| black_box(plan_feature_vector(black_box(&plan))))
+    });
+    let fv = plan_feature_vector(&plan);
+    group.bench_function("stable_hash", |b| b.iter(|| black_box(fv.stable_hash())));
+    group.finish();
+}
+
+fn cache_ops(c: &mut Criterion) {
+    let mut cache = ExecTimeCache::new(CacheConfig::default());
+    for k in 0..2_000u64 {
+        cache.record(k, k as f64 * 0.01);
+    }
+    let mut group = c.benchmark_group("cache");
+    group.bench_function("lookup_hit", |b| {
+        b.iter(|| black_box(cache.lookup(black_box(777))))
+    });
+    group.bench_function("lookup_miss", |b| {
+        b.iter(|| black_box(cache.lookup(black_box(u64::MAX))))
+    });
+    group.bench_function("record_update", |b| {
+        b.iter(|| cache.record(black_box(777), black_box(1.23)))
+    });
+    group.finish();
+}
+
+fn wlm_throughput(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut arrival = 0.0;
+    let queries: Vec<SimQuery> = (0..5_000)
+        .map(|_| {
+            arrival += rng.gen_range(0.0..0.5);
+            let exec = rng.gen_range(0.01..30.0);
+            SimQuery {
+                arrival_secs: arrival,
+                true_exec_secs: exec,
+                predicted_secs: exec * rng.gen_range(0.5..2.0),
+            }
+        })
+        .collect();
+    let sim = Simulation::new(WlmConfig::default());
+    c.bench_function("wlm_replay_5k_queries", |b| {
+        b.iter(|| black_box(sim.run(black_box(&queries))))
+    });
+}
+
+fn training(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let rows: Vec<Vec<f64>> = (0..1_000)
+        .map(|_| (0..33).map(|_| rng.gen_range(0.0..100.0)).collect())
+        .collect();
+    let targets: Vec<f64> = rows.iter().map(|r| r[0] * 0.1 + r[1] * 0.05).collect();
+    let ds = Dataset::from_rows(&rows, &targets);
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+    group.bench_function("gbm_fit_1k_x33_30trees", |b| {
+        b.iter_batched(
+            || ds.clone(),
+            |d| {
+                black_box(Gbm::fit(
+                    &d,
+                    &GbmParams {
+                        n_estimators: 30,
+                        ..GbmParams::default()
+                    },
+                ))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("ngboost_fit_1k_x33_30rounds", |b| {
+        b.iter_batched(
+            || ds.clone(),
+            |d| {
+                black_box(NgBoost::fit(
+                    &d,
+                    &NgBoostParams {
+                        n_estimators: 30,
+                        ..NgBoostParams::default()
+                    },
+                ))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, plan_ops, cache_ops, wlm_throughput, training);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks for Fig. 9: per-component inference latency
+//! of the Stage predictor hierarchy vs the AutoWLM baseline.
+//!
+//! Expected shape (paper Fig. 9): cache lookups in single-digit µs, the
+//! local ensemble ≈ 10× AutoWLM's single model, and the global GCN roughly
+//! two orders of magnitude above the tree models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stage_bench::context::{ExperimentContext, HarnessConfig};
+use stage_bench::replay::replay;
+use stage_core::{ExecTimePredictor, SystemContext};
+use stage_plan::plan_feature_vector;
+use stage_workload::FleetConfig;
+use std::hint::black_box;
+
+fn bench_context() -> ExperimentContext {
+    let mut cfg = HarnessConfig::quick();
+    cfg.eval_fleet = FleetConfig {
+        n_instances: 1,
+        duration_days: 1.0,
+        max_events_per_instance: 1_500,
+        ..FleetConfig::default()
+    };
+    cfg.n_train_instances = 2;
+    cfg.samples_per_train_instance = 60;
+    cfg.global.epochs = 3;
+    cfg.global.hidden = 32;
+    ExperimentContext::new(cfg)
+}
+
+fn inference(c: &mut Criterion) {
+    let ctx = bench_context();
+    let workload = ctx.eval_instance(0);
+    let global = ctx.global_model();
+    let mut stage = ctx.stage_predictor();
+    let _ = replay(&workload, &mut stage);
+    let mut auto = ctx.autowlm_predictor();
+    let _ = replay(&workload, &mut auto);
+
+    let probe = workload.events.last().expect("non-empty").clone();
+    let sys = SystemContext {
+        features: workload.spec.system_features(probe.concurrency),
+    };
+    let features = plan_feature_vector(&probe.plan);
+
+    let mut group = c.benchmark_group("fig9_inference");
+    group.bench_function("cache_hit_via_stage", |b| {
+        b.iter(|| black_box(stage.predict(black_box(&probe.plan), &sys)))
+    });
+    group.bench_function("featurize_plan", |b| {
+        b.iter(|| black_box(plan_feature_vector(black_box(&probe.plan))))
+    });
+    group.bench_function("local_ensemble", |b| {
+        b.iter(|| black_box(stage.local().predict(black_box(features.as_slice()))))
+    });
+    group.bench_function("autowlm_gbm", |b| {
+        b.iter(|| black_box(auto.predict(black_box(&probe.plan), &sys)))
+    });
+    group.bench_function("global_gcn", |b| {
+        b.iter(|| black_box(global.predict(black_box(&probe.plan), &sys)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, inference);
+criterion_main!(benches);

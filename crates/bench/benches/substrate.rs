@@ -1,0 +1,118 @@
+//! Criterion micro-benchmarks for the heavier substrates: the join-order
+//! optimizer, the EXPLAIN parser, fleet generation, and GCN inference
+//! scaling with plan size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stage_core::{plan_to_tree_sample, GlobalModel, GlobalModelConfig, SystemContext};
+use stage_plan::{optimize, parse_explain, JoinEdge, LogicalQuery, PlanBuilder, S3Format, TableRef};
+use stage_workload::{FleetConfig, InstanceWorkload};
+use std::hint::black_box;
+
+fn chain_query(n: usize) -> LogicalQuery {
+    LogicalQuery {
+        tables: (0..n)
+            .map(|i| TableRef {
+                rows: 10f64.powi(3 + (i % 5) as i32),
+                width: 64.0,
+                format: S3Format::Local,
+                filter_selectivity: 0.5,
+            })
+            .collect(),
+        joins: (1..n)
+            .map(|i| JoinEdge {
+                left: i - 1,
+                right: i,
+                selectivity: 1e-4,
+            })
+            .collect(),
+    }
+}
+
+fn optimizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer_dp");
+    for n in [4usize, 8, 10, 12] {
+        let q = chain_query(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &q, |b, q| {
+            b.iter(|| black_box(optimize(black_box(q))))
+        });
+    }
+    group.finish();
+}
+
+fn explain_round_trip(c: &mut Criterion) {
+    let plan = PlanBuilder::select()
+        .scan("a", S3Format::Local, 1e6, 64.0)
+        .scan("b", S3Format::Local, 1e5, 64.0)
+        .hash_join(0.1)
+        .scan("c", S3Format::Parquet, 1e4, 64.0)
+        .hash_join(0.2)
+        .hash_aggregate(0.01)
+        .sort()
+        .finish();
+    let text = plan.explain();
+    let mut group = c.benchmark_group("explain");
+    group.bench_function("render", |b| b.iter(|| black_box(plan.explain())));
+    group.bench_function("parse", |b| {
+        b.iter(|| black_box(parse_explain(black_box(&text))))
+    });
+    group.finish();
+}
+
+fn fleet_generation(c: &mut Criterion) {
+    let cfg = FleetConfig {
+        n_instances: 1,
+        duration_days: 0.25,
+        max_events_per_instance: 1_000,
+        ..FleetConfig::tiny()
+    };
+    let mut group = c.benchmark_group("workload");
+    group.sample_size(10);
+    group.bench_function("generate_instance_1000_events", |b| {
+        b.iter(|| black_box(InstanceWorkload::generate(black_box(&cfg), 0)))
+    });
+    group.finish();
+}
+
+fn gcn_inference_scaling(c: &mut Criterion) {
+    // Train a tiny global model once; measure inference vs plan size.
+    let sys = SystemContext::empty(2);
+    let make_plan = |joins: usize| {
+        let mut b = PlanBuilder::select().scan("t0", S3Format::Local, 1e5, 64.0);
+        for j in 0..joins {
+            b = b
+                .scan("tj", S3Format::Local, 1e4 / (j + 1) as f64, 48.0)
+                .hash_join(0.1);
+        }
+        b.finish()
+    };
+    let samples: Vec<_> = (1..=30)
+        .map(|i| plan_to_tree_sample(&make_plan(i % 4), &sys, i as f64 * 0.1))
+        .collect();
+    let model = GlobalModel::train(
+        &samples,
+        2,
+        &GlobalModelConfig {
+            hidden: 32,
+            gcn_layers: 3,
+            epochs: 2,
+            ..GlobalModelConfig::default()
+        },
+    );
+    let mut group = c.benchmark_group("gcn_inference");
+    for joins in [1usize, 4, 8] {
+        let plan = make_plan(joins);
+        group.bench_with_input(BenchmarkId::from_parameter(joins), &plan, |b, p| {
+            b.iter(|| black_box(model.predict(black_box(p), &sys)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    optimizer,
+    explain_round_trip,
+    fleet_generation,
+    gcn_inference_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Diagnostic: dissect one instance's end-to-end WLM behaviour per
+//! predictor — waits by duration bucket, eviction counts, and the queries
+//! whose latency differs most between Stage and AutoWLM.
+//!
+//! ```text
+//! cargo run --release -p stage-bench --bin debug_e2e -- [instance_id]
+//! ```
+
+use stage_bench::context::{ExperimentContext, HarnessConfig};
+use stage_bench::replay::replay;
+use stage_metrics::ExecTimeBucket;
+use stage_wlm::{SimQuery, Simulation};
+
+fn main() {
+    let id: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0);
+    let ctx = ExperimentContext::new(HarnessConfig::quick());
+    let w = ctx.eval_instance(id);
+    println!(
+        "instance {id}: {} events, {:?} x{} nodes",
+        w.events.len(),
+        w.spec.node_type,
+        w.spec.n_nodes
+    );
+
+    let mut stage = ctx.stage_predictor_no_global();
+    let stage_records = replay(&w, &mut stage);
+    let mut auto = ctx.autowlm_predictor();
+    let auto_records = replay(&w, &mut auto);
+
+    let to_queries = |preds: &[f64]| -> Vec<SimQuery> {
+        w.events
+            .iter()
+            .zip(preds)
+            .map(|(e, &p)| SimQuery {
+                arrival_secs: e.arrival_secs,
+                true_exec_secs: e.true_exec_secs,
+                predicted_secs: p,
+            })
+            .collect()
+    };
+    let stage_q = to_queries(&stage_records.iter().map(|r| r.predicted_secs).collect::<Vec<_>>());
+    let auto_q = to_queries(&auto_records.iter().map(|r| r.predicted_secs).collect::<Vec<_>>());
+    let opt_q = to_queries(&w.events.iter().map(|e| e.true_exec_secs).collect::<Vec<_>>());
+
+    let sim = Simulation::new(ctx.config.wlm);
+    let rs = sim.run(&stage_q);
+    let ra = sim.run(&auto_q);
+    let ro = sim.run(&opt_q);
+
+    for (name, results) in [("Stage", &rs), ("AutoWLM", &ra), ("Optimal", &ro)] {
+        let evicted = results.iter().filter(|r| r.evicted_from_sqa).count();
+        println!("\n{name}: avg latency {:.2}s, {} SQA evictions",
+            results.iter().map(|r| r.latency_secs()).sum::<f64>() / results.len() as f64, evicted);
+        println!("  bucket        n     avg-wait   total-wait");
+        for b in ExecTimeBucket::ALL {
+            let waits: Vec<f64> = results
+                .iter()
+                .filter(|r| ExecTimeBucket::of(w.events[r.query].true_exec_secs) == b)
+                .map(|r| r.wait_secs())
+                .collect();
+            if waits.is_empty() {
+                continue;
+            }
+            let total: f64 = waits.iter().sum();
+            println!(
+                "  {:<12} {:>5} {:>10.2} {:>12.0}",
+                b.label(),
+                waits.len(),
+                total / waits.len() as f64,
+                total
+            );
+        }
+    }
+
+    // Queries where Stage's latency exceeds AutoWLM's most.
+    let mut diffs: Vec<(f64, usize)> = rs
+        .iter()
+        .zip(&ra)
+        .map(|(s, a)| (s.latency_secs() - a.latency_secs(), s.query))
+        .collect();
+    diffs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap());
+    println!("\nworst 15 queries for Stage vs AutoWLM:");
+    println!("  diff(s)    exec(s)  stage-pred  auto-pred  stage-src");
+    for &(d, i) in diffs.iter().take(15) {
+        println!(
+            "  {d:>8.1} {:>9.2} {:>10.2} {:>10.2}  {:?}",
+            w.events[i].true_exec_secs,
+            stage_records[i].predicted_secs,
+            auto_records[i].predicted_secs,
+            stage_records[i].source,
+        );
+    }
+    let gain: f64 = diffs.iter().map(|d| d.0).sum::<f64>() / diffs.len() as f64;
+    println!("\nmean latency diff (Stage - AutoWLM): {gain:.2}s");
+}

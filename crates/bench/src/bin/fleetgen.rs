@@ -1,0 +1,99 @@
+//! Generates a synthetic Redshift fleet and exports its query logs as
+//! JSON Lines — one file per instance — plus a fleet summary. The exported
+//! logs re-ingest via `stage_workload::read_jsonl` for replay anywhere,
+//! mirroring the paper's log-driven offline pipeline.
+//!
+//! ```text
+//! cargo run --release -p stage-bench --bin fleetgen -- \
+//!     [--instances N] [--days F] [--seed N] [--out DIR]
+//! ```
+
+use stage_workload::stats::daily_unique_fraction;
+use stage_workload::{write_jsonl, FleetConfig, InstanceWorkload};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = FleetConfig {
+        n_instances: 5,
+        duration_days: 1.0,
+        ..FleetConfig::default()
+    };
+    let mut out_dir = PathBuf::from("fleet-logs");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--instances" => {
+                i += 1;
+                config.n_instances = parse(&args, i, "--instances");
+            }
+            "--days" => {
+                i += 1;
+                config.duration_days = parse(&args, i, "--days");
+            }
+            "--seed" => {
+                i += 1;
+                config.seed = parse(&args, i, "--seed");
+            }
+            "--out" => {
+                i += 1;
+                out_dir = args.get(i).map(PathBuf::from).unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "generating {} instances x {} days (seed {}) into {}",
+        config.n_instances,
+        config.duration_days,
+        config.seed,
+        out_dir.display()
+    );
+    let mut total = 0usize;
+    for id in 0..config.n_instances as u32 {
+        let w = InstanceWorkload::generate(&config, id);
+        let path = out_dir.join(format!("instance-{id:04}.jsonl"));
+        let file = match std::fs::File::create(&path) {
+            Ok(f) => std::io::BufWriter::new(f),
+            Err(e) => {
+                eprintln!("cannot create {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = write_jsonl(&w.events, file) {
+            eprintln!("write failed for {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        let unique = daily_unique_fraction(&w.events).unwrap_or(1.0);
+        println!(
+            "  instance {id:>3}: {:>6} queries, {:>5.1}% daily-unique, {:?} x{} -> {}",
+            w.events.len(),
+            100.0 * unique,
+            w.spec.node_type,
+            w.spec.n_nodes,
+            path.display()
+        );
+        total += w.events.len();
+    }
+    println!("done: {total} queries exported");
+    ExitCode::SUCCESS
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
+    args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("error: {flag} needs a numeric value");
+        std::process::exit(2);
+    })
+}
+
+fn usage() -> ! {
+    eprintln!("usage: fleetgen [--instances N] [--days F] [--seed N] [--out DIR]");
+    std::process::exit(2);
+}

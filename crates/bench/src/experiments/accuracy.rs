@@ -1,0 +1,77 @@
+//! Tables 1–2 / Fig. 8 — overall prediction accuracy of Stage vs AutoWLM,
+//! broken down by actual exec-time bucket.
+
+use super::data::Collected;
+use super::ExperimentReport;
+use crate::context::ExperimentContext;
+use serde_json::json;
+use stage_metrics::BucketReport;
+
+/// Serializes the two predictors' bucket reports side by side.
+fn accuracy_json(stage: &BucketReport, auto: &BucketReport) -> serde_json::Value {
+    json!({
+        "stage": stage,
+        "autowlm": auto,
+    })
+}
+
+/// Table 1 (and Fig. 8): absolute error (MAE / P50-AE / P90-AE) per bucket.
+pub fn tab1(_ctx: &ExperimentContext, data: &Collected) -> ExperimentReport {
+    let (actual, stage_pred, auto_pred) = data.flat_predictions();
+    let stage = BucketReport::from_pairs(&actual, &stage_pred).expect("non-empty replay");
+    let auto = BucketReport::from_pairs(&actual, &auto_pred).expect("non-empty replay");
+
+    let mut text = stage.render_abs("Table 1 — Stage predictor (absolute error, seconds)");
+    text.push('\n');
+    text.push_str(&auto.render_abs("Table 1 — AutoWLM predictor (absolute error, seconds)"));
+    let (s, a) = (
+        stage.overall().abs.expect("overall"),
+        auto.overall().abs.expect("overall"),
+    );
+    text.push_str(&format!(
+        "\nOverall MAE ratio AutoWLM/Stage: {:.2}x (paper: >2x in Stage's favour)\n",
+        a.mae / s.mae
+    ));
+
+    ExperimentReport::new("tab1", text, accuracy_json(&stage, &auto))
+}
+
+/// Table 2: the same breakdown in Q-error.
+pub fn tab2(_ctx: &ExperimentContext, data: &Collected) -> ExperimentReport {
+    let (actual, stage_pred, auto_pred) = data.flat_predictions();
+    let stage = BucketReport::from_pairs(&actual, &stage_pred).expect("non-empty replay");
+    let auto = BucketReport::from_pairs(&actual, &auto_pred).expect("non-empty replay");
+
+    let mut text = stage.render_q("Table 2 — Stage predictor (Q-error)");
+    text.push('\n');
+    text.push_str(&auto.render_q("Table 2 — AutoWLM predictor (Q-error)"));
+    let (s, a) = (
+        stage.overall().q.expect("overall"),
+        auto.overall().q.expect("overall"),
+    );
+    text.push_str(&format!(
+        "\nOverall P50-QE: Stage {:.2} vs AutoWLM {:.2}\n",
+        s.p50, a.p50
+    ));
+
+    ExperimentReport::new("tab2", text, accuracy_json(&stage, &auto))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::data::tests::tiny_context;
+    use crate::experiments::data::collect;
+
+    #[test]
+    fn tables_render_and_serialize() {
+        let ctx = tiny_context();
+        let data = collect(&ctx, false);
+        let t1 = tab1(&ctx, &data);
+        assert!(t1.text.contains("Table 1"));
+        assert!(t1.text.contains("Overall"));
+        assert!(t1.json["stage"]["rows"].is_array());
+        let t2 = tab2(&ctx, &data);
+        assert!(t2.text.contains("Q-error"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Fig. 1 — the fleet statistics motivating Stage's design.
+//!
+//! * **Fig. 1a**: distribution of clusters by the percentage of their
+//!   queries that were daily-unique (not repeated within 24 h).
+//! * **Fig. 1b**: distribution of query latency across the fleet, 0.01th to
+//!   99.99th percentile.
+
+use super::ExperimentReport;
+use crate::context::ExperimentContext;
+use serde_json::json;
+use stage_metrics::LogHistogram;
+use stage_workload::stats::daily_unique_fraction;
+
+/// Fig. 1a: per-cluster daily-unique fractions, binned into deciles.
+pub fn fig1a(ctx: &ExperimentContext) -> ExperimentReport {
+    let mut fractions = Vec::with_capacity(ctx.n_eval());
+    for id in 0..ctx.n_eval() as u32 {
+        let w = ctx.eval_instance(id);
+        if let Some(u) = daily_unique_fraction(&w.events) {
+            fractions.push(u);
+        }
+    }
+    let mut deciles = [0usize; 10];
+    for &f in &fractions {
+        let bucket = ((f * 10.0) as usize).min(9);
+        deciles[bucket] += 1;
+    }
+    let mean_unique = fractions.iter().sum::<f64>() / fractions.len().max(1) as f64;
+
+    let mut text = String::from(
+        "Fig 1a — distribution of clusters by % of daily-unique queries\n\
+         unique-%   #clusters\n",
+    );
+    for (i, &n) in deciles.iter().enumerate() {
+        let bar = "#".repeat(n);
+        text.push_str(&format!("{:>3}-{:>3}%  {:>4}  {bar}\n", i * 10, (i + 1) * 10, n));
+    }
+    text.push_str(&format!(
+        "\nfleet mean unique fraction: {mean_unique:.3} (paper: ~0.4 ⇒ >60% repeats)\n"
+    ));
+
+    let json = json!({
+        "per_instance_unique_fraction": fractions,
+        "decile_counts": deciles.to_vec(),
+        "mean_unique_fraction": mean_unique,
+        "mean_repeat_fraction": 1.0 - mean_unique,
+    });
+    ExperimentReport::new("fig1a", text, json)
+}
+
+/// Fig. 1b: fleet-wide latency distribution from the 0.01th to the 99.99th
+/// percentile.
+pub fn fig1b(ctx: &ExperimentContext) -> ExperimentReport {
+    let mut hist = LogHistogram::for_latencies();
+    for id in 0..ctx.n_eval() as u32 {
+        let w = ctx.eval_instance(id);
+        for e in &w.events {
+            hist.record(e.true_exec_secs);
+        }
+    }
+    const QS: [f64; 11] = [
+        0.0001, 0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 0.9999,
+    ];
+    let quantiles: Vec<(f64, f64)> = QS
+        .iter()
+        .filter_map(|&q| hist.quantile(q).map(|v| (q, v)))
+        .collect();
+    let frac_under_100ms = hist.cdf(0.1);
+    let frac_under_1s = hist.cdf(1.0);
+
+    let mut text = String::from("Fig 1b — fleet query-latency distribution\npercentile   latency(s)\n");
+    for &(q, v) in &quantiles {
+        text.push_str(&format!("{:>9.2}%   {v:>12.4}\n", q * 100.0));
+    }
+    text.push_str(&format!(
+        "\nfraction under 100 ms: {frac_under_100ms:.3} (paper: ~0.4 of queries outrun a 100 ms predictor)\n\
+         fraction under 1 s:    {frac_under_1s:.3}\n\
+         total queries:         {}\n",
+        hist.total()
+    ));
+
+    let json = json!({
+        "quantiles": quantiles,
+        "fraction_under_100ms": frac_under_100ms,
+        "fraction_under_1s": frac_under_1s,
+        "total_queries": hist.total(),
+        "buckets": hist.dense_buckets(),
+    });
+    ExperimentReport::new("fig1b", text, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::data::tests::tiny_context;
+
+    #[test]
+    fn fig1a_shape() {
+        let ctx = tiny_context();
+        let r = fig1a(&ctx);
+        assert!(r.text.contains("daily-unique"));
+        let mean = r.json["mean_unique_fraction"].as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&mean));
+        let deciles: Vec<u64> = r.json["decile_counts"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_u64().unwrap())
+            .collect();
+        assert_eq!(deciles.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn fig1b_shape() {
+        let ctx = tiny_context();
+        let r = fig1b(&ctx);
+        assert!(r.json["total_queries"].as_u64().unwrap() > 0);
+        let qs = r.json["quantiles"].as_array().unwrap();
+        // Quantiles monotone in latency.
+        let values: Vec<f64> = qs.iter().map(|p| p[1].as_f64().unwrap()).collect();
+        assert!(values.windows(2).all(|w| w[1] >= w[0] - 1e-9));
+    }
+}

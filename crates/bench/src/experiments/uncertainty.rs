@@ -1,0 +1,143 @@
+//! Figs. 10–11 — quality of the local model's uncertainty measure, scored
+//! with the prediction-rejection ratio (PRR).
+
+use super::data::Collected;
+use super::ExperimentReport;
+use crate::context::ExperimentContext;
+use serde_json::json;
+use stage_metrics::prr::PrrCurves;
+use stage_metrics::quantile;
+
+/// Per-instance (error, uncertainty) pairs on the cache-miss subset with a
+/// trained local model.
+fn error_uncertainty_pairs(data: &Collected, instance_idx: usize) -> (Vec<f64>, Vec<f64>) {
+    let inst = &data.instances[instance_idx];
+    let mut errors = Vec::new();
+    let mut uncertainties = Vec::new();
+    for r in &inst.ablation {
+        if r.is_cache_hit() {
+            continue;
+        }
+        let (Some(pred), Some(std)) = (r.local_secs, r.local_secs_std) else {
+            continue;
+        };
+        errors.push((r.actual_secs - pred).abs());
+        uncertainties.push(std);
+    }
+    (errors, uncertainties)
+}
+
+/// Fig. 10: the PRR construction for the single instance with the most
+/// scored queries — the uncertainty/error scatter plus the three rejection
+/// curves and the resulting score.
+pub fn fig10(_ctx: &ExperimentContext, data: &Collected) -> ExperimentReport {
+    let best = (0..data.instances.len())
+        .max_by_key(|&i| error_uncertainty_pairs(data, i).0.len())
+        .expect("at least one instance");
+    let (errors, uncertainties) = error_uncertainty_pairs(data, best);
+    let Some(curves) = PrrCurves::new(&errors, &uncertainties) else {
+        return ExperimentReport::new(
+            "fig10",
+            "fig10: not enough scored queries — increase fleet duration\n".into(),
+            json!({ "n": errors.len() }),
+        );
+    };
+    let score = curves.score();
+
+    // Downsample curves for the artefact (≤200 points each).
+    let ds = |xs: &[f64]| -> Vec<f64> {
+        let step = (xs.len() as f64 / 200.0).max(1.0);
+        let mut out = Vec::new();
+        let mut pos = 0.0;
+        while (pos as usize) < xs.len() {
+            out.push(xs[pos as usize]);
+            pos += step;
+        }
+        out
+    };
+    let scatter: Vec<(f64, f64)> = uncertainties
+        .iter()
+        .zip(&errors)
+        .take(2000)
+        .map(|(&u, &e)| (u, e))
+        .collect();
+
+    let text = format!(
+        "Fig 10 — PRR construction on instance {} ({} scored queries)\n\
+         AUC_oracle = {:.4}\n\
+         AUC_stage  = {:.4}\n\
+         PRR score  = {}\n\
+         (paper's example instance scores 0.9)\n",
+        data.instances[best].id,
+        errors.len(),
+        curves.auc_oracle,
+        curves.auc_stage,
+        score
+            .map(|s| format!("{s:.3}"))
+            .unwrap_or_else(|| "undefined".into()),
+    );
+    let json = json!({
+        "instance": data.instances[best].id,
+        "n": errors.len(),
+        "prr": score,
+        "auc_oracle": curves.auc_oracle,
+        "auc_stage": curves.auc_stage,
+        "oracle_curve": ds(&curves.oracle),
+        "uncertainty_curve": ds(&curves.by_uncertainty),
+        "scatter_uncertainty_vs_error": scatter,
+    });
+    ExperimentReport::new("fig10", text, json)
+}
+
+/// Fig. 11: the distribution of PRR scores across all evaluation instances.
+pub fn fig11(_ctx: &ExperimentContext, data: &Collected) -> ExperimentReport {
+    let mut scores = Vec::new();
+    for i in 0..data.instances.len() {
+        let (errors, uncertainties) = error_uncertainty_pairs(data, i);
+        if errors.len() < 20 {
+            continue;
+        }
+        if let Some(s) = stage_metrics::prr_score(&errors, &uncertainties) {
+            scores.push((data.instances[i].id, s));
+        }
+    }
+    let values: Vec<f64> = scores.iter().map(|s| s.1).collect();
+    let median = quantile(&values, 0.5);
+    let mut text = String::from("Fig 11 — PRR distribution across instances\ninstance   PRR\n");
+    for &(id, s) in &scores {
+        text.push_str(&format!("{id:>8}   {s:>6.3}\n"));
+    }
+    text.push_str(&format!(
+        "\nmedian PRR: {} over {} instances (paper: median 0.9, ~30% near 1.0)\n",
+        median.map(|m| format!("{m:.3}")).unwrap_or_else(|| "n/a".into()),
+        scores.len()
+    ));
+    let json = json!({
+        "scores": scores.iter().map(|&(id, s)| json!({"instance": id, "prr": s})).collect::<Vec<_>>(),
+        "median": median,
+    });
+    ExperimentReport::new("fig11", text, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::data::collect;
+    use crate::experiments::data::tests::tiny_context;
+
+    #[test]
+    fn fig10_fig11_build() {
+        let ctx = tiny_context();
+        let data = collect(&ctx, false);
+        let f10 = fig10(&ctx, &data);
+        assert_eq!(f10.name, "fig10");
+        let f11 = fig11(&ctx, &data);
+        assert_eq!(f11.name, "fig11");
+        // Scores, when present, are <= 1.
+        if let Some(arr) = f11.json["scores"].as_array() {
+            for s in arr {
+                assert!(s["prr"].as_f64().unwrap() <= 1.0 + 1e-9);
+            }
+        }
+    }
+}

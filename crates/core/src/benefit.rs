@@ -1,0 +1,169 @@
+//! What-if benefit estimation for plan changes.
+//!
+//! Redshift's automatic materialized-view advisor "uses the query optimizer
+//! to regenerate queries' execution plans as if certain materialized view
+//! exists and then uses the exec-time predictor to estimate the performance
+//! of these plans to determine the benefits" (paper §2.1), and needs
+//! confidence intervals "to ensure good worst-case behavior" of such changes
+//! (§2.1, §3). [`estimate_benefit`] packages that pattern: predict both
+//! plans, difference the means, and — when the predictor supplies
+//! uncertainty — propagate it into a conservative interval on the benefit.
+
+use crate::predictor::{ExecTimePredictor, Prediction, SystemContext};
+use serde::{Deserialize, Serialize};
+use stage_plan::PhysicalPlan;
+
+/// The estimated benefit of replacing `baseline` with `candidate`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BenefitEstimate {
+    /// Predicted exec-time of the current plan (seconds).
+    pub baseline_secs: f64,
+    /// Predicted exec-time of the hypothetical plan (seconds).
+    pub candidate_secs: f64,
+    /// Point benefit: `baseline − candidate` (positive = improvement).
+    pub benefit_secs: f64,
+    /// Conservative benefit interval at the requested confidence, when both
+    /// predictions carry uncertainty: lower bound assumes the baseline is as
+    /// fast as its interval allows and the candidate as slow as its interval
+    /// allows (and vice versa for the upper bound).
+    pub interval: Option<(f64, f64)>,
+}
+
+impl BenefitEstimate {
+    /// Whether the change is *robustly* beneficial: the conservative lower
+    /// bound of the benefit is positive. Falls back to the point estimate
+    /// when no interval is available.
+    pub fn is_robust_win(&self) -> bool {
+        match self.interval {
+            Some((lo, _)) => lo > 0.0,
+            None => self.benefit_secs > 0.0,
+        }
+    }
+
+    /// Relative speedup `baseline / candidate` (∞-safe).
+    pub fn speedup(&self) -> f64 {
+        self.baseline_secs / self.candidate_secs.max(1e-9)
+    }
+}
+
+fn bounds(p: &Prediction, z: f64) -> (f64, f64) {
+    p.confidence_interval(z)
+        .unwrap_or((p.exec_secs, p.exec_secs))
+}
+
+/// Estimates the benefit of `candidate` over `baseline` under `sys`, using
+/// z-score `z` for the conservative interval (1.96 ≈ 95%).
+///
+/// Both plans are predicted without observing anything (pure what-if); the
+/// predictor's state is unchanged except its routing counters.
+pub fn estimate_benefit(
+    predictor: &mut dyn ExecTimePredictor,
+    baseline: &PhysicalPlan,
+    candidate: &PhysicalPlan,
+    sys: &SystemContext,
+    z: f64,
+) -> BenefitEstimate {
+    let pb = predictor.predict(baseline, sys);
+    let pc = predictor.predict(candidate, sys);
+    let interval = if pb.log_variance.is_some() || pc.log_variance.is_some() {
+        let (b_lo, b_hi) = bounds(&pb, z);
+        let (c_lo, c_hi) = bounds(&pc, z);
+        Some((b_lo - c_hi, b_hi - c_lo))
+    } else {
+        None
+    };
+    BenefitEstimate {
+        baseline_secs: pb.exec_secs,
+        candidate_secs: pc.exec_secs,
+        benefit_secs: pb.exec_secs - pc.exec_secs,
+        interval,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::PredictionSource;
+    use crate::stage::{StageConfig, StagePredictor};
+    use stage_plan::{PlanBuilder, S3Format};
+
+    fn plan(rows: f64) -> PhysicalPlan {
+        PlanBuilder::select()
+            .scan("t", S3Format::Local, rows, 64.0)
+            .hash_aggregate(0.01)
+            .finish()
+    }
+
+    #[test]
+    fn cached_plans_give_point_benefit() {
+        let mut p = StagePredictor::new(StageConfig::default());
+        let sys = SystemContext::empty(1);
+        let slow = plan(1e7);
+        let fast = plan(1e3); // the "with MV" rewrite
+        p.observe(&slow, &sys, 40.0);
+        p.observe(&fast, &sys, 2.5);
+        let b = estimate_benefit(&mut p, &slow, &fast, &sys, 1.96);
+        assert!((b.benefit_secs - 37.5).abs() < 1e-9);
+        assert!(b.is_robust_win());
+        assert!(b.speedup() > 10.0);
+        assert!(b.interval.is_none(), "cache predictions carry no variance");
+    }
+
+    #[test]
+    fn local_model_benefit_carries_interval() {
+        let mut p = StagePredictor::new(StageConfig {
+            local: crate::local::LocalModelConfig {
+                ensemble: stage_gbdt::EnsembleParams {
+                    n_members: 4,
+                    member: stage_gbdt::NgBoostParams {
+                        n_estimators: 20,
+                        ..stage_gbdt::NgBoostParams::default()
+                    },
+                    seed: 2,
+                },
+                min_train_examples: 20,
+                retrain_interval: 100,
+            },
+            ..StageConfig::default()
+        });
+        let sys = SystemContext::empty(1);
+        // Train the local model on sizes 1e4..5e5 (exec ∝ rows).
+        for i in 1..=60 {
+            let rows = i as f64 * 1e4;
+            p.observe(&plan(rows), &sys, rows / 1e4);
+        }
+        // What-if on unseen sizes: both predictions come from the local
+        // model, so the benefit gets a conservative interval.
+        let b = estimate_benefit(&mut p, &plan(4.55e5), &plan(1.15e4), &sys, 1.96);
+        let (lo, hi) = b.interval.expect("local predictions have variance");
+        assert!(lo <= b.benefit_secs && b.benefit_secs <= hi);
+        assert!(b.benefit_secs > 0.0, "bigger scan should be slower");
+        // Conservative interval is wider than the point estimate is sure.
+        assert!(hi - lo > 0.0);
+    }
+
+    #[test]
+    fn negative_benefit_is_not_a_win() {
+        let mut p = StagePredictor::new(StageConfig::default());
+        let sys = SystemContext::empty(1);
+        let a = plan(1e4);
+        let b = plan(1e7);
+        p.observe(&a, &sys, 1.0);
+        p.observe(&b, &sys, 30.0);
+        let est = estimate_benefit(&mut p, &a, &b, &sys, 1.96);
+        assert!(est.benefit_secs < 0.0);
+        assert!(!est.is_robust_win());
+    }
+
+    #[test]
+    fn prediction_sources_visible_in_counters() {
+        let mut p = StagePredictor::new(StageConfig::default());
+        let sys = SystemContext::empty(1);
+        let a = plan(2e4);
+        p.observe(&a, &sys, 1.0);
+        let _ = estimate_benefit(&mut p, &a, &plan(3e4), &sys, 1.96);
+        // One cache hit (a) and one default (unseen plan, untrained local).
+        assert_eq!(p.stats().cache, 1);
+        assert_eq!(p.stats().fraction(PredictionSource::Default), 0.5);
+    }
+}

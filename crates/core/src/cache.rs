@@ -1,0 +1,434 @@
+//! The exec-time cache (paper §4.2).
+//!
+//! Keys are the FNV-1a hash of the 33-dim plan feature vector
+//! ("Optimization 1" — no element-wise vector comparison); values are a
+//! Welford running mean/variance plus the most recent observation
+//! ("Optimization 2" — four scalars instead of the full history). The
+//! prediction blends robustness and freshness:
+//!
+//! ```text
+//! predict = α · mean + (1 − α) · t_last        (α = 0.8)
+//! ```
+//!
+//! Eviction removes the least-recently-*updated* entry once capacity is
+//! exceeded (the paper keeps 2 000 unique queries).
+
+use serde::{Deserialize, Serialize};
+use stage_plan::{plan_feature_vector, PhysicalPlan};
+use stage_metrics::Welford;
+use std::collections::HashMap;
+
+/// How a cached query's history becomes a prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CacheMode {
+    /// The paper's production heuristic: `α·mean + (1−α)·last`.
+    AlphaBlend,
+    /// Holt's linear exponential smoothing — the "time series prediction"
+    /// direction the paper names as future work (§4.2): tracks a level and
+    /// a trend per entry and predicts `level + trend`, following drifting
+    /// exec-times (e.g. a growing table) instead of lagging behind them.
+    Holt {
+        /// Level smoothing factor in `(0, 1]`.
+        level_alpha: f64,
+        /// Trend smoothing factor in `(0, 1]`.
+        trend_beta: f64,
+    },
+}
+
+/// Cache tuning knobs.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Maximum number of unique queries retained (paper: 2 000).
+    pub capacity: usize,
+    /// Mean-vs-last blending factor α (paper: 0.8).
+    pub alpha: f64,
+    /// Prediction mode (default: the paper's α-blend).
+    pub mode: CacheMode,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 2_000,
+            alpha: 0.8,
+            mode: CacheMode::AlphaBlend,
+        }
+    }
+}
+
+/// One cached query: running stats + most recent exec-time + update seq,
+/// plus the Holt level/trend state (unused in α-blend mode).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct Entry {
+    stats: Welford,
+    last_secs: f64,
+    last_update: u64,
+    holt_level: f64,
+    holt_trend: f64,
+}
+
+/// The exec-time cache. See the module docs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecTimeCache {
+    config: CacheConfig,
+    entries: HashMap<u64, Entry>,
+    update_seq: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl ExecTimeCache {
+    /// Creates a cache.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` or `alpha ∉ [0, 1]`.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.capacity > 0, "cache capacity must be positive");
+        assert!(
+            (0.0..=1.0).contains(&config.alpha),
+            "alpha must be in [0, 1]"
+        );
+        if let CacheMode::Holt {
+            level_alpha,
+            trend_beta,
+        } = config.mode
+        {
+            assert!(
+                (0.0..=1.0).contains(&level_alpha) && (0.0..=1.0).contains(&trend_beta),
+                "Holt smoothing factors must be in [0, 1]"
+            );
+        }
+        Self {
+            config,
+            entries: HashMap::with_capacity(config.capacity.saturating_add(1).min(4_096)),
+            update_seq: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Hash key of a plan (the stable hash of its 33-dim vector).
+    pub fn key_of(plan: &PhysicalPlan) -> u64 {
+        plan_feature_vector(plan).stable_hash()
+    }
+
+    /// Looks up a plan; returns the blended prediction on a hit. Updates
+    /// hit/miss counters.
+    pub fn lookup(&mut self, key: u64) -> Option<f64> {
+        match self.entries.get(&key) {
+            Some(e) => {
+                self.hits += 1;
+                let pred = match self.config.mode {
+                    CacheMode::AlphaBlend => {
+                        self.config.alpha * e.stats.mean()
+                            + (1.0 - self.config.alpha) * e.last_secs
+                    }
+                    CacheMode::Holt { .. } => (e.holt_level + e.holt_trend).max(0.0),
+                };
+                Some(pred)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Whether a key is cached (no counter side effects).
+    pub fn contains(&self, key: u64) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// Observed variance of a cached query's exec-times, if present.
+    pub fn observed_variance(&self, key: u64) -> Option<f64> {
+        self.entries.get(&key).map(|e| e.stats.variance())
+    }
+
+    /// Records an observed exec-time, inserting or updating the entry and
+    /// evicting the least-recently-updated entry when over capacity.
+    pub fn record(&mut self, key: u64, actual_secs: f64) {
+        self.update_seq += 1;
+        let seq = self.update_seq;
+        let mode = self.config.mode;
+        match self.entries.get_mut(&key) {
+            Some(e) => {
+                e.stats.push(actual_secs);
+                e.last_secs = actual_secs;
+                e.last_update = seq;
+                if let CacheMode::Holt {
+                    level_alpha,
+                    trend_beta,
+                } = mode
+                {
+                    let prev_level = e.holt_level;
+                    e.holt_level = level_alpha * actual_secs
+                        + (1.0 - level_alpha) * (e.holt_level + e.holt_trend);
+                    e.holt_trend = trend_beta * (e.holt_level - prev_level)
+                        + (1.0 - trend_beta) * e.holt_trend;
+                }
+            }
+            None => {
+                self.entries.insert(
+                    key,
+                    Entry {
+                        stats: Welford::with_first(actual_secs),
+                        last_secs: actual_secs,
+                        last_update: seq,
+                        holt_level: actual_secs,
+                        holt_trend: 0.0,
+                    },
+                );
+                if self.entries.len() > self.config.capacity {
+                    self.evict_oldest();
+                }
+            }
+        }
+    }
+
+    /// Number of cached unique queries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Lifetime hit rate (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Approximate resident size in bytes: each entry is a key (8) plus
+    /// four stat scalars + seq (paper's "4 values per hash table entry"
+    /// plus bookkeeping).
+    pub fn approx_size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.entries.len() * (8 + std::mem::size_of::<Entry>())
+    }
+
+    /// Evicts the entry with the smallest `last_update`. Linear scan —
+    /// at the paper's capacity (2 000) this is microseconds and happens at
+    /// most once per insert.
+    fn evict_oldest(&mut self) {
+        if let Some((&key, _)) = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_update)
+        {
+            self.entries.remove(&key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cache(capacity: usize, alpha: f64) -> ExecTimeCache {
+        ExecTimeCache::new(CacheConfig { capacity, alpha, ..CacheConfig::default() })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = cache(10, 0.8);
+        assert_eq!(c.lookup(1), None);
+        c.record(1, 5.0);
+        assert_eq!(c.lookup(1), Some(5.0));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_blend_matches_paper_formula() {
+        let mut c = cache(10, 0.8);
+        c.record(1, 10.0);
+        c.record(1, 20.0);
+        c.record(1, 60.0);
+        // mean = 30, last = 60 -> 0.8*30 + 0.2*60 = 36
+        assert!((c.lookup(1).unwrap() - 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_zero_is_pure_freshness() {
+        let mut c = cache(10, 0.0);
+        c.record(1, 10.0);
+        c.record(1, 50.0);
+        assert_eq!(c.lookup(1), Some(50.0));
+    }
+
+    #[test]
+    fn alpha_one_is_pure_mean() {
+        let mut c = cache(10, 1.0);
+        c.record(1, 10.0);
+        c.record(1, 50.0);
+        assert_eq!(c.lookup(1), Some(30.0));
+    }
+
+    #[test]
+    fn eviction_removes_least_recently_updated() {
+        let mut c = cache(2, 0.8);
+        c.record(1, 1.0);
+        c.record(2, 2.0);
+        c.record(1, 1.5); // refresh key 1; key 2 is now oldest
+        c.record(3, 3.0); // evicts key 2
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+        assert!(c.contains(3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = cache(5, 0.8);
+        for k in 0..100u64 {
+            c.record(k, k as f64);
+            assert!(c.len() <= 5);
+        }
+        // The five most recent survive.
+        for k in 95..100 {
+            assert!(c.contains(k));
+        }
+    }
+
+    #[test]
+    fn observed_variance_tracks_spread() {
+        let mut c = cache(10, 0.8);
+        c.record(1, 10.0);
+        c.record(1, 20.0);
+        assert!((c.observed_variance(1).unwrap() - 25.0).abs() < 1e-9);
+        assert_eq!(c.observed_variance(99), None);
+    }
+
+    #[test]
+    fn key_of_is_stable_for_identical_plans() {
+        use stage_plan::{PlanBuilder, S3Format};
+        let build = || {
+            PlanBuilder::select()
+                .scan("t", S3Format::Local, 1e5, 64.0)
+                .hash_aggregate(0.01)
+                .finish()
+        };
+        assert_eq!(
+            ExecTimeCache::key_of(&build()),
+            ExecTimeCache::key_of(&build())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        cache(0, 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_rejected() {
+        cache(10, 1.5);
+    }
+
+    #[test]
+    fn size_accounting_grows_with_entries() {
+        let mut c = cache(100, 0.8);
+        let empty = c.approx_size_bytes();
+        for k in 0..50u64 {
+            c.record(k, 1.0);
+        }
+        assert!(c.approx_size_bytes() > empty);
+    }
+
+    #[test]
+    fn holt_mode_tracks_a_trend() {
+        let mut c = ExecTimeCache::new(CacheConfig {
+            capacity: 10,
+            alpha: 0.8,
+            mode: CacheMode::Holt {
+                level_alpha: 0.8,
+                trend_beta: 0.5,
+            },
+        });
+        // Linearly growing exec-times: Holt should predict ahead of the
+        // last observation, the α-blend lags behind it.
+        for i in 0..20 {
+            c.record(1, 10.0 + i as f64);
+        }
+        let holt = c.lookup(1).unwrap();
+        assert!(holt > 29.0, "Holt should extrapolate the trend: {holt}");
+
+        let mut blend = ExecTimeCache::new(CacheConfig::default());
+        for i in 0..20 {
+            blend.record(1, 10.0 + i as f64);
+        }
+        let b = blend.lookup(1).unwrap();
+        assert!(b < 25.0, "α-blend lags on trends: {b}");
+        assert!(holt > b);
+    }
+
+    #[test]
+    fn holt_mode_never_negative() {
+        let mut c = ExecTimeCache::new(CacheConfig {
+            capacity: 10,
+            alpha: 0.8,
+            mode: CacheMode::Holt {
+                level_alpha: 0.9,
+                trend_beta: 0.9,
+            },
+        });
+        // Sharply falling series could extrapolate below zero.
+        for v in [100.0, 10.0, 1.0, 0.1] {
+            c.record(1, v);
+        }
+        assert!(c.lookup(1).unwrap() >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Holt smoothing")]
+    fn holt_rejects_bad_factors() {
+        ExecTimeCache::new(CacheConfig {
+            capacity: 10,
+            alpha: 0.8,
+            mode: CacheMode::Holt {
+                level_alpha: 1.5,
+                trend_beta: 0.5,
+            },
+        });
+    }
+
+    proptest! {
+        #[test]
+        fn prop_len_bounded_and_prediction_in_range(
+            ops in proptest::collection::vec((0u64..20, 0.01f64..100.0), 1..300)
+        ) {
+            let mut c = cache(8, 0.8);
+            for &(k, v) in &ops {
+                c.record(k, v);
+                prop_assert!(c.len() <= 8);
+            }
+            let lo = ops.iter().map(|o| o.1).fold(f64::INFINITY, f64::min);
+            let hi = ops.iter().map(|o| o.1).fold(0.0f64, f64::max);
+            for k in 0..20u64 {
+                if let Some(p) = c.lookup(k) {
+                    prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+                }
+            }
+        }
+    }
+}

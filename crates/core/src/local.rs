@@ -1,0 +1,265 @@
+//! The instance-optimized local model (paper §4.3): a Bayesian ensemble of
+//! NLL-trained gradient-boosting models over the 33-dim plan vector, with
+//! decomposed prediction uncertainty. Retrains periodically from the
+//! [`crate::pool::TrainingPool`] as observations accumulate — the online
+//! analogue of Redshift retraining per-cluster models in the background.
+
+use crate::from_log_space;
+use crate::pool::TrainingPool;
+use serde::{Deserialize, Serialize};
+use stage_gbdt::{BayesianEnsemble, EnsembleParams, NgBoostParams};
+
+/// Local-model configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LocalModelConfig {
+    /// Ensemble hyper-parameters (paper: K = 10 members, 200 estimators,
+    /// depth 6; the default trims estimators for online replay speed —
+    /// early stopping usually stops far earlier anyway).
+    pub ensemble: EnsembleParams,
+    /// Minimum pool size before the first training.
+    pub min_train_examples: usize,
+    /// Retrain after this many new observations since the last training.
+    pub retrain_interval: usize,
+}
+
+impl Default for LocalModelConfig {
+    fn default() -> Self {
+        Self {
+            ensemble: EnsembleParams {
+                n_members: 10,
+                member: NgBoostParams {
+                    n_estimators: 60,
+                    ..NgBoostParams::default()
+                },
+                seed: 42,
+            },
+            min_train_examples: 30,
+            retrain_interval: 300,
+        }
+    }
+}
+
+/// A local-model prediction with decomposed uncertainty, all uncertainty in
+/// `ln(1+secs)` space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalPrediction {
+    /// Point prediction in seconds.
+    pub exec_secs: f64,
+    /// Mean in log space (the raw ensemble output, Eq. 1).
+    pub log_mean: f64,
+    /// Ensemble-disagreement (model/knowledge) uncertainty (Eq. 2, term 1).
+    pub model_uncertainty: f64,
+    /// Mean member variance (data uncertainty; Eq. 2, term 2).
+    pub data_uncertainty: f64,
+}
+
+impl LocalPrediction {
+    /// Total predictive variance (Eq. 2).
+    pub fn total_variance(&self) -> f64 {
+        self.model_uncertainty + self.data_uncertainty
+    }
+
+    /// Total predictive standard deviation in log space.
+    pub fn log_std(&self) -> f64 {
+        self.total_variance().sqrt()
+    }
+
+    /// First-order standard deviation in *seconds*: `exec_secs × log_std`.
+    /// Log-space std is scale-free (good for routing thresholds); this
+    /// scale-aware version is what correlates with absolute error and is
+    /// used for PRR-style uncertainty ranking (paper Figs. 10–11).
+    pub fn seconds_std(&self) -> f64 {
+        self.exec_secs * self.log_std()
+    }
+}
+
+/// The local model: an optional trained ensemble plus retraining policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LocalModel {
+    config: LocalModelConfig,
+    ensemble: Option<BayesianEnsemble>,
+    observations_since_train: usize,
+    trainings: u64,
+}
+
+impl LocalModel {
+    /// Creates an untrained local model.
+    pub fn new(config: LocalModelConfig) -> Self {
+        Self {
+            config,
+            ensemble: None,
+            observations_since_train: 0,
+            trainings: 0,
+        }
+    }
+
+    /// Whether a trained ensemble is available.
+    pub fn is_trained(&self) -> bool {
+        self.ensemble.is_some()
+    }
+
+    /// Number of trainings performed.
+    pub fn trainings(&self) -> u64 {
+        self.trainings
+    }
+
+    /// Notes one new pool observation and retrains when due: first at
+    /// `min_train_examples`, then every `retrain_interval` observations.
+    pub fn note_observation(&mut self, pool: &TrainingPool) {
+        self.observations_since_train += 1;
+        let due = match self.ensemble {
+            None => pool.len() >= self.config.min_train_examples,
+            Some(_) => self.observations_since_train >= self.config.retrain_interval,
+        };
+        if due {
+            self.retrain(pool);
+        }
+    }
+
+    /// Forces a retraining from the pool (no-op on an empty pool).
+    pub fn retrain(&mut self, pool: &TrainingPool) {
+        let Some(dataset) = pool.to_dataset() else {
+            return;
+        };
+        // Vary the seed across retrainings so ensembles don't ossify.
+        let params = EnsembleParams {
+            seed: self
+                .config
+                .ensemble
+                .seed
+                .wrapping_add(self.trainings.wrapping_mul(0x9E37_79B9)),
+            ..self.config.ensemble
+        };
+        if let Some(e) = BayesianEnsemble::fit(&dataset, &params) {
+            self.ensemble = Some(e);
+            self.trainings += 1;
+            self.observations_since_train = 0;
+        }
+    }
+
+    /// Predicts exec-time and uncertainty for a 33-dim feature vector.
+    /// `None` until the first training.
+    pub fn predict(&self, features: &[f64]) -> Option<LocalPrediction> {
+        let ensemble = self.ensemble.as_ref()?;
+        let p = ensemble.predict(features);
+        Some(LocalPrediction {
+            exec_secs: from_log_space(p.mean),
+            log_mean: p.mean,
+            model_uncertainty: p.model_uncertainty,
+            data_uncertainty: p.data_uncertainty,
+        })
+    }
+
+    /// Approximate resident size in bytes.
+    pub fn approx_size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .ensemble
+                .as_ref()
+                .map(BayesianEnsemble::approx_size_bytes)
+                .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::PoolConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn quick_config() -> LocalModelConfig {
+        LocalModelConfig {
+            ensemble: EnsembleParams {
+                n_members: 4,
+                member: NgBoostParams {
+                    n_estimators: 25,
+                    ..NgBoostParams::default()
+                },
+                seed: 7,
+            },
+            min_train_examples: 20,
+            retrain_interval: 50,
+        }
+    }
+
+    /// Fills a pool with y ≈ 0.1 * x[0] seconds.
+    fn filled_pool(n: usize, seed: u64) -> TrainingPool {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pool = TrainingPool::new(PoolConfig::default());
+        for _ in 0..n {
+            let x: f64 = rng.gen_range(0.0..100.0);
+            let noise: f64 = rng.gen_range(0.9..1.1);
+            pool.add(vec![x, 1.0], 0.1 * x * noise);
+        }
+        pool
+    }
+
+    #[test]
+    fn untrained_predicts_none() {
+        let m = LocalModel::new(quick_config());
+        assert!(!m.is_trained());
+        assert!(m.predict(&[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn trains_at_min_examples() {
+        let mut m = LocalModel::new(quick_config());
+        let mut pool = TrainingPool::new(PoolConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..25 {
+            let x: f64 = rng.gen_range(0.0..100.0);
+            pool.add(vec![x, 1.0], 0.1 * x);
+            m.note_observation(&pool);
+            if i < 18 {
+                assert!(!m.is_trained(), "trained too early at {i}");
+            }
+        }
+        assert!(m.is_trained());
+        assert_eq!(m.trainings(), 1);
+    }
+
+    #[test]
+    fn retrains_on_interval() {
+        let mut m = LocalModel::new(quick_config());
+        let pool = filled_pool(100, 2);
+        m.retrain(&pool);
+        assert_eq!(m.trainings(), 1);
+        for _ in 0..50 {
+            m.note_observation(&pool);
+        }
+        assert_eq!(m.trainings(), 2);
+    }
+
+    #[test]
+    fn learns_the_mapping() {
+        let mut m = LocalModel::new(quick_config());
+        m.retrain(&filled_pool(500, 3));
+        let p = m.predict(&[50.0, 1.0]).unwrap();
+        assert!(
+            (p.exec_secs - 5.0).abs() < 2.0,
+            "expected ~5s, got {}",
+            p.exec_secs
+        );
+        assert!(p.total_variance() > 0.0);
+        assert!((p.log_std().powi(2) - p.total_variance()).abs() < 1e-12);
+        assert!(p.exec_secs >= 0.0);
+    }
+
+    #[test]
+    fn retrain_on_empty_pool_is_noop() {
+        let mut m = LocalModel::new(quick_config());
+        let empty = TrainingPool::new(PoolConfig::default());
+        m.retrain(&empty);
+        assert!(!m.is_trained());
+        assert_eq!(m.trainings(), 0);
+    }
+
+    #[test]
+    fn size_grows_after_training() {
+        let mut m = LocalModel::new(quick_config());
+        let before = m.approx_size_bytes();
+        m.retrain(&filled_pool(100, 4));
+        assert!(m.approx_size_bytes() > before);
+    }
+}

@@ -1,0 +1,213 @@
+//! Model persistence.
+//!
+//! Redshift trains the global model offline on a fleet sweep and ships the
+//! trained artefact to instances (eventually as a shared service, Fig. 9
+//! discussion); local models are checkpointed so instance restarts don't
+//! cold-start. This module provides the equivalent: JSON (de)serialization
+//! of every trained model plus the exec-time cache, with a version tag so
+//! stale artefacts fail loudly instead of predicting garbage.
+
+use crate::cache::ExecTimeCache;
+use crate::global::GlobalModel;
+use crate::local::LocalModel;
+use serde::{de::DeserializeOwned, Deserialize, Serialize};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Artefact format version; bump on breaking model-layout changes.
+pub const PERSIST_VERSION: u32 = 1;
+
+#[derive(Serialize, Deserialize)]
+struct Envelope<T> {
+    version: u32,
+    kind: String,
+    payload: T,
+}
+
+fn save_impl<T: Serialize, W: Write>(kind: &str, value: &T, mut out: W) -> io::Result<()> {
+    let env = Envelope {
+        version: PERSIST_VERSION,
+        kind: kind.to_string(),
+        payload: value,
+    };
+    serde_json::to_writer(&mut out, &env)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+fn load_impl<T: DeserializeOwned, R: Read>(kind: &str, input: R) -> io::Result<T> {
+    let env: Envelope<T> = serde_json::from_reader(input)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    if env.version != PERSIST_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "artefact version {} != supported {PERSIST_VERSION}",
+                env.version
+            ),
+        ));
+    }
+    if env.kind != kind {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("artefact kind {:?} != expected {kind:?}", env.kind),
+        ));
+    }
+    Ok(env.payload)
+}
+
+macro_rules! persistable {
+    ($ty:ty, $kind:literal, $save:ident, $load:ident, $save_file:ident, $load_file:ident) => {
+        /// Serializes the model to a writer (versioned JSON envelope).
+        pub fn $save<W: Write>(model: &$ty, out: W) -> io::Result<()> {
+            save_impl($kind, model, out)
+        }
+
+        /// Deserializes a model from a reader, validating version and kind.
+        pub fn $load<R: Read>(input: R) -> io::Result<$ty> {
+            load_impl($kind, input)
+        }
+
+        /// Saves to a file path.
+        pub fn $save_file(model: &$ty, path: &Path) -> io::Result<()> {
+            $save(model, std::io::BufWriter::new(std::fs::File::create(path)?))
+        }
+
+        /// Loads from a file path.
+        pub fn $load_file(path: &Path) -> io::Result<$ty> {
+            $load(std::io::BufReader::new(std::fs::File::open(path)?))
+        }
+    };
+}
+
+persistable!(
+    GlobalModel,
+    "stage-global-model",
+    save_global,
+    load_global,
+    save_global_file,
+    load_global_file
+);
+persistable!(
+    LocalModel,
+    "stage-local-model",
+    save_local,
+    load_local,
+    save_local_file,
+    load_local_file
+);
+persistable!(
+    ExecTimeCache,
+    "stage-exec-time-cache",
+    save_cache,
+    load_cache,
+    save_cache_file,
+    load_cache_file
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use crate::global::{plan_to_tree_sample, GlobalModelConfig};
+    use crate::local::LocalModelConfig;
+    use crate::pool::{PoolConfig, TrainingPool};
+    use crate::predictor::SystemContext;
+    use stage_plan::{PlanBuilder, S3Format};
+
+    fn plan(rows: f64) -> stage_plan::PhysicalPlan {
+        PlanBuilder::select()
+            .scan("t", S3Format::Local, rows, 64.0)
+            .hash_aggregate(0.01)
+            .finish()
+    }
+
+    #[test]
+    fn cache_round_trip_preserves_predictions() {
+        let mut cache = ExecTimeCache::new(CacheConfig::default());
+        for k in 0..50u64 {
+            cache.record(k, k as f64 * 0.1);
+            cache.record(k, k as f64 * 0.12);
+        }
+        let mut buf = Vec::new();
+        save_cache(&cache, &mut buf).unwrap();
+        let mut back = load_cache(buf.as_slice()).unwrap();
+        for k in 0..50u64 {
+            assert_eq!(cache.contains(k), back.contains(k));
+            assert_eq!(
+                { back.lookup(k) },
+                { cache.lookup(k) },
+                "key {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn local_model_round_trip() {
+        let mut pool = TrainingPool::new(PoolConfig::default());
+        for i in 1..=120 {
+            pool.add(vec![i as f64, 1.0], i as f64 * 0.05);
+        }
+        let mut local = LocalModel::new(LocalModelConfig {
+            ensemble: stage_gbdt::EnsembleParams {
+                n_members: 3,
+                member: stage_gbdt::NgBoostParams {
+                    n_estimators: 15,
+                    ..stage_gbdt::NgBoostParams::default()
+                },
+                seed: 1,
+            },
+            ..LocalModelConfig::default()
+        });
+        local.retrain(&pool);
+        let mut buf = Vec::new();
+        save_local(&local, &mut buf).unwrap();
+        let back = load_local(buf.as_slice()).unwrap();
+        let probe = [55.0, 1.0];
+        assert_eq!(local.predict(&probe), back.predict(&probe));
+    }
+
+    #[test]
+    fn global_model_round_trip() {
+        let sys = SystemContext::empty(2);
+        let samples: Vec<_> = (1..=25)
+            .map(|i| plan_to_tree_sample(&plan(i as f64 * 1e4), &sys, i as f64 * 0.2))
+            .collect();
+        let cfg = GlobalModelConfig {
+            hidden: 8,
+            gcn_layers: 1,
+            epochs: 3,
+            ..GlobalModelConfig::default()
+        };
+        let model = GlobalModel::train(&samples, 2, &cfg);
+        let mut buf = Vec::new();
+        save_global(&model, &mut buf).unwrap();
+        let back = load_global(buf.as_slice()).unwrap();
+        let probe = plan(3.3e5);
+        assert_eq!(model.predict(&probe, &sys), back.predict(&probe, &sys));
+    }
+
+    #[test]
+    fn wrong_kind_and_version_rejected() {
+        let cache = ExecTimeCache::new(CacheConfig::default());
+        let mut buf = Vec::new();
+        save_cache(&cache, &mut buf).unwrap();
+        // Wrong kind.
+        assert!(load_local(buf.as_slice()).is_err());
+        // Wrong version.
+        let text = String::from_utf8(buf).unwrap().replace(
+            "\"version\":1",
+            "\"version\":999",
+        );
+        assert!(load_cache(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let cache = ExecTimeCache::new(CacheConfig::default());
+        let dir = std::env::temp_dir().join("stage-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        save_cache_file(&cache, &path).unwrap();
+        assert!(load_cache_file(&path).is_ok());
+    }
+}

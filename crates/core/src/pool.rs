@@ -1,0 +1,261 @@
+//! The local model's training pool (paper §4.3, "Local model training
+//! optimization").
+//!
+//! Naively keeping every executed query would (1) grow unboundedly,
+//! (2) fill with repeats the cache already handles, and (3) drown long
+//! queries under the short-query flood. The pool therefore:
+//!
+//! * **bounds** total size by capping each duration bucket and evicting the
+//!   oldest entries first;
+//! * **deduplicates** — the caller (see `StagePredictor::observe`) only adds
+//!   queries that *missed* the exec-time cache;
+//! * **stratifies by duration** — separate caps for the 0–10 s, 10–60 s,
+//!   and 60 s+ buckets keep long queries represented.
+//!
+//! Both dedup and bucketing are individually switchable for the paper's
+//! ablations.
+
+use serde::{Deserialize, Serialize};
+use stage_gbdt::Dataset;
+use std::collections::VecDeque;
+
+/// Bucket edges in seconds (paper's example: 0–10 s, 10–60 s, 60 s+).
+pub const BUCKET_EDGES_SECS: [f64; 2] = [10.0, 60.0];
+
+/// Number of duration buckets.
+pub const N_BUCKETS: usize = BUCKET_EDGES_SECS.len() + 1;
+
+/// Pool configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PoolConfig {
+    /// Per-bucket capacity when bucketing is enabled.
+    pub bucket_capacity: [usize; N_BUCKETS],
+    /// When `false`, all entries share one FIFO of total capacity
+    /// `bucket_capacity.sum()` (the "no bucketing" ablation).
+    pub bucketing: bool,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self {
+            bucket_capacity: [1_200, 500, 300],
+            bucketing: true,
+        }
+    }
+}
+
+/// One training example: the 33-dim feature vector and the target in
+/// `ln(1+secs)` space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Example {
+    features: Vec<f64>,
+    log_target: f64,
+}
+
+/// The bounded, stratified training pool.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingPool {
+    config: PoolConfig,
+    buckets: Vec<VecDeque<Example>>,
+    total_added: u64,
+}
+
+impl TrainingPool {
+    /// Creates an empty pool.
+    pub fn new(config: PoolConfig) -> Self {
+        Self {
+            config,
+            buckets: (0..N_BUCKETS).map(|_| VecDeque::new()).collect(),
+            total_added: 0,
+        }
+    }
+
+    /// Bucket index of an exec-time.
+    fn bucket_of(secs: f64) -> usize {
+        BUCKET_EDGES_SECS
+            .iter()
+            .position(|&edge| secs < edge)
+            .unwrap_or(N_BUCKETS - 1)
+    }
+
+    /// Adds one executed query. `actual_secs` selects the duration bucket;
+    /// the stored target is `ln(1+actual_secs)`.
+    pub fn add(&mut self, features: Vec<f64>, actual_secs: f64) {
+        self.total_added += 1;
+        let example = Example {
+            features,
+            log_target: actual_secs.max(0.0).ln_1p(),
+        };
+        if self.config.bucketing {
+            let b = Self::bucket_of(actual_secs);
+            let cap = self.config.bucket_capacity[b].max(1);
+            let bucket = &mut self.buckets[b];
+            bucket.push_back(example);
+            while bucket.len() > cap {
+                bucket.pop_front();
+            }
+        } else {
+            let cap: usize = self.config.bucket_capacity.iter().sum::<usize>().max(1);
+            let bucket = &mut self.buckets[0];
+            bucket.push_back(example);
+            while bucket.len() > cap {
+                bucket.pop_front();
+            }
+        }
+    }
+
+    /// Number of examples currently held.
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(VecDeque::len).sum()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Examples per bucket (all in slot 0 when bucketing is off).
+    pub fn bucket_lens(&self) -> [usize; N_BUCKETS] {
+        let mut out = [0; N_BUCKETS];
+        for (o, b) in out.iter_mut().zip(&self.buckets) {
+            *o = b.len();
+        }
+        out
+    }
+
+    /// Lifetime number of `add` calls (including evicted examples).
+    pub fn total_added(&self) -> u64 {
+        self.total_added
+    }
+
+    /// Materializes the pool as a training dataset (targets in log space).
+    /// Returns `None` when empty.
+    pub fn to_dataset(&self) -> Option<Dataset> {
+        let first = self.buckets.iter().flatten().next()?;
+        let mut ds = Dataset::new(first.features.len());
+        for ex in self.buckets.iter().flatten() {
+            ds.push(&ex.features, ex.log_target);
+        }
+        Some(ds)
+    }
+
+    /// Approximate resident size in bytes.
+    pub fn approx_size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .buckets
+                .iter()
+                .flatten()
+                .map(|e| e.features.len() * 8 + 16)
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feat(x: f64) -> Vec<f64> {
+        vec![x, x * 2.0]
+    }
+
+    #[test]
+    fn bucket_assignment() {
+        assert_eq!(TrainingPool::bucket_of(0.5), 0);
+        assert_eq!(TrainingPool::bucket_of(9.99), 0);
+        assert_eq!(TrainingPool::bucket_of(10.0), 1);
+        assert_eq!(TrainingPool::bucket_of(59.9), 1);
+        assert_eq!(TrainingPool::bucket_of(60.0), 2);
+        assert_eq!(TrainingPool::bucket_of(1e6), 2);
+    }
+
+    #[test]
+    fn per_bucket_caps_enforced() {
+        let cfg = PoolConfig {
+            bucket_capacity: [3, 2, 1],
+            bucketing: true,
+        };
+        let mut p = TrainingPool::new(cfg);
+        for i in 0..10 {
+            p.add(feat(i as f64), 1.0); // bucket 0
+            p.add(feat(i as f64), 30.0); // bucket 1
+            p.add(feat(i as f64), 300.0); // bucket 2
+        }
+        assert_eq!(p.bucket_lens(), [3, 2, 1]);
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.total_added(), 30);
+    }
+
+    #[test]
+    fn long_queries_survive_short_flood() {
+        // The whole point of bucketing: one long query among thousands of
+        // short ones must stay in the pool.
+        let mut p = TrainingPool::new(PoolConfig::default());
+        p.add(feat(1.0), 500.0);
+        for i in 0..5_000 {
+            p.add(feat(i as f64), 0.05);
+        }
+        assert_eq!(p.bucket_lens()[2], 1, "long query was evicted");
+    }
+
+    #[test]
+    fn no_bucketing_ablation_floods_out_long_queries() {
+        let cfg = PoolConfig {
+            bucket_capacity: [100, 0, 0],
+            bucketing: false,
+        };
+        let mut p = TrainingPool::new(cfg);
+        p.add(feat(1.0), 500.0);
+        for i in 0..200 {
+            p.add(feat(i as f64), 0.05);
+        }
+        // FIFO of 100: the long query is gone.
+        let ds = p.to_dataset().unwrap();
+        let long_target = 500.0f64.ln_1p();
+        assert!(ds
+            .targets()
+            .iter()
+            .all(|&t| (t - long_target).abs() > 1e-9));
+        assert_eq!(p.len(), 100);
+    }
+
+    #[test]
+    fn fifo_evicts_oldest() {
+        let cfg = PoolConfig {
+            bucket_capacity: [2, 1, 1],
+            bucketing: true,
+        };
+        let mut p = TrainingPool::new(cfg);
+        p.add(feat(1.0), 1.0);
+        p.add(feat(2.0), 1.0);
+        p.add(feat(3.0), 1.0); // evicts feat(1.0)
+        let ds = p.to_dataset().unwrap();
+        assert_eq!(ds.n_rows(), 2);
+        assert_eq!(ds.row(0)[0], 2.0);
+        assert_eq!(ds.row(1)[0], 3.0);
+    }
+
+    #[test]
+    fn dataset_targets_in_log_space() {
+        let mut p = TrainingPool::new(PoolConfig::default());
+        p.add(feat(1.0), 9.0);
+        let ds = p.to_dataset().unwrap();
+        assert!((ds.target(0) - 9.0f64.ln_1p()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_pool_has_no_dataset() {
+        let p = TrainingPool::new(PoolConfig::default());
+        assert!(p.to_dataset().is_none());
+        assert!(p.is_empty());
+        assert!(p.approx_size_bytes() > 0);
+    }
+
+    #[test]
+    fn negative_times_clamped() {
+        let mut p = TrainingPool::new(PoolConfig::default());
+        p.add(feat(1.0), -5.0);
+        let ds = p.to_dataset().unwrap();
+        assert_eq!(ds.target(0), 0.0);
+    }
+}

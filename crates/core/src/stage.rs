@@ -1,0 +1,458 @@
+//! The Stage predictor: cache → local → global routing (paper §4.1, Fig. 4).
+//!
+//! ```text
+//! query plan ──► 33-dim vector ──► exec-time cache ──hit──► prediction
+//!                     │ miss
+//!                     ▼
+//!               local model ──short OR confident──► prediction
+//!                     │ long AND uncertain
+//!                     ▼
+//!               global model (plan tree + system features) ──► prediction
+//! ```
+//!
+//! After execution, the observed exec-time feeds the cache, and — only on a
+//! cache miss, implementing the paper's dedup-via-cache trick — the local
+//! training pool.
+
+use crate::cache::{CacheConfig, ExecTimeCache};
+use crate::global::GlobalModel;
+use crate::local::{LocalModel, LocalModelConfig};
+use crate::pool::{PoolConfig, TrainingPool};
+use crate::predictor::{
+    ExecTimePredictor, Prediction, PredictionSource, SystemContext, DEFAULT_PREDICTION_SECS,
+};
+use serde::{Deserialize, Serialize};
+use stage_plan::{plan_feature_vector, PhysicalPlan};
+use std::sync::Arc;
+
+/// Escalation policy from the local to the global model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RoutingConfig {
+    /// Local predictions below this (seconds) are returned directly — the
+    /// paper only escalates when the query "is longer than a couple of
+    /// seconds", because for short queries the global model's ~100 ms
+    /// inference would dominate.
+    pub short_circuit_secs: f64,
+    /// Local predictions with total log-space std below this are
+    /// "highly confident" and returned directly.
+    pub confident_log_std: f64,
+    /// When `false`, repeats are added to the training pool too (the
+    /// "no dedup" ablation).
+    pub dedup_via_cache: bool,
+}
+
+impl Default for RoutingConfig {
+    fn default() -> Self {
+        Self {
+            short_circuit_secs: 5.0,
+            confident_log_std: 1.0,
+            dedup_via_cache: true,
+        }
+    }
+}
+
+/// Full Stage configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, Default)]
+pub struct StageConfig {
+    /// Exec-time cache settings.
+    pub cache: CacheConfig,
+    /// Training-pool settings.
+    pub pool: PoolConfig,
+    /// Local-model settings.
+    pub local: LocalModelConfig,
+    /// Escalation policy.
+    pub routing: RoutingConfig,
+    /// Append the [`SystemContext`] features (notably the concurrency level
+    /// at submission time) to the local model's input — the paper's §6.3
+    /// "environment factors" future-work direction. Off by default: the
+    /// published Stage uses the plan-only 33-dim vector.
+    pub env_features: bool,
+}
+
+/// Counters for which stage served each prediction (paper Fig. 9 reports
+/// the global model firing ~3% of the time, the cache ~60%).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingStats {
+    /// Served by the exec-time cache.
+    pub cache: u64,
+    /// Served by the local model.
+    pub local: u64,
+    /// Served by the global model.
+    pub global: u64,
+    /// Served by the cold-start default.
+    pub default: u64,
+}
+
+impl RoutingStats {
+    /// Total predictions.
+    pub fn total(&self) -> u64 {
+        self.cache + self.local + self.global + self.default
+    }
+
+    /// Fraction served by a source (0 when nothing predicted).
+    pub fn fraction(&self, source: PredictionSource) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let n = match source {
+            PredictionSource::Cache => self.cache,
+            PredictionSource::Local => self.local,
+            PredictionSource::Global => self.global,
+            PredictionSource::Default => self.default,
+        };
+        n as f64 / total as f64
+    }
+}
+
+/// The hierarchical Stage predictor.
+pub struct StagePredictor {
+    config: StageConfig,
+    cache: ExecTimeCache,
+    pool: TrainingPool,
+    local: LocalModel,
+    global: Option<Arc<GlobalModel>>,
+    stats: RoutingStats,
+}
+
+impl StagePredictor {
+    /// Creates a Stage predictor without a global model (cache + local
+    /// only — the configuration currently deployed in production per §5.2).
+    pub fn new(config: StageConfig) -> Self {
+        Self {
+            cache: ExecTimeCache::new(config.cache),
+            pool: TrainingPool::new(config.pool),
+            local: LocalModel::new(config.local),
+            global: None,
+            stats: RoutingStats::default(),
+            config,
+        }
+    }
+
+    /// Creates a Stage predictor with a shared fleet-trained global model.
+    pub fn with_global(config: StageConfig, global: Arc<GlobalModel>) -> Self {
+        let mut s = Self::new(config);
+        s.global = Some(global);
+        s
+    }
+
+    /// Attaches (or replaces) the global model.
+    pub fn set_global(&mut self, global: Arc<GlobalModel>) {
+        self.global = Some(global);
+    }
+
+    /// Routing counters so far.
+    pub fn stats(&self) -> RoutingStats {
+        self.stats
+    }
+
+    /// The exec-time cache (read access for diagnostics).
+    pub fn cache(&self) -> &ExecTimeCache {
+        &self.cache
+    }
+
+    /// The local model (read access for diagnostics).
+    pub fn local(&self) -> &LocalModel {
+        &self.local
+    }
+
+    /// The training pool (read access for diagnostics).
+    pub fn pool(&self) -> &TrainingPool {
+        &self.pool
+    }
+
+    /// Component-wise memory breakdown `(cache, pool, local)` in bytes. The
+    /// global model is excluded as in the paper's Fig. 9 (it is deployed as
+    /// a shared service, not per-instance state).
+    pub fn size_breakdown(&self) -> (usize, usize, usize) {
+        (
+            self.cache.approx_size_bytes(),
+            self.pool.approx_size_bytes(),
+            self.local.approx_size_bytes(),
+        )
+    }
+}
+
+impl StagePredictor {
+    /// The local model's input: the 33-dim plan vector, optionally extended
+    /// with the system-context features (§6.3 environment factors).
+    fn local_features(&self, plan: &PhysicalPlan, sys: &SystemContext) -> Vec<f64> {
+        let mut v = plan_feature_vector(plan).0;
+        if self.config.env_features {
+            v.extend_from_slice(&sys.features);
+        }
+        v
+    }
+}
+
+impl ExecTimePredictor for StagePredictor {
+    fn predict(&mut self, plan: &PhysicalPlan, sys: &SystemContext) -> Prediction {
+        let key = ExecTimeCache::key_of(plan);
+        // Stage 1: exact-match cache.
+        if let Some(secs) = self.cache.lookup(key) {
+            self.stats.cache += 1;
+            return Prediction::point(secs, PredictionSource::Cache);
+        }
+        // Stage 2: local model.
+        let features = self.local_features(plan, sys);
+        match self.local.predict(&features) {
+            Some(lp) => {
+                let short = lp.exec_secs < self.config.routing.short_circuit_secs;
+                let confident = lp.log_std() <= self.config.routing.confident_log_std;
+                if short || confident || self.global.is_none() {
+                    self.stats.local += 1;
+                    return Prediction {
+                        exec_secs: lp.exec_secs,
+                        log_variance: Some(lp.total_variance()),
+                        source: PredictionSource::Local,
+                    };
+                }
+                // Stage 3: long + uncertain -> global model.
+                let global = self.global.as_ref().expect("checked above");
+                self.stats.global += 1;
+                Prediction::point(global.predict(plan, sys), PredictionSource::Global)
+            }
+            None => {
+                // Cold start: prefer the transferable global model when
+                // available (a key Stage advantage on new instances).
+                if let Some(global) = &self.global {
+                    self.stats.global += 1;
+                    Prediction::point(global.predict(plan, sys), PredictionSource::Global)
+                } else {
+                    self.stats.default += 1;
+                    Prediction::point(DEFAULT_PREDICTION_SECS, PredictionSource::Default)
+                }
+            }
+        }
+    }
+
+    fn observe(&mut self, plan: &PhysicalPlan, sys: &SystemContext, actual_secs: f64) {
+        let key = ExecTimeCache::key_of(plan);
+        let was_cached = self.cache.contains(key);
+        self.cache.record(key, actual_secs);
+        // Dedup via the cache (paper §4.3): only cache *misses* enter the
+        // local training pool.
+        if !was_cached || !self.config.routing.dedup_via_cache {
+            let features = self.local_features(plan, sys);
+            self.pool.add(features, actual_secs);
+            self.local.note_observation(&self.pool);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Stage"
+    }
+
+    fn approx_size_bytes(&self) -> usize {
+        let (c, p, l) = self.size_breakdown();
+        std::mem::size_of::<Self>() + c + p + l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::{plan_to_tree_sample, GlobalModelConfig};
+    use crate::local::LocalModelConfig;
+    use stage_gbdt::{EnsembleParams, NgBoostParams};
+    use stage_plan::{PlanBuilder, S3Format};
+
+    fn plan(rows: f64) -> PhysicalPlan {
+        PlanBuilder::select()
+            .scan("t", S3Format::Local, rows, 64.0)
+            .hash_aggregate(0.01)
+            .finish()
+    }
+
+    fn sys() -> SystemContext {
+        SystemContext::empty(2)
+    }
+
+    fn quick_config() -> StageConfig {
+        StageConfig {
+            local: LocalModelConfig {
+                ensemble: EnsembleParams {
+                    n_members: 4,
+                    member: NgBoostParams {
+                        n_estimators: 25,
+                        ..NgBoostParams::default()
+                    },
+                    seed: 5,
+                },
+                min_train_examples: 20,
+                retrain_interval: 60,
+            },
+            ..StageConfig::default()
+        }
+    }
+
+    #[test]
+    fn cold_start_default_then_cache_hit() {
+        let mut s = StagePredictor::new(quick_config());
+        let q = plan(1e5);
+        let p1 = s.predict(&q, &sys());
+        assert_eq!(p1.source, PredictionSource::Default);
+        s.observe(&q, &sys(), 7.0);
+        let p2 = s.predict(&q, &sys());
+        assert_eq!(p2.source, PredictionSource::Cache);
+        assert!((p2.exec_secs - 7.0).abs() < 1e-9);
+        assert_eq!(s.stats().cache, 1);
+        assert_eq!(s.stats().default, 1);
+    }
+
+    #[test]
+    fn cache_blends_mean_and_last() {
+        let mut s = StagePredictor::new(quick_config());
+        let q = plan(2e5);
+        s.observe(&q, &sys(), 10.0);
+        s.observe(&q, &sys(), 20.0);
+        // mean 15, last 20 -> 0.8*15 + 0.2*20 = 16
+        let p = s.predict(&q, &sys());
+        assert!((p.exec_secs - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_model_serves_unseen_similar_queries() {
+        let mut s = StagePredictor::new(quick_config());
+        // Distinct plans (different sizes) so every observation misses the
+        // cache and feeds the pool.
+        for i in 1..=60 {
+            let rows = i as f64 * 1e4;
+            s.observe(&plan(rows), &sys(), rows / 1e5);
+        }
+        assert!(s.local().is_trained());
+        // An unseen size: must be served by the local model, not default.
+        let p = s.predict(&plan(3.33e5), &sys());
+        assert_eq!(p.source, PredictionSource::Local);
+        assert!(p.log_variance.is_some());
+        assert!(p.exec_secs > 0.0);
+    }
+
+    #[test]
+    fn dedup_keeps_repeats_out_of_pool() {
+        let mut s = StagePredictor::new(quick_config());
+        let q = plan(1e5);
+        for _ in 0..10 {
+            s.observe(&q, &sys(), 1.0);
+        }
+        assert_eq!(s.pool().len(), 1, "only the first observation enters");
+
+        let mut cfg = quick_config();
+        cfg.routing.dedup_via_cache = false;
+        let mut s2 = StagePredictor::new(cfg);
+        for _ in 0..10 {
+            s2.observe(&q, &sys(), 1.0);
+        }
+        assert_eq!(s2.pool().len(), 10, "ablation keeps repeats");
+    }
+
+    #[test]
+    fn global_serves_cold_start_when_attached() {
+        // Train a tiny global model on plans of varying size.
+        let samples: Vec<_> = (1..=40)
+            .map(|i| {
+                let rows = i as f64 * 1e4;
+                plan_to_tree_sample(&plan(rows), &sys(), rows / 1e5)
+            })
+            .collect();
+        let gcfg = GlobalModelConfig {
+            hidden: 16,
+            gcn_layers: 2,
+            dropout: 0.0,
+            epochs: 15,
+            ..GlobalModelConfig::default()
+        };
+        let global = Arc::new(GlobalModel::train(&samples, 2, &gcfg));
+        let mut s = StagePredictor::with_global(quick_config(), global);
+        let p = s.predict(&plan(2e5), &sys());
+        assert_eq!(p.source, PredictionSource::Global);
+        assert_eq!(s.stats().global, 1);
+    }
+
+    #[test]
+    fn short_predictions_never_escalate() {
+        // Local model trained on uniformly short queries -> predictions
+        // stay below the short-circuit threshold -> no global calls even
+        // though a global model is attached.
+        let samples: Vec<_> = (1..=30)
+            .map(|i| plan_to_tree_sample(&plan(i as f64 * 1e3), &sys(), 0.05))
+            .collect();
+        let gcfg = GlobalModelConfig {
+            hidden: 8,
+            gcn_layers: 1,
+            dropout: 0.0,
+            epochs: 5,
+            ..GlobalModelConfig::default()
+        };
+        let global = Arc::new(GlobalModel::train(&samples, 2, &gcfg));
+        let mut s = StagePredictor::with_global(quick_config(), global);
+        for i in 1..=60 {
+            s.observe(&plan(i as f64 * 1e3), &sys(), 0.05);
+        }
+        assert!(s.local().is_trained());
+        let before_global = s.stats().global;
+        for i in 61..=80 {
+            let p = s.predict(&plan(i as f64 * 1e3), &sys());
+            assert!(p.exec_secs < 5.0);
+        }
+        assert_eq!(
+            s.stats().global,
+            before_global,
+            "short queries must not reach the global model"
+        );
+    }
+
+    #[test]
+    fn stats_fractions_sum_to_one() {
+        let mut s = StagePredictor::new(quick_config());
+        let q = plan(1e5);
+        s.predict(&q, &sys());
+        s.observe(&q, &sys(), 1.0);
+        s.predict(&q, &sys());
+        let st = s.stats();
+        let sum: f64 = [
+            PredictionSource::Cache,
+            PredictionSource::Local,
+            PredictionSource::Global,
+            PredictionSource::Default,
+        ]
+        .iter()
+        .map(|&src| st.fraction(src))
+        .sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(st.total(), 2);
+    }
+
+    #[test]
+    fn env_features_extend_local_input() {
+        let mut cfg = quick_config();
+        cfg.env_features = true;
+        let mut s = StagePredictor::new(cfg);
+        // System context with a varying concurrency feature.
+        let mk_sys = |conc: f64| SystemContext {
+            features: vec![conc, 1.0],
+        };
+        for i in 1..=60 {
+            let rows = i as f64 * 1e4;
+            s.observe(&plan(rows), &mk_sys((i % 5) as f64), rows / 1e5);
+        }
+        assert!(s.local().is_trained());
+        let p = s.predict(&plan(3.33e5), &mk_sys(2.0));
+        assert_eq!(p.source, PredictionSource::Local);
+        assert!(p.exec_secs.is_finite() && p.exec_secs >= 0.0);
+        // The flag must be off by default (published Stage semantics).
+        assert!(!StageConfig::default().env_features);
+    }
+
+    #[test]
+    fn size_breakdown_components() {
+        let mut s = StagePredictor::new(quick_config());
+        for i in 1..=40 {
+            s.observe(&plan(i as f64 * 1e4), &sys(), 1.0);
+        }
+        let (c, p, l) = s.size_breakdown();
+        assert!(c > 0 && p > 0 && l > 0);
+        assert!(s.approx_size_bytes() >= c + p + l);
+        assert_eq!(s.name(), "Stage");
+    }
+}

@@ -1,0 +1,322 @@
+//! Feature matrices and quantile binning.
+//!
+//! Histogram GBDT discretizes each feature into at most `n_bins` buckets via
+//! quantile cut points computed once per training set; split finding then
+//! scans bin histograms instead of sorted feature values.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major feature matrix with regression targets.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    n_cols: usize,
+    /// Row-major features, `n_rows * n_cols`.
+    features: Vec<f64>,
+    /// Regression targets, one per row.
+    targets: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with `n_cols` features per row.
+    pub fn new(n_cols: usize) -> Self {
+        Self {
+            n_cols,
+            features: Vec::new(),
+            targets: Vec::new(),
+        }
+    }
+
+    /// Builds a dataset from rows; every row must have the same length.
+    pub fn from_rows(rows: &[Vec<f64>], targets: &[f64]) -> Self {
+        assert_eq!(rows.len(), targets.len(), "rows/targets length mismatch");
+        let n_cols = rows.first().map(|r| r.len()).unwrap_or(0);
+        let mut ds = Self::new(n_cols);
+        for (row, &t) in rows.iter().zip(targets) {
+            ds.push(row, t);
+        }
+        ds
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != n_cols`.
+    pub fn push(&mut self, row: &[f64], target: f64) {
+        assert_eq!(row.len(), self.n_cols, "feature dimension mismatch");
+        self.features.extend_from_slice(row);
+        self.targets.push(target);
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Number of feature columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Feature row `i`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.features[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// All targets.
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+
+    /// Target of row `i`.
+    pub fn target(&self, i: usize) -> f64 {
+        self.targets[i]
+    }
+
+    /// Mean of the targets (0.0 when empty).
+    pub fn target_mean(&self) -> f64 {
+        if self.targets.is_empty() {
+            0.0
+        } else {
+            self.targets.iter().sum::<f64>() / self.targets.len() as f64
+        }
+    }
+}
+
+/// Per-feature quantile cut points. Bin of value `x` = number of cuts `< x`
+/// … computed as the partition point of `cuts` under `c < x`, so
+/// `x <= cuts[b]` ⇔ `bin(x) <= b`; a split "go left if bin ≤ b" is exactly
+/// "go left if x ≤ `cuts[b]`", which is what [`crate::tree::Tree`] stores.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Binner {
+    cuts: Vec<Vec<f64>>,
+}
+
+impl Binner {
+    /// Maximum number of bins supported (bin indices are `u8`).
+    pub const MAX_BINS: usize = 256;
+
+    /// Computes up to `n_bins - 1` quantile cut points per feature.
+    ///
+    /// # Panics
+    /// Panics if `n_bins < 2` or `n_bins > 256`, or the dataset is empty.
+    pub fn fit(data: &Dataset, n_bins: usize) -> Self {
+        assert!((2..=Self::MAX_BINS).contains(&n_bins), "n_bins must be in 2..=256");
+        assert!(!data.is_empty(), "cannot bin an empty dataset");
+        let n = data.n_rows();
+        let mut cuts = Vec::with_capacity(data.n_cols());
+        let mut col = vec![0.0f64; n];
+        for c in 0..data.n_cols() {
+            for (r, slot) in col.iter_mut().enumerate() {
+                *slot = data.row(r)[c];
+            }
+            col.sort_by(|a, b| a.partial_cmp(b).expect("NaN feature value"));
+            let mut feature_cuts = Vec::new();
+            for k in 1..n_bins {
+                let pos = k * n / n_bins;
+                let v = col[pos.min(n - 1)];
+                if feature_cuts.last() != Some(&v) && v > col[0] {
+                    feature_cuts.push(v);
+                }
+            }
+            cuts.push(feature_cuts);
+        }
+        Self { cuts }
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// Number of bins for feature `c` (cuts + 1).
+    pub fn n_bins(&self, c: usize) -> usize {
+        self.cuts[c].len() + 1
+    }
+
+    /// Cut points for feature `c` (ascending).
+    pub fn cuts(&self, c: usize) -> &[f64] {
+        &self.cuts[c]
+    }
+
+    /// Bin index of value `x` in feature `c`.
+    pub fn bin(&self, c: usize, x: f64) -> u8 {
+        let cuts = &self.cuts[c];
+        // partition_point: first index where !(cut < x); bins: x <= cuts[b] -> bin <= b.
+        cuts.partition_point(|&cut| cut < x) as u8
+    }
+
+    /// Bins an entire dataset into a [`BinnedDataset`].
+    pub fn transform(&self, data: &Dataset) -> BinnedDataset {
+        assert_eq!(data.n_cols(), self.n_features());
+        let n = data.n_rows();
+        let mut bins = vec![0u8; n * self.n_features()];
+        for r in 0..n {
+            let row = data.row(r);
+            for c in 0..self.n_features() {
+                bins[r * self.n_features() + c] = self.bin(c, row[c]);
+            }
+        }
+        BinnedDataset {
+            n_cols: self.n_features(),
+            bins,
+            n_rows: n,
+        }
+    }
+}
+
+/// A dataset discretized by a [`Binner`]: row-major `u8` bin indices.
+#[derive(Debug, Clone)]
+pub struct BinnedDataset {
+    n_cols: usize,
+    n_rows: usize,
+    bins: Vec<u8>,
+}
+
+impl BinnedDataset {
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of feature columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Bin of row `r`, feature `c`.
+    pub fn bin(&self, r: usize, c: usize) -> u8 {
+        self.bins[r * self.n_cols + c]
+    }
+
+    /// Binned row `r`.
+    pub fn row(&self, r: usize) -> &[u8] {
+        &self.bins[r * self.n_cols..(r + 1) * self.n_cols]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn toy() -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![i as f64, (i % 10) as f64, 5.0])
+            .collect();
+        let targets: Vec<f64> = (0..100).map(|i| i as f64 * 2.0).collect();
+        Dataset::from_rows(&rows, &targets)
+    }
+
+    #[test]
+    fn dataset_accessors() {
+        let ds = toy();
+        assert_eq!(ds.n_rows(), 100);
+        assert_eq!(ds.n_cols(), 3);
+        assert_eq!(ds.row(7), &[7.0, 7.0, 5.0]);
+        assert_eq!(ds.target(7), 14.0);
+        assert!((ds.target_mean() - 99.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn push_rejects_wrong_width() {
+        let mut ds = Dataset::new(3);
+        ds.push(&[1.0, 2.0], 0.0);
+    }
+
+    #[test]
+    fn binner_monotone_bins() {
+        let ds = toy();
+        let binner = Binner::fit(&ds, 16);
+        // Feature 0 spans 0..100: higher values never get lower bins.
+        let mut prev = 0u8;
+        for i in 0..100 {
+            let b = binner.bin(0, i as f64);
+            assert!(b >= prev);
+            prev = b;
+        }
+        assert!(binner.n_bins(0) > 4, "wide feature should get several bins");
+    }
+
+    #[test]
+    fn constant_feature_has_no_cuts() {
+        let ds = toy();
+        let binner = Binner::fit(&ds, 16);
+        assert_eq!(binner.n_bins(2), 1);
+        assert_eq!(binner.bin(2, 5.0), 0);
+        assert_eq!(binner.bin(2, 100.0), 0);
+    }
+
+    #[test]
+    fn bin_cut_consistency() {
+        // x <= cuts[b]  <=>  bin(x) <= b — the invariant tree splits rely on.
+        let ds = toy();
+        let binner = Binner::fit(&ds, 8);
+        let cuts = binner.cuts(0).to_vec();
+        for (b, &cut) in cuts.iter().enumerate() {
+            for x in [cut - 0.5, cut, cut + 0.5] {
+                let lhs = x <= cut;
+                let rhs = (binner.bin(0, x) as usize) <= b;
+                assert_eq!(lhs, rhs, "x={x} cut={cut} b={b} bin={}", binner.bin(0, x));
+            }
+        }
+    }
+
+    #[test]
+    fn transform_matches_bin() {
+        let ds = toy();
+        let binner = Binner::fit(&ds, 16);
+        let binned = binner.transform(&ds);
+        assert_eq!(binned.n_rows(), ds.n_rows());
+        for r in (0..ds.n_rows()).step_by(7) {
+            for c in 0..ds.n_cols() {
+                assert_eq!(binned.bin(r, c), binner.bin(c, ds.row(r)[c]));
+            }
+        }
+    }
+
+    #[test]
+    fn binner_respects_max_bins() {
+        let ds = toy();
+        let binner = Binner::fit(&ds, 4);
+        for c in 0..3 {
+            assert!(binner.n_bins(c) <= 4);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bins_bounded(
+            values in proptest::collection::vec(-1e6f64..1e6, 10..200),
+            n_bins in 2usize..64,
+        ) {
+            let rows: Vec<Vec<f64>> = values.iter().map(|&v| vec![v]).collect();
+            let targets = vec![0.0; values.len()];
+            let ds = Dataset::from_rows(&rows, &targets);
+            let binner = Binner::fit(&ds, n_bins);
+            for &v in &values {
+                prop_assert!((binner.bin(0, v) as usize) < binner.n_bins(0));
+            }
+            prop_assert!(binner.n_bins(0) <= n_bins);
+        }
+
+        #[test]
+        fn prop_binning_preserves_order(
+            values in proptest::collection::vec(-1e3f64..1e3, 10..100),
+        ) {
+            let rows: Vec<Vec<f64>> = values.iter().map(|&v| vec![v]).collect();
+            let ds = Dataset::from_rows(&rows, &vec![0.0; values.len()]);
+            let binner = Binner::fit(&ds, 32);
+            let mut sorted = values.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for w in sorted.windows(2) {
+                prop_assert!(binner.bin(0, w[0]) <= binner.bin(0, w[1]));
+            }
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! The Bayesian ensemble of gradient-boosting models (paper §4.3, Eqs. 1–2).
+//!
+//! K NGBoost members are trained independently — different seeds drive
+//! different train/validation splits and row subsamples — and combined as
+//!
+//! ```text
+//! ŷ            = (1/K) Σ μ_k                          (Eq. 1)
+//! V[ŷ]         = (1/K) Σ (ŷ − μ_k)²  +  (1/K) Σ σ_k²  (Eq. 2)
+//!                ^^^^^ model uncertainty   ^^^^^ data uncertainty
+//! ```
+//!
+//! Model uncertainty grows when members disagree (little/unfamiliar training
+//! data); data uncertainty grows when the features can't explain the label
+//! noise. Both trigger Stage's escalation to the global model.
+
+use crate::dataset::Dataset;
+use crate::ngboost::{NgBoost, NgBoostParams};
+use serde::{Deserialize, Serialize};
+
+/// Ensemble hyper-parameters. The paper trains K = 10 members.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EnsembleParams {
+    /// Number of independently trained members.
+    pub n_members: usize,
+    /// Member hyper-parameters; each member gets a distinct derived seed.
+    pub member: NgBoostParams,
+    /// Base seed; member k trains with `splitmix(seed, k)`.
+    pub seed: u64,
+}
+
+impl Default for EnsembleParams {
+    fn default() -> Self {
+        Self {
+            n_members: 10,
+            member: NgBoostParams::default(),
+            seed: 42,
+        }
+    }
+}
+
+/// A prediction with decomposed uncertainty (Eq. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnsemblePrediction {
+    /// Mean prediction ŷ (Eq. 1).
+    pub mean: f64,
+    /// Variance of member means — disagreement across the ensemble.
+    pub model_uncertainty: f64,
+    /// Mean of member variances — inherent label/feature noise.
+    pub data_uncertainty: f64,
+}
+
+impl EnsemblePrediction {
+    /// Total prediction variance `V[ŷ]`.
+    pub fn total_variance(&self) -> f64 {
+        self.model_uncertainty + self.data_uncertainty
+    }
+
+    /// Total prediction standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.total_variance().sqrt()
+    }
+}
+
+/// The trained ensemble.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BayesianEnsemble {
+    members: Vec<NgBoost>,
+}
+
+/// SplitMix64 — deterministic per-member seed derivation.
+pub(crate) fn splitmix(seed: u64, k: u64) -> u64 {
+    let mut z = seed.wrapping_add(k.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl BayesianEnsemble {
+    /// Trains K independent members. `None` on an empty dataset or
+    /// `n_members == 0`.
+    pub fn fit(data: &Dataset, params: &EnsembleParams) -> Option<Self> {
+        if data.is_empty() || params.n_members == 0 {
+            return None;
+        }
+        let members: Vec<NgBoost> = (0..params.n_members)
+            .filter_map(|k| {
+                let member_params = NgBoostParams {
+                    seed: splitmix(params.seed, k as u64),
+                    ..params.member
+                };
+                NgBoost::fit(data, &member_params)
+            })
+            .collect();
+        if members.is_empty() {
+            None
+        } else {
+            Some(Self { members })
+        }
+    }
+
+    /// Predicts mean and decomposed uncertainty for a raw feature row.
+    pub fn predict(&self, row: &[f64]) -> EnsemblePrediction {
+        let k = self.members.len() as f64;
+        let dists: Vec<(f64, f64)> = self.members.iter().map(|m| m.predict_dist(row)).collect();
+        let mean = dists.iter().map(|d| d.0).sum::<f64>() / k;
+        let model_uncertainty = dists.iter().map(|d| (d.0 - mean).powi(2)).sum::<f64>() / k;
+        let data_uncertainty = dists.iter().map(|d| d.1).sum::<f64>() / k;
+        EnsemblePrediction {
+            mean,
+            model_uncertainty,
+            data_uncertainty,
+        }
+    }
+
+    /// Number of members.
+    pub fn n_members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Mean of the members' gain-based feature importances (normalized).
+    pub fn feature_importance(&self) -> Vec<f64> {
+        let mut acc: Vec<f64> = Vec::new();
+        for m in &self.members {
+            let imp = m.feature_importance();
+            if acc.is_empty() {
+                acc = imp;
+            } else {
+                for (a, b) in acc.iter_mut().zip(&imp) {
+                    *a += b;
+                }
+            }
+        }
+        let total: f64 = acc.iter().sum();
+        if total > 0.0 {
+            for v in &mut acc {
+                *v /= total;
+            }
+        }
+        acc
+    }
+
+    /// Rough in-memory size in bytes (≈ 10× a single model, as Fig. 9 notes).
+    pub fn approx_size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .members
+                .iter()
+                .map(NgBoost::approx_size_bytes)
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noisy_linear(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let x: f64 = rng.gen_range(0.0..10.0);
+            let noise: f64 = rng.gen_range(-0.5..0.5);
+            rows.push(vec![x]);
+            ys.push(2.0 * x + noise);
+        }
+        Dataset::from_rows(&rows, &ys)
+    }
+
+    fn small_params(n_members: usize) -> EnsembleParams {
+        EnsembleParams {
+            n_members,
+            member: NgBoostParams {
+                n_estimators: 40,
+                ..Default::default()
+            },
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn eq1_eq2_shapes() {
+        let data = noisy_linear(400, 1);
+        let ens = BayesianEnsemble::fit(&data, &small_params(5)).unwrap();
+        assert_eq!(ens.n_members(), 5);
+        let p = ens.predict(&[5.0]);
+        assert!((p.mean - 10.0).abs() < 1.5, "mean={}", p.mean);
+        assert!(p.model_uncertainty >= 0.0);
+        assert!(p.data_uncertainty > 0.0);
+        assert!((p.total_variance() - (p.model_uncertainty + p.data_uncertainty)).abs() < 1e-12);
+        assert!((p.std_dev().powi(2) - p.total_variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_uncertainty_shrinks_with_more_data() {
+        // Paper §4.3: "when local model does not have enough training data
+        // ... the models will have diverse interpretations of this query",
+        // i.e. model uncertainty falls as the training pool grows.
+        let small = noisy_linear(20, 2);
+        let large = noisy_linear(2000, 2);
+        let ens_small = BayesianEnsemble::fit(&small, &small_params(8)).unwrap();
+        let ens_large = BayesianEnsemble::fit(&large, &small_params(8)).unwrap();
+        let probes = [1.0, 3.0, 5.0, 7.0, 9.0];
+        let avg = |e: &BayesianEnsemble| -> f64 {
+            probes
+                .iter()
+                .map(|&x| e.predict(&[x]).model_uncertainty)
+                .sum::<f64>()
+                / probes.len() as f64
+        };
+        let (u_small, u_large) = (avg(&ens_small), avg(&ens_large));
+        assert!(
+            u_small > u_large,
+            "20-row ensemble should disagree more: small={u_small} large={u_large}"
+        );
+    }
+
+    #[test]
+    fn single_member_has_zero_model_uncertainty() {
+        let data = noisy_linear(200, 3);
+        let ens = BayesianEnsemble::fit(&data, &small_params(1)).unwrap();
+        let p = ens.predict(&[5.0]);
+        assert_eq!(p.model_uncertainty, 0.0);
+        assert!(p.data_uncertainty > 0.0);
+    }
+
+    #[test]
+    fn zero_members_or_empty_data_rejected() {
+        let data = noisy_linear(50, 4);
+        assert!(BayesianEnsemble::fit(&data, &small_params(0)).is_none());
+        assert!(BayesianEnsemble::fit(&Dataset::new(1), &small_params(3)).is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = noisy_linear(200, 5);
+        let a = BayesianEnsemble::fit(&data, &small_params(3)).unwrap();
+        let b = BayesianEnsemble::fit(&data, &small_params(3)).unwrap();
+        let pa = a.predict(&[4.0]);
+        let pb = b.predict(&[4.0]);
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn members_actually_differ() {
+        let data = noisy_linear(200, 6);
+        let ens = BayesianEnsemble::fit(&data, &small_params(4)).unwrap();
+        let p = ens.predict(&[3.0]);
+        // With subsample 0.8 and different seeds, exact agreement would
+        // indicate the seeds are not being varied.
+        assert!(p.model_uncertainty > 0.0);
+    }
+
+    #[test]
+    fn ensemble_importance_normalized() {
+        let data = noisy_linear(300, 7);
+        let ens = BayesianEnsemble::fit(&data, &small_params(3)).unwrap();
+        let imp = ens.feature_importance();
+        assert_eq!(imp.len(), 1);
+        assert!((imp[0] - 1.0).abs() < 1e-9, "single informative feature");
+    }
+
+    #[test]
+    fn splitmix_distinct() {
+        let s: std::collections::HashSet<u64> = (0..100).map(|k| splitmix(42, k)).collect();
+        assert_eq!(s.len(), 100);
+    }
+}

@@ -1,0 +1,386 @@
+//! Squared-error gradient boosting — the AutoWLM baseline model class.
+//!
+//! The prior Redshift predictor is "a lightweight XGBoost model" trained on
+//! flattened plan vectors (paper §2.1). [`Gbm`] reproduces that: additive
+//! regression trees fit to squared-error gradients with shrinkage, optional
+//! row/column subsampling, and early stopping on a held-out validation
+//! fraction (the paper holds out 20%).
+
+use crate::dataset::{Binner, Dataset};
+use crate::tree::{Tree, TreeParams};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Gradient-boosting hyper-parameters. Defaults mirror the paper's §5.1:
+/// 200 estimators, depth 6, 20% validation for early stopping.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GbmParams {
+    /// Maximum number of boosting rounds.
+    pub n_estimators: usize,
+    /// Shrinkage applied to every tree's output.
+    pub learning_rate: f64,
+    /// Per-tree growing parameters.
+    pub tree: TreeParams,
+    /// Fraction of rows sampled (without replacement) per tree.
+    pub subsample: f64,
+    /// Fraction of columns sampled per tree.
+    pub colsample: f64,
+    /// Stop when validation loss has not improved for this many rounds
+    /// (0 disables early stopping).
+    pub early_stopping_rounds: usize,
+    /// Fraction of rows held out for early stopping.
+    pub validation_fraction: f64,
+    /// Number of histogram bins.
+    pub n_bins: usize,
+    /// RNG seed for subsampling and the validation split.
+    pub seed: u64,
+}
+
+impl Default for GbmParams {
+    fn default() -> Self {
+        Self {
+            n_estimators: 200,
+            learning_rate: 0.1,
+            tree: TreeParams::default(),
+            subsample: 1.0,
+            colsample: 1.0,
+            early_stopping_rounds: 10,
+            validation_fraction: 0.2,
+            n_bins: 64,
+            seed: 42,
+        }
+    }
+}
+
+/// A trained squared-error GBM.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Gbm {
+    base: f64,
+    learning_rate: f64,
+    trees: Vec<Tree>,
+    n_cols: usize,
+}
+
+impl Gbm {
+    /// Fits a GBM on `data`. Returns `None` if the dataset is empty.
+    pub fn fit(data: &Dataset, params: &GbmParams) -> Option<Self> {
+        if data.is_empty() {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let n = data.n_rows();
+
+        // Validation split for early stopping (skipped for tiny datasets).
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        let n_val = if params.early_stopping_rounds > 0 && n >= 10 {
+            ((n as f64 * params.validation_fraction) as usize).min(n - 1)
+        } else {
+            0
+        };
+        let (val_idx, train_idx) = order.split_at(n_val);
+
+        let base = train_idx.iter().map(|&i| data.target(i)).sum::<f64>() / train_idx.len() as f64;
+        let mut model = Gbm {
+            base,
+            learning_rate: params.learning_rate,
+            trees: Vec::new(),
+            n_cols: data.n_cols(),
+        };
+
+        let binner = Binner::fit(data, params.n_bins);
+        let binned = binner.transform(data);
+        let mut preds = vec![base; n];
+        let mut grads = vec![0.0; n];
+        let hess = vec![1.0; n];
+        let all_cols: Vec<usize> = (0..data.n_cols()).collect();
+
+        let mut best_val = f64::INFINITY;
+        let mut best_len = 0usize;
+        let mut stall = 0usize;
+
+        for _round in 0..params.n_estimators {
+            for &i in train_idx {
+                grads[i] = preds[i] - data.target(i);
+            }
+            let rows = sample_rows(train_idx, params.subsample, &mut rng);
+            if rows.is_empty() {
+                break;
+            }
+            let cols = sample_cols(&all_cols, params.colsample, &mut rng);
+            let tree = Tree::fit(
+                data,
+                &binned,
+                &binner,
+                &grads,
+                &hess,
+                &rows,
+                &cols,
+                &params.tree,
+            );
+            for (i, pred) in preds.iter_mut().enumerate() {
+                *pred += params.learning_rate * tree.predict(data.row(i));
+            }
+            model.trees.push(tree);
+
+            if n_val > 0 {
+                let val_mse = val_idx
+                    .iter()
+                    .map(|&i| (preds[i] - data.target(i)).powi(2))
+                    .sum::<f64>()
+                    / n_val as f64;
+                if val_mse + 1e-12 < best_val {
+                    best_val = val_mse;
+                    best_len = model.trees.len();
+                    stall = 0;
+                } else {
+                    stall += 1;
+                    if stall >= params.early_stopping_rounds {
+                        break;
+                    }
+                }
+            }
+        }
+        if n_val > 0 && best_len > 0 {
+            model.trees.truncate(best_len);
+        }
+        Some(model)
+    }
+
+    /// Predicts the target for a raw feature row.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        debug_assert_eq!(row.len(), self.n_cols);
+        self.base
+            + self
+                .trees
+                .iter()
+                .map(|t| self.learning_rate * t.predict(row))
+                .sum::<f64>()
+    }
+
+    /// Number of trees after early stopping.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Constant prior the boosting starts from.
+    pub fn base_score(&self) -> f64 {
+        self.base
+    }
+
+    /// Gain-based feature importance, normalized to sum to 1 (all zeros
+    /// when the model never split). Mirrors XGBoost's `total_gain`.
+    pub fn feature_importance(&self) -> Vec<f64> {
+        let mut imp = vec![0.0; self.n_cols];
+        for t in &self.trees {
+            t.accumulate_importance(&mut imp);
+        }
+        let total: f64 = imp.iter().sum();
+        if total > 0.0 {
+            for v in &mut imp {
+                *v /= total;
+            }
+        }
+        imp
+    }
+
+    /// Rough in-memory size in bytes (for Fig. 9-style reporting).
+    pub fn approx_size_bytes(&self) -> usize {
+        // Each node is ~24 bytes of payload in the arena representation.
+        std::mem::size_of::<Self>()
+            + self
+                .trees
+                .iter()
+                .map(|t| t.n_nodes() * 24)
+                .sum::<usize>()
+    }
+}
+
+/// Samples `frac` of `from` without replacement (at least one row).
+pub(crate) fn sample_rows(from: &[usize], frac: f64, rng: &mut StdRng) -> Vec<usize> {
+    if frac >= 1.0 {
+        return from.to_vec();
+    }
+    let k = ((from.len() as f64 * frac).round() as usize).clamp(1, from.len());
+    let mut v = from.to_vec();
+    // Partial Fisher-Yates: shuffle the first k.
+    for i in 0..k {
+        let j = rng.gen_range(i..v.len());
+        v.swap(i, j);
+    }
+    v.truncate(k);
+    v
+}
+
+/// Samples `frac` of the columns (at least one).
+pub(crate) fn sample_cols(all: &[usize], frac: f64, rng: &mut StdRng) -> Vec<usize> {
+    if frac >= 1.0 {
+        return all.to_vec();
+    }
+    let k = ((all.len() as f64 * frac).round() as usize).clamp(1, all.len());
+    let mut v = all.to_vec();
+    for i in 0..k {
+        let j = rng.gen_range(i..v.len());
+        v.swap(i, j);
+    }
+    v.truncate(k);
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn friedman_like(n: usize, seed: u64) -> Dataset {
+        // y = 10 sin(x0) + 5 x1^2 + 2 x2, a smooth nonlinear target.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen_range(0.0..std::f64::consts::PI), rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
+            .collect();
+        let targets: Vec<f64> = rows
+            .iter()
+            .map(|r| 10.0 * r[0].sin() + 5.0 * r[1] * r[1] + 2.0 * r[2])
+            .collect();
+        Dataset::from_rows(&rows, &targets)
+    }
+
+    #[test]
+    fn fits_nonlinear_function() {
+        let data = friedman_like(600, 1);
+        let gbm = Gbm::fit(&data, &GbmParams::default()).unwrap();
+        let test = friedman_like(100, 2);
+        let mse: f64 = (0..test.n_rows())
+            .map(|i| (gbm.predict(test.row(i)) - test.target(i)).powi(2))
+            .sum::<f64>()
+            / 100.0;
+        let var: f64 = {
+            let m = test.target_mean();
+            test.targets().iter().map(|y| (y - m).powi(2)).sum::<f64>() / 100.0
+        };
+        assert!(mse < 0.1 * var, "mse={mse} var={var}");
+    }
+
+    #[test]
+    fn empty_dataset_returns_none() {
+        assert!(Gbm::fit(&Dataset::new(3), &GbmParams::default()).is_none());
+    }
+
+    #[test]
+    fn single_row_predicts_its_target() {
+        let data = Dataset::from_rows(&[vec![1.0, 2.0]], &[5.0]);
+        let gbm = Gbm::fit(&data, &GbmParams::default()).unwrap();
+        assert!((gbm.predict(&[1.0, 2.0]) - 5.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn early_stopping_limits_trees() {
+        // Constant target: first tree already perfect, stall immediately.
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let data = Dataset::from_rows(&rows, &vec![3.0; 100]);
+        let gbm = Gbm::fit(&data, &GbmParams::default()).unwrap();
+        assert!(gbm.n_trees() <= 15, "{} trees", gbm.n_trees());
+        assert!((gbm.predict(&[50.0]) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = friedman_like(200, 3);
+        let a = Gbm::fit(&data, &GbmParams::default()).unwrap();
+        let b = Gbm::fit(&data, &GbmParams::default()).unwrap();
+        for i in 0..10 {
+            assert_eq!(a.predict(data.row(i)), b.predict(data.row(i)));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_with_subsampling() {
+        let data = friedman_like(300, 4);
+        let p1 = GbmParams {
+            subsample: 0.5,
+            seed: 1,
+            ..Default::default()
+        };
+        let p2 = GbmParams {
+            subsample: 0.5,
+            seed: 2,
+            ..Default::default()
+        };
+        let a = Gbm::fit(&data, &p1).unwrap();
+        let b = Gbm::fit(&data, &p2).unwrap();
+        let diff: f64 = (0..20)
+            .map(|i| (a.predict(data.row(i)) - b.predict(data.row(i))).abs())
+            .sum();
+        assert!(diff > 1e-9, "seeded models should differ");
+    }
+
+    #[test]
+    fn no_early_stopping_uses_all_rounds() {
+        let data = friedman_like(80, 5);
+        let params = GbmParams {
+            n_estimators: 7,
+            early_stopping_rounds: 0,
+            ..Default::default()
+        };
+        let gbm = Gbm::fit(&data, &params).unwrap();
+        assert_eq!(gbm.n_trees(), 7);
+    }
+
+    #[test]
+    fn size_accounting_positive() {
+        let data = friedman_like(100, 6);
+        let gbm = Gbm::fit(&data, &GbmParams::default()).unwrap();
+        assert!(gbm.approx_size_bytes() > 100);
+    }
+
+    #[test]
+    fn feature_importance_identifies_the_signal() {
+        // y depends only on feature 0; features 1 and 2 are noise.
+        let mut rng = StdRng::seed_from_u64(7);
+        let rows: Vec<Vec<f64>> = (0..500)
+            .map(|_| {
+                vec![
+                    rng.gen_range(0.0..10.0),
+                    rng.gen_range(0.0..10.0),
+                    rng.gen_range(0.0..10.0),
+                ]
+            })
+            .collect();
+        let targets: Vec<f64> = rows.iter().map(|r| 3.0 * r[0]).collect();
+        let data = Dataset::from_rows(&rows, &targets);
+        let gbm = Gbm::fit(&data, &GbmParams::default()).unwrap();
+        let imp = gbm.feature_importance();
+        assert_eq!(imp.len(), 3);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[0] > 0.9, "importance should load on feature 0: {imp:?}");
+    }
+
+    #[test]
+    fn importance_all_zero_without_splits() {
+        // Constant target: no splits ever happen.
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let data = Dataset::from_rows(&rows, &vec![2.0; 50]);
+        let gbm = Gbm::fit(&data, &GbmParams::default()).unwrap();
+        assert!(gbm.feature_importance().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn sample_rows_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let from: Vec<usize> = (0..100).collect();
+        let s = sample_rows(&from, 0.3, &mut rng);
+        assert_eq!(s.len(), 30);
+        assert!(s.iter().all(|i| *i < 100));
+        // No duplicates.
+        let mut q = s.clone();
+        q.sort_unstable();
+        q.dedup();
+        assert_eq!(q.len(), 30);
+        // frac >= 1 keeps everything.
+        assert_eq!(sample_rows(&from, 1.0, &mut rng).len(), 100);
+        // tiny frac still samples one.
+        assert_eq!(sample_rows(&from, 1e-9, &mut rng).len(), 1);
+    }
+}

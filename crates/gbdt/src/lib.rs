@@ -1,0 +1,43 @@
+//! # stage-gbdt
+//!
+//! From-scratch gradient-boosted decision trees — the model class behind both
+//! the prior **AutoWLM predictor** (a single tree-boosting model per
+//! instance, paper §2.1) and Stage's **local model** (a Bayesian ensemble of
+//! tree-boosting models trained with a Gaussian log-likelihood loss,
+//! paper §4.3, following Malinin et al. \[31\]).
+//!
+//! The paper uses the CatBoost/XGBoost packages; the Rust ML ecosystem has no
+//! canonical equivalent, so this crate implements the needed subset directly:
+//!
+//! * [`dataset`] — row-major feature matrices and quantile *binning* for
+//!   histogram-based split finding;
+//! * [`tree`] — second-order regression trees (XGBoost-style gain with L2
+//!   regularization) trained on per-sample gradient/hessian pairs;
+//! * [`gbm`] — squared-error gradient boosting with shrinkage, subsampling,
+//!   and early stopping (the AutoWLM baseline model);
+//! * [`ngboost`] — natural-gradient boosting of a Gaussian predictive
+//!   distribution `N(μ, σ²)` (the probabilistic likelihood loss of [48/31]):
+//!   each iteration fits one tree to the natural gradient of the NLL w.r.t.
+//!   μ and one w.r.t. log σ²;
+//! * [`ensemble`] — the Bayesian ensemble (Eqs. 1–2): K independently
+//!   trained NGBoost members; prediction = mean of member means, total
+//!   uncertainty = variance of member means (model/knowledge uncertainty)
+//!   + mean of member variances (data uncertainty).
+//!
+//! All training is deterministic given the seed.
+
+pub mod dataset;
+pub mod ensemble;
+pub mod gbm;
+pub mod mixed;
+pub mod ngboost;
+pub mod quantile;
+pub mod tree;
+
+pub use dataset::{BinnedDataset, Binner, Dataset};
+pub use ensemble::{BayesianEnsemble, EnsembleParams, EnsemblePrediction};
+pub use gbm::{Gbm, GbmParams};
+pub use mixed::{MixedEnsemble, MixedEnsembleParams};
+pub use ngboost::{NgBoost, NgBoostParams};
+pub use quantile::{QuantileBand, QuantileGbm, QuantileGbmParams};
+pub use tree::{Tree, TreeParams};

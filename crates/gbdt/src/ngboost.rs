@@ -1,0 +1,341 @@
+//! Natural-gradient boosting of a Gaussian predictive distribution.
+//!
+//! Stage's local model members are "XGBoost models \[trained\] with a
+//! probabilistic likelihood loss function" that "output a mean μ and variance
+//! σ for \[the\] prediction" (paper §2.2, citing CatBoost's
+//! `RMSEWithUncertainty` \[48\] and the ensemble framing of \[31\]). We implement
+//! that as NGBoost-style natural-gradient boosting of `N(μ, σ²)`:
+//!
+//! * parameters per sample: `θ = (μ, s)` with `s = ln σ²`;
+//! * NLL: `½(s + (y−μ)²·e^{−s})` + const;
+//! * natural gradients (inverse Fisher `diag(σ², 2)` times ∇NLL):
+//!   `ĝ_μ = μ − y`, `ĝ_s = 1 − (y−μ)²·e^{−s}`;
+//! * each round fits one tree per parameter to the natural gradient and
+//!   updates `θ ← θ − lr·tree(x)`;
+//! * early stopping monitors validation NLL.
+
+use crate::dataset::{Binner, Dataset};
+use crate::gbm::{sample_cols, sample_rows};
+use crate::tree::{Tree, TreeParams};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// NGBoost hyper-parameters (defaults mirror the paper's local-model member:
+/// 200 estimators, depth 6, 20% validation early stopping).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NgBoostParams {
+    /// Maximum boosting rounds (each fits a μ-tree and an s-tree).
+    pub n_estimators: usize,
+    /// Shrinkage.
+    pub learning_rate: f64,
+    /// Per-tree parameters.
+    pub tree: TreeParams,
+    /// Row subsample fraction per round.
+    pub subsample: f64,
+    /// Column subsample fraction per round.
+    pub colsample: f64,
+    /// Early-stopping patience in rounds (0 disables).
+    pub early_stopping_rounds: usize,
+    /// Validation fraction for early stopping.
+    pub validation_fraction: f64,
+    /// Histogram bins.
+    pub n_bins: usize,
+    /// Clamp for `s = ln σ²` to keep the variance head stable.
+    pub log_var_range: (f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NgBoostParams {
+    fn default() -> Self {
+        Self {
+            n_estimators: 200,
+            learning_rate: 0.1,
+            tree: TreeParams::default(),
+            subsample: 0.8,
+            colsample: 1.0,
+            early_stopping_rounds: 10,
+            validation_fraction: 0.2,
+            n_bins: 64,
+            log_var_range: (-12.0, 12.0),
+            seed: 42,
+        }
+    }
+}
+
+/// A trained Gaussian NGBoost model: predicts `(μ, σ²)` per row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NgBoost {
+    base_mu: f64,
+    base_log_var: f64,
+    learning_rate: f64,
+    log_var_range: (f64, f64),
+    mu_trees: Vec<Tree>,
+    var_trees: Vec<Tree>,
+    n_cols: usize,
+}
+
+impl NgBoost {
+    /// Fits the model; `None` on an empty dataset.
+    pub fn fit(data: &Dataset, params: &NgBoostParams) -> Option<Self> {
+        if data.is_empty() {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let n = data.n_rows();
+
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        let n_val = if params.early_stopping_rounds > 0 && n >= 10 {
+            ((n as f64 * params.validation_fraction) as usize).min(n - 1)
+        } else {
+            0
+        };
+        let (val_idx, train_idx) = order.split_at(n_val);
+
+        let nt = train_idx.len() as f64;
+        let base_mu = train_idx.iter().map(|&i| data.target(i)).sum::<f64>() / nt;
+        let var = train_idx
+            .iter()
+            .map(|&i| (data.target(i) - base_mu).powi(2))
+            .sum::<f64>()
+            / nt;
+        let (lo, hi) = params.log_var_range;
+        let base_log_var = var.max(1e-8).ln().clamp(lo, hi);
+
+        let mut model = NgBoost {
+            base_mu,
+            base_log_var,
+            learning_rate: params.learning_rate,
+            log_var_range: params.log_var_range,
+            mu_trees: Vec::new(),
+            var_trees: Vec::new(),
+            n_cols: data.n_cols(),
+        };
+
+        let binner = Binner::fit(data, params.n_bins);
+        let binned = binner.transform(data);
+        let mut mu = vec![base_mu; n];
+        let mut s = vec![base_log_var; n];
+        let mut grad_mu = vec![0.0; n];
+        let mut grad_s = vec![0.0; n];
+        let hess = vec![1.0; n];
+        let all_cols: Vec<usize> = (0..data.n_cols()).collect();
+
+        let nll = |mu: &[f64], s: &[f64], idx: &[usize]| -> f64 {
+            idx.iter()
+                .map(|&i| {
+                    let d = data.target(i) - mu[i];
+                    0.5 * (s[i] + d * d * (-s[i]).exp())
+                })
+                .sum::<f64>()
+                / idx.len() as f64
+        };
+
+        let mut best_val = f64::INFINITY;
+        let mut best_len = 0usize;
+        let mut stall = 0usize;
+
+        for _round in 0..params.n_estimators {
+            for &i in train_idx {
+                let d = data.target(i) - mu[i];
+                let inv_var = (-s[i]).exp();
+                // Natural gradients (see module docs). The trees fit the
+                // *negative* natural gradient via grads = natgrad, hess = 1:
+                // leaf weight = -sum(natgrad)/count = mean descent step.
+                grad_mu[i] = -d; // μ − y
+                grad_s[i] = 1.0 - d * d * inv_var;
+            }
+            let rows = sample_rows(train_idx, params.subsample, &mut rng);
+            if rows.is_empty() {
+                break;
+            }
+            let cols = sample_cols(&all_cols, params.colsample, &mut rng);
+            let t_mu = Tree::fit(
+                data, &binned, &binner, &grad_mu, &hess, &rows, &cols, &params.tree,
+            );
+            let t_s = Tree::fit(
+                data, &binned, &binner, &grad_s, &hess, &rows, &cols, &params.tree,
+            );
+            for (i, m) in mu.iter_mut().enumerate() {
+                let row = data.row(i);
+                *m += params.learning_rate * t_mu.predict(row);
+                s[i] = (s[i] + params.learning_rate * t_s.predict(row)).clamp(lo, hi);
+            }
+            model.mu_trees.push(t_mu);
+            model.var_trees.push(t_s);
+
+            if n_val > 0 {
+                let val = nll(&mu, &s, val_idx);
+                if val + 1e-12 < best_val {
+                    best_val = val;
+                    best_len = model.mu_trees.len();
+                    stall = 0;
+                } else {
+                    stall += 1;
+                    if stall >= params.early_stopping_rounds {
+                        break;
+                    }
+                }
+            }
+        }
+        if n_val > 0 && best_len > 0 {
+            model.mu_trees.truncate(best_len);
+            model.var_trees.truncate(best_len);
+        }
+        Some(model)
+    }
+
+    /// Predicts `(μ, σ²)` for a raw feature row.
+    pub fn predict_dist(&self, row: &[f64]) -> (f64, f64) {
+        debug_assert_eq!(row.len(), self.n_cols);
+        let mut mu = self.base_mu;
+        let mut s = self.base_log_var;
+        let (lo, hi) = self.log_var_range;
+        for (tm, ts) in self.mu_trees.iter().zip(&self.var_trees) {
+            mu += self.learning_rate * tm.predict(row);
+            s = (s + self.learning_rate * ts.predict(row)).clamp(lo, hi);
+        }
+        (mu, s.exp())
+    }
+
+    /// Point prediction (the mean).
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        self.predict_dist(row).0
+    }
+
+    /// Boosting rounds kept after early stopping.
+    pub fn n_rounds(&self) -> usize {
+        self.mu_trees.len()
+    }
+
+    /// Gain-based feature importance of the mean (μ) head, normalized to
+    /// sum to 1. The variance head is excluded: importance questions are
+    /// about what drives the *prediction*, not its error bar.
+    pub fn feature_importance(&self) -> Vec<f64> {
+        let mut imp = vec![0.0; self.n_cols];
+        for t in &self.mu_trees {
+            t.accumulate_importance(&mut imp);
+        }
+        let total: f64 = imp.iter().sum();
+        if total > 0.0 {
+            for v in &mut imp {
+                *v /= total;
+            }
+        }
+        imp
+    }
+
+    /// Rough in-memory size in bytes.
+    pub fn approx_size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .mu_trees
+                .iter()
+                .chain(&self.var_trees)
+                .map(|t| t.n_nodes() * 24)
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand_distr_shim::normal;
+
+    /// Tiny Box-Muller shim so tests don't need rand_distr.
+    mod rand_distr_shim {
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        pub fn normal(rng: &mut StdRng, mean: f64, std: f64) -> f64 {
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            mean + std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        }
+    }
+
+    /// Heteroscedastic data: y ~ N(3 x, (0.1 + x)²) for x in [0, 2].
+    fn hetero(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x: f64 = rng.gen_range(0.0..2.0);
+            let y = normal(&mut rng, 3.0 * x, 0.1 + x);
+            rows.push(vec![x]);
+            ys.push(y);
+        }
+        Dataset::from_rows(&rows, &ys)
+    }
+
+    #[test]
+    fn learns_mean_function() {
+        let data = hetero(2000, 1);
+        let model = NgBoost::fit(&data, &NgBoostParams::default()).unwrap();
+        for x in [0.2, 0.8, 1.5] {
+            let (mu, _) = model.predict_dist(&[x]);
+            assert!((mu - 3.0 * x).abs() < 0.6, "x={x} mu={mu}");
+        }
+    }
+
+    #[test]
+    fn learns_heteroscedastic_variance() {
+        let data = hetero(3000, 2);
+        let model = NgBoost::fit(&data, &NgBoostParams::default()).unwrap();
+        let (_, var_lo) = model.predict_dist(&[0.1]);
+        let (_, var_hi) = model.predict_dist(&[1.9]);
+        // True std at 0.1 is 0.2; at 1.9 it is 2.0 -> variance 0.04 vs 4.0.
+        assert!(
+            var_hi > 4.0 * var_lo,
+            "variance should grow with x: lo={var_lo} hi={var_hi}"
+        );
+    }
+
+    #[test]
+    fn empty_returns_none() {
+        assert!(NgBoost::fit(&Dataset::new(2), &NgBoostParams::default()).is_none());
+    }
+
+    #[test]
+    fn variance_stays_positive_and_bounded() {
+        let data = hetero(500, 3);
+        let model = NgBoost::fit(&data, &NgBoostParams::default()).unwrap();
+        for x in [-5.0, 0.0, 1.0, 10.0] {
+            let (_, var) = model.predict_dist(&[x]);
+            assert!(var > 0.0 && var.is_finite());
+            assert!(var <= 12.0f64.exp() + 1.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = hetero(300, 4);
+        let a = NgBoost::fit(&data, &NgBoostParams::default()).unwrap();
+        let b = NgBoost::fit(&data, &NgBoostParams::default()).unwrap();
+        for x in [0.1, 0.9, 1.7] {
+            assert_eq!(a.predict_dist(&[x]), b.predict_dist(&[x]));
+        }
+    }
+
+    #[test]
+    fn constant_target_gives_tiny_variance() {
+        let rows: Vec<Vec<f64>> = (0..200).map(|i| vec![(i % 10) as f64]).collect();
+        let data = Dataset::from_rows(&rows, &vec![5.0; 200]);
+        let model = NgBoost::fit(&data, &NgBoostParams::default()).unwrap();
+        let (mu, var) = model.predict_dist(&[3.0]);
+        assert!((mu - 5.0).abs() < 1e-3);
+        assert!(var < 1e-3, "var={var}");
+    }
+
+    #[test]
+    fn early_stopping_truncates_both_heads() {
+        let data = hetero(400, 5);
+        let model = NgBoost::fit(&data, &NgBoostParams::default()).unwrap();
+        assert_eq!(model.mu_trees.len(), model.var_trees.len());
+        assert!(model.n_rounds() >= 1);
+    }
+}

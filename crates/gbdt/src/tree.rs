@@ -1,0 +1,455 @@
+//! Second-order regression trees with histogram split finding.
+//!
+//! Trees are grown depth-first on per-sample gradient/hessian pairs with the
+//! XGBoost gain criterion
+//!
+//! ```text
+//! gain = GL²/(HL+λ) + GR²/(HR+λ) − G²/(H+λ)
+//! ```
+//!
+//! and leaf weights `−G/(H+λ)`. Split candidates are bin boundaries produced
+//! by [`crate::dataset::Binner`]; the chosen split stores the raw cut value
+//! so prediction needs only the original (unbinned) feature vector.
+
+use crate::dataset::{BinnedDataset, Binner, Dataset};
+use serde::{Deserialize, Serialize};
+
+/// Tree-growing hyper-parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum tree depth (root = depth 0; `max_depth = 6` as in the paper).
+    pub max_depth: usize,
+    /// L2 regularization λ on leaf weights.
+    pub lambda: f64,
+    /// Minimum hessian sum per child.
+    pub min_child_weight: f64,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// Minimum gain required to split.
+    pub min_gain: f64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self {
+            max_depth: 6,
+            lambda: 1.0,
+            min_child_weight: 1.0,
+            min_samples_leaf: 1,
+            min_gain: 1e-8,
+        }
+    }
+}
+
+/// Arena node: either a leaf weight or a split on `x[feature] <= threshold`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        weight: f64,
+    },
+    Split {
+        feature: u32,
+        /// Go left iff `x[feature] <= threshold`.
+        threshold: f64,
+        /// Gain realized by this split (for feature-importance accounting).
+        gain: f64,
+        left: u32,
+        right: u32,
+    },
+}
+
+/// A trained regression tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    /// Fits a tree on the given gradient/hessian pairs over the rows in
+    /// `indices`. `columns` restricts split search to a feature subset
+    /// (column subsampling); pass all columns for no subsampling.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit(
+        data: &Dataset,
+        binned: &BinnedDataset,
+        binner: &Binner,
+        grads: &[f64],
+        hess: &[f64],
+        indices: &[usize],
+        columns: &[usize],
+        params: &TreeParams,
+    ) -> Self {
+        assert_eq!(grads.len(), hess.len());
+        assert!(!indices.is_empty(), "cannot fit a tree on zero rows");
+        let _ = data; // kept in the signature for API symmetry with predict paths
+        let mut tree = Tree { nodes: Vec::new() };
+        let mut idx = indices.to_vec();
+        let n = idx.len();
+        tree.build(
+            binned, binner, grads, hess, &mut idx, 0, n, 0, columns, params,
+        );
+        tree
+    }
+
+    /// Creates a single-leaf tree with a constant output.
+    pub fn constant(weight: f64) -> Self {
+        Tree {
+            nodes: vec![Node::Leaf { weight }],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Adds each split's gain to `into[feature]` (gain-based feature
+    /// importance, as reported by XGBoost's `total_gain`).
+    ///
+    /// # Panics
+    /// Panics if a split references a feature outside `into`.
+    pub fn accumulate_importance(&self, into: &mut [f64]) {
+        for node in &self.nodes {
+            if let Node::Split { feature, gain, .. } = node {
+                into[*feature as usize] += gain.max(0.0);
+            }
+        }
+    }
+
+    /// Predicts the leaf weight for a raw (unbinned) feature row.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { weight } => return *weight,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    i = if row[*feature as usize] <= *threshold {
+                        *left as usize
+                    } else {
+                        *right as usize
+                    };
+                }
+            }
+        }
+    }
+
+    /// Recursively builds the subtree over `idx[start..end]`, returning the
+    /// arena index of the created node. Partitions `idx` in place.
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        &mut self,
+        binned: &BinnedDataset,
+        binner: &Binner,
+        grads: &[f64],
+        hess: &[f64],
+        idx: &mut Vec<usize>,
+        start: usize,
+        end: usize,
+        depth: usize,
+        columns: &[usize],
+        params: &TreeParams,
+    ) -> u32 {
+        let rows = &idx[start..end];
+        let g_sum: f64 = rows.iter().map(|&r| grads[r]).sum();
+        let h_sum: f64 = rows.iter().map(|&r| hess[r]).sum();
+        let leaf_weight = -g_sum / (h_sum + params.lambda);
+
+        let make_leaf = |tree: &mut Tree| -> u32 {
+            tree.nodes.push(Node::Leaf {
+                weight: leaf_weight,
+            });
+            (tree.nodes.len() - 1) as u32
+        };
+
+        if depth >= params.max_depth
+            || rows.len() < 2 * params.min_samples_leaf
+            || rows.len() < 2
+            || h_sum < 2.0 * params.min_child_weight
+        {
+            return make_leaf(self);
+        }
+
+        // Best split search over bin histograms.
+        let parent_score = g_sum * g_sum / (h_sum + params.lambda);
+        let mut best: Option<(usize, u8, f64)> = None; // (feature, bin, gain)
+        let mut hist_g = [0.0f64; Binner::MAX_BINS];
+        let mut hist_h = [0.0f64; Binner::MAX_BINS];
+        let mut hist_c = [0usize; Binner::MAX_BINS];
+
+        for &c in columns {
+            let n_bins = binner.n_bins(c);
+            if n_bins < 2 {
+                continue; // constant feature
+            }
+            hist_g[..n_bins].fill(0.0);
+            hist_h[..n_bins].fill(0.0);
+            hist_c[..n_bins].fill(0);
+            for &r in rows {
+                let b = binned.bin(r, c) as usize;
+                hist_g[b] += grads[r];
+                hist_h[b] += hess[r];
+                hist_c[b] += 1;
+            }
+            let mut gl = 0.0;
+            let mut hl = 0.0;
+            let mut cl = 0usize;
+            // Split after bin b (left = bins 0..=b); last bin can't split.
+            for b in 0..n_bins - 1 {
+                gl += hist_g[b];
+                hl += hist_h[b];
+                cl += hist_c[b];
+                let gr = g_sum - gl;
+                let hr = h_sum - hl;
+                let cr = rows.len() - cl;
+                if cl < params.min_samples_leaf
+                    || cr < params.min_samples_leaf
+                    || hl < params.min_child_weight
+                    || hr < params.min_child_weight
+                {
+                    continue;
+                }
+                let gain = gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda)
+                    - parent_score;
+                if gain > params.min_gain && best.map(|(_, _, g)| gain > g).unwrap_or(true) {
+                    best = Some((c, b as u8, gain));
+                }
+            }
+        }
+
+        let Some((feature, bin, gain)) = best else {
+            return make_leaf(self);
+        };
+
+        // Partition idx[start..end] in place: bin <= split bin goes left.
+        let mut mid = start;
+        let mut i = start;
+        let mut j = end;
+        while i < j {
+            if binned.bin(idx[i], feature) <= bin {
+                idx.swap(i, mid);
+                mid += 1;
+                i += 1;
+            } else {
+                j -= 1;
+                idx.swap(i, j);
+            }
+        }
+        debug_assert!(mid > start && mid < end, "split produced an empty child");
+
+        let threshold = binner.cuts(feature)[bin as usize];
+        let node_pos = self.nodes.len();
+        // Placeholder; children indices patched after recursion.
+        self.nodes.push(Node::Split {
+            feature: feature as u32,
+            threshold,
+            gain,
+            left: 0,
+            right: 0,
+        });
+        let left = self.build(
+            binned, binner, grads, hess, idx, start, mid, depth + 1, columns, params,
+        );
+        let right = self.build(
+            binned, binner, grads, hess, idx, mid, end, depth + 1, columns, params,
+        );
+        if let Node::Split {
+            left: l, right: r, ..
+        } = &mut self.nodes[node_pos]
+        {
+            *l = left;
+            *r = right;
+        }
+        node_pos as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Fits a tree directly on squared-error gradients of targets
+    /// (pred = 0 start, grad = -y, hess = 1): the leaf weights then equal
+    /// regularized leaf means of y.
+    fn fit_on_targets(data: &Dataset, params: &TreeParams) -> Tree {
+        let binner = Binner::fit(data, 32);
+        let binned = binner.transform(data);
+        let grads: Vec<f64> = data.targets().iter().map(|&y| -y).collect();
+        let hess = vec![1.0; data.n_rows()];
+        let indices: Vec<usize> = (0..data.n_rows()).collect();
+        let columns: Vec<usize> = (0..data.n_cols()).collect();
+        Tree::fit(data, &binned, &binner, &grads, &hess, &indices, &columns, params)
+    }
+
+    fn step_data() -> Dataset {
+        // y = 0 for x < 50, y = 10 for x >= 50.
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let targets: Vec<f64> = (0..100).map(|i| if i < 50 { 0.0 } else { 10.0 }).collect();
+        Dataset::from_rows(&rows, &targets)
+    }
+
+    #[test]
+    fn learns_a_step_function() {
+        let data = step_data();
+        let tree = fit_on_targets(&data, &TreeParams::default());
+        assert!(tree.n_leaves() >= 2);
+        let lo = tree.predict(&[10.0]);
+        let hi = tree.predict(&[90.0]);
+        assert!(lo < 1.0, "lo={lo}");
+        assert!(hi > 9.0, "hi={hi}");
+    }
+
+    #[test]
+    fn constant_tree() {
+        let t = Tree::constant(3.5);
+        assert_eq!(t.predict(&[1.0, 2.0]), 3.5);
+        assert_eq!(t.n_nodes(), 1);
+    }
+
+    #[test]
+    fn depth_zero_yields_single_leaf() {
+        let data = step_data();
+        let params = TreeParams {
+            max_depth: 0,
+            ..Default::default()
+        };
+        let tree = fit_on_targets(&data, &params);
+        assert_eq!(tree.n_nodes(), 1);
+        // Leaf = regularized mean of y: 500/(100+1)
+        let w = tree.predict(&[0.0]);
+        assert!((w - 500.0 / 101.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        // Noisy-ish data that wants many splits.
+        let rows: Vec<Vec<f64>> = (0..256).map(|i| vec![i as f64]).collect();
+        let targets: Vec<f64> = (0..256).map(|i| ((i * 7919) % 97) as f64).collect();
+        let data = Dataset::from_rows(&rows, &targets);
+        for depth in [1usize, 2, 3] {
+            let params = TreeParams {
+                max_depth: depth,
+                ..Default::default()
+            };
+            let tree = fit_on_targets(&data, &params);
+            assert!(
+                tree.n_leaves() <= 1 << depth,
+                "depth {depth}: {} leaves",
+                tree.n_leaves()
+            );
+        }
+    }
+
+    #[test]
+    fn min_samples_leaf_enforced() {
+        let data = step_data();
+        let params = TreeParams {
+            min_samples_leaf: 60, // each child would need >= 60 of 100 rows: impossible
+            ..Default::default()
+        };
+        let tree = fit_on_targets(&data, &params);
+        assert_eq!(tree.n_leaves(), 1);
+    }
+
+    #[test]
+    fn constant_target_produces_single_leaf() {
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let data = Dataset::from_rows(&rows, &vec![7.0; 50]);
+        let tree = fit_on_targets(&data, &TreeParams::default());
+        assert_eq!(tree.n_leaves(), 1, "no gain available on constant target");
+    }
+
+    #[test]
+    fn column_subset_restricts_splits() {
+        // Feature 0 is informative, feature 1 is noise; restrict to column 1.
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![i as f64, (i % 3) as f64])
+            .collect();
+        let targets: Vec<f64> = (0..100).map(|i| if i < 50 { 0.0 } else { 10.0 }).collect();
+        let data = Dataset::from_rows(&rows, &targets);
+        let binner = Binner::fit(&data, 32);
+        let binned = binner.transform(&data);
+        let grads: Vec<f64> = targets.iter().map(|&y| -y).collect();
+        let hess = vec![1.0; 100];
+        let indices: Vec<usize> = (0..100).collect();
+        let tree = Tree::fit(
+            &data,
+            &binned,
+            &binner,
+            &grads,
+            &hess,
+            &indices,
+            &[1],
+            &TreeParams::default(),
+        );
+        // Splitting on the noise column can't separate the step cleanly:
+        // prediction at x0=10 and x0=90 with identical x1 must be equal.
+        assert_eq!(tree.predict(&[10.0, 1.0]), tree.predict(&[90.0, 1.0]));
+    }
+
+    #[test]
+    fn two_feature_interaction() {
+        // y = 5 iff x0 > 50 and x1 > 50 — needs depth 2.
+        let mut rows = Vec::new();
+        let mut targets = Vec::new();
+        for a in 0..20 {
+            for b in 0..20 {
+                let x0 = a as f64 * 5.0;
+                let x1 = b as f64 * 5.0;
+                rows.push(vec![x0, x1]);
+                targets.push(if x0 > 50.0 && x1 > 50.0 { 5.0 } else { 0.0 });
+            }
+        }
+        let data = Dataset::from_rows(&rows, &targets);
+        let tree = fit_on_targets(&data, &TreeParams::default());
+        assert!(tree.predict(&[80.0, 80.0]) > 4.0);
+        assert!(tree.predict(&[80.0, 10.0]) < 1.0);
+        assert!(tree.predict(&[10.0, 80.0]) < 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_prediction_bounded_by_target_range(
+            pairs in proptest::collection::vec((-100.0f64..100.0, -50.0f64..50.0), 10..100),
+            probe in -100.0f64..100.0,
+        ) {
+            let rows: Vec<Vec<f64>> = pairs.iter().map(|p| vec![p.0]).collect();
+            let targets: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let data = Dataset::from_rows(&rows, &targets);
+            let tree = fit_on_targets(&data, &TreeParams::default());
+            let lo = targets.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = targets.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let p = tree.predict(&[probe]);
+            // Leaf weights are shrunk means, so they stay within (even inside) range.
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "p={} not in [{}, {}]", p, lo, hi);
+        }
+
+        #[test]
+        fn prop_deterministic(
+            pairs in proptest::collection::vec((0.0f64..100.0, 0.0f64..10.0), 5..50),
+        ) {
+            let rows: Vec<Vec<f64>> = pairs.iter().map(|p| vec![p.0]).collect();
+            let targets: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let data = Dataset::from_rows(&rows, &targets);
+            let t1 = fit_on_targets(&data, &TreeParams::default());
+            let t2 = fit_on_targets(&data, &TreeParams::default());
+            for x in [0.0, 25.0, 50.0, 75.0, 100.0] {
+                prop_assert_eq!(t1.predict(&[x]), t2.predict(&[x]));
+            }
+        }
+    }
+}

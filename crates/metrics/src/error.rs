@@ -1,0 +1,185 @@
+//! Accuracy summaries: absolute error and Q-error.
+//!
+//! The paper evaluates predictors with
+//!
+//! * **absolute error** `|actual − predicted|` in seconds, summarized as mean
+//!   (MAE), median (P50-AE) and tail (P90-AE) — Tables 1, 3, 4, 5, 6;
+//! * **Q-error** `max(predicted/actual, actual/predicted)` (Moerkotte et al.),
+//!   summarized as MQE / P50-QE / P90-QE — Table 2.
+
+use crate::quantile::{mean, quantiles};
+use serde::{Deserialize, Serialize};
+
+/// Smallest exec-time used in Q-error ratios; guards divisions for
+/// sub-millisecond queries and non-positive predictions.
+pub const QERROR_FLOOR_SECS: f64 = 1e-3;
+
+/// Absolute error of one prediction, in seconds.
+pub fn abs_error(actual: f64, predicted: f64) -> f64 {
+    (actual - predicted).abs()
+}
+
+/// Q-error of one prediction: `max(p/a, a/p)` with both values floored at
+/// [`QERROR_FLOOR_SECS`]. Always ≥ 1.
+///
+/// ```
+/// use stage_metrics::error::q_error;
+/// assert_eq!(q_error(10.0, 10.0), 1.0);
+/// assert_eq!(q_error(10.0, 5.0), 2.0);
+/// assert_eq!(q_error(5.0, 10.0), 2.0);
+/// ```
+pub fn q_error(actual: f64, predicted: f64) -> f64 {
+    let a = actual.max(QERROR_FLOOR_SECS);
+    let p = predicted.max(QERROR_FLOOR_SECS);
+    (a / p).max(p / a)
+}
+
+/// MAE / P50-AE / P90-AE over a set of (actual, predicted) pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AbsErrorSummary {
+    /// Number of pairs summarized.
+    pub count: usize,
+    /// Mean absolute error (seconds).
+    pub mae: f64,
+    /// Median absolute error.
+    pub p50: f64,
+    /// 90th-percentile absolute error.
+    pub p90: f64,
+}
+
+impl AbsErrorSummary {
+    /// Summarizes parallel slices of actual and predicted exec-times.
+    ///
+    /// Returns `None` when empty or when lengths differ.
+    pub fn from_pairs(actual: &[f64], predicted: &[f64]) -> Option<Self> {
+        if actual.is_empty() || actual.len() != predicted.len() {
+            return None;
+        }
+        let errs: Vec<f64> = actual
+            .iter()
+            .zip(predicted)
+            .map(|(&a, &p)| abs_error(a, p))
+            .collect();
+        Self::from_errors(&errs)
+    }
+
+    /// Summarizes precomputed absolute errors.
+    pub fn from_errors(errs: &[f64]) -> Option<Self> {
+        let qs = quantiles(errs, &[0.5, 0.9])?;
+        Some(Self {
+            count: errs.len(),
+            mae: mean(errs)?,
+            p50: qs[0],
+            p90: qs[1],
+        })
+    }
+}
+
+/// MQE / P50-QE / P90-QE over a set of (actual, predicted) pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QErrorSummary {
+    /// Number of pairs summarized.
+    pub count: usize,
+    /// Mean Q-error.
+    pub mqe: f64,
+    /// Median Q-error.
+    pub p50: f64,
+    /// 90th-percentile Q-error.
+    pub p90: f64,
+}
+
+impl QErrorSummary {
+    /// Summarizes parallel slices of actual and predicted exec-times.
+    pub fn from_pairs(actual: &[f64], predicted: &[f64]) -> Option<Self> {
+        if actual.is_empty() || actual.len() != predicted.len() {
+            return None;
+        }
+        let errs: Vec<f64> = actual
+            .iter()
+            .zip(predicted)
+            .map(|(&a, &p)| q_error(a, p))
+            .collect();
+        let qs = quantiles(&errs, &[0.5, 0.9])?;
+        Some(Self {
+            count: errs.len(),
+            mqe: mean(&errs)?,
+            p50: qs[0],
+            p90: qs[1],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn abs_error_is_symmetric() {
+        assert_eq!(abs_error(3.0, 8.0), 5.0);
+        assert_eq!(abs_error(8.0, 3.0), 5.0);
+    }
+
+    #[test]
+    fn q_error_perfect_is_one() {
+        assert_eq!(q_error(5.0, 5.0), 1.0);
+    }
+
+    #[test]
+    fn q_error_floors_tiny_values() {
+        // actual 0s would otherwise blow up; floored to 1 ms.
+        let q = q_error(0.0, 1.0);
+        assert_eq!(q, 1.0 / QERROR_FLOOR_SECS);
+        // negative predictions also floored
+        assert_eq!(q_error(1.0, -5.0), 1.0 / QERROR_FLOOR_SECS);
+    }
+
+    #[test]
+    fn abs_summary_basic() {
+        let actual = [1.0, 2.0, 3.0, 4.0];
+        let pred = [1.0, 1.0, 5.0, 0.0];
+        // errors: 0, 1, 2, 4
+        let s = AbsErrorSummary::from_pairs(&actual, &pred).unwrap();
+        assert_eq!(s.count, 4);
+        assert!((s.mae - 1.75).abs() < 1e-12);
+        assert!((s.p50 - 1.5).abs() < 1e-12);
+        // p90: pos = 0.9*3 = 2.7 -> 2 + 0.7*2 = 3.4
+        assert!((s.p90 - 3.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        assert!(AbsErrorSummary::from_pairs(&[1.0], &[1.0, 2.0]).is_none());
+        assert!(QErrorSummary::from_pairs(&[1.0], &[]).is_none());
+    }
+
+    #[test]
+    fn q_summary_basic() {
+        let actual = [10.0, 10.0];
+        let pred = [10.0, 20.0];
+        let s = QErrorSummary::from_pairs(&actual, &pred).unwrap();
+        assert!((s.mqe - 1.5).abs() < 1e-12);
+        assert!((s.p50 - 1.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_q_error_at_least_one(a in 0.0f64..1e6, p in -10.0f64..1e6) {
+            prop_assert!(q_error(a, p) >= 1.0);
+        }
+
+        #[test]
+        fn prop_q_error_symmetric(a in 0.01f64..1e5, p in 0.01f64..1e5) {
+            prop_assert!((q_error(a, p) - q_error(p, a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_abs_summary_orders(errs in proptest::collection::vec(0.0f64..1e6, 1..100)) {
+            let s = AbsErrorSummary::from_errors(&errs).unwrap();
+            prop_assert!(s.p50 <= s.p90 + 1e-9);
+            let max = errs.iter().cloned().fold(0.0f64, f64::max);
+            prop_assert!(s.mae <= max + 1e-9);
+            prop_assert!(s.p90 <= max + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Log-scale histograms for latency distributions.
+//!
+//! Fig. 1b of the paper shows the distribution of query latency across the
+//! Redshift fleet from the 0.01th to the 99.99th percentile on a log axis.
+//! [`LogHistogram`] accumulates samples into logarithmically spaced buckets
+//! and can report bucket densities and approximate quantiles without keeping
+//! the raw samples.
+
+use serde::{Deserialize, Serialize};
+
+/// Histogram over `[min, max)` with logarithmically spaced bucket edges, plus
+/// underflow/overflow buckets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogHistogram {
+    min: f64,
+    max: f64,
+    log_min: f64,
+    log_range: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl LogHistogram {
+    /// Creates a histogram spanning `[min, max)` with `buckets` log-spaced
+    /// bins. Panics if `min <= 0`, `max <= min`, or `buckets == 0`.
+    pub fn new(min: f64, max: f64, buckets: usize) -> Self {
+        assert!(min > 0.0, "log histogram requires min > 0");
+        assert!(max > min, "max must exceed min");
+        assert!(buckets > 0, "need at least one bucket");
+        Self {
+            min,
+            max,
+            log_min: min.ln(),
+            log_range: max.ln() - min.ln(),
+            counts: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// A histogram suitable for fleet query latencies: 1 ms to 10 hours,
+    /// 120 buckets.
+    pub fn for_latencies() -> Self {
+        Self::new(1e-3, 36_000.0, 120)
+    }
+
+    /// Records one sample (seconds). Non-finite samples are counted as
+    /// overflow.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if !x.is_finite() || x >= self.max {
+            self.overflow += 1;
+        } else if x < self.min {
+            self.underflow += 1;
+        } else {
+            let frac = (x.ln() - self.log_min) / self.log_range;
+            let idx = ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Total samples recorded (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Samples below `min`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above `max` (or non-finite).
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Lower edge of bucket `i`.
+    pub fn bucket_low(&self, i: usize) -> f64 {
+        (self.log_min + self.log_range * i as f64 / self.counts.len() as f64).exp()
+    }
+
+    /// Upper edge of bucket `i`.
+    pub fn bucket_high(&self, i: usize) -> f64 {
+        self.bucket_low(i + 1)
+    }
+
+    /// Bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Fraction of samples at or below `x` (empirical CDF on bucket
+    /// granularity; underflow counts as ≤ everything in range).
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        if x < self.min {
+            return 0.0;
+        }
+        let mut acc = self.underflow;
+        for i in 0..self.counts.len() {
+            if self.bucket_high(i) <= x {
+                acc += self.counts[i];
+            } else if self.bucket_low(i) <= x {
+                // Partial bucket: assume uniform within the bucket (in log space).
+                let lo = self.bucket_low(i).ln();
+                let hi = self.bucket_high(i).ln();
+                let frac = ((x.ln() - lo) / (hi - lo)).clamp(0.0, 1.0);
+                acc += (self.counts[i] as f64 * frac) as u64;
+            }
+        }
+        acc as f64 / self.total as f64
+    }
+
+    /// Approximate quantile from bucket boundaries; `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = q * self.total as f64;
+        let mut acc = self.underflow as f64;
+        if acc >= target {
+            return Some(self.min);
+        }
+        for i in 0..self.counts.len() {
+            let c = self.counts[i] as f64;
+            if acc + c >= target && c > 0.0 {
+                let frac = ((target - acc) / c).clamp(0.0, 1.0);
+                let lo = self.bucket_low(i).ln();
+                let hi = self.bucket_high(i).ln();
+                return Some((lo + (hi - lo) * frac).exp());
+            }
+            acc += c;
+        }
+        Some(self.max)
+    }
+
+    /// Non-empty buckets as `(low, high, count)` triples, for plotting.
+    pub fn dense_buckets(&self) -> Vec<(f64, f64, u64)> {
+        (0..self.counts.len())
+            .filter(|&i| self.counts[i] > 0)
+            .map(|i| (self.bucket_low(i), self.bucket_high(i), self.counts[i]))
+            .collect()
+    }
+
+    /// Merges another histogram with identical configuration. Panics on
+    /// mismatched shape.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(self.counts.len(), other.counts.len());
+        assert!((self.min - other.min).abs() < 1e-12 && (self.max - other.max).abs() < 1e-12);
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn buckets_cover_range() {
+        let h = LogHistogram::new(0.001, 1000.0, 60);
+        assert!((h.bucket_low(0) - 0.001).abs() < 1e-12);
+        assert!((h.bucket_high(59) - 1000.0).abs() < 1e-6);
+        // Edges increase monotonically.
+        for i in 0..59 {
+            assert!(h.bucket_high(i) > h.bucket_low(i));
+            assert!((h.bucket_high(i) - h.bucket_low(i + 1)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn records_land_in_correct_buckets() {
+        let mut h = LogHistogram::new(1.0, 100.0, 2); // buckets [1,10), [10,100)
+        h.record(2.0);
+        h.record(5.0);
+        h.record(50.0);
+        assert_eq!(h.counts(), &[2, 1]);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = LogHistogram::new(1.0, 10.0, 4);
+        h.record(0.5);
+        h.record(10.0);
+        h.record(1e9);
+        h.record(f64::NAN);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 3);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn quantile_of_single_bucket_mass() {
+        let mut h = LogHistogram::new(0.001, 1000.0, 60);
+        for _ in 0..100 {
+            h.record(1.0);
+        }
+        let q50 = h.quantile(0.5).unwrap();
+        // All mass is in the bucket containing 1.0, so q50 must be within it.
+        assert!(q50 > 0.5 && q50 < 2.0, "q50={q50}");
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let mut h = LogHistogram::for_latencies();
+        for i in 1..1000u32 {
+            h.record(i as f64 * 0.01);
+        }
+        let mut prev = 0.0;
+        for x in [0.001, 0.01, 0.1, 1.0, 5.0, 9.0, 100.0] {
+            let c = h.cdf(x);
+            assert!(c + 1e-9 >= prev, "cdf not monotone at {x}");
+            prev = c;
+        }
+        assert!(h.cdf(1e6) >= 0.99);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = LogHistogram::new(1.0, 100.0, 4);
+        let mut b = LogHistogram::new(1.0, 100.0, 4);
+        a.record(2.0);
+        b.record(2.0);
+        b.record(50.0);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.counts().iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "min > 0")]
+    fn rejects_nonpositive_min() {
+        LogHistogram::new(0.0, 1.0, 4);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_total_is_conserved(xs in proptest::collection::vec(1e-4f64..1e5, 0..500)) {
+            let mut h = LogHistogram::for_latencies();
+            xs.iter().for_each(|&x| h.record(x));
+            let bucket_sum: u64 = h.counts().iter().sum();
+            prop_assert_eq!(bucket_sum + h.underflow() + h.overflow(), xs.len() as u64);
+        }
+
+        #[test]
+        fn prop_quantiles_monotone(
+            xs in proptest::collection::vec(1e-3f64..1e4, 1..300),
+            q1 in 0.0f64..=1.0,
+            q2 in 0.0f64..=1.0,
+        ) {
+            let mut h = LogHistogram::for_latencies();
+            xs.iter().for_each(|&x| h.record(x));
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(h.quantile(lo).unwrap() <= h.quantile(hi).unwrap() + 1e-9);
+        }
+    }
+}

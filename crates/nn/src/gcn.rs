@@ -1,0 +1,528 @@
+//! The plan-GCN: Stage's global-model architecture (paper §4.4, Fig. 5).
+//!
+//! Pipeline per query plan:
+//!
+//! 1. **Node embedding** — each node's feature vector goes through a linear
+//!    layer + ReLU into a `hidden`-dim embedding.
+//! 2. **Directed message passing** — `gcn_layers` rounds of child→parent
+//!    convolution: `h'ᵥ = ReLU(hᵥ·W_self + mean(h_children)·W_child + b)`.
+//!    Information flows bottom-up, so after enough rounds the root embedding
+//!    summarizes the entire plan.
+//! 3. **Readout** — the root embedding is concatenated with a *system
+//!    feature vector* (plan summary, instance type, node count, memory,
+//!    concurrency — supplied by the caller) and an MLP head regresses the
+//!    target (Stage trains in `ln(1+secs)` space).
+//!
+//! The paper's production model uses hidden size 512 and 8 layers on GPUs;
+//! defaults here are CPU-scaled (64/3) and both are configurable.
+
+use crate::adam::Adam;
+use crate::graph::{Graph, Var};
+use crate::layers::{Linear, Mlp, ParamStore};
+use crate::tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A plan tree prepared for the GCN: per-node feature vectors, child lists,
+/// the root index, system features, and the regression target.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreeSample {
+    /// One feature vector per node; all must share the configured width.
+    pub node_feats: Vec<Vec<f64>>,
+    /// Children of each node (indices into `node_feats`).
+    pub children: Vec<Vec<usize>>,
+    /// Root node index.
+    pub root: usize,
+    /// System feature vector (shared by all nodes of the plan).
+    pub sys_feats: Vec<f64>,
+    /// Regression target (label space chosen by the caller).
+    pub target: f64,
+}
+
+impl TreeSample {
+    /// Checks structural consistency: child indices in range, no child
+    /// listed twice, every non-root node reachable from the root, and the
+    /// graph is acyclic (tree/DAG shaped).
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.node_feats.len();
+        if n == 0 {
+            return Err("empty tree".into());
+        }
+        if self.children.len() != n {
+            return Err("children list length mismatch".into());
+        }
+        if self.root >= n {
+            return Err("root out of range".into());
+        }
+        let mut in_degree = vec![0usize; n];
+        for (v, kids) in self.children.iter().enumerate() {
+            for &k in kids {
+                if k >= n {
+                    return Err(format!("node {v} has out-of-range child {k}"));
+                }
+                in_degree[k] += 1;
+            }
+        }
+        if in_degree[self.root] != 0 {
+            return Err("root appears as a child (cycle)".into());
+        }
+        for (v, &d) in in_degree.iter().enumerate() {
+            if v != self.root && d != 1 {
+                return Err(format!(
+                    "node {v} has in-degree {d}; a plan tree requires exactly 1"
+                ));
+            }
+        }
+        if self.topo_order().len() != n {
+            return Err("tree has unreachable nodes or a cycle".into());
+        }
+        Ok(())
+    }
+
+    /// Post-order over the tree from the root (children before parents).
+    /// On cyclic or partially unreachable input the returned order is
+    /// truncated, which [`TreeSample::validate`] uses for detection.
+    pub fn topo_order(&self) -> Vec<usize> {
+        let n = self.node_feats.len();
+        let mut order = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 unseen, 1 on stack, 2 done
+        let mut stack = vec![(self.root, false)];
+        while let Some((v, expanded)) = stack.pop() {
+            if expanded {
+                state[v] = 2;
+                order.push(v);
+                continue;
+            }
+            if state[v] != 0 {
+                continue; // already visited or cycle — skip
+            }
+            state[v] = 1;
+            stack.push((v, true));
+            for &c in &self.children[v] {
+                if state[c] == 0 {
+                    stack.push((c, false));
+                }
+            }
+        }
+        order
+    }
+}
+
+/// GCN architecture and training hyper-parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GcnConfig {
+    /// Width of each node feature vector.
+    pub node_feat_dim: usize,
+    /// Width of the system feature vector.
+    pub sys_feat_dim: usize,
+    /// Hidden embedding size (paper: 512; CPU default: 64).
+    pub hidden: usize,
+    /// Message-passing rounds (paper: 8; CPU default: 3).
+    pub gcn_layers: usize,
+    /// Dropout probability on hidden activations (paper: 0.2).
+    pub dropout: f64,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size (plans per gradient step).
+    pub batch_size: usize,
+    /// RNG seed (weights, shuffling, dropout).
+    pub seed: u64,
+}
+
+impl GcnConfig {
+    /// CPU-scaled defaults for the given feature widths.
+    pub fn new(node_feat_dim: usize, sys_feat_dim: usize) -> Self {
+        Self {
+            node_feat_dim,
+            sys_feat_dim,
+            hidden: 64,
+            gcn_layers: 3,
+            dropout: 0.2,
+            lr: 1e-3,
+            epochs: 30,
+            batch_size: 32,
+            seed: 42,
+        }
+    }
+}
+
+/// Per-layer message-passing parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ConvLayer {
+    w_self: usize,
+    w_child: usize,
+    bias: usize,
+}
+
+/// The trainable plan-GCN model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlanGcn {
+    config: GcnConfig,
+    store: ParamStore,
+    embed: Linear,
+    convs: Vec<ConvLayer>,
+    head: Mlp,
+}
+
+/// Loss trajectory returned by [`PlanGcn::fit`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Mean training loss per epoch.
+    pub epoch_losses: Vec<f64>,
+}
+
+impl PlanGcn {
+    /// Initializes a model with random weights.
+    pub fn new(config: GcnConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut store = ParamStore::new();
+        let embed = Linear::new(&mut store, config.node_feat_dim, config.hidden, &mut rng);
+        let convs = (0..config.gcn_layers)
+            .map(|_| ConvLayer {
+                w_self: store.add(Matrix::he_init(config.hidden, config.hidden, &mut rng)),
+                w_child: store.add(Matrix::he_init(config.hidden, config.hidden, &mut rng)),
+                bias: store.add(Matrix::zeros(1, config.hidden)),
+            })
+            .collect();
+        let head = Mlp::new(
+            &mut store,
+            &[config.hidden + config.sys_feat_dim, config.hidden, 1],
+            config.dropout,
+            &mut rng,
+        );
+        Self {
+            config,
+            store,
+            embed,
+            convs,
+            head,
+        }
+    }
+
+    /// Forward pass for one sample on an existing tape. Returns the `1×1`
+    /// prediction var.
+    fn forward(
+        &self,
+        g: &mut Graph,
+        sample: &TreeSample,
+        training: bool,
+        rng: &mut StdRng,
+    ) -> Var {
+        let order = sample.topo_order();
+        let n = sample.node_feats.len();
+
+        // 1. Embed every node.
+        let mut h: Vec<Option<Var>> = vec![None; n];
+        for &v in &order {
+            let x = g.input(Matrix::row_vector(&sample.node_feats[v]));
+            let e = self.embed.forward(g, &self.store, x);
+            h[v] = Some(g.relu(e));
+        }
+
+        // 2. Message passing, children before parents within each round.
+        for conv in &self.convs {
+            let mut next: Vec<Option<Var>> = vec![None; n];
+            for &v in &order {
+                let hv = h[v].expect("topo order covers v");
+                let w_self = g.param(&self.store, conv.w_self);
+                let self_term = g.matmul(hv, w_self);
+                let combined = if sample.children[v].is_empty() {
+                    self_term
+                } else {
+                    let kids: Vec<Var> = sample.children[v]
+                        .iter()
+                        .map(|&c| h[c].expect("children precede parents"))
+                        .collect();
+                    let stacked = g.stack_rows(&kids);
+                    let agg = g.mean_rows(stacked);
+                    let w_child = g.param(&self.store, conv.w_child);
+                    let child_term = g.matmul(agg, w_child);
+                    g.add(self_term, child_term)
+                };
+                let b = g.param(&self.store, conv.bias);
+                let biased = g.add_row_broadcast(combined, b);
+                let activated = g.relu(biased);
+                next[v] = Some(g.dropout(activated, self.config.dropout, training, rng));
+            }
+            h = next;
+        }
+
+        // 3. Readout: root ⊕ system features → head.
+        let root_h = h[sample.root].expect("root embedded");
+        let sys = g.input(Matrix::row_vector(&sample.sys_feats));
+        let cat = g.concat_cols(root_h, sys);
+        self.head.forward(g, &self.store, cat, training, rng)
+    }
+
+    /// Predicts the target for one sample (eval mode, no dropout).
+    pub fn predict(&self, sample: &TreeSample) -> f64 {
+        let mut rng = StdRng::seed_from_u64(0); // unused in eval mode
+        let mut g = Graph::new();
+        let out = self.forward(&mut g, sample, false, &mut rng);
+        g.value(out).get(0, 0)
+    }
+
+    /// Trains on `samples` with mini-batch Adam; returns per-epoch losses.
+    ///
+    /// # Panics
+    /// Panics if any sample fails [`TreeSample::validate`] or has mismatched
+    /// feature widths.
+    pub fn fit(&mut self, samples: &[TreeSample]) -> TrainReport {
+        for (i, s) in samples.iter().enumerate() {
+            if let Err(e) = s.validate() {
+                panic!("invalid sample {i}: {e}");
+            }
+            assert!(
+                s.node_feats.iter().all(|f| f.len() == self.config.node_feat_dim),
+                "sample {i}: node feature width mismatch"
+            );
+            assert_eq!(
+                s.sys_feats.len(),
+                self.config.sys_feat_dim,
+                "sample {i}: system feature width mismatch"
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x5eed);
+        let mut adam = Adam::new(&self.store, self.config.lr);
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+
+        for epoch in 0..self.config.epochs {
+            // Step-decay schedule: full LR for the first 60% of epochs,
+            // 0.3x until 85%, then 0.1x to settle.
+            let progress = epoch as f64 / self.config.epochs.max(1) as f64;
+            let factor = if progress < 0.6 {
+                1.0
+            } else if progress < 0.85 {
+                0.3
+            } else {
+                0.1
+            };
+            adam.set_lr(self.config.lr * factor);
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
+            for chunk in order.chunks(self.config.batch_size.max(1)) {
+                self.store.zero_grads();
+                let mut g = Graph::new();
+                let mut terms = Vec::with_capacity(chunk.len());
+                for &i in chunk {
+                    let out = self.forward(&mut g, &samples[i], true, &mut rng);
+                    terms.push(g.squared_error(out, samples[i].target));
+                }
+                let loss = g.mean_scalars(&terms);
+                epoch_loss += g.value(loss).get(0, 0);
+                batches += 1;
+                g.backward(loss, &mut self.store);
+                adam.step(&mut self.store);
+            }
+            epoch_losses.push(epoch_loss / batches.max(1) as f64);
+        }
+        TrainReport { epoch_losses }
+    }
+
+    /// Architecture configuration.
+    pub fn config(&self) -> &GcnConfig {
+        &self.config
+    }
+
+    /// Total scalar parameter count.
+    pub fn n_parameters(&self) -> usize {
+        self.store.n_scalars()
+    }
+
+    /// Approximate in-memory size in bytes.
+    pub fn approx_size_bytes(&self) -> usize {
+        self.store.approx_size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Builds a random chain/binary tree whose target is a simple function
+    /// of the node features: sum over nodes of feat[0] (learnable from the
+    /// root after message passing).
+    fn synth_sample(rng: &mut StdRng, dim: usize) -> TreeSample {
+        let n = rng.gen_range(2..6);
+        let mut node_feats = Vec::with_capacity(n);
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for i in 0..n {
+            let mut f = vec![0.0; dim];
+            f[0] = rng.gen_range(0.0..1.0);
+            if dim > 1 {
+                f[1] = rng.gen_range(0.0..1.0);
+            }
+            node_feats.push(f);
+            if i > 0 {
+                let parent = rng.gen_range(0..i);
+                children[parent].push(i);
+            }
+        }
+        let target: f64 = node_feats.iter().map(|f| f[0]).sum();
+        TreeSample {
+            node_feats,
+            children,
+            root: 0,
+            sys_feats: vec![n as f64],
+            target,
+        }
+    }
+
+    fn quick_config(dim: usize) -> GcnConfig {
+        GcnConfig {
+            hidden: 16,
+            gcn_layers: 2,
+            dropout: 0.0,
+            lr: 5e-3,
+            epochs: 60,
+            batch_size: 16,
+            seed: 9,
+            ..GcnConfig::new(dim, 1)
+        }
+    }
+
+    #[test]
+    fn topo_order_children_first() {
+        let s = TreeSample {
+            node_feats: vec![vec![0.0]; 4],
+            children: vec![vec![1, 2], vec![3], vec![], vec![]],
+            root: 0,
+            sys_feats: vec![],
+            target: 0.0,
+        };
+        let order = s.topo_order();
+        assert_eq!(order.len(), 4);
+        let pos = |v: usize| order.iter().position(|&x| x == v).unwrap();
+        assert!(pos(1) < pos(0));
+        assert!(pos(2) < pos(0));
+        assert!(pos(3) < pos(1));
+    }
+
+    #[test]
+    fn validate_catches_structural_errors() {
+        let ok = TreeSample {
+            node_feats: vec![vec![0.0]; 2],
+            children: vec![vec![1], vec![]],
+            root: 0,
+            sys_feats: vec![],
+            target: 0.0,
+        };
+        assert!(ok.validate().is_ok());
+
+        let out_of_range = TreeSample {
+            children: vec![vec![5], vec![]],
+            ..ok.clone()
+        };
+        assert!(out_of_range.validate().is_err());
+
+        let unreachable = TreeSample {
+            children: vec![vec![], vec![]],
+            ..ok.clone()
+        };
+        assert!(unreachable.validate().is_err());
+
+        let cyclic = TreeSample {
+            node_feats: vec![vec![0.0]; 2],
+            children: vec![vec![1], vec![0]],
+            root: 0,
+            sys_feats: vec![],
+            target: 0.0,
+        };
+        assert!(cyclic.validate().is_err());
+
+        let bad_root = TreeSample { root: 9, ..ok };
+        assert!(bad_root.validate().is_err());
+    }
+
+    #[test]
+    fn learns_sum_of_node_features() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let dim = 3;
+        let samples: Vec<TreeSample> = (0..120).map(|_| synth_sample(&mut rng, dim)).collect();
+        let mut model = PlanGcn::new(quick_config(dim));
+        let report = model.fit(&samples);
+        let first = report.epoch_losses[0];
+        let last = *report.epoch_losses.last().unwrap();
+        assert!(
+            last < first * 0.2,
+            "training did not converge: first={first} last={last}"
+        );
+        // Held-out check: predictions correlate with targets.
+        let test: Vec<TreeSample> = (0..30).map(|_| synth_sample(&mut rng, dim)).collect();
+        let mse: f64 = test
+            .iter()
+            .map(|s| (model.predict(s) - s.target).powi(2))
+            .sum::<f64>()
+            / test.len() as f64;
+        let mean_t: f64 = test.iter().map(|s| s.target).sum::<f64>() / test.len() as f64;
+        let var_t: f64 = test
+            .iter()
+            .map(|s| (s.target - mean_t).powi(2))
+            .sum::<f64>()
+            / test.len() as f64;
+        assert!(mse < 0.5 * var_t, "mse={mse} var={var_t}");
+    }
+
+    #[test]
+    fn prediction_deterministic_in_eval_mode() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = synth_sample(&mut rng, 2);
+        let model = PlanGcn::new(quick_config(2));
+        assert_eq!(model.predict(&s), model.predict(&s));
+    }
+
+    #[test]
+    fn deeper_trees_still_forward() {
+        // A 20-node chain: deeper than gcn_layers; must not panic and must
+        // produce a finite output.
+        let n = 20;
+        let node_feats = vec![vec![0.5, 0.5]; n];
+        let children: Vec<Vec<usize>> = (0..n)
+            .map(|i| if i + 1 < n { vec![i + 1] } else { vec![] })
+            .collect();
+        let s = TreeSample {
+            node_feats,
+            children,
+            root: 0,
+            sys_feats: vec![n as f64],
+            target: 1.0,
+        };
+        let model = PlanGcn::new(quick_config(2));
+        assert!(model.predict(&s).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sample")]
+    fn fit_rejects_invalid_samples() {
+        let bad = TreeSample {
+            node_feats: vec![vec![0.0, 0.0]; 2],
+            children: vec![vec![9], vec![]],
+            root: 0,
+            sys_feats: vec![0.0],
+            target: 0.0,
+        };
+        let mut model = PlanGcn::new(quick_config(2));
+        model.fit(&[bad]);
+    }
+
+    #[test]
+    fn parameter_count_scales_with_hidden() {
+        let small = PlanGcn::new(GcnConfig {
+            hidden: 8,
+            ..GcnConfig::new(4, 2)
+        });
+        let large = PlanGcn::new(GcnConfig {
+            hidden: 32,
+            ..GcnConfig::new(4, 2)
+        });
+        assert!(large.n_parameters() > 5 * small.n_parameters());
+        assert!(small.approx_size_bytes() > 0);
+    }
+}

@@ -1,0 +1,511 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] is a define-by-run tape: every operation appends a node
+//! holding its output value; [`Graph::backward`] walks the tape in reverse,
+//! propagating gradients and accumulating them into the [`ParamStore`]
+//! (parameters enter the tape via [`Graph::param`]). A fresh graph is built
+//! per forward pass, which is cheap at the model sizes used here and keeps
+//! the implementation small and auditable — exactly what backprop through
+//! variable-shaped plan *trees* needs.
+
+use crate::layers::ParamStore;
+use crate::tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Handle to a node on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+enum Op {
+    /// External input (no gradient propagation).
+    Input,
+    /// Snapshot of parameter `pid`; backward accumulates into the store.
+    Param(usize),
+    /// `a · b`.
+    MatMul(Var, Var),
+    /// Elementwise `a + b` (same shape).
+    Add(Var, Var),
+    /// `x (n×c) + bias (1×c)` broadcast over rows.
+    AddRowBroadcast(Var, Var),
+    /// Elementwise `max(x, 0)`.
+    Relu(Var),
+    /// Inverted dropout; the retained mask (`1/(1-p)` or `0`) is stored.
+    Dropout(Var, Vec<f64>),
+    /// Stack k row vectors (each `1×c`) into a `k×c` matrix.
+    StackRows(Vec<Var>),
+    /// Column-mean over rows: `k×c → 1×c`.
+    MeanRows(Var),
+    /// Concatenate two row vectors along columns.
+    ConcatCols(Var, Var),
+    /// `s · x`.
+    Scale(Var, f64),
+    /// `(x[0,0] − target)²` as a `1×1` scalar.
+    SquaredError(Var, f64),
+}
+
+struct Node {
+    op: Op,
+    value: Matrix,
+    grad: Matrix,
+}
+
+/// The autodiff tape. See the module docs.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, op: Op, value: Matrix) -> Var {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        self.nodes.push(Node { op, value, grad });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Value of a node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// Gradient of a node (after [`Graph::backward`]).
+    pub fn grad(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].grad
+    }
+
+    /// Number of tape nodes (diagnostics).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Registers an external input.
+    pub fn input(&mut self, value: Matrix) -> Var {
+        self.push(Op::Input, value)
+    }
+
+    /// Registers a parameter snapshot; gradients flow back into the store.
+    pub fn param(&mut self, store: &ParamStore, pid: usize) -> Var {
+        self.push(Op::Param(pid), store.value(pid).clone())
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(Op::MatMul(a, b), value)
+    }
+
+    /// Elementwise sum of same-shaped vars.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let mut value = self.nodes[a.0].value.clone();
+        value.add_assign(&self.nodes[b.0].value);
+        self.push(Op::Add(a, b), value)
+    }
+
+    /// Adds a `1×c` bias row to every row of `x`.
+    pub fn add_row_broadcast(&mut self, x: Var, bias: Var) -> Var {
+        let xv = &self.nodes[x.0].value;
+        let bv = &self.nodes[bias.0].value;
+        assert_eq!(bv.rows(), 1, "bias must be a row vector");
+        assert_eq!(xv.cols(), bv.cols(), "bias width mismatch");
+        let value = Matrix::from_fn(xv.rows(), xv.cols(), |r, c| xv.get(r, c) + bv.get(0, c));
+        self.push(Op::AddRowBroadcast(x, bias), value)
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, x: Var) -> Var {
+        let xv = &self.nodes[x.0].value;
+        let value = Matrix::from_fn(xv.rows(), xv.cols(), |r, c| xv.get(r, c).max(0.0));
+        self.push(Op::Relu(x), value)
+    }
+
+    /// Inverted dropout: during training, zeroes each element with
+    /// probability `p` and scales survivors by `1/(1-p)`; identity when
+    /// `training` is false or `p == 0`.
+    pub fn dropout(&mut self, x: Var, p: f64, training: bool, rng: &mut StdRng) -> Var {
+        if !training || p <= 0.0 {
+            // Identity via Scale keeps the tape uniform.
+            return self.scale(x, 1.0);
+        }
+        assert!(p < 1.0, "dropout probability must be < 1");
+        let xv = &self.nodes[x.0].value;
+        let keep = 1.0 / (1.0 - p);
+        let mask: Vec<f64> = (0..xv.rows() * xv.cols())
+            .map(|_| if rng.gen_range(0.0..1.0) < p { 0.0 } else { keep })
+            .collect();
+        let value = Matrix::from_vec(
+            xv.rows(),
+            xv.cols(),
+            xv.data().iter().zip(&mask).map(|(v, m)| v * m).collect(),
+        );
+        self.push(Op::Dropout(x, mask), value)
+    }
+
+    /// Stacks k row vectors into a `k×c` matrix.
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty or widths differ.
+    pub fn stack_rows(&mut self, rows: &[Var]) -> Var {
+        assert!(!rows.is_empty(), "stack_rows needs at least one row");
+        let cols = self.nodes[rows[0].0].value.cols();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for &v in rows {
+            let m = &self.nodes[v.0].value;
+            assert_eq!(m.rows(), 1, "stack_rows expects row vectors");
+            assert_eq!(m.cols(), cols, "stack_rows width mismatch");
+            data.extend_from_slice(m.data());
+        }
+        let value = Matrix::from_vec(rows.len(), cols, data);
+        self.push(Op::StackRows(rows.to_vec()), value)
+    }
+
+    /// Column-mean over rows.
+    pub fn mean_rows(&mut self, x: Var) -> Var {
+        let xv = &self.nodes[x.0].value;
+        let k = xv.rows() as f64;
+        let value = Matrix::from_fn(1, xv.cols(), |_, c| {
+            (0..xv.rows()).map(|r| xv.get(r, c)).sum::<f64>() / k
+        });
+        self.push(Op::MeanRows(x), value)
+    }
+
+    /// Concatenates two row vectors along columns.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        let bv = &self.nodes[b.0].value;
+        assert_eq!(av.rows(), 1);
+        assert_eq!(bv.rows(), 1);
+        let mut data = av.data().to_vec();
+        data.extend_from_slice(bv.data());
+        let value = Matrix::from_vec(1, av.cols() + bv.cols(), data);
+        self.push(Op::ConcatCols(a, b), value)
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, x: Var, s: f64) -> Var {
+        let mut value = self.nodes[x.0].value.clone();
+        value.scale_assign(s);
+        self.push(Op::Scale(x, s), value)
+    }
+
+    /// `(x[0,0] − target)²` as a `1×1` loss term.
+    pub fn squared_error(&mut self, x: Var, target: f64) -> Var {
+        let d = self.nodes[x.0].value.get(0, 0) - target;
+        self.push(Op::SquaredError(x, target), Matrix::from_vec(1, 1, vec![d * d]))
+    }
+
+    /// Sums a list of `1×1` scalars and divides by their count (batch-mean
+    /// loss). Returns the last element unchanged for a single term.
+    pub fn mean_scalars(&mut self, terms: &[Var]) -> Var {
+        assert!(!terms.is_empty());
+        let mut acc = terms[0];
+        for &t in &terms[1..] {
+            acc = self.add(acc, t);
+        }
+        self.scale(acc, 1.0 / terms.len() as f64)
+    }
+
+    /// Reverse pass from `loss` (must be `1×1`); parameter gradients are
+    /// *accumulated* into `store` (call [`ParamStore::zero_grads`] between
+    /// steps).
+    pub fn backward(&mut self, loss: Var, store: &mut ParamStore) {
+        {
+            let n = &mut self.nodes[loss.0];
+            assert_eq!((n.value.rows(), n.value.cols()), (1, 1), "loss must be scalar");
+            n.grad.set(0, 0, 1.0);
+        }
+        for i in (0..=loss.0).rev() {
+            // Take the node's gradient to appease the borrow checker; ops
+            // never read their own grad afterwards.
+            let gout = std::mem::replace(
+                &mut self.nodes[i].grad,
+                Matrix::zeros(0, 0),
+            );
+            if gout.data().iter().all(|&g| g == 0.0) {
+                self.nodes[i].grad = gout;
+                continue;
+            }
+            // Clone op metadata handles (cheap: Vars are indices).
+            match &self.nodes[i].op {
+                Op::Input => {}
+                Op::Param(pid) => {
+                    store.grad_mut(*pid).add_assign(&gout);
+                }
+                Op::MatMul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let ga = gout.matmul(&self.nodes[b.0].value.transpose());
+                    let gb = self.nodes[a.0].value.transpose().matmul(&gout);
+                    self.nodes[a.0].grad.add_assign(&ga);
+                    self.nodes[b.0].grad.add_assign(&gb);
+                }
+                Op::Add(a, b) => {
+                    let (a, b) = (*a, *b);
+                    self.nodes[a.0].grad.add_assign(&gout);
+                    self.nodes[b.0].grad.add_assign(&gout);
+                }
+                Op::AddRowBroadcast(x, bias) => {
+                    let (x, bias) = (*x, *bias);
+                    self.nodes[x.0].grad.add_assign(&gout);
+                    let gb = Matrix::from_fn(1, gout.cols(), |_, c| {
+                        (0..gout.rows()).map(|r| gout.get(r, c)).sum()
+                    });
+                    self.nodes[bias.0].grad.add_assign(&gb);
+                }
+                Op::Relu(x) => {
+                    let x = *x;
+                    let xv = &self.nodes[x.0].value;
+                    let gx = Matrix::from_fn(gout.rows(), gout.cols(), |r, c| {
+                        if xv.get(r, c) > 0.0 {
+                            gout.get(r, c)
+                        } else {
+                            0.0
+                        }
+                    });
+                    self.nodes[x.0].grad.add_assign(&gx);
+                }
+                Op::Dropout(x, mask) => {
+                    let x = *x;
+                    let gx = Matrix::from_vec(
+                        gout.rows(),
+                        gout.cols(),
+                        gout.data().iter().zip(mask).map(|(g, m)| g * m).collect(),
+                    );
+                    self.nodes[x.0].grad.add_assign(&gx);
+                }
+                Op::StackRows(rows) => {
+                    let rows = rows.clone();
+                    for (r, v) in rows.iter().enumerate() {
+                        let gr = Matrix::row_vector(gout.row(r));
+                        self.nodes[v.0].grad.add_assign(&gr);
+                    }
+                }
+                Op::MeanRows(x) => {
+                    let x = *x;
+                    let k = self.nodes[x.0].value.rows();
+                    let gx = Matrix::from_fn(k, gout.cols(), |_, c| gout.get(0, c) / k as f64);
+                    self.nodes[x.0].grad.add_assign(&gx);
+                }
+                Op::ConcatCols(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let ca = self.nodes[a.0].value.cols();
+                    let ga = Matrix::row_vector(&gout.row(0)[..ca]);
+                    let gb = Matrix::row_vector(&gout.row(0)[ca..]);
+                    self.nodes[a.0].grad.add_assign(&ga);
+                    self.nodes[b.0].grad.add_assign(&gb);
+                }
+                Op::Scale(x, s) => {
+                    let (x, s) = (*x, *s);
+                    let mut gx = gout.clone();
+                    gx.scale_assign(s);
+                    self.nodes[x.0].grad.add_assign(&gx);
+                }
+                Op::SquaredError(x, target) => {
+                    let (x, target) = (*x, *target);
+                    let d = self.nodes[x.0].value.get(0, 0) - target;
+                    let mut gx = Matrix::zeros(1, 1);
+                    gx.set(0, 0, 2.0 * d * gout.get(0, 0));
+                    self.nodes[x.0].grad.add_assign(&gx);
+                }
+            }
+            self.nodes[i].grad = gout;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Numerical-gradient check for a scalar function of one parameter.
+    fn check_param_grad(
+        build: impl Fn(&mut Graph, &ParamStore) -> Var,
+        store: &mut ParamStore,
+        pid: usize,
+    ) {
+        // Analytic gradient.
+        store.zero_grads();
+        let mut g = Graph::new();
+        let loss = build(&mut g, store);
+        g.backward(loss, store);
+        let analytic = store.grad(pid).clone();
+
+        // Numerical gradient.
+        let eps = 1e-5;
+        let (rows, cols) = (analytic.rows(), analytic.cols());
+        for r in 0..rows {
+            for c in 0..cols {
+                let orig = store.value(pid).get(r, c);
+                store.value_mut(pid).set(r, c, orig + eps);
+                let mut gp = Graph::new();
+                let vp = build(&mut gp, store);
+                let lp = gp.value(vp).get(0, 0);
+                store.value_mut(pid).set(r, c, orig - eps);
+                let mut gm = Graph::new();
+                let vm = build(&mut gm, store);
+                let lm = gm.value(vm).get(0, 0);
+                store.value_mut(pid).set(r, c, orig);
+                let numeric = (lp - lm) / (2.0 * eps);
+                let a = analytic.get(r, c);
+                assert!(
+                    (a - numeric).abs() < 1e-4 * (1.0 + a.abs()),
+                    "grad mismatch at ({r},{c}): analytic={a} numeric={numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_grad_check() {
+        let mut store = ParamStore::new();
+        let w = store.add(Matrix::from_vec(2, 2, vec![0.5, -0.3, 0.8, 0.1]));
+        check_param_grad(
+            |g, s| {
+                let x = g.input(Matrix::row_vector(&[1.0, 2.0]));
+                let wp = g.param(s, w);
+                let h = g.matmul(x, wp);
+                // loss = (h·[1;1] - 3)^2 via matmul with constant
+                let ones = g.input(Matrix::from_vec(2, 1, vec![1.0, 1.0]));
+                let y = g.matmul(h, ones);
+                g.squared_error(y, 3.0)
+            },
+            &mut store,
+            w,
+        );
+    }
+
+    #[test]
+    fn mlp_like_grad_check() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let w1 = store.add(Matrix::he_init(3, 4, &mut rng));
+        let b1 = store.add(Matrix::zeros(1, 4));
+        let w2 = store.add(Matrix::he_init(4, 1, &mut rng));
+        let build = |g: &mut Graph, s: &ParamStore| {
+            let x = g.input(Matrix::row_vector(&[0.5, -1.0, 2.0]));
+            let w1v = g.param(s, w1);
+            let b1v = g.param(s, b1);
+            let w2v = g.param(s, w2);
+            let h = g.matmul(x, w1v);
+            let h = g.add_row_broadcast(h, b1v);
+            let h = g.relu(h);
+            let y = g.matmul(h, w2v);
+            g.squared_error(y, 1.5)
+        };
+        for pid in [w1, b1, w2] {
+            check_param_grad(build, &mut store, pid);
+        }
+    }
+
+    #[test]
+    fn stack_mean_concat_grad_check() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = store.add(Matrix::he_init(2, 2, &mut rng));
+        let head = store.add(Matrix::he_init(4, 1, &mut rng));
+        let build = |g: &mut Graph, s: &ParamStore| {
+            let wv = g.param(s, w);
+            let x1 = g.input(Matrix::row_vector(&[1.0, 0.0]));
+            let x2 = g.input(Matrix::row_vector(&[0.0, 1.0]));
+            let h1 = g.matmul(x1, wv);
+            let h2 = g.matmul(x2, wv);
+            let stacked = g.stack_rows(&[h1, h2]);
+            let agg = g.mean_rows(stacked);
+            let cat = g.concat_cols(agg, h1);
+            let hv = g.param(s, head);
+            let y = g.matmul(cat, hv);
+            g.squared_error(y, 0.7)
+        };
+        for pid in [w, head] {
+            check_param_grad(build, &mut store, pid);
+        }
+    }
+
+    #[test]
+    fn relu_kills_negative_gradient() {
+        let mut store = ParamStore::new();
+        let w = store.add(Matrix::from_vec(1, 1, vec![-2.0]));
+        let mut g = Graph::new();
+        let x = g.input(Matrix::row_vector(&[1.0]));
+        let wv = g.param(&store, w);
+        let h = g.matmul(x, wv); // -2, relu -> 0
+        let r = g.relu(h);
+        let loss = g.squared_error(r, 5.0);
+        g.backward(loss, &mut store);
+        assert_eq!(store.grad(w).get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn dropout_eval_mode_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g = Graph::new();
+        let x = g.input(Matrix::row_vector(&[1.0, 2.0, 3.0]));
+        let d = g.dropout(x, 0.5, false, &mut rng);
+        assert_eq!(g.value(d).data(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn dropout_train_mode_preserves_expectation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_vec(1, n, vec![1.0; n]));
+        let d = g.dropout(x, 0.3, true, &mut rng);
+        let mean: f64 = g.value(d).data().iter().sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean={mean}");
+        // Every surviving element is scaled by 1/0.7.
+        for &v in g.value(d).data() {
+            assert!(v == 0.0 || (v - 1.0 / 0.7).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mean_scalars_averages() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::from_vec(1, 1, vec![2.0]));
+        let b = g.input(Matrix::from_vec(1, 1, vec![4.0]));
+        let c = g.input(Matrix::from_vec(1, 1, vec![6.0]));
+        let m = g.mean_scalars(&[a, b, c]);
+        assert!((g.value(m).get(0, 0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_descent_reduces_loss() {
+        // One linear neuron fitting y = 3x: a few GD steps must reduce loss.
+        let mut store = ParamStore::new();
+        let w = store.add(Matrix::from_vec(1, 1, vec![0.0]));
+        let loss_at = |store: &ParamStore| -> f64 {
+            let mut g = Graph::new();
+            let x = g.input(Matrix::row_vector(&[2.0]));
+            let wv = g.param(store, w);
+            let y = g.matmul(x, wv);
+            let l = g.squared_error(y, 6.0);
+            g.value(l).get(0, 0)
+        };
+        let initial = loss_at(&store);
+        for _ in 0..50 {
+            store.zero_grads();
+            let mut g = Graph::new();
+            let x = g.input(Matrix::row_vector(&[2.0]));
+            let wv = g.param(&store, w);
+            let y = g.matmul(x, wv);
+            let l = g.squared_error(y, 6.0);
+            g.backward(l, &mut store);
+            let grad = store.grad(w).get(0, 0);
+            let v = store.value(w).get(0, 0);
+            store.value_mut(w).set(0, 0, v - 0.05 * grad);
+        }
+        let final_loss = loss_at(&store);
+        assert!(final_loss < 1e-3 * initial.max(1.0), "final={final_loss}");
+        assert!((store.value(w).get(0, 0) - 3.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,231 @@
+//! Dense row-major matrices and the kernels the autodiff tape needs.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Matrix from a closure of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// A 1×n row vector.
+    pub fn row_vector(values: &[f64]) -> Self {
+        Self::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// Kaiming/He-style initialization: N(0, sqrt(2/fan_in)) via Box–Muller.
+    pub fn he_init(rows: usize, cols: usize, rng: &mut StdRng) -> Self {
+        let std = (2.0 / rows as f64).sqrt();
+        Self::from_fn(rows, cols, |_, _| {
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Raw row-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self · other` (ikj loop order for cache friendliness).
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Elementwise sum into self.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Scales all elements in place.
+    pub fn scale_assign(&mut self, s: f64) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Sets all elements to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_known_result() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 2);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Matrix::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn matmul_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.get(0, 1), 4.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let mut a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![10.0, 20.0, 30.0]);
+        a.add_assign(&b);
+        assert_eq!(a.data(), &[11.0, 22.0, 33.0]);
+        a.scale_assign(0.5);
+        assert_eq!(a.data(), &[5.5, 11.0, 16.5]);
+        a.fill_zero();
+        assert_eq!(a.data(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn he_init_statistics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Matrix::he_init(100, 100, &mut rng);
+        let mean: f64 = m.data().iter().sum::<f64>() / 10_000.0;
+        let var: f64 = m.data().iter().map(|x| (x - mean).powi(2)).sum::<f64>() / 10_000.0;
+        assert!(mean.abs() < 0.01, "mean={mean}");
+        // Expected var = 2/100 = 0.02.
+        assert!((var - 0.02).abs() < 0.005, "var={var}");
+    }
+
+    #[test]
+    fn row_vector_shape() {
+        let v = Matrix::row_vector(&[1.0, 2.0]);
+        assert_eq!((v.rows(), v.cols()), (1, 2));
+        assert_eq!(v.row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn frobenius() {
+        let m = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+}

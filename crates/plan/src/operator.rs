@@ -1,0 +1,457 @@
+//! Physical operator taxonomy.
+//!
+//! Redshift exposes ~90 unique physical operator types in `STL_EXPLAIN`
+//! (paper §4.4). This reproduction models the 35 that dominate analytic
+//! plans — scans, joins, aggregation, sorting, the network distribution
+//! operators (`DS_DIST_*` / `DS_BCAST`), set operations, window functions,
+//! and DML — grouped into the categories used by the 33-dim flattened
+//! feature vector. The one-hot width for the GCN node features follows
+//! [`OperatorKind::COUNT`] and is therefore 35 here rather than the paper's
+//! 90; the featurization code is width-agnostic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A physical plan operator, Redshift-style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum OperatorKind {
+    // --- Scans -----------------------------------------------------------
+    /// Sequential scan over a local (Redshift-managed) table.
+    SeqScan,
+    /// Redshift Spectrum scan over an external S3 table.
+    S3Scan,
+    /// Scan over a subquery's intermediate result.
+    SubqueryScan,
+    /// Scan over a table-generating function.
+    FunctionScan,
+    /// Scan over a common-table-expression result.
+    CteScan,
+    // --- Joins -----------------------------------------------------------
+    /// Hash join probe.
+    HashJoin,
+    /// Merge join over sorted inputs.
+    MergeJoin,
+    /// Nested-loop join.
+    NestedLoopJoin,
+    /// Semi join (EXISTS-style).
+    SemiJoin,
+    /// Anti join (NOT EXISTS-style).
+    AntiJoin,
+    // --- Hash build ------------------------------------------------------
+    /// Hash-table build side of a hash join.
+    Hash,
+    // --- Sorting ---------------------------------------------------------
+    /// Full sort.
+    Sort,
+    /// Top-N sort (sort bounded by a limit).
+    TopSort,
+    // --- Aggregation -----------------------------------------------------
+    /// Hash-based grouped aggregation.
+    HashAggregate,
+    /// Sorted/stream grouped aggregation.
+    GroupAggregate,
+    /// Ungrouped (scalar) aggregation.
+    Aggregate,
+    // --- Network distribution (Redshift DS_* steps) -----------------------
+    /// Redistribute all rows to all compute nodes.
+    DsDistAll,
+    /// Redistribute rows evenly (round-robin).
+    DsDistEven,
+    /// Redistribute rows by distribution key.
+    DsDistKey,
+    /// Broadcast one side of a join to every node.
+    DsBcast,
+    /// No redistribution required (collocated).
+    DsDistNone,
+    /// Return rows from compute nodes to the leader.
+    NetworkReturn,
+    // --- Materialization / window / set ops -------------------------------
+    /// Materialize an intermediate result (possibly spilling).
+    Materialize,
+    /// Window-function computation.
+    WindowAgg,
+    /// Concatenation of inputs (UNION ALL).
+    Append,
+    /// Set intersection.
+    Intersect,
+    /// Set difference.
+    Except,
+    /// Duplicate elimination.
+    Unique,
+    // --- Misc -------------------------------------------------------------
+    /// Row-limit application.
+    Limit,
+    /// Projection / expression evaluation.
+    Project,
+    /// Leader-node result collection.
+    Result,
+    /// Un-correlated subplan execution.
+    Subplan,
+    // --- DML ---------------------------------------------------------------
+    /// Row insertion.
+    Insert,
+    /// Row deletion.
+    Delete,
+    /// Row update.
+    Update,
+}
+
+impl OperatorKind {
+    /// Number of distinct operator kinds (the GCN one-hot width).
+    pub const COUNT: usize = 35;
+
+    /// Every operator, in one-hot index order.
+    pub const ALL: [OperatorKind; Self::COUNT] = [
+        OperatorKind::SeqScan,
+        OperatorKind::S3Scan,
+        OperatorKind::SubqueryScan,
+        OperatorKind::FunctionScan,
+        OperatorKind::CteScan,
+        OperatorKind::HashJoin,
+        OperatorKind::MergeJoin,
+        OperatorKind::NestedLoopJoin,
+        OperatorKind::SemiJoin,
+        OperatorKind::AntiJoin,
+        OperatorKind::Hash,
+        OperatorKind::Sort,
+        OperatorKind::TopSort,
+        OperatorKind::HashAggregate,
+        OperatorKind::GroupAggregate,
+        OperatorKind::Aggregate,
+        OperatorKind::DsDistAll,
+        OperatorKind::DsDistEven,
+        OperatorKind::DsDistKey,
+        OperatorKind::DsBcast,
+        OperatorKind::DsDistNone,
+        OperatorKind::NetworkReturn,
+        OperatorKind::Materialize,
+        OperatorKind::WindowAgg,
+        OperatorKind::Append,
+        OperatorKind::Intersect,
+        OperatorKind::Except,
+        OperatorKind::Unique,
+        OperatorKind::Limit,
+        OperatorKind::Project,
+        OperatorKind::Result,
+        OperatorKind::Subplan,
+        OperatorKind::Insert,
+        OperatorKind::Delete,
+        OperatorKind::Update,
+    ];
+
+    /// Stable one-hot index in `0..Self::COUNT`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The category this operator contributes to in the 33-dim vector.
+    pub fn category(self) -> OperatorCategory {
+        use OperatorCategory as C;
+        use OperatorKind as K;
+        match self {
+            K::SeqScan | K::SubqueryScan | K::FunctionScan | K::CteScan => C::Scan,
+            K::S3Scan => C::S3Scan,
+            K::HashJoin => C::HashJoin,
+            K::MergeJoin => C::MergeJoin,
+            K::NestedLoopJoin | K::SemiJoin | K::AntiJoin => C::NestedLoop,
+            K::Hash => C::HashBuild,
+            K::Sort | K::TopSort => C::Sort,
+            K::HashAggregate | K::GroupAggregate | K::Aggregate => C::Aggregate,
+            K::DsDistAll
+            | K::DsDistEven
+            | K::DsDistKey
+            | K::DsBcast
+            | K::DsDistNone
+            | K::NetworkReturn => C::Network,
+            K::Materialize => C::Materialize,
+            K::WindowAgg => C::Window,
+            K::Append | K::Intersect | K::Except | K::Unique => C::SetOp,
+            K::Limit | K::Project | K::Result | K::Subplan => C::Misc,
+            K::Insert | K::Delete | K::Update => C::Dml,
+        }
+    }
+
+    /// Whether this operator reads a base table directly (and therefore
+    /// carries S3-format / table-row features; paper §4.4 sets those to
+    /// "Null" otherwise).
+    pub fn is_base_table_scan(self) -> bool {
+        matches!(self, OperatorKind::SeqScan | OperatorKind::S3Scan)
+    }
+
+    /// Whether this operator is a join probe.
+    pub fn is_join(self) -> bool {
+        matches!(
+            self,
+            OperatorKind::HashJoin
+                | OperatorKind::MergeJoin
+                | OperatorKind::NestedLoopJoin
+                | OperatorKind::SemiJoin
+                | OperatorKind::AntiJoin
+        )
+    }
+
+    /// Whether this operator moves rows across the network.
+    pub fn is_network(self) -> bool {
+        self.category() == OperatorCategory::Network
+    }
+
+    /// Redshift-flavoured display name (as would appear in `STL_EXPLAIN`).
+    pub fn name(self) -> &'static str {
+        use OperatorKind as K;
+        match self {
+            K::SeqScan => "XN Seq Scan",
+            K::S3Scan => "XN S3 Query Scan",
+            K::SubqueryScan => "XN Subquery Scan",
+            K::FunctionScan => "XN Function Scan",
+            K::CteScan => "XN CTE Scan",
+            K::HashJoin => "XN Hash Join",
+            K::MergeJoin => "XN Merge Join",
+            K::NestedLoopJoin => "XN Nested Loop",
+            K::SemiJoin => "XN Hash Semi Join",
+            K::AntiJoin => "XN Hash Anti Join",
+            K::Hash => "XN Hash",
+            K::Sort => "XN Sort",
+            K::TopSort => "XN Top Sort",
+            K::HashAggregate => "XN HashAggregate",
+            K::GroupAggregate => "XN GroupAggregate",
+            K::Aggregate => "XN Aggregate",
+            K::DsDistAll => "DS_DIST_ALL",
+            K::DsDistEven => "DS_DIST_EVEN",
+            K::DsDistKey => "DS_DIST_KEY",
+            K::DsBcast => "DS_BCAST_INNER",
+            K::DsDistNone => "DS_DIST_NONE",
+            K::NetworkReturn => "XN Network Return",
+            K::Materialize => "XN Materialize",
+            K::WindowAgg => "XN Window",
+            K::Append => "XN Append",
+            K::Intersect => "XN Intersect",
+            K::Except => "XN Except",
+            K::Unique => "XN Unique",
+            K::Limit => "XN Limit",
+            K::Project => "XN Project",
+            K::Result => "XN Result",
+            K::Subplan => "XN Subplan",
+            K::Insert => "XN Insert",
+            K::Delete => "XN Delete",
+            K::Update => "XN Update",
+        }
+    }
+}
+
+impl fmt::Display for OperatorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Operator categories aggregated by the 33-dim flattened vector.
+///
+/// The paper flattens a plan by "collect\[ing\] operator nodes of the same
+/// type, and sum\[ming\] up their estimated cost and cardinality" (§4.2).
+/// Fourteen categories × (cost, cardinality) = 28 dims, plus a 5-dim query
+/// type one-hot = 33.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum OperatorCategory {
+    /// Local-table and intermediate-result scans.
+    Scan,
+    /// External S3 (Spectrum) scans.
+    S3Scan,
+    /// Hash join probes.
+    HashJoin,
+    /// Merge joins.
+    MergeJoin,
+    /// Nested-loop / semi / anti joins.
+    NestedLoop,
+    /// Hash-table builds.
+    HashBuild,
+    /// Sorts.
+    Sort,
+    /// Aggregations.
+    Aggregate,
+    /// Network distribution steps.
+    Network,
+    /// Materializations.
+    Materialize,
+    /// Window functions.
+    Window,
+    /// Set operations and duplicate elimination.
+    SetOp,
+    /// Limits, projections, results, subplans.
+    Misc,
+    /// DML writes.
+    Dml,
+}
+
+impl OperatorCategory {
+    /// Number of categories.
+    pub const COUNT: usize = 14;
+
+    /// Every category in feature order.
+    pub const ALL: [OperatorCategory; Self::COUNT] = [
+        OperatorCategory::Scan,
+        OperatorCategory::S3Scan,
+        OperatorCategory::HashJoin,
+        OperatorCategory::MergeJoin,
+        OperatorCategory::NestedLoop,
+        OperatorCategory::HashBuild,
+        OperatorCategory::Sort,
+        OperatorCategory::Aggregate,
+        OperatorCategory::Network,
+        OperatorCategory::Materialize,
+        OperatorCategory::Window,
+        OperatorCategory::SetOp,
+        OperatorCategory::Misc,
+        OperatorCategory::Dml,
+    ];
+
+    /// Stable index in `0..Self::COUNT`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// SQL statement type, part of the flattened feature vector (paper §4.2:
+/// "features such as query type (e.g., SELECT, DELETE)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum QueryType {
+    /// Read-only SELECT.
+    Select,
+    /// INSERT (including INSERT … SELECT).
+    Insert,
+    /// UPDATE.
+    Update,
+    /// DELETE.
+    Delete,
+    /// Everything else (CTAS, COPY, UNLOAD, utility).
+    Other,
+}
+
+impl QueryType {
+    /// Number of query types (the one-hot width in the 33-dim vector).
+    pub const COUNT: usize = 5;
+
+    /// Stable one-hot index.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Storage format of a scanned base table (paper §4.4: "Parquet", "OpenCSV",
+/// "Text", or "Local" for Redshift-managed tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum S3Format {
+    /// Columnar Parquet on S3.
+    Parquet,
+    /// CSV via the OpenCSV serde.
+    OpenCsv,
+    /// Delimited text.
+    Text,
+    /// Redshift-managed local storage.
+    Local,
+}
+
+impl S3Format {
+    /// Number of formats (one-hot width).
+    pub const COUNT: usize = 4;
+
+    /// Stable one-hot index.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Relative scan-cost multiplier of the format, used by the synthetic
+    /// cost-truth model (columnar local storage is fastest; row-oriented
+    /// text on S3 is slowest).
+    pub fn scan_cost_factor(self) -> f64 {
+        match self {
+            S3Format::Local => 1.0,
+            S3Format::Parquet => 2.2,
+            S3Format::OpenCsv => 4.5,
+            S3Format::Text => 5.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_lists_every_operator_once() {
+        let set: HashSet<_> = OperatorKind::ALL.iter().collect();
+        assert_eq!(set.len(), OperatorKind::COUNT);
+    }
+
+    #[test]
+    fn indices_match_all_order() {
+        for (i, op) in OperatorKind::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i, "index mismatch for {op:?}");
+        }
+        for (i, cat) in OperatorCategory::ALL.iter().enumerate() {
+            assert_eq!(cat.index(), i);
+        }
+    }
+
+    #[test]
+    fn every_operator_has_a_category() {
+        for op in OperatorKind::ALL {
+            let c = op.category();
+            assert!(c.index() < OperatorCategory::COUNT);
+        }
+    }
+
+    #[test]
+    fn every_category_is_reachable() {
+        let reached: HashSet<_> = OperatorKind::ALL.iter().map(|o| o.category()).collect();
+        assert_eq!(reached.len(), OperatorCategory::COUNT);
+    }
+
+    #[test]
+    fn base_table_scans() {
+        assert!(OperatorKind::SeqScan.is_base_table_scan());
+        assert!(OperatorKind::S3Scan.is_base_table_scan());
+        assert!(!OperatorKind::HashJoin.is_base_table_scan());
+        assert!(!OperatorKind::CteScan.is_base_table_scan());
+    }
+
+    #[test]
+    fn join_and_network_predicates() {
+        assert!(OperatorKind::HashJoin.is_join());
+        assert!(OperatorKind::SemiJoin.is_join());
+        assert!(!OperatorKind::Hash.is_join());
+        assert!(OperatorKind::DsBcast.is_network());
+        assert!(!OperatorKind::Sort.is_network());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: HashSet<_> = OperatorKind::ALL.iter().map(|o| o.name()).collect();
+        assert_eq!(names.len(), OperatorKind::COUNT);
+    }
+
+    #[test]
+    fn query_type_indices_unique() {
+        let idx: HashSet<_> = [
+            QueryType::Select,
+            QueryType::Insert,
+            QueryType::Update,
+            QueryType::Delete,
+            QueryType::Other,
+        ]
+        .iter()
+        .map(|q| q.index())
+        .collect();
+        assert_eq!(idx.len(), QueryType::COUNT);
+    }
+
+    #[test]
+    fn s3_format_cost_ordering() {
+        assert!(S3Format::Local.scan_cost_factor() < S3Format::Parquet.scan_cost_factor());
+        assert!(S3Format::Parquet.scan_cost_factor() < S3Format::Text.scan_cost_factor());
+    }
+}

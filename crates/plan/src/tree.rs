@@ -1,0 +1,275 @@
+//! Plan trees: nodes with optimizer estimates and traversal helpers.
+
+use crate::operator::{OperatorKind, QueryType, S3Format};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One physical operator instance in a plan tree, carrying the optimizer's
+/// estimates — exactly the per-node information the paper's featurizations
+/// consume (§4.4, Fig. 5): operator type, estimated cost, estimated
+/// cardinality, tuple width, S3 format, and base-table row count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanNode {
+    /// Physical operator type.
+    pub op: OperatorKind,
+    /// Optimizer-estimated cost (arbitrary cost units, as in EXPLAIN).
+    pub est_cost: f64,
+    /// Optimizer-estimated output cardinality (rows).
+    pub est_rows: f64,
+    /// Estimated output tuple width in bytes.
+    pub width: f64,
+    /// Storage format when the node scans a base table; `None` otherwise
+    /// (the paper sets these features to "Null" for non-scan operators).
+    pub s3_format: Option<S3Format>,
+    /// Total rows in the scanned base table; `None` for non-scan operators.
+    pub table_rows: Option<f64>,
+    /// Child operators (inputs).
+    pub children: Vec<PlanNode>,
+}
+
+impl PlanNode {
+    /// Creates a leaf node with the given operator and estimates.
+    pub fn leaf(op: OperatorKind, est_cost: f64, est_rows: f64, width: f64) -> Self {
+        Self {
+            op,
+            est_cost,
+            est_rows,
+            width,
+            s3_format: None,
+            table_rows: None,
+            children: Vec::new(),
+        }
+    }
+
+    /// Creates an internal node over `children`.
+    pub fn internal(
+        op: OperatorKind,
+        est_cost: f64,
+        est_rows: f64,
+        width: f64,
+        children: Vec<PlanNode>,
+    ) -> Self {
+        Self {
+            op,
+            est_cost,
+            est_rows,
+            width,
+            s3_format: None,
+            table_rows: None,
+            children,
+        }
+    }
+
+    /// Attaches base-table metadata (format + row count) to a scan node.
+    pub fn with_table(mut self, format: S3Format, table_rows: f64) -> Self {
+        self.s3_format = Some(format);
+        self.table_rows = Some(table_rows);
+        self
+    }
+
+    /// Number of nodes in the subtree rooted here.
+    pub fn subtree_size(&self) -> usize {
+        1 + self.children.iter().map(PlanNode::subtree_size).sum::<usize>()
+    }
+
+    /// Height of the subtree (a leaf has height 1).
+    pub fn height(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(PlanNode::height)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Pre-order iterator over the subtree (self first, then children
+    /// left-to-right, depth-first).
+    pub fn iter_preorder(&self) -> PreorderIter<'_> {
+        PreorderIter { stack: vec![self] }
+    }
+}
+
+/// Depth-first pre-order traversal over `&PlanNode`.
+pub struct PreorderIter<'a> {
+    stack: Vec<&'a PlanNode>,
+}
+
+impl<'a> Iterator for PreorderIter<'a> {
+    type Item = &'a PlanNode;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let node = self.stack.pop()?;
+        // Push children in reverse so the leftmost child pops first.
+        for child in node.children.iter().rev() {
+            self.stack.push(child);
+        }
+        Some(node)
+    }
+}
+
+/// A complete physical execution plan: a tree of [`PlanNode`]s plus the
+/// statement type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhysicalPlan {
+    /// Statement type (SELECT/INSERT/…), part of the 33-dim vector.
+    pub query_type: QueryType,
+    /// Root operator (in Redshift typically a leader-node `Result` or a
+    /// network-return step).
+    pub root: PlanNode,
+}
+
+impl PhysicalPlan {
+    /// Wraps a root node into a plan.
+    pub fn new(query_type: QueryType, root: PlanNode) -> Self {
+        Self { query_type, root }
+    }
+
+    /// Total number of operator nodes.
+    pub fn node_count(&self) -> usize {
+        self.root.subtree_size()
+    }
+
+    /// Tree height.
+    pub fn height(&self) -> usize {
+        self.root.height()
+    }
+
+    /// Number of join operators — a proxy for plan complexity used by the
+    /// cardinality-error model and diagnostics.
+    pub fn join_count(&self) -> usize {
+        self.root.iter_preorder().filter(|n| n.op.is_join()).count()
+    }
+
+    /// Pre-order iterator over all nodes.
+    pub fn iter_preorder(&self) -> PreorderIter<'_> {
+        self.root.iter_preorder()
+    }
+
+    /// Sum of estimated cost over all nodes.
+    pub fn total_est_cost(&self) -> f64 {
+        self.iter_preorder().map(|n| n.est_cost).sum()
+    }
+
+    /// Sum of estimated cardinality over all nodes.
+    pub fn total_est_rows(&self) -> f64 {
+        self.iter_preorder().map(|n| n.est_rows).sum()
+    }
+
+    /// EXPLAIN-style indented rendering, for debugging and examples.
+    pub fn explain(&self) -> String {
+        fn walk(node: &PlanNode, depth: usize, out: &mut String) {
+            let indent = "  ".repeat(depth);
+            let arrow = if depth == 0 { "" } else { "->  " };
+            out.push_str(&format!(
+                "{indent}{arrow}{}  (cost={:.2} rows={:.0} width={:.0}",
+                node.op,
+                node.est_cost,
+                node.est_rows,
+                node.width
+            ));
+            if let (Some(fmt), Some(rows)) = (node.s3_format, node.table_rows) {
+                out.push_str(&format!(" format={fmt:?} table_rows={rows:.0}"));
+            }
+            out.push_str(")\n");
+            for child in &node.children {
+                walk(child, depth + 1, out);
+            }
+        }
+        let mut out = format!("{:?} plan:\n", self.query_type);
+        walk(&self.root, 0, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.explain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{OperatorKind as K, QueryType, S3Format};
+
+    fn sample_plan() -> PhysicalPlan {
+        // Result
+        //   HashJoin
+        //     DsBcast -> SeqScan(t1)
+        //     Hash -> S3Scan(t2)
+        let t1 = PlanNode::leaf(K::SeqScan, 100.0, 1_000.0, 64.0).with_table(S3Format::Local, 1e6);
+        let t2 =
+            PlanNode::leaf(K::S3Scan, 400.0, 5_000.0, 128.0).with_table(S3Format::Parquet, 5e6);
+        let bcast = PlanNode::internal(K::DsBcast, 50.0, 1_000.0, 64.0, vec![t1]);
+        let hash = PlanNode::internal(K::Hash, 80.0, 5_000.0, 128.0, vec![t2]);
+        let join = PlanNode::internal(K::HashJoin, 900.0, 2_000.0, 160.0, vec![bcast, hash]);
+        let root = PlanNode::internal(K::Result, 10.0, 2_000.0, 160.0, vec![join]);
+        PhysicalPlan::new(QueryType::Select, root)
+    }
+
+    #[test]
+    fn node_count_and_height() {
+        let p = sample_plan();
+        assert_eq!(p.node_count(), 6);
+        assert_eq!(p.height(), 4);
+    }
+
+    #[test]
+    fn preorder_visits_all_nodes_in_order() {
+        let p = sample_plan();
+        let ops: Vec<_> = p.iter_preorder().map(|n| n.op).collect();
+        assert_eq!(
+            ops,
+            vec![K::Result, K::HashJoin, K::DsBcast, K::SeqScan, K::Hash, K::S3Scan]
+        );
+    }
+
+    #[test]
+    fn join_count_counts_probes_only() {
+        let p = sample_plan();
+        assert_eq!(p.join_count(), 1);
+    }
+
+    #[test]
+    fn totals_sum_over_nodes() {
+        let p = sample_plan();
+        assert!((p.total_est_cost() - (100.0 + 400.0 + 50.0 + 80.0 + 900.0 + 10.0)).abs() < 1e-9);
+        assert!((p.total_est_rows() - 16_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_table_sets_metadata() {
+        let n = PlanNode::leaf(K::SeqScan, 1.0, 1.0, 8.0).with_table(S3Format::Text, 42.0);
+        assert_eq!(n.s3_format, Some(S3Format::Text));
+        assert_eq!(n.table_rows, Some(42.0));
+    }
+
+    #[test]
+    fn explain_renders_every_operator() {
+        let p = sample_plan();
+        let text = p.explain();
+        for n in p.iter_preorder() {
+            assert!(text.contains(n.op.name()), "missing {}", n.op.name());
+        }
+        assert!(text.contains("table_rows=5000000"));
+    }
+
+    #[test]
+    fn single_node_plan() {
+        let p = PhysicalPlan::new(
+            QueryType::Other,
+            PlanNode::leaf(K::Result, 0.0, 1.0, 8.0),
+        );
+        assert_eq!(p.node_count(), 1);
+        assert_eq!(p.height(), 1);
+        assert_eq!(p.join_count(), 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = sample_plan();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: PhysicalPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

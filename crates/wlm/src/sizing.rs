@@ -1,0 +1,215 @@
+//! Concurrency-scaling cluster sizing.
+//!
+//! When Redshift's workload manager bursts a query to a concurrency-scaling
+//! cluster, "the optimal cluster size will be chosen based on the predicted
+//! exec-time on the candidate cluster sizes" (paper §2.1). This module
+//! implements that decision: given per-candidate exec-time predictions and a
+//! price model, pick the size with the best latency/cost trade-off under an
+//! optional latency objective (SLA).
+
+use serde::{Deserialize, Serialize};
+
+/// One candidate burst-cluster size with its predicted exec-time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizingCandidate {
+    /// Number of nodes in the candidate cluster.
+    pub n_nodes: u32,
+    /// Predicted exec-time of the query on this candidate (seconds).
+    pub predicted_secs: f64,
+}
+
+/// Pricing and objective for the sizing decision.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SizingPolicy {
+    /// Cost per node-second (relative units are fine).
+    pub cost_per_node_sec: f64,
+    /// Optional latency target: candidates meeting it are preferred, and
+    /// the cheapest of those wins. Without one, the cheapest
+    /// (cost = nodes × predicted time) candidate wins.
+    pub latency_target_secs: Option<f64>,
+    /// Fixed startup overhead added to every burst execution (seconds).
+    pub startup_secs: f64,
+}
+
+impl Default for SizingPolicy {
+    fn default() -> Self {
+        Self {
+            cost_per_node_sec: 1.0,
+            latency_target_secs: None,
+            startup_secs: 30.0,
+        }
+    }
+}
+
+/// The chosen size and its projected figures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizingDecision {
+    /// Chosen node count.
+    pub n_nodes: u32,
+    /// Projected latency including startup (seconds).
+    pub projected_latency_secs: f64,
+    /// Projected cost (node-seconds × price).
+    pub projected_cost: f64,
+    /// Whether the latency target (if any) is met.
+    pub meets_target: bool,
+}
+
+/// Picks the best candidate under the policy. Returns `None` on empty input
+/// or non-finite predictions.
+///
+/// Selection rule:
+/// 1. compute latency = startup + predicted, cost = nodes × latency × price;
+/// 2. if a latency target exists and some candidates meet it, choose the
+///    *cheapest* candidate among those;
+/// 3. otherwise choose the candidate minimizing latency first, breaking ties
+///    by cost (when nothing meets the target, latency is the emergency);
+/// 4. without a target, choose the cheapest candidate, breaking ties by
+///    latency.
+pub fn choose_cluster_size(
+    candidates: &[SizingCandidate],
+    policy: &SizingPolicy,
+) -> Option<SizingDecision> {
+    if candidates.is_empty()
+        || candidates
+            .iter()
+            .any(|c| !c.predicted_secs.is_finite() || c.predicted_secs < 0.0 || c.n_nodes == 0)
+    {
+        return None;
+    }
+    let projected: Vec<SizingDecision> = candidates
+        .iter()
+        .map(|c| {
+            let latency = policy.startup_secs + c.predicted_secs;
+            let cost = c.n_nodes as f64 * latency * policy.cost_per_node_sec;
+            SizingDecision {
+                n_nodes: c.n_nodes,
+                projected_latency_secs: latency,
+                projected_cost: cost,
+                meets_target: policy
+                    .latency_target_secs
+                    .map(|t| latency <= t)
+                    .unwrap_or(true),
+            }
+        })
+        .collect();
+
+    let by_cost = |a: &&SizingDecision, b: &&SizingDecision| {
+        a.projected_cost
+            .partial_cmp(&b.projected_cost)
+            .expect("finite")
+            .then(
+                a.projected_latency_secs
+                    .partial_cmp(&b.projected_latency_secs)
+                    .expect("finite"),
+            )
+    };
+    let chosen = if policy.latency_target_secs.is_some() {
+        let meeting: Vec<&SizingDecision> = projected.iter().filter(|d| d.meets_target).collect();
+        if !meeting.is_empty() {
+            **meeting.iter().min_by(|a, b| by_cost(a, b)).expect("non-empty")
+        } else {
+            // Nothing meets the SLA: minimize latency, tie-break by cost.
+            *projected
+                .iter()
+                .min_by(|a, b| {
+                    a.projected_latency_secs
+                        .partial_cmp(&b.projected_latency_secs)
+                        .expect("finite")
+                        .then(a.projected_cost.partial_cmp(&b.projected_cost).expect("finite"))
+                })
+                .expect("non-empty")
+        }
+    } else {
+        *projected
+            .iter()
+            .min_by(|a, b| by_cost(&a, &b))
+            .expect("non-empty")
+    };
+    Some(chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ideal scaling: predicted time halves as nodes double.
+    fn scaling_candidates(base_secs: f64) -> Vec<SizingCandidate> {
+        [2u32, 4, 8, 16]
+            .iter()
+            .map(|&n| SizingCandidate {
+                n_nodes: n,
+                predicted_secs: base_secs * 2.0 / n as f64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn without_target_picks_cheapest() {
+        // With perfect scaling, compute cost (nodes × exec) is constant, so
+        // the startup overhead dominates: fewer nodes = cheaper.
+        let d = choose_cluster_size(&scaling_candidates(600.0), &SizingPolicy::default()).unwrap();
+        assert_eq!(d.n_nodes, 2);
+        assert!(d.meets_target);
+    }
+
+    #[test]
+    fn sla_pushes_to_bigger_clusters() {
+        let policy = SizingPolicy {
+            latency_target_secs: Some(200.0),
+            ..SizingPolicy::default()
+        };
+        // base 600 on 2 nodes -> 630s latency; needs 8 nodes for 180s.
+        let d = choose_cluster_size(&scaling_candidates(600.0), &policy).unwrap();
+        assert_eq!(d.n_nodes, 8);
+        assert!(d.meets_target);
+        assert!(d.projected_latency_secs <= 200.0);
+    }
+
+    #[test]
+    fn cheapest_among_sla_compliant_wins() {
+        let policy = SizingPolicy {
+            latency_target_secs: Some(1000.0), // everything complies
+            ..SizingPolicy::default()
+        };
+        let d = choose_cluster_size(&scaling_candidates(600.0), &policy).unwrap();
+        assert_eq!(d.n_nodes, 2, "all comply -> cheapest");
+    }
+
+    #[test]
+    fn impossible_sla_minimizes_latency() {
+        let policy = SizingPolicy {
+            latency_target_secs: Some(1.0),
+            ..SizingPolicy::default()
+        };
+        let d = choose_cluster_size(&scaling_candidates(600.0), &policy).unwrap();
+        assert_eq!(d.n_nodes, 16, "nothing complies -> fastest");
+        assert!(!d.meets_target);
+    }
+
+    #[test]
+    fn sublinear_scaling_caps_useful_size() {
+        // Diminishing returns: doubling nodes buys only 20% speedup beyond
+        // 4 nodes — cost then grows with size, so 4 should win without SLA.
+        let candidates = vec![
+            SizingCandidate { n_nodes: 2, predicted_secs: 400.0 },
+            SizingCandidate { n_nodes: 4, predicted_secs: 210.0 },
+            SizingCandidate { n_nodes: 8, predicted_secs: 170.0 },
+            SizingCandidate { n_nodes: 16, predicted_secs: 150.0 },
+        ];
+        let policy = SizingPolicy {
+            startup_secs: 0.0,
+            ..SizingPolicy::default()
+        };
+        let d = choose_cluster_size(&candidates, &policy).unwrap();
+        assert_eq!(d.n_nodes, 2, "800 node-secs beats 840/1360/2400");
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(choose_cluster_size(&[], &SizingPolicy::default()).is_none());
+        let bad = vec![SizingCandidate { n_nodes: 0, predicted_secs: 1.0 }];
+        assert!(choose_cluster_size(&bad, &SizingPolicy::default()).is_none());
+        let nan = vec![SizingCandidate { n_nodes: 2, predicted_secs: f64::NAN }];
+        assert!(choose_cluster_size(&nan, &SizingPolicy::default()).is_none());
+    }
+}

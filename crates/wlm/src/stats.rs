@@ -1,0 +1,167 @@
+//! Post-hoc analysis of a WLM replay: per-queue breakdowns, slot
+//! utilization, and queue-depth timelines — the observability AutoWLM
+//! operators use to understand scheduling behaviour.
+
+use crate::sim::{QueueKind, SimResult, WlmConfig};
+use serde::{Deserialize, Serialize};
+
+/// Aggregates for one queue.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueStats {
+    /// Queries routed here.
+    pub count: usize,
+    /// Mean queueing delay (seconds).
+    pub avg_wait: f64,
+    /// Max queueing delay.
+    pub max_wait: f64,
+    /// Mean end-to-end latency.
+    pub avg_latency: f64,
+    /// Total busy slot-seconds consumed.
+    pub busy_slot_secs: f64,
+    /// Busy slot-seconds / (slots × makespan); > 1 is impossible for a
+    /// correctly simulated queue.
+    pub utilization: f64,
+}
+
+/// Per-queue statistics for a result set under the config that produced it.
+pub fn queue_stats(results: &[SimResult], config: &WlmConfig) -> [QueueStats; 2] {
+    let t_end = results.iter().map(|r| r.finish_secs).fold(0.0f64, f64::max);
+    let t_start = results
+        .iter()
+        .map(|r| r.arrival_secs)
+        .fold(f64::INFINITY, f64::min);
+    let makespan = if t_start.is_finite() { t_end - t_start } else { 0.0 };
+    let mut out = [QueueStats {
+        count: 0,
+        avg_wait: 0.0,
+        max_wait: 0.0,
+        avg_latency: 0.0,
+        busy_slot_secs: 0.0,
+        utilization: 0.0,
+    }; 2];
+    for (i, kind) in [QueueKind::Short, QueueKind::Long].into_iter().enumerate() {
+        let rs: Vec<&SimResult> = results.iter().filter(|r| r.queue == kind).collect();
+        if rs.is_empty() {
+            continue;
+        }
+        let n = rs.len() as f64;
+        let busy: f64 = rs.iter().map(|r| r.finish_secs - r.start_secs).sum();
+        let slots = match kind {
+            QueueKind::Short => config.short_slots,
+            QueueKind::Long => config.long_slots + if config.enable_scaling { config.scaling_slots } else { 0 },
+        };
+        out[i] = QueueStats {
+            count: rs.len(),
+            avg_wait: rs.iter().map(|r| r.wait_secs()).sum::<f64>() / n,
+            max_wait: rs.iter().map(|r| r.wait_secs()).fold(0.0, f64::max),
+            avg_latency: rs.iter().map(|r| r.latency_secs()).sum::<f64>() / n,
+            busy_slot_secs: busy,
+            utilization: if makespan > 0.0 && slots > 0 {
+                busy / (slots as f64 * makespan)
+            } else {
+                0.0
+            },
+        };
+    }
+    out
+}
+
+/// Samples the number of waiting queries (arrived, not yet started) at
+/// `n_points` evenly spaced times across the replay. Useful for plotting
+/// backlog dynamics.
+pub fn queue_depth_timeline(results: &[SimResult], n_points: usize) -> Vec<(f64, usize)> {
+    if results.is_empty() || n_points == 0 {
+        return Vec::new();
+    }
+    let t0 = results
+        .iter()
+        .map(|r| r.arrival_secs)
+        .fold(f64::INFINITY, f64::min);
+    let t1 = results.iter().map(|r| r.finish_secs).fold(0.0f64, f64::max);
+    (0..n_points)
+        .map(|i| {
+            let t = t0 + (t1 - t0) * i as f64 / (n_points - 1).max(1) as f64;
+            let depth = results
+                .iter()
+                .filter(|r| r.arrival_secs <= t && r.start_secs > t)
+                .count();
+            (t, depth)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{SimQuery, Simulation};
+
+    fn run(queries: &[SimQuery], config: WlmConfig) -> Vec<SimResult> {
+        Simulation::new(config).run(queries)
+    }
+
+    fn q(arrival: f64, exec: f64, pred: f64) -> SimQuery {
+        SimQuery {
+            arrival_secs: arrival,
+            true_exec_secs: exec,
+            predicted_secs: pred,
+        }
+    }
+
+    #[test]
+    fn stats_partition_by_queue() {
+        let cfg = WlmConfig::default();
+        let queries = vec![
+            q(0.0, 1.0, 1.0),  // short
+            q(0.0, 1.0, 1.0),  // short
+            q(0.0, 60.0, 60.0), // long
+        ];
+        let results = run(&queries, cfg);
+        let [short, long] = queue_stats(&results, &cfg);
+        assert_eq!(short.count, 2);
+        assert_eq!(long.count, 1);
+        assert!(short.busy_slot_secs > 0.0);
+        assert!((long.busy_slot_secs - 60.0).abs() < 1e-9);
+        assert!(short.utilization >= 0.0 && short.utilization <= 1.0 + 1e-9);
+        assert!(long.utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn saturated_queue_high_utilization() {
+        let cfg = WlmConfig {
+            short_slots: 1,
+            ..WlmConfig::default()
+        };
+        // Back-to-back 10s shorts keep the single slot busy continuously.
+        let queries: Vec<SimQuery> = (0..10).map(|i| q(i as f64 * 0.1, 10.0, 1.0)).collect();
+        let results = run(&queries, cfg);
+        let [short, _] = queue_stats(&results, &cfg);
+        assert!(short.utilization > 0.9, "{}", short.utilization);
+        assert!(short.avg_wait > 10.0);
+        assert!(short.max_wait >= short.avg_wait);
+    }
+
+    #[test]
+    fn timeline_tracks_backlog() {
+        let cfg = WlmConfig {
+            short_slots: 1,
+            ..WlmConfig::default()
+        };
+        let queries: Vec<SimQuery> = (0..5).map(|_| q(0.0, 10.0, 1.0)).collect();
+        let results = run(&queries, cfg);
+        let timeline = queue_depth_timeline(&results, 20);
+        assert_eq!(timeline.len(), 20);
+        let max_depth = timeline.iter().map(|p| p.1).max().unwrap();
+        assert!(max_depth >= 3, "backlog should be visible: {max_depth}");
+        // Backlog drains to zero by the end.
+        assert_eq!(timeline.last().unwrap().1, 0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let cfg = WlmConfig::default();
+        let [s, l] = queue_stats(&[], &cfg);
+        assert_eq!(s.count, 0);
+        assert_eq!(l.count, 0);
+        assert!(queue_depth_timeline(&[], 5).is_empty());
+    }
+}

@@ -1,0 +1,89 @@
+//! Query-log export/import as JSON Lines.
+//!
+//! The paper's pipeline is log-driven: plans and exec-times are swept from
+//! production tables, shipped, and replayed offline. This module gives the
+//! synthetic fleet the same workflow — an [`crate::InstanceWorkload`]'s events
+//! serialize to one JSON object per line, and a log can be re-ingested for
+//! replay elsewhere (the `experiments` harness and external tooling can
+//! exchange workloads without regenerating them).
+
+use crate::generator::QueryEvent;
+use std::io::{self, BufRead, Write};
+
+/// Writes events as JSON Lines (one event per line).
+pub fn write_jsonl<W: Write>(events: &[QueryEvent], mut out: W) -> io::Result<()> {
+    for event in events {
+        let line = serde_json::to_string(event)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Reads events from JSON Lines, preserving order. Empty lines are skipped;
+/// any malformed line fails the whole read (logs are artefacts, not user
+/// input — corruption should be loud).
+pub fn read_jsonl<R: BufRead>(input: R) -> io::Result<Vec<QueryEvent>> {
+    let mut events = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event: QueryEvent = serde_json::from_str(&line).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {e}", i + 1),
+            )
+        })?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{FleetConfig, InstanceWorkload};
+
+    #[test]
+    fn round_trip_preserves_events() {
+        let w = InstanceWorkload::generate(&FleetConfig::tiny(), 0);
+        let sample = &w.events[..w.events.len().min(50)];
+        let mut buf = Vec::new();
+        write_jsonl(sample, &mut buf).unwrap();
+        let back = read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), sample.len());
+        for (a, b) in sample.iter().zip(&back) {
+            assert_eq!(a.arrival_secs, b.arrival_secs);
+            assert_eq!(a.true_exec_secs, b.true_exec_secs);
+            assert_eq!(a.template_id, b.template_id);
+            assert_eq!(a.plan, b.plan);
+            assert_eq!(a.true_rows, b.true_rows);
+        }
+    }
+
+    #[test]
+    fn empty_lines_skipped_garbage_rejected() {
+        let w = InstanceWorkload::generate(&FleetConfig::tiny(), 1);
+        let mut buf = Vec::new();
+        write_jsonl(&w.events[..2], &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.insert_str(0, "\n\n");
+        let back = read_jsonl(text.as_bytes()).unwrap();
+        assert_eq!(back.len(), 2);
+
+        let corrupted = format!("{text}not json\n");
+        let err = read_jsonl(corrupted.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line"));
+    }
+
+    #[test]
+    fn empty_log() {
+        let mut buf = Vec::new();
+        write_jsonl(&[], &mut buf).unwrap();
+        assert!(buf.is_empty());
+        assert!(read_jsonl(buf.as_slice()).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,429 @@
+//! Fleet assembly: instances, schedules, stats refresh, and event logs.
+//!
+//! [`Fleet::generate`] builds `n_instances` independent instance workloads;
+//! each [`InstanceWorkload`] holds the public spec, the hidden truth, and a
+//! time-ordered log of [`QueryEvent`]s — the synthetic analogue of the
+//! paper's replayed production query logs (§5.1). Optimizer statistics are
+//! refreshed once per simulated day, so plans of repeating queries stay
+//! bit-identical within a day (cache hits) and shift when stats catch up
+//! with table growth.
+
+use crate::instance::{InstanceSpec, InstanceTruth};
+use crate::template::{TableState, Template, TemplateKind};
+use crate::truth::{CostTruthModel, LoadProfile};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use stage_plan::PhysicalPlan;
+
+/// Fleet-generation parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of instances.
+    pub n_instances: usize,
+    /// Simulated duration in days.
+    pub duration_days: f64,
+    /// Master seed; instance `i` derives `splitmix(seed, i)`.
+    pub seed: u64,
+    /// Hidden-factor spread (0 = homogeneous fleet; default 0.4).
+    pub heterogeneity: f64,
+    /// Dashboard templates per instance (inclusive range).
+    pub dashboards: (usize, usize),
+    /// Report templates per instance.
+    pub reports: (usize, usize),
+    /// Ad-hoc templates per instance.
+    pub adhoc: (usize, usize),
+    /// ETL templates per instance.
+    pub etl: (usize, usize),
+    /// Tables per instance.
+    pub tables: (usize, usize),
+    /// Multiplier on every table's sampled growth rate (1.0 = as sampled;
+    /// the drift ablation raises this to stress stats staleness).
+    pub growth_boost: f64,
+    /// Provisioning band: instances whose estimated slot utilization
+    /// exceeds this are regenerated with more nodes (see
+    /// [`InstanceWorkload::generate`]).
+    pub max_utilization: f64,
+    /// Hard cap on events per instance (memory guard).
+    pub max_events_per_instance: usize,
+    /// Cost-truth noise and outlier configuration.
+    pub truth_model: CostTruthModel,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            n_instances: 20,
+            duration_days: 3.0,
+            seed: 42,
+            heterogeneity: 0.4,
+            dashboards: (150, 500),
+            reports: (10, 40),
+            adhoc: (20, 60),
+            etl: (2, 8),
+            tables: (3, 9),
+            growth_boost: 1.0,
+            max_utilization: 0.45,
+            max_events_per_instance: 50_000,
+            truth_model: CostTruthModel::default(),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// A small configuration for unit tests and examples.
+    pub fn tiny() -> Self {
+        Self {
+            n_instances: 3,
+            duration_days: 1.0,
+            dashboards: (3, 8),
+            reports: (1, 4),
+            adhoc: (1, 4),
+            etl: (1, 2),
+            ..Self::default()
+        }
+    }
+}
+
+/// One executed query in an instance's log.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryEvent {
+    /// Owning instance.
+    pub instance_id: u32,
+    /// Originating template.
+    pub template_id: u32,
+    /// Arrival time in seconds since simulation start.
+    pub arrival_secs: f64,
+    /// The optimizer-produced plan (what predictors see).
+    pub plan: PhysicalPlan,
+    /// Hidden true per-node cardinalities (pre-order) — available to
+    /// what-if analyses, never to predictors.
+    pub true_rows: Vec<f64>,
+    /// Hidden rows actually read per base-table scan (pre-order; 0 for
+    /// non-scan nodes).
+    pub scanned_rows: Vec<f64>,
+    /// Ground-truth exec-time in seconds (what the executor "observed").
+    pub true_exec_secs: f64,
+    /// Concurrency level at arrival (a system feature).
+    pub concurrency: u32,
+}
+
+/// One instance's complete workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InstanceWorkload {
+    /// Public cluster spec.
+    pub spec: InstanceSpec,
+    /// Hidden truth factors (exposed for ablations; predictors must not
+    /// read these).
+    pub truth: InstanceTruth,
+    /// Load profile.
+    pub load: LoadProfile,
+    /// Schema.
+    pub tables: Vec<TableState>,
+    /// Query templates.
+    pub templates: Vec<Template>,
+    /// Time-ordered query log.
+    pub events: Vec<QueryEvent>,
+}
+
+impl InstanceWorkload {
+    /// Generates instance `instance_id` of the fleet described by `config`.
+    /// Deterministic per `(config.seed, instance_id)` — instances can be
+    /// generated independently and streamed to bound memory.
+    ///
+    /// Instances are *workload-provisioned*: if the sampled cluster cannot
+    /// sustain the sampled workload (estimated slot utilization above
+    /// [`FleetConfig::max_utilization`]), the cluster is regenerated with
+    /// enough nodes to bring utilization into band — customers size their
+    /// clusters to their workloads, and the paper's top-billed instances
+    /// are by construction clusters that successfully run theirs.
+    pub fn generate(config: &FleetConfig, instance_id: u32) -> Self {
+        let w = Self::generate_with_nodes(config, instance_id, None);
+        let util = w.utilization_estimate(config);
+        if util <= config.max_utilization {
+            return w;
+        }
+        // Invert exec ∝ speed^{-e}: util scales by (n_old/n_new)^e.
+        let e = config.truth_model.speed_exponent.max(0.1);
+        let boost = (util / (config.max_utilization * 0.75)).powf(1.0 / e);
+        let n_nodes = ((w.spec.n_nodes as f64 * boost).ceil() as u32).clamp(2, 128);
+        Self::generate_with_nodes(config, instance_id, Some(n_nodes))
+    }
+
+    /// Estimated slot utilization: total exec-seconds over the capacity of
+    /// a reference 6-slot workload manager across the simulated duration.
+    pub fn utilization_estimate(&self, config: &FleetConfig) -> f64 {
+        const REFERENCE_SLOTS: f64 = 6.0;
+        let total_exec: f64 = self.events.iter().map(|e| e.true_exec_secs).sum();
+        total_exec / (config.duration_days * 86_400.0 * REFERENCE_SLOTS)
+    }
+
+    /// Generation with an optional node-count override (provisioning pass).
+    fn generate_with_nodes(
+        config: &FleetConfig,
+        instance_id: u32,
+        n_nodes_override: Option<u32>,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(splitmix(config.seed, instance_id as u64));
+        let mut spec = InstanceSpec::sample(instance_id, &mut rng);
+        if let Some(n) = n_nodes_override {
+            spec.n_nodes = n;
+            spec.memory_gb = spec.node_type.memory_gb() * n as f64;
+        }
+        let spec = spec;
+        let truth = InstanceTruth::sample(&mut rng, config.heterogeneity);
+        let load = LoadProfile::sample(&mut rng);
+        let n_tables = rng.gen_range(config.tables.0..=config.tables.1);
+        let tables: Vec<TableState> = (0..n_tables)
+            .map(|_| {
+                let mut t = TableState::sample(&mut rng);
+                t.growth_per_day *= config.growth_boost;
+                t
+            })
+            .collect();
+
+        let mut templates = Vec::new();
+        let mut next_id = 0u32;
+        let mut add = |kind: TemplateKind, range: (usize, usize), rng: &mut StdRng, templates: &mut Vec<Template>| {
+            let n = rng.gen_range(range.0..=range.1);
+            for _ in 0..n {
+                templates.push(Template::sample(next_id, kind, &tables, rng));
+                next_id += 1;
+            }
+        };
+        add(TemplateKind::Dashboard, config.dashboards, &mut rng, &mut templates);
+        add(TemplateKind::Report, config.reports, &mut rng, &mut templates);
+        add(TemplateKind::AdHoc, config.adhoc, &mut rng, &mut templates);
+        add(TemplateKind::Etl, config.etl, &mut rng, &mut templates);
+
+        // Dashboard panels refresh together: with probability 0.6 a
+        // dashboard template joins the previous dashboard's schedule, so
+        // whole panels arrive as synchronized bursts — the queueing pressure
+        // the workload manager exists to absorb.
+        let mut last_dashboard_schedule: Option<crate::template::Schedule> = None;
+        for tpl in templates
+            .iter_mut()
+            .filter(|t| t.kind == TemplateKind::Dashboard)
+        {
+            if let Some(shared) = last_dashboard_schedule {
+                if rng.gen_range(0.0..1.0) < 0.6 {
+                    tpl.schedule = shared;
+                }
+            }
+            last_dashboard_schedule = Some(tpl.schedule);
+        }
+
+        // Workload churn: ~30% of templates are "new" — created partway
+        // through the replay. Their first executions are novel queries that
+        // stress cold-start behaviour (paper §2.1).
+        let duration_secs = config.duration_days * 86_400.0;
+        for tpl in &mut templates {
+            if rng.gen_range(0.0..1.0) < 0.3 {
+                tpl.active_from_secs = rng.gen_range(0.0..duration_secs * 0.8);
+            }
+        }
+
+        // Collect (arrival, template index) pairs.
+        let mut arrivals: Vec<(f64, usize)> = Vec::new();
+        for (ti, tpl) in templates.iter().enumerate() {
+            for t in tpl.schedule.arrivals(duration_secs, &mut rng) {
+                if t >= tpl.active_from_secs {
+                    arrivals.push((t, ti));
+                }
+            }
+        }
+        arrivals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        arrivals.truncate(config.max_events_per_instance);
+
+        // Replay with daily statistics refresh.
+        let mut stats_rows: Vec<f64> = tables.iter().map(|t| t.rows_at_t0).collect();
+        let mut stats_day = 0u64;
+        let mut events = Vec::with_capacity(arrivals.len());
+        for (t, ti) in arrivals {
+            let day = (t / 86_400.0) as u64;
+            if day != stats_day {
+                stats_day = day;
+                let day_start = day as f64 * 86_400.0;
+                for (sr, table) in stats_rows.iter_mut().zip(&tables) {
+                    *sr = table.true_rows(day_start);
+                }
+            }
+            let tpl = &templates[ti];
+            let q = tpl.instantiate(&tables, &stats_rows, t, &mut rng);
+            let load_factor = load.factor(t, &mut rng);
+            let concurrency = load.concurrency(load_factor, &mut rng);
+            let true_exec_secs = config.truth_model.exec_time(
+                &q.plan,
+                &q.true_rows,
+                &q.scanned_rows,
+                &spec,
+                &truth,
+                load_factor,
+                &mut rng,
+            ) * tpl.latent_factor();
+            events.push(QueryEvent {
+                instance_id,
+                template_id: tpl.id,
+                arrival_secs: t,
+                plan: q.plan,
+                true_rows: q.true_rows,
+                scanned_rows: q.scanned_rows,
+                true_exec_secs,
+                concurrency,
+            });
+        }
+        Self {
+            spec,
+            truth,
+            load,
+            tables,
+            templates,
+            events,
+        }
+    }
+}
+
+/// A generated fleet: all instances and their logs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fleet {
+    /// Generation parameters.
+    pub config: FleetConfig,
+    /// Instance workloads, by id.
+    pub instances: Vec<InstanceWorkload>,
+}
+
+impl Fleet {
+    /// Generates the whole fleet eagerly. For large configurations prefer
+    /// streaming instances via [`InstanceWorkload::generate`].
+    pub fn generate(config: FleetConfig) -> Self {
+        let instances = (0..config.n_instances as u32)
+            .map(|id| InstanceWorkload::generate(&config, id))
+            .collect();
+        Self { config, instances }
+    }
+
+    /// Total number of query events across the fleet.
+    pub fn total_events(&self) -> usize {
+        self.instances.iter().map(|i| i.events.len()).sum()
+    }
+}
+
+/// SplitMix64 seed derivation (same scheme as `stage-gbdt`).
+pub(crate) fn splitmix(seed: u64, k: u64) -> u64 {
+    let mut z = seed.wrapping_add(k.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_time_ordered_and_consistent() {
+        let w = InstanceWorkload::generate(&FleetConfig::tiny(), 0);
+        assert!(!w.events.is_empty());
+        for pair in w.events.windows(2) {
+            assert!(pair[1].arrival_secs >= pair[0].arrival_secs);
+        }
+        for e in &w.events {
+            assert_eq!(e.true_rows.len(), e.plan.node_count());
+            assert!(e.true_exec_secs > 0.0 && e.true_exec_secs.is_finite());
+            assert!(e.concurrency >= 1);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = FleetConfig::tiny();
+        let a = InstanceWorkload::generate(&cfg, 1);
+        let b = InstanceWorkload::generate(&cfg, 1);
+        assert_eq!(a.events.len(), b.events.len());
+        for (x, y) in a.events.iter().zip(&b.events) {
+            assert_eq!(x.arrival_secs, y.arrival_secs);
+            assert_eq!(x.true_exec_secs, y.true_exec_secs);
+            assert_eq!(x.template_id, y.template_id);
+        }
+    }
+
+    #[test]
+    fn instances_differ() {
+        let cfg = FleetConfig::tiny();
+        let a = InstanceWorkload::generate(&cfg, 0);
+        let b = InstanceWorkload::generate(&cfg, 1);
+        // Different specs or different event counts with overwhelming odds.
+        assert!(
+            a.events.len() != b.events.len()
+                || a.spec.n_nodes != b.spec.n_nodes
+                || a.spec.node_type != b.spec.node_type
+        );
+    }
+
+    #[test]
+    fn fleet_aggregates_instances() {
+        let fleet = Fleet::generate(FleetConfig::tiny());
+        assert_eq!(fleet.instances.len(), 3);
+        assert_eq!(
+            fleet.total_events(),
+            fleet.instances.iter().map(|i| i.events.len()).sum::<usize>()
+        );
+        // Streaming API matches eager generation.
+        let streamed = InstanceWorkload::generate(&fleet.config, 2);
+        assert_eq!(streamed.events.len(), fleet.instances[2].events.len());
+    }
+
+    #[test]
+    fn provisioning_bounds_utilization() {
+        let cfg = FleetConfig {
+            n_instances: 6,
+            duration_days: 1.0,
+            ..FleetConfig::default()
+        };
+        for id in 0..6u32 {
+            let w = InstanceWorkload::generate(&cfg, id);
+            let util = w.utilization_estimate(&cfg);
+            // One provisioning pass with a 0.75 safety factor: allow slack
+            // for noise between passes, but gross overload must be gone.
+            assert!(
+                util < cfg.max_utilization * 1.6,
+                "instance {id} still overloaded: {util:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn event_cap_respected() {
+        let cfg = FleetConfig {
+            max_events_per_instance: 10,
+            ..FleetConfig::tiny()
+        };
+        let w = InstanceWorkload::generate(&cfg, 0);
+        assert!(w.events.len() <= 10);
+    }
+
+    #[test]
+    fn latencies_span_orders_of_magnitude() {
+        let cfg = FleetConfig {
+            n_instances: 6,
+            duration_days: 1.0,
+            ..FleetConfig::default()
+        };
+        let fleet = Fleet::generate(cfg);
+        let mut all: Vec<f64> = fleet
+            .instances
+            .iter()
+            .flat_map(|i| i.events.iter().map(|e| e.true_exec_secs))
+            .collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(all.len() > 500, "need a meaningful sample, got {}", all.len());
+        let p10 = all[all.len() / 10];
+        let p99 = all[all.len() * 99 / 100];
+        assert!(
+            p99 / p10 > 100.0,
+            "latency skew too small: p10={p10} p99={p99}"
+        );
+        // Short end should be sub-second (dashboards).
+        assert!(p10 < 1.0, "p10={p10}");
+    }
+}

@@ -1,0 +1,230 @@
+//! Instance specifications (public) and per-instance truth factors (hidden).
+//!
+//! The *spec* is what Redshift's predictors can see: node type, node count,
+//! memory — the global model's "system feature vector" ingredients (§4.4).
+//! The *truth* is what they cannot: hidden per-operator-category speed
+//! multipliers standing in for hardware generation, data layout, tuning, and
+//! tenancy effects. The paper observed "nearly identical query plans … from
+//! different customers with drastically different performances" (§5.4);
+//! these hidden factors reproduce that phenomenon.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use stage_plan::OperatorCategory;
+
+/// Redshift node types modeled by the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeType {
+    /// ra3.xlplus — small RA3.
+    Ra3XlPlus,
+    /// ra3.4xlarge.
+    Ra3_4Xl,
+    /// ra3.16xlarge.
+    Ra3_16Xl,
+    /// dc2.8xlarge — previous-generation dense compute.
+    Dc2_8Xl,
+}
+
+impl NodeType {
+    /// Number of node types (one-hot width in system features).
+    pub const COUNT: usize = 4;
+
+    /// All node types.
+    pub const ALL: [NodeType; Self::COUNT] = [
+        NodeType::Ra3XlPlus,
+        NodeType::Ra3_4Xl,
+        NodeType::Ra3_16Xl,
+        NodeType::Dc2_8Xl,
+    ];
+
+    /// Stable one-hot index.
+    pub fn index(self) -> usize {
+        match self {
+            NodeType::Ra3XlPlus => 0,
+            NodeType::Ra3_4Xl => 1,
+            NodeType::Ra3_16Xl => 2,
+            NodeType::Dc2_8Xl => 3,
+        }
+    }
+
+    /// Relative per-node compute throughput (ra3.4xlarge = 1.0).
+    pub fn relative_speed(self) -> f64 {
+        match self {
+            NodeType::Ra3XlPlus => 0.45,
+            NodeType::Ra3_4Xl => 1.0,
+            NodeType::Ra3_16Xl => 3.6,
+            NodeType::Dc2_8Xl => 1.4,
+        }
+    }
+
+    /// Memory per node in GB.
+    pub fn memory_gb(self) -> f64 {
+        match self {
+            NodeType::Ra3XlPlus => 32.0,
+            NodeType::Ra3_4Xl => 96.0,
+            NodeType::Ra3_16Xl => 384.0,
+            NodeType::Dc2_8Xl => 244.0,
+        }
+    }
+}
+
+/// Publicly visible instance configuration (feeds the GCN system features).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstanceSpec {
+    /// Fleet-unique id.
+    pub id: u32,
+    /// Node type.
+    pub node_type: NodeType,
+    /// Number of compute nodes.
+    pub n_nodes: u32,
+    /// Total cluster memory in GB.
+    pub memory_gb: f64,
+}
+
+/// Width of [`InstanceSpec::system_features`].
+pub const INSTANCE_FEATURE_DIM: usize = NodeType::COUNT + 3;
+
+impl InstanceSpec {
+    /// Samples a plausible cluster spec.
+    pub fn sample(id: u32, rng: &mut StdRng) -> Self {
+        let node_type = NodeType::ALL[rng.gen_range(0..NodeType::COUNT)];
+        let n_nodes = match node_type {
+            NodeType::Ra3_16Xl => rng.gen_range(2..16),
+            _ => rng.gen_range(2..32),
+        };
+        Self {
+            id,
+            node_type,
+            n_nodes,
+            memory_gb: node_type.memory_gb() * n_nodes as f64,
+        }
+    }
+
+    /// System feature vector: node-type one-hot, node count, ln(memory),
+    /// and the concurrency level at prediction time (paper §4.4 lists
+    /// "Redshift instance type, number of Redshift nodes, memory size, and
+    /// number of concurrent queries").
+    pub fn system_features(&self, concurrency: u32) -> Vec<f64> {
+        let mut v = vec![0.0; INSTANCE_FEATURE_DIM];
+        v[self.node_type.index()] = 1.0;
+        v[NodeType::COUNT] = self.n_nodes as f64;
+        v[NodeType::COUNT + 1] = self.memory_gb.ln_1p();
+        v[NodeType::COUNT + 2] = concurrency as f64;
+        v
+    }
+
+    /// Aggregate cluster throughput relative to one ra3.4xlarge node.
+    pub fn cluster_speed(&self) -> f64 {
+        self.node_type.relative_speed() * self.n_nodes as f64
+    }
+}
+
+/// Hidden per-instance truth factors. Never exposed to predictors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InstanceTruth {
+    /// Global speed multiplier (tenancy, tuning): lognormal around 1.
+    pub global_factor: f64,
+    /// Per-operator-category multipliers: lognormal around 1.
+    pub category_factors: [f64; OperatorCategory::COUNT],
+    /// Base per-query overhead in seconds (parse/compile/leader work).
+    pub fixed_overhead_secs: f64,
+}
+
+impl InstanceTruth {
+    /// Samples hidden factors. `heterogeneity` scales the lognormal σ —
+    /// 0 makes all instances identical (an ablation knob); the default
+    /// fleet uses 0.4.
+    pub fn sample(rng: &mut StdRng, heterogeneity: f64) -> Self {
+        let mut lognormal = |sigma: f64| -> f64 {
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (sigma * z).exp()
+        };
+        let global_factor = lognormal(heterogeneity * 0.75);
+        let mut category_factors = [1.0; OperatorCategory::COUNT];
+        for f in &mut category_factors {
+            *f = lognormal(heterogeneity);
+        }
+        let fixed_overhead_secs = 0.004 + lognormal(0.5) * 0.012;
+        Self {
+            global_factor,
+            category_factors,
+            fixed_overhead_secs,
+        }
+    }
+
+    /// Truth multiplier for an operator category.
+    pub fn category_factor(&self, cat: OperatorCategory) -> f64 {
+        self.category_factors[cat.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn node_type_indices_unique() {
+        let idx: std::collections::HashSet<_> =
+            NodeType::ALL.iter().map(|t| t.index()).collect();
+        assert_eq!(idx.len(), NodeType::COUNT);
+    }
+
+    #[test]
+    fn spec_sampling_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for id in 0..200 {
+            let s = InstanceSpec::sample(id, &mut rng);
+            assert!(s.n_nodes >= 2);
+            assert!(s.memory_gb > 0.0);
+            assert!(s.cluster_speed() > 0.0);
+        }
+    }
+
+    #[test]
+    fn system_features_layout() {
+        let spec = InstanceSpec {
+            id: 0,
+            node_type: NodeType::Ra3_16Xl,
+            n_nodes: 4,
+            memory_gb: 1536.0,
+        };
+        let f = spec.system_features(3);
+        assert_eq!(f.len(), INSTANCE_FEATURE_DIM);
+        assert_eq!(f[NodeType::Ra3_16Xl.index()], 1.0);
+        assert_eq!(f[..NodeType::COUNT].iter().sum::<f64>(), 1.0);
+        assert_eq!(f[NodeType::COUNT], 4.0);
+        assert_eq!(f[NodeType::COUNT + 2], 3.0);
+    }
+
+    #[test]
+    fn truth_factors_positive_and_spread() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let truths: Vec<InstanceTruth> =
+            (0..100).map(|_| InstanceTruth::sample(&mut rng, 0.4)).collect();
+        for t in &truths {
+            assert!(t.global_factor > 0.0);
+            assert!(t.fixed_overhead_secs > 0.0);
+            assert!(t.category_factors.iter().all(|&f| f > 0.0));
+        }
+        // Heterogeneity: scan factors should spread across instances.
+        let scans: Vec<f64> = truths
+            .iter()
+            .map(|t| t.category_factor(OperatorCategory::Scan))
+            .collect();
+        let min = scans.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = scans.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max / min > 2.0, "hidden factors too uniform: {min}..{max}");
+    }
+
+    #[test]
+    fn zero_heterogeneity_means_uniform_categories() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = InstanceTruth::sample(&mut rng, 0.0);
+        assert!(t.category_factors.iter().all(|&f| (f - 1.0).abs() < 1e-12));
+        assert!((t.global_factor - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,79 @@
+//! Replay a synthetic Redshift instance — dashboards, reports, ad-hoc
+//! queries, ETL — through the Stage predictor and the AutoWLM baseline, and
+//! compare prediction accuracy (the paper's Table 1 protocol, one instance).
+//!
+//! ```sh
+//! cargo run --release --example dashboard_fleet
+//! ```
+
+use stage::core::{
+    AutoWlmConfig, AutoWlmPredictor, ExecTimePredictor, StageConfig, StagePredictor,
+    SystemContext,
+};
+use stage::metrics::BucketReport;
+use stage::workload::{FleetConfig, InstanceWorkload};
+
+/// Replays a workload through a predictor (predict → execute → observe),
+/// returning parallel (actual, predicted) vectors.
+fn replay(
+    workload: &InstanceWorkload,
+    predictor: &mut dyn ExecTimePredictor,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut actual = Vec::new();
+    let mut predicted = Vec::new();
+    for event in &workload.events {
+        let sys = SystemContext {
+            features: workload.spec.system_features(event.concurrency),
+        };
+        let p = predictor.predict(&event.plan, &sys);
+        predictor.observe(&event.plan, &sys, event.true_exec_secs);
+        actual.push(event.true_exec_secs);
+        predicted.push(p.exec_secs);
+    }
+    (actual, predicted)
+}
+
+fn main() {
+    let config = FleetConfig {
+        n_instances: 1,
+        duration_days: 2.0,
+        ..FleetConfig::default()
+    };
+    let workload = InstanceWorkload::generate(&config, 0);
+    println!(
+        "instance: {:?} x{} nodes, {} tables, {} templates, {} queries over {} days\n",
+        workload.spec.node_type,
+        workload.spec.n_nodes,
+        workload.tables.len(),
+        workload.templates.len(),
+        workload.events.len(),
+        config.duration_days,
+    );
+
+    let mut stage = StagePredictor::new(StageConfig::default());
+    let (actual, stage_pred) = replay(&workload, &mut stage);
+
+    let mut autowlm = AutoWlmPredictor::new(AutoWlmConfig::default());
+    let (_, auto_pred) = replay(&workload, &mut autowlm);
+
+    let stage_report = BucketReport::from_pairs(&actual, &stage_pred).expect("non-empty");
+    let auto_report = BucketReport::from_pairs(&actual, &auto_pred).expect("non-empty");
+    println!("{}", stage_report.render_abs("Stage predictor — absolute error (s)"));
+    println!("{}", auto_report.render_abs("AutoWLM predictor — absolute error (s)"));
+
+    let stats = stage.stats();
+    println!(
+        "Stage routing: {:.1}% cache, {:.1}% local, {:.1}% default (paper: ~60% cache hits)",
+        100.0 * stats.fraction(stage::core::PredictionSource::Cache),
+        100.0 * stats.fraction(stage::core::PredictionSource::Local),
+        100.0 * stats.fraction(stage::core::PredictionSource::Default),
+    );
+    let s = stage_report.overall().abs.expect("rows");
+    let a = auto_report.overall().abs.expect("rows");
+    println!(
+        "overall MAE: Stage {:.3}s vs AutoWLM {:.3}s ({:.2}x)",
+        s.mae,
+        a.mae,
+        a.mae / s.mae
+    );
+}

@@ -1,0 +1,112 @@
+//! "What-if" reasoning with the transferable global model (paper §6.1):
+//! train the plan-GCN across several instances, then ask counterfactual
+//! questions a per-instance model cannot answer — *what if this query ran on
+//! a 16-node cluster instead of 4? what if the table were 5× larger?*
+//!
+//! The global model can answer because it observed such configurations on
+//! *other* instances.
+//!
+//! ```sh
+//! cargo run --release --example global_what_if
+//! ```
+
+use stage::core::{plan_to_tree_sample, GlobalModel, GlobalModelConfig, SystemContext};
+use stage::wlm::{choose_cluster_size, SizingCandidate, SizingPolicy};
+use stage::plan::{PhysicalPlan, PlanBuilder, S3Format};
+use stage::workload::instance::INSTANCE_FEATURE_DIM;
+use stage::workload::{FleetConfig, InstanceWorkload};
+
+fn report_plan(scale: f64) -> PhysicalPlan {
+    PlanBuilder::select()
+        .scan("facts", S3Format::Local, 2e6 * scale, 128.0)
+        .scan("dims", S3Format::Local, 5e4, 64.0)
+        .hash_join(0.1)
+        .hash_aggregate(0.01)
+        .sort()
+        .finish()
+}
+
+fn main() {
+    // Train the global model on a handful of diverse instances.
+    let fleet = FleetConfig {
+        n_instances: 6,
+        duration_days: 1.0,
+        seed: 99,
+        ..FleetConfig::default()
+    };
+    println!("training the global model on {} instances...", fleet.n_instances);
+    let mut samples = Vec::new();
+    for id in 0..fleet.n_instances as u32 {
+        let w = InstanceWorkload::generate(&fleet, id);
+        for event in w.events.iter().step_by(7) {
+            let sys = SystemContext {
+                features: w.spec.system_features(event.concurrency),
+            };
+            samples.push(plan_to_tree_sample(&event.plan, &sys, event.true_exec_secs));
+        }
+    }
+    println!("  {} training samples", samples.len());
+    let config = GlobalModelConfig {
+        hidden: 48,
+        gcn_layers: 3,
+        epochs: 12,
+        ..GlobalModelConfig::default()
+    };
+    let model = GlobalModel::train(&samples, INSTANCE_FEATURE_DIM, &config);
+    println!(
+        "  trained: {} parameters, final loss {:.4}\n",
+        model.n_parameters(),
+        model.training_losses.last().copied().unwrap_or(f64::NAN)
+    );
+
+    // System contexts for hypothetical clusters (ra3.4xlarge one-hot = slot 1).
+    let cluster = |n_nodes: f64| -> SystemContext {
+        let mut features = vec![0.0; INSTANCE_FEATURE_DIM];
+        features[1] = 1.0; // ra3.4xlarge
+        features[4] = n_nodes;
+        features[5] = (96.0 * n_nodes).ln_1p();
+        features[6] = 3.0; // concurrency
+        SystemContext { features }
+    };
+
+    println!("What-if: cluster size for the same report query");
+    for n_nodes in [2.0, 4.0, 8.0, 16.0] {
+        let secs = model.predict(&report_plan(1.0), &cluster(n_nodes));
+        println!("  {n_nodes:>4.0} nodes -> predicted {secs:>8.3}s");
+    }
+
+    println!("\nWhat-if: data growth on a fixed 4-node cluster");
+    for scale in [0.5, 1.0, 2.0, 5.0] {
+        let secs = model.predict(&report_plan(scale), &cluster(4.0));
+        println!("  {scale:>4.1}x data -> predicted {secs:>8.3}s");
+    }
+
+    println!(
+        "\n(Trends matter more than absolute numbers: more nodes should not\n\
+         increase the prediction; more data should not decrease it.)"
+    );
+
+    // Close the loop with the workload manager's burst-sizing decision
+    // (paper §2.1): pick the concurrency-scaling cluster size from the
+    // what-if predictions under a latency target.
+    let candidates: Vec<SizingCandidate> = [2.0, 4.0, 8.0, 16.0]
+        .iter()
+        .map(|&n| SizingCandidate {
+            n_nodes: n as u32,
+            predicted_secs: model.predict(&report_plan(1.0), &cluster(n)),
+        })
+        .collect();
+    let policy = SizingPolicy {
+        latency_target_secs: Some(60.0),
+        startup_secs: 30.0,
+        ..SizingPolicy::default()
+    };
+    match choose_cluster_size(&candidates, &policy) {
+        Some(d) => println!(
+            "\nburst-cluster sizing under a 60s target: {} nodes \
+             (projected {:.1}s, cost {:.0} node-units, target met: {})",
+            d.n_nodes, d.projected_latency_secs, d.projected_cost, d.meets_target
+        ),
+        None => println!("\nburst-cluster sizing: no valid candidate"),
+    }
+}

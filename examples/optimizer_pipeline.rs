@@ -1,0 +1,82 @@
+//! The full pipeline of the paper's Fig. 3 in one example: a logical query
+//! goes through the **join-order optimizer**, the resulting physical plan is
+//! rendered as EXPLAIN text, shipped (parsed back), and handed to the Stage
+//! predictor — exactly the parser → optimizer → exec-time-predictor path a
+//! query takes inside Redshift.
+//!
+//! ```sh
+//! cargo run --release --example optimizer_pipeline
+//! ```
+
+use stage::core::{ExecTimePredictor, StageConfig, StagePredictor, SystemContext};
+use stage::plan::{optimize, parse_explain, JoinEdge, LogicalQuery, S3Format, TableRef};
+
+fn main() {
+    // A star query: a fact table with three dimensions.
+    let query = LogicalQuery {
+        tables: vec![
+            TableRef {
+                rows: 2e8,
+                width: 140.0,
+                format: S3Format::Local,
+                filter_selectivity: 0.2,
+            }, // 0: sales (fact)
+            TableRef {
+                rows: 2e6,
+                width: 96.0,
+                format: S3Format::Local,
+                filter_selectivity: 1.0,
+            }, // 1: customer
+            TableRef {
+                rows: 4e4,
+                width: 64.0,
+                format: S3Format::Local,
+                filter_selectivity: 0.05,
+            }, // 2: date_dim (one month)
+            TableRef {
+                rows: 1e5,
+                width: 80.0,
+                format: S3Format::Parquet,
+                filter_selectivity: 1.0,
+            }, // 3: item (external)
+        ],
+        joins: vec![
+            JoinEdge { left: 0, right: 1, selectivity: 5e-7 },
+            JoinEdge { left: 0, right: 2, selectivity: 2.5e-5 },
+            JoinEdge { left: 0, right: 3, selectivity: 1e-5 },
+        ],
+    };
+
+    // 1. Optimize: Selinger DP picks the join order.
+    let plan = optimize(&query).expect("connected star query");
+    println!("optimized physical plan:\n{plan}");
+
+    // 2. Ship as EXPLAIN text and re-ingest (the fleet-sweep log format).
+    let text = plan.explain();
+    let parsed = parse_explain(&text).expect("round-trip");
+    assert_eq!(parsed.node_count(), plan.node_count());
+
+    // 3. Predict with Stage: first cold, then after executions.
+    let mut predictor = StagePredictor::new(StageConfig::default());
+    let sys = SystemContext::empty(7);
+    let p0 = predictor.predict(&parsed, &sys);
+    println!("cold-start prediction : {:>8.3}s ({:?})", p0.exec_secs, p0.source);
+
+    for observed in [38.2, 41.9, 40.1] {
+        predictor.observe(&parsed, &sys, observed);
+    }
+    let p1 = predictor.predict(&parsed, &sys);
+    println!(
+        "after 3 executions    : {:>8.3}s ({:?}) — α-blend of mean and last",
+        p1.exec_secs, p1.source
+    );
+
+    // 4. What the optimizer bought: compare against the worst join order by
+    //    estimated cost.
+    println!(
+        "\noptimizer's estimated plan cost: {:.0} units over {} operators ({} joins)",
+        plan.total_est_cost(),
+        plan.node_count(),
+        plan.join_count()
+    );
+}

@@ -1,0 +1,79 @@
+//! Quickstart: build physical plans, feed the Stage predictor a few
+//! executions, and watch the hierarchy at work — default → cache → local.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use stage::core::{ExecTimePredictor, StageConfig, StagePredictor, SystemContext};
+use stage::plan::{PhysicalPlan, PlanBuilder, S3Format};
+
+/// A dashboard-style query: scan + join + group-by, sized by `scale`.
+fn dashboard_plan(scale: f64) -> PhysicalPlan {
+    PlanBuilder::select()
+        .scan("sales", S3Format::Local, 40_000.0 * scale, 96.0)
+        .scan("stores", S3Format::Local, 500.0, 64.0)
+        .hash_join(0.2)
+        .hash_aggregate(0.02)
+        .sort()
+        .finish()
+}
+
+fn main() {
+    let mut predictor = StagePredictor::new(StageConfig::default());
+    let sys = SystemContext::empty(7); // no instance features in this demo
+
+    let plan = dashboard_plan(1.0);
+    println!("The query plan under prediction:\n{plan}");
+
+    // 1. Cold start: nothing is known, the default fires.
+    let p = predictor.predict(&plan, &sys);
+    println!("cold start  : {:>8.3}s  (source: {:?})", p.exec_secs, p.source);
+
+    // 2. The query executes a few times (with load-induced variance) and
+    //    Stage observes the outcomes.
+    for secs in [2.10, 2.45, 2.30] {
+        predictor.observe(&plan, &sys, secs);
+    }
+
+    // 3. An identical plan now hits the exec-time cache:
+    //    α·mean + (1−α)·last with α = 0.8.
+    let p = predictor.predict(&plan, &sys);
+    println!("after repeats: {:>7.3}s  (source: {:?})", p.exec_secs, p.source);
+
+    // 4. Feed many *similar but distinct* queries (different scales) so the
+    //    local model trains, then predict an unseen scale.
+    for i in 1..=120 {
+        let scale = 0.5 + (i % 40) as f64 * 0.25;
+        let q = dashboard_plan(scale);
+        let exec = 2.2 * scale; // truth: proportional to size
+        predictor.observe(&q, &sys, exec);
+    }
+    let unseen = dashboard_plan(7.3);
+    let p = predictor.predict(&unseen, &sys);
+    println!(
+        "unseen scale : {:>7.3}s  (source: {:?}, truth ≈ {:.3}s)",
+        p.exec_secs,
+        p.source,
+        2.2 * 7.3
+    );
+    if let Some((lo, hi)) = p.confidence_interval(1.96) {
+        println!("              95% interval: [{lo:.3}s, {hi:.3}s]");
+    }
+
+    let stats = predictor.stats();
+    println!(
+        "\nrouting: {} cache / {} local / {} global / {} default over {} predictions",
+        stats.cache,
+        stats.local,
+        stats.global,
+        stats.default,
+        stats.total()
+    );
+    println!(
+        "cache now holds {} unique queries ({} hits, {} misses)",
+        predictor.cache().len(),
+        predictor.cache().hits(),
+        predictor.cache().misses()
+    );
+}

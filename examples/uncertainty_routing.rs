@@ -1,0 +1,76 @@
+//! Uncertainty-aware routing (paper §4.3): watch the local model's
+//! decomposed uncertainty — model (ensemble disagreement) vs data (label
+//! noise) — and see how Stage uses it to decide when the expensive global
+//! model is worth invoking.
+//!
+//! ```sh
+//! cargo run --release --example uncertainty_routing
+//! ```
+
+use stage::core::{LocalModel, LocalModelConfig, PoolConfig, TrainingPool};
+use stage::gbdt::{EnsembleParams, NgBoostParams};
+use stage::plan::{plan_feature_vector, PlanBuilder, S3Format};
+
+fn plan_features(scale: f64) -> Vec<f64> {
+    let plan = PlanBuilder::select()
+        .scan("t", S3Format::Local, 1e5 * scale, 64.0)
+        .hash_aggregate(0.05)
+        .finish();
+    plan_feature_vector(&plan).0
+}
+
+fn main() {
+    let config = LocalModelConfig {
+        ensemble: EnsembleParams {
+            n_members: 10,
+            member: NgBoostParams {
+                n_estimators: 60,
+                ..NgBoostParams::default()
+            },
+            seed: 11,
+        },
+        ..LocalModelConfig::default()
+    };
+    let mut pool = TrainingPool::new(PoolConfig::default());
+    let mut local = LocalModel::new(config);
+
+    // Train on scales 1-20 with *scale-dependent* label noise: small
+    // queries are stable, large ones vary with system load.
+    let mut state = 0x1234_5678_u64;
+    let mut rand01 = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    for round in 0..40 {
+        for scale_i in 1..=20 {
+            let scale = scale_i as f64;
+            let noise = 1.0 + (rand01() - 0.5) * 0.1 * scale; // noisier when large
+            pool.add(plan_features(scale), 0.4 * scale * noise);
+            let _ = round;
+        }
+    }
+    local.retrain(&pool);
+    println!("local model trained on {} examples\n", pool.len());
+
+    println!("scale   pred(s)   model-unc   data-unc   total-std   escalate?");
+    for scale in [2.0, 10.0, 18.0, 40.0, 100.0] {
+        let p = local
+            .predict(&plan_features(scale))
+            .expect("trained model");
+        // Stage escalates when predicted long AND uncertain.
+        let escalate = p.exec_secs >= 5.0 && p.log_std() > 0.6;
+        let marker = if scale > 20.0 { " <- outside training range" } else { "" };
+        println!(
+            "{scale:>5.0} {:>9.3} {:>11.4} {:>10.4} {:>11.4}   {}{marker}",
+            p.exec_secs,
+            p.model_uncertainty,
+            p.data_uncertainty,
+            p.log_std(),
+            if escalate { "yes -> global model" } else { "no" },
+        );
+    }
+    println!(
+        "\nIn-range short queries stay local; big out-of-range queries show\n\
+         inflated uncertainty and get escalated to the global model."
+    );
+}

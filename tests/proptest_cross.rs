@@ -1,0 +1,105 @@
+//! Cross-crate property tests: invariants that must hold for *any* plan the
+//! builder can produce and any observation sequence the predictor can see.
+
+use proptest::prelude::*;
+use stage::core::{
+    ExecTimeCache, CacheConfig, ExecTimePredictor, StageConfig, StagePredictor, SystemContext,
+};
+use stage::plan::{plan_feature_vector, PhysicalPlan, PlanBuilder, S3Format, CACHE_FEATURE_DIM};
+
+/// Strategy: a random but well-formed plan.
+fn arb_plan() -> impl Strategy<Value = PhysicalPlan> {
+    (
+        1u32..4,                                 // number of joins
+        proptest::collection::vec((1e2f64..1e8, 8f64..512.0), 1..5),
+        proptest::bool::ANY,                     // aggregate?
+        proptest::bool::ANY,                     // sort?
+        0usize..4,                               // format selector
+    )
+        .prop_map(|(joins, scans, agg, sort, fmt_i)| {
+            let fmt = [
+                S3Format::Local,
+                S3Format::Parquet,
+                S3Format::OpenCsv,
+                S3Format::Text,
+            ][fmt_i];
+            let mut b = PlanBuilder::select();
+            let n = scans.len();
+            for (rows, width) in &scans {
+                b = b.scan("t", fmt, *rows, *width);
+            }
+            for _ in 1..n.min(joins as usize + 1) {
+                b = b.hash_join(0.1);
+            }
+            // Collapse any leftover scans.
+            while b.pending() > 1 {
+                b = b.hash_join(0.2);
+            }
+            if agg {
+                b = b.hash_aggregate(0.05);
+            }
+            if sort {
+                b = b.sort();
+            }
+            b.finish()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn feature_vector_always_33_dims_finite(plan in arb_plan()) {
+        let v = plan_feature_vector(&plan);
+        prop_assert_eq!(v.dim(), CACHE_FEATURE_DIM);
+        prop_assert!(v.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn identical_plan_identical_key(plan in arb_plan()) {
+        let a = ExecTimeCache::key_of(&plan);
+        let b = ExecTimeCache::key_of(&plan.clone());
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn predictions_always_nonnegative_finite(
+        plan in arb_plan(),
+        observations in proptest::collection::vec(0.001f64..1e4, 0..30),
+    ) {
+        let mut stage = StagePredictor::new(StageConfig::default());
+        let sys = SystemContext::empty(1);
+        for &secs in &observations {
+            stage.observe(&plan, &sys, secs);
+        }
+        let p = stage.predict(&plan, &sys);
+        prop_assert!(p.exec_secs.is_finite());
+        prop_assert!(p.exec_secs >= 0.0);
+        if let Some(v) = p.log_variance {
+            prop_assert!(v >= 0.0 && v.is_finite());
+        }
+    }
+
+    #[test]
+    fn cache_prediction_bounded_by_observations(
+        observations in proptest::collection::vec(0.001f64..1e4, 1..30),
+    ) {
+        let mut cache = ExecTimeCache::new(CacheConfig::default());
+        for &secs in &observations {
+            cache.record(42, secs);
+        }
+        let p = cache.lookup(42).unwrap();
+        let lo = observations.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = observations.iter().cloned().fold(0.0f64, f64::max);
+        // α-blend of mean and last stays within the observed range.
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+    }
+
+    #[test]
+    fn explain_mentions_every_node(plan in arb_plan()) {
+        let text = plan.explain();
+        for node in plan.iter_preorder() {
+            prop_assert!(text.contains(node.op.name()));
+        }
+    }
+}

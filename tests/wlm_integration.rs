@@ -1,0 +1,119 @@
+//! Integration of the predictors with the workload-manager simulator: the
+//! full pipeline behind Fig. 6, exercised on adversarial workloads where
+//! prediction quality provably matters.
+
+use stage::core::{ExecTimePredictor, StageConfig, StagePredictor, SystemContext};
+use stage::plan::{PhysicalPlan, PlanBuilder, S3Format};
+use stage::wlm::{QueueKind, SimQuery, Simulation, WlmConfig};
+
+fn plan(rows: f64) -> PhysicalPlan {
+    PlanBuilder::select()
+        .scan("t", S3Format::Local, rows, 64.0)
+        .hash_aggregate(0.01)
+        .finish()
+}
+
+/// Builds an interleaved workload of dashboards (0.1 s) and batch jobs
+/// (120 s), where misrouting a batch job into the short queue is
+/// catastrophic for the dashboards behind it.
+fn adversarial_workload() -> Vec<(f64, f64)> {
+    let mut queries = Vec::new();
+    for burst in 0..8 {
+        let t0 = burst as f64 * 200.0;
+        queries.push((t0, 120.0)); // batch job
+        for i in 0..12 {
+            queries.push((t0 + 1.0 + i as f64 * 0.5, 0.1)); // dashboards
+        }
+    }
+    queries
+}
+
+#[test]
+fn accurate_routing_protects_short_queries() {
+    let workload = adversarial_workload();
+    let sim = Simulation::new(WlmConfig {
+        short_slots: 1,
+        long_slots: 2,
+        ..WlmConfig::default()
+    });
+
+    let perfect: Vec<SimQuery> = workload
+        .iter()
+        .map(|&(a, e)| SimQuery {
+            arrival_secs: a,
+            true_exec_secs: e,
+            predicted_secs: e,
+        })
+        .collect();
+    // A predictor that calls every batch job "short" (the cold-start
+    // default failure mode).
+    let misrouting: Vec<SimQuery> = workload
+        .iter()
+        .map(|&(a, e)| SimQuery {
+            arrival_secs: a,
+            true_exec_secs: e,
+            predicted_secs: 1.0,
+        })
+        .collect();
+
+    let good = sim.summarize(&perfect).unwrap();
+    let bad = sim.summarize(&misrouting).unwrap();
+    assert!(
+        bad.avg_latency > 3.0 * good.avg_latency,
+        "misrouting must be punished: good={} bad={}",
+        good.avg_latency,
+        bad.avg_latency
+    );
+}
+
+#[test]
+fn stage_predictions_route_repeats_correctly() {
+    // After one observation of each query, Stage's cache routes batch jobs
+    // to the long queue and dashboards to the short queue.
+    let mut stage = StagePredictor::new(StageConfig::default());
+    let sys = SystemContext::empty(2);
+    let dashboard = plan(1_000.0);
+    let batch = plan(50_000_000.0);
+    stage.observe(&dashboard, &sys, 0.1);
+    stage.observe(&batch, &sys, 120.0);
+
+    let sim = Simulation::new(WlmConfig::default());
+    let p_dash = stage.predict(&dashboard, &sys).exec_secs;
+    let p_batch = stage.predict(&batch, &sys).exec_secs;
+    let queries = vec![
+        SimQuery {
+            arrival_secs: 0.0,
+            true_exec_secs: 120.0,
+            predicted_secs: p_batch,
+        },
+        SimQuery {
+            arrival_secs: 0.5,
+            true_exec_secs: 0.1,
+            predicted_secs: p_dash,
+        },
+    ];
+    let results = sim.run(&queries);
+    assert_eq!(results[0].queue, QueueKind::Long, "batch job routed long");
+    assert_eq!(results[1].queue, QueueKind::Short, "dashboard routed short");
+    // The dashboard must not wait behind the batch job.
+    assert!(results[1].wait_secs() < 1e-9);
+}
+
+#[test]
+fn wlm_latency_decomposition_holds_under_replay() {
+    // Wait + exec == latency for every query of a realistic replay.
+    let workload = adversarial_workload();
+    let queries: Vec<SimQuery> = workload
+        .iter()
+        .map(|&(a, e)| SimQuery {
+            arrival_secs: a,
+            true_exec_secs: e,
+            predicted_secs: e * 1.3,
+        })
+        .collect();
+    let sim = Simulation::new(WlmConfig::default());
+    for r in sim.run(&queries) {
+        let reconstructed = r.wait_secs() + queries[r.query].true_exec_secs;
+        assert!((r.latency_secs() - reconstructed).abs() < 1e-9);
+    }
+}
