@@ -1,0 +1,130 @@
+//! Thread-scaling benchmark for the shard-parallel fleet replay engine.
+//!
+//! Replays a 16-instance fleet through per-instance Stage predictors at
+//! worker counts {1, 2, 4, 8} and persists the measurements (plus the
+//! speedup relative to the sequential run) to
+//! `results/bench_replay_scaling.json`. Run with:
+//!
+//! ```text
+//! cargo bench -p stage-bench --bench replay_scaling
+//! ```
+//!
+//! Shards are deterministic, so every thread count produces record-for-
+//! record identical output (asserted below before timing); only wall-clock
+//! should change. Observed speedup is bounded by the host's core count —
+//! the JSON records `host_threads` so a 1-core container's flat curve is
+//! distinguishable from an engine regression.
+
+use criterion::Criterion;
+use stage_bench::parallel::ParallelFleetReplay;
+use stage_bench::replay::{replay, ReplayRecord};
+use stage_core::{StageConfig, StagePredictor};
+use stage_gbdt::{EnsembleParams, NgBoostParams};
+use stage_workload::{FleetConfig, InstanceWorkload};
+
+const N_INSTANCES: usize = 16;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn fleet_config() -> FleetConfig {
+    FleetConfig {
+        n_instances: N_INSTANCES,
+        duration_days: 3.0,
+        max_events_per_instance: 400,
+        ..FleetConfig::tiny()
+    }
+}
+
+fn stage_config() -> StageConfig {
+    let mut config = StageConfig::default();
+    config.local.ensemble = EnsembleParams {
+        n_members: 3,
+        member: NgBoostParams {
+            n_estimators: 15,
+            ..NgBoostParams::default()
+        },
+        seed: 21,
+    };
+    config.local.min_train_examples = 25;
+    config.local.retrain_interval = 120;
+    config
+}
+
+/// One full fleet replay at the given worker count.
+fn replay_fleet(threads: usize) -> Vec<Vec<ReplayRecord>> {
+    let fleet = fleet_config();
+    let config = stage_config();
+    ParallelFleetReplay::new(threads).run(N_INSTANCES, move |shard| {
+        let id = shard as u32;
+        let w = InstanceWorkload::generate(&fleet, id);
+        let mut p = StagePredictor::new(config);
+        p.set_instance_salt(u64::from(id));
+        replay(&w, &mut p)
+    })
+}
+
+fn main() {
+    // Correctness gate before timing anything: all thread counts must agree.
+    let reference = replay_fleet(1);
+    for &t in &THREAD_COUNTS[1..] {
+        assert_eq!(
+            reference,
+            replay_fleet(t),
+            "replay at {t} threads diverged from sequential"
+        );
+    }
+    let total_events: usize = reference.iter().map(Vec::len).sum();
+
+    let mut criterion = Criterion::default().sample_size(5);
+    let mut group = criterion.benchmark_group("replay_scaling");
+    for &t in &THREAD_COUNTS {
+        group.bench_function(format!("{N_INSTANCES}x_fleet/{t}_threads"), |b| {
+            b.iter(|| replay_fleet(t))
+        });
+    }
+    group.finish();
+
+    let results = criterion.take_results();
+    let base_mean = results
+        .first()
+        .map(|r| r.mean_ns)
+        .expect("at least the 1-thread result");
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let runs: Vec<serde_json::Value> = results
+        .iter()
+        .zip(THREAD_COUNTS)
+        .map(|(r, threads)| {
+            serde_json::json!({
+                "threads": threads,
+                "mean_secs": r.mean_ns / 1e9,
+                "min_secs": r.min_ns / 1e9,
+                "max_secs": r.max_ns / 1e9,
+                "samples": r.samples,
+                "speedup_vs_1_thread": base_mean / r.mean_ns,
+            })
+        })
+        .collect();
+    let json = serde_json::json!({
+        "benchmark": "replay_scaling",
+        "fleet": {
+            "n_instances": N_INSTANCES,
+            "total_events": total_events,
+        },
+        "host_threads": host_threads,
+        "note": "speedup is bounded by host_threads; on a single-core host \
+                 all curves are flat by construction",
+        "runs": runs,
+    });
+    // Cargo runs benches with the package dir as CWD; anchor the artefact
+    // to the workspace-root results/ directory instead.
+    let out_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&out_dir).expect("create results dir");
+    let path = out_dir.join("bench_replay_scaling.json");
+    let file = std::fs::File::create(&path).expect("create artefact");
+    serde_json::to_writer_pretty(file, &json).expect("write artefact");
+    println!(
+        "[artefact: {} | host_threads={host_threads}]",
+        path.display()
+    );
+}

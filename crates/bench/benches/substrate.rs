@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use stage_core::{plan_to_tree_sample, GlobalModel, GlobalModelConfig, SystemContext};
-use stage_plan::{optimize, parse_explain, JoinEdge, LogicalQuery, PlanBuilder, S3Format, TableRef};
+use stage_plan::{
+    optimize, parse_explain, JoinEdge, LogicalQuery, PlanBuilder, S3Format, TableRef,
+};
 use stage_workload::{FleetConfig, InstanceWorkload};
 use std::hint::black_box;
 

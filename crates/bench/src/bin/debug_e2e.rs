@@ -41,9 +41,24 @@ fn main() {
             })
             .collect()
     };
-    let stage_q = to_queries(&stage_records.iter().map(|r| r.predicted_secs).collect::<Vec<_>>());
-    let auto_q = to_queries(&auto_records.iter().map(|r| r.predicted_secs).collect::<Vec<_>>());
-    let opt_q = to_queries(&w.events.iter().map(|e| e.true_exec_secs).collect::<Vec<_>>());
+    let stage_q = to_queries(
+        &stage_records
+            .iter()
+            .map(|r| r.predicted_secs)
+            .collect::<Vec<_>>(),
+    );
+    let auto_q = to_queries(
+        &auto_records
+            .iter()
+            .map(|r| r.predicted_secs)
+            .collect::<Vec<_>>(),
+    );
+    let opt_q = to_queries(
+        &w.events
+            .iter()
+            .map(|e| e.true_exec_secs)
+            .collect::<Vec<_>>(),
+    );
 
     let sim = Simulation::new(ctx.config.wlm);
     let rs = sim.run(&stage_q);
@@ -52,8 +67,11 @@ fn main() {
 
     for (name, results) in [("Stage", &rs), ("AutoWLM", &ra), ("Optimal", &ro)] {
         let evicted = results.iter().filter(|r| r.evicted_from_sqa).count();
-        println!("\n{name}: avg latency {:.2}s, {} SQA evictions",
-            results.iter().map(|r| r.latency_secs()).sum::<f64>() / results.len() as f64, evicted);
+        println!(
+            "\n{name}: avg latency {:.2}s, {} SQA evictions",
+            results.iter().map(|r| r.latency_secs()).sum::<f64>() / results.len() as f64,
+            evicted
+        );
         println!("  bucket        n     avg-wait   total-wait");
         for b in ExecTimeBucket::ALL {
             let waits: Vec<f64> = results

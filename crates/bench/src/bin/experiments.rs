@@ -13,6 +13,8 @@
 //!   --instances N    override evaluation-fleet size
 //!   --days F         override simulated duration
 //!   --seed N         override the master seed
+//!   --threads N      worker threads for shard-parallel replay
+//!                    (default: all cores; STAGE_THREADS overrides)
 //!   --out DIR        artefact directory (default: results/)
 //!   --list           list experiment ids and exit
 //! ```
@@ -47,6 +49,10 @@ fn main() -> ExitCode {
             "--seed" => {
                 i += 1;
                 config.eval_fleet.seed = parse(&args, i, "--seed");
+            }
+            "--threads" => {
+                i += 1;
+                config.parallelism = parse(&args, i, "--threads");
             }
             "--out" => {
                 i += 1;
@@ -88,7 +94,11 @@ fn main() -> ExitCode {
         println!("================ {name} ================");
         println!("{}", report.text);
         match ctx.write_json(&report.name, &report.json) {
-            Ok(path) => println!("[artefact: {} | {:.1}s]\n", path.display(), t0.elapsed().as_secs_f64()),
+            Ok(path) => println!(
+                "[artefact: {} | {:.1}s]\n",
+                path.display(),
+                t0.elapsed().as_secs_f64()
+            ),
             Err(e) => eprintln!("[artefact write failed: {e}]"),
         }
     }
@@ -103,7 +113,7 @@ fn parse<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}\n");
-    eprintln!("usage: experiments <experiment|all> [--quick|--full] [--instances N] [--days F] [--seed N] [--out DIR] [--list]");
+    eprintln!("usage: experiments <experiment|all> [--quick|--full] [--instances N] [--days F] [--seed N] [--threads N] [--out DIR] [--list]");
     eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
     std::process::exit(2);
 }

@@ -5,9 +5,13 @@
 //!
 //! ```text
 //! cargo run --release -p stage-bench --bin fleetgen -- \
-//!     [--instances N] [--days F] [--seed N] [--out DIR]
+//!     [--instances N] [--days F] [--seed N] [--threads N] [--out DIR]
 //! ```
+//!
+//! Instances generate and export shard-parallel (each instance writes its
+//! own file); the summary lines print in id order either way.
 
+use stage_bench::parallel::ParallelFleetReplay;
 use stage_workload::stats::daily_unique_fraction;
 use stage_workload::{write_jsonl, FleetConfig, InstanceWorkload};
 use std::path::PathBuf;
@@ -21,6 +25,7 @@ fn main() -> ExitCode {
         ..FleetConfig::default()
     };
     let mut out_dir = PathBuf::from("fleet-logs");
+    let mut threads = 0usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -35,6 +40,10 @@ fn main() -> ExitCode {
             "--seed" => {
                 i += 1;
                 config.seed = parse(&args, i, "--seed");
+            }
+            "--threads" => {
+                i += 1;
+                threads = parse(&args, i, "--threads");
             }
             "--out" => {
                 i += 1;
@@ -56,23 +65,22 @@ fn main() -> ExitCode {
         config.seed,
         out_dir.display()
     );
-    let mut total = 0usize;
-    for id in 0..config.n_instances as u32 {
+    // Each shard generates and exports one instance; summaries come back
+    // tagged by index, so the printout below is in id order regardless of
+    // thread count.
+    let shards = ParallelFleetReplay::new(threads).run(config.n_instances, |shard| {
+        let id = shard as u32;
         let w = InstanceWorkload::generate(&config, id);
         let path = out_dir.join(format!("instance-{id:04}.jsonl"));
         let file = match std::fs::File::create(&path) {
             Ok(f) => std::io::BufWriter::new(f),
-            Err(e) => {
-                eprintln!("cannot create {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return Err(format!("cannot create {}: {e}", path.display())),
         };
         if let Err(e) = write_jsonl(&w.events, file) {
-            eprintln!("write failed for {}: {e}", path.display());
-            return ExitCode::FAILURE;
+            return Err(format!("write failed for {}: {e}", path.display()));
         }
         let unique = daily_unique_fraction(&w.events).unwrap_or(1.0);
-        println!(
+        let line = format!(
             "  instance {id:>3}: {:>6} queries, {:>5.1}% daily-unique, {:?} x{} -> {}",
             w.events.len(),
             100.0 * unique,
@@ -80,7 +88,20 @@ fn main() -> ExitCode {
             w.spec.n_nodes,
             path.display()
         );
-        total += w.events.len();
+        Ok((w.events.len(), line))
+    });
+    let mut total = 0usize;
+    for shard in shards {
+        match shard {
+            Ok((n, line)) => {
+                println!("{line}");
+                total += n;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     println!("done: {total} queries exported");
     ExitCode::SUCCESS
@@ -94,6 +115,6 @@ fn parse<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: fleetgen [--instances N] [--days F] [--seed N] [--out DIR]");
+    eprintln!("usage: fleetgen [--instances N] [--days F] [--seed N] [--threads N] [--out DIR]");
     std::process::exit(2);
 }

@@ -1,5 +1,6 @@
 //! Experiment configuration and shared state (fleet + trained global model).
 
+use crate::parallel::ParallelFleetReplay;
 use crate::replay::training_samples;
 use serde::Serialize;
 use stage_core::{
@@ -34,6 +35,9 @@ pub struct HarnessConfig {
     pub autowlm: AutoWlmConfig,
     /// Workload-manager simulator settings (Fig. 6/7).
     pub wlm: WlmConfig,
+    /// Worker threads for shard-parallel fleet replay (0 = all available
+    /// cores). The `STAGE_THREADS` environment variable overrides this.
+    pub parallelism: usize,
     /// Directory for JSON artefacts.
     pub out_dir: PathBuf,
 }
@@ -93,6 +97,7 @@ impl HarnessConfig {
                 sqa_max_runtime_secs: Some(5.0),
                 ..WlmConfig::default()
             },
+            parallelism: 0,
             out_dir: PathBuf::from("results"),
         }
     }
@@ -164,16 +169,24 @@ impl ExperimentContext {
         InstanceWorkload::generate(&cfg, id)
     }
 
-    /// The fleet-trained global model (trained on first use).
+    /// The shard-parallel replay engine sized by this context's
+    /// `parallelism` knob (and the `STAGE_THREADS` override).
+    pub fn replayer(&self) -> ParallelFleetReplay {
+        ParallelFleetReplay::new(self.config.parallelism)
+    }
+
+    /// The fleet-trained global model (trained on first use). Training
+    /// samples are collected shard-parallel across training instances and
+    /// concatenated in id order, so the model is identical at any thread
+    /// count.
     pub fn global_model(&self) -> Arc<GlobalModel> {
         self.global
             .get_or_init(|| {
-                let mut samples = Vec::new();
-                for id in 0..self.config.n_train_instances as u32 {
-                    let w = self.train_instance(id);
-                    samples
-                        .extend(training_samples(&w, self.config.samples_per_train_instance));
-                }
+                let per_instance = self.replayer().run(self.config.n_train_instances, |id| {
+                    let w = self.train_instance(id as u32);
+                    training_samples(&w, self.config.samples_per_train_instance)
+                });
+                let samples: Vec<_> = per_instance.into_iter().flatten().collect();
                 Arc::new(GlobalModel::train(
                     &samples,
                     INSTANCE_FEATURE_DIM,
@@ -199,13 +212,35 @@ impl ExperimentContext {
         AutoWlmPredictor::new(self.config.autowlm)
     }
 
+    /// [`Self::stage_predictor`] with the instance-id seed salt set, so
+    /// retraining seeds depend only on per-instance state and a fleet
+    /// replay is bit-identical at any thread count.
+    pub fn stage_predictor_for(&self, id: u32) -> StagePredictor {
+        let mut p = self.stage_predictor();
+        p.set_instance_salt(u64::from(id));
+        p
+    }
+
+    /// [`Self::stage_predictor_no_global`] with the instance-id seed salt.
+    pub fn stage_predictor_no_global_for(&self, id: u32) -> StagePredictor {
+        let mut p = self.stage_predictor_no_global();
+        p.set_instance_salt(u64::from(id));
+        p
+    }
+
+    /// [`Self::autowlm_predictor`] with the instance-id seed salt.
+    pub fn autowlm_predictor_for(&self, id: u32) -> AutoWlmPredictor {
+        let mut p = self.autowlm_predictor();
+        p.set_instance_salt(u64::from(id));
+        p
+    }
+
     /// Writes a JSON artefact into the output directory, returning the path.
     pub fn write_json<T: Serialize>(&self, name: &str, value: &T) -> std::io::Result<PathBuf> {
         std::fs::create_dir_all(&self.config.out_dir)?;
         let path = self.config.out_dir.join(format!("{name}.json"));
         let file = std::fs::File::create(&path)?;
-        serde_json::to_writer_pretty(file, value)
-            .map_err(std::io::Error::other)?;
+        serde_json::to_writer_pretty(file, value).map_err(std::io::Error::other)?;
         Ok(path)
     }
 

@@ -6,19 +6,18 @@ use super::ExperimentReport;
 use crate::context::ExperimentContext;
 use crate::replay::{ablation_replay, replay};
 use serde_json::json;
-use stage_core::{
-    CacheConfig, ExecTimeCache, PoolConfig, PredictionSource, StagePredictor,
-};
+use stage_core::{CacheConfig, ExecTimeCache, PoolConfig, PredictionSource, StagePredictor};
 use stage_metrics::{prr_score, AbsErrorSummary, ExecTimeBucket};
 use stage_plan::plan_feature_vector;
 use stage_workload::{FleetConfig, InstanceWorkload};
 use std::collections::HashMap;
 
 /// How many evaluation instances the ablations use (they sweep several
-/// configurations, so they run on a subset for tractability).
+/// configurations, so they run on a subset for tractability). Generation is
+/// shard-parallel; results come back in id order.
 fn ablation_instances(ctx: &ExperimentContext) -> Vec<InstanceWorkload> {
-    let n = ctx.n_eval().min(3) as u32;
-    (0..n).map(|id| ctx.eval_instance(id)).collect()
+    let n = ctx.n_eval().min(3);
+    ctx.replayer().run(n, |id| ctx.eval_instance(id as u32))
 }
 
 /// Cache α sweep: MAE of cache-hit predictions as α moves from pure
@@ -103,7 +102,9 @@ pub fn ensemble_k_sweep(ctx: &ExperimentContext) -> ExperimentReport {
             prr.map(|p| format!("{p:.3}")).unwrap_or_else(|| "-".into()),
         ));
     }
-    text.push_str("\nExpected: K = 1 has no model-uncertainty signal; PRR improves with K (paper: K = 10).\n");
+    text.push_str(
+        "\nExpected: K = 1 has no model-uncertainty signal; PRR improves with K (paper: K = 10).\n",
+    );
     let json = json!(rows
         .iter()
         .map(|&(k, n, mae, prr)| json!({"k": k, "n": n, "mae": mae, "prr": prr}))
@@ -158,7 +159,8 @@ pub fn pool_ablation(ctx: &ExperimentContext) -> ExperimentReport {
         text.push_str(&format!(
             "{label:<26} {n:>7} {:>10} {nl:>8} {:>10}\n",
             mae.map(|m| format!("{m:.3}")).unwrap_or_else(|| "-".into()),
-            mael.map(|m| format!("{m:.3}")).unwrap_or_else(|| "-".into()),
+            mael.map(|m| format!("{m:.3}"))
+                .unwrap_or_else(|| "-".into()),
         ));
     }
     text.push_str("\nExpected: removing buckets hurts long queries; removing dedup wastes pool capacity on repeats.\n");
@@ -184,18 +186,21 @@ pub fn cold_start(ctx: &ExperimentContext) -> ExperimentReport {
     let variants: [&str; 3] = ["Stage+global", "Stage (no global)", "AutoWLM"];
     for (vi, label) in variants.iter().enumerate() {
         let mut errors = Vec::new();
-        for w in &instances {
+        for (idx, w) in instances.iter().enumerate() {
+            let id = idx as u32;
             let records = match vi {
                 0 => {
                     let mut p = StagePredictor::with_global(ctx.config.stage, global.clone());
+                    p.set_instance_salt(u64::from(id));
                     replay(w, &mut p)
                 }
                 1 => {
                     let mut p = StagePredictor::new(ctx.config.stage);
+                    p.set_instance_salt(u64::from(id));
                     replay(w, &mut p)
                 }
                 _ => {
-                    let mut p = ctx.autowlm_predictor();
+                    let mut p = ctx.autowlm_predictor_for(id);
                     replay(w, &mut p)
                 }
             };
@@ -218,7 +223,9 @@ pub fn cold_start(ctx: &ExperimentContext) -> ExperimentReport {
             s.mae, s.p50, s.p90
         ));
     }
-    text.push_str("\nExpected: the transferable global model softens the cold start (paper §1/§4.1).\n");
+    text.push_str(
+        "\nExpected: the transferable global model softens the cold start (paper §1/§4.1).\n",
+    );
     let json = json!(rows
         .iter()
         .map(|(l, s)| json!({"predictor": l, "summary": s}))
@@ -267,7 +274,9 @@ pub fn routing_sweep(ctx: &ExperimentContext) -> ExperimentReport {
             s.p50
         ));
     }
-    text.push_str("\nLower thresholds escalate more queries to the global model (paper: ~3% invocation).\n");
+    text.push_str(
+        "\nLower thresholds escalate more queries to the global model (paper: ~3% invocation).\n",
+    );
     let json = json!(rows
         .iter()
         .map(|(t, f, s)| json!({
@@ -292,18 +301,26 @@ pub fn drift(ctx: &ExperimentContext) -> ExperimentReport {
     };
     let mut rows = Vec::new();
     for (label, fleet_cfg) in [("calm", &calm_cfg), ("20x drift", &stormy_cfg)] {
+        let per_instance = ctx.replayer().run(fleet_cfg.n_instances, |id| {
+            let w = InstanceWorkload::generate(fleet_cfg, id as u32);
+            let mut stage = StagePredictor::new(ctx.config.stage);
+            stage.set_instance_salt(id as u64);
+            let stage_err: Vec<f64> = replay(&w, &mut stage)
+                .iter()
+                .map(|r| (r.actual_secs - r.predicted_secs).abs())
+                .collect();
+            let mut auto = ctx.autowlm_predictor_for(id as u32);
+            let auto_err: Vec<f64> = replay(&w, &mut auto)
+                .iter()
+                .map(|r| (r.actual_secs - r.predicted_secs).abs())
+                .collect();
+            (stage_err, auto_err)
+        });
         let mut stage_err = Vec::new();
         let mut auto_err = Vec::new();
-        for id in 0..fleet_cfg.n_instances as u32 {
-            let w = InstanceWorkload::generate(fleet_cfg, id);
-            let mut stage = StagePredictor::new(ctx.config.stage);
-            for r in replay(&w, &mut stage) {
-                stage_err.push((r.actual_secs - r.predicted_secs).abs());
-            }
-            let mut auto = ctx.autowlm_predictor();
-            for r in replay(&w, &mut auto) {
-                auto_err.push((r.actual_secs - r.predicted_secs).abs());
-            }
+        for (s, a) in per_instance {
+            stage_err.extend(s);
+            auto_err.extend(a);
         }
         let s = AbsErrorSummary::from_errors(&stage_err).expect("non-empty");
         let a = AbsErrorSummary::from_errors(&auto_err).expect("non-empty");
@@ -319,7 +336,9 @@ pub fn drift(ctx: &ExperimentContext) -> ExperimentReport {
             s.mae, s.p50, a.mae, a.p50
         ));
     }
-    text.push_str("\nExpected: both degrade under drift; Stage's freshness-blended cache degrades less.\n");
+    text.push_str(
+        "\nExpected: both degrade under drift; Stage's freshness-blended cache degrades less.\n",
+    );
     let json = json!(rows
         .iter()
         .map(|(l, s, a)| json!({"scenario": l, "stage": s, "autowlm": a}))
@@ -344,10 +363,7 @@ pub fn mixed_ensemble(ctx: &ExperimentContext) -> ExperimentReport {
         for e in &w.events {
             let key = Cache::key_of(&e.plan);
             if !cache.contains(key) {
-                pooled.push((
-                    plan_feature_vector(&e.plan).0,
-                    e.true_exec_secs,
-                ));
+                pooled.push((plan_feature_vector(&e.plan).0, e.true_exec_secs));
             }
             cache.record(key, e.true_exec_secs);
         }
@@ -379,7 +395,10 @@ pub fn mixed_ensemble(ctx: &ExperimentContext) -> ExperimentReport {
         AbsErrorSummary::from_errors(&errs).expect("non-empty eval")
     };
     rows.push(("Bayesian (Stage local)", score(&|f| bayes.predict(f).mean)));
-    rows.push(("+ squared member (mixed)", score(&|f| mixed.predict(f).mean)));
+    rows.push((
+        "+ squared member (mixed)",
+        score(&|f| mixed.predict(f).mean),
+    ));
 
     let mut text = String::from(
         "Ablation — mixed ensemble (paper §5.4 future work)\n\
@@ -406,15 +425,21 @@ pub fn mixed_ensemble(ctx: &ExperimentContext) -> ExperimentReport {
 pub fn cache_mode(ctx: &ExperimentContext) -> ExperimentReport {
     use stage_core::CacheMode;
     let scenarios: [(&str, FleetConfig); 2] = [
-        ("calm", FleetConfig {
-            n_instances: 2,
-            ..ctx.config.eval_fleet.clone()
-        }),
-        ("10x drift", FleetConfig {
-            n_instances: 2,
-            growth_boost: 10.0,
-            ..ctx.config.eval_fleet.clone()
-        }),
+        (
+            "calm",
+            FleetConfig {
+                n_instances: 2,
+                ..ctx.config.eval_fleet.clone()
+            },
+        ),
+        (
+            "10x drift",
+            FleetConfig {
+                n_instances: 2,
+                growth_boost: 10.0,
+                ..ctx.config.eval_fleet.clone()
+            },
+        ),
     ];
     let modes: [(&str, CacheMode); 2] = [
         ("alpha-blend (paper)", CacheMode::AlphaBlend),
@@ -429,21 +454,27 @@ pub fn cache_mode(ctx: &ExperimentContext) -> ExperimentReport {
     let mut rows = Vec::new();
     for (scenario, fleet_cfg) in &scenarios {
         for (mode_name, mode) in &modes {
-            let mut errors = Vec::new();
-            for id in 0..fleet_cfg.n_instances as u32 {
-                let w = InstanceWorkload::generate(fleet_cfg, id);
-                let mut cache = ExecTimeCache::new(CacheConfig {
-                    mode: *mode,
-                    ..ctx.config.stage.cache
-                });
-                for e in &w.events {
-                    let key = ExecTimeCache::key_of(&e.plan);
-                    if let Some(pred) = cache.lookup(key) {
-                        errors.push((e.true_exec_secs - pred).abs());
+            let errors: Vec<f64> = ctx
+                .replayer()
+                .run(fleet_cfg.n_instances, |id| {
+                    let w = InstanceWorkload::generate(fleet_cfg, id as u32);
+                    let mut cache = ExecTimeCache::new(CacheConfig {
+                        mode: *mode,
+                        ..ctx.config.stage.cache
+                    });
+                    let mut errs = Vec::new();
+                    for e in &w.events {
+                        let key = ExecTimeCache::key_of(&e.plan);
+                        if let Some(pred) = cache.lookup(key) {
+                            errs.push((e.true_exec_secs - pred).abs());
+                        }
+                        cache.record(key, e.true_exec_secs);
                     }
-                    cache.record(key, e.true_exec_secs);
-                }
-            }
+                    errs
+                })
+                .into_iter()
+                .flatten()
+                .collect();
             let s = AbsErrorSummary::from_errors(&errors).expect("hits exist");
             rows.push((*scenario, *mode_name, s));
         }
@@ -487,21 +518,25 @@ pub fn heterogeneity(ctx: &ExperimentContext) -> ExperimentReport {
         };
         // Train a fresh global model on a disjoint fleet at the same level.
         let train_cfg = FleetConfig {
-            seed: fleet_cfg.seed.wrapping_add(crate::context::TRAIN_SEED_OFFSET),
+            seed: fleet_cfg
+                .seed
+                .wrapping_add(crate::context::TRAIN_SEED_OFFSET),
             n_instances: ctx.config.n_train_instances.min(6),
             ..fleet_cfg.clone()
         };
-        let mut samples = Vec::new();
-        for id in 0..train_cfg.n_instances as u32 {
-            let w = InstanceWorkload::generate(&train_cfg, id);
-            samples.extend(training_samples(&w, ctx.config.samples_per_train_instance));
-        }
+        let samples: Vec<_> = ctx
+            .replayer()
+            .run(train_cfg.n_instances, |id| {
+                let w = InstanceWorkload::generate(&train_cfg, id as u32);
+                training_samples(&w, ctx.config.samples_per_train_instance)
+            })
+            .into_iter()
+            .flatten()
+            .collect();
         let global = GlobalModel::train(&samples, INSTANCE_FEATURE_DIM, &ctx.config.global);
 
-        let mut local_err = Vec::new();
-        let mut global_err = Vec::new();
-        for id in 0..fleet_cfg.n_instances as u32 {
-            let w = InstanceWorkload::generate(&fleet_cfg, id);
+        let per_instance = ctx.replayer().run(fleet_cfg.n_instances, |id| {
+            let w = InstanceWorkload::generate(&fleet_cfg, id as u32);
             let records = ablation_replay(
                 &w,
                 ctx.config.stage.local,
@@ -509,15 +544,24 @@ pub fn heterogeneity(ctx: &ExperimentContext) -> ExperimentReport {
                 ctx.config.stage.pool,
                 Some(&global),
             );
+            let mut local = Vec::new();
+            let mut glob = Vec::new();
             for r in &records {
                 if r.is_cache_hit() {
                     continue;
                 }
                 if let (Some(l), Some(g)) = (r.local_secs, r.global_secs) {
-                    local_err.push((r.actual_secs - l).abs());
-                    global_err.push((r.actual_secs - g).abs());
+                    local.push((r.actual_secs - l).abs());
+                    glob.push((r.actual_secs - g).abs());
                 }
             }
+            (local, glob)
+        });
+        let mut local_err = Vec::new();
+        let mut global_err = Vec::new();
+        for (l, g) in per_instance {
+            local_err.extend(l);
+            global_err.extend(g);
         }
         let l = AbsErrorSummary::from_errors(&local_err).map(|s| s.mae);
         let g = AbsErrorSummary::from_errors(&global_err).map(|s| s.mae);
@@ -560,7 +604,10 @@ pub fn heterogeneity(ctx: &ExperimentContext) -> ExperimentReport {
 pub fn env_features(ctx: &ExperimentContext) -> ExperimentReport {
     let instances = ablation_instances(ctx);
     let mut rows = Vec::new();
-    for (label, env) in [("plan-only (paper)", false), ("+ env features (§6.3)", true)] {
+    for (label, env) in [
+        ("plan-only (paper)", false),
+        ("+ env features (§6.3)", true),
+    ] {
         let mut cfg = ctx.config.stage;
         cfg.env_features = env;
         let mut errors = Vec::new();
@@ -670,18 +717,25 @@ Expected: scan/join cost-and-rows sums dominate; query-type one-hots matter
 /// Hash-collision audit (paper §4.2, Optimization 1: "zero hash collision
 /// for all queries in the top 200 instances").
 pub fn hash_audit(ctx: &ExperimentContext) -> ExperimentReport {
-    let mut vectors: HashMap<u64, Vec<Vec<u64>>> = HashMap::new();
-    let mut total = 0usize;
-    for id in 0..ctx.n_eval() as u32 {
-        let w = ctx.eval_instance(id);
+    // Hash every plan shard-parallel; merge per-instance results in id
+    // order so the audit is identical at any thread count.
+    let per_instance = ctx.replayer().run(ctx.n_eval(), |id| {
+        let w = ctx.eval_instance(id as u32);
+        let mut pairs = Vec::with_capacity(w.events.len());
         for e in &w.events {
-            total += 1;
             let fv = plan_feature_vector(&e.plan);
             let bits: Vec<u64> = fv.as_slice().iter().map(|v| v.to_bits()).collect();
-            let entry = vectors.entry(fv.stable_hash()).or_default();
-            if !entry.contains(&bits) {
-                entry.push(bits);
-            }
+            pairs.push((fv.stable_hash(), bits));
+        }
+        pairs
+    });
+    let mut vectors: HashMap<u64, Vec<Vec<u64>>> = HashMap::new();
+    let mut total = 0usize;
+    for (hash, bits) in per_instance.into_iter().flatten() {
+        total += 1;
+        let entry = vectors.entry(hash).or_default();
+        if !entry.contains(&bits) {
+            entry.push(bits);
         }
     }
     let unique_hashes = vectors.len();

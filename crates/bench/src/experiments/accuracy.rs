@@ -60,8 +60,8 @@ pub fn tab2(_ctx: &ExperimentContext, data: &Collected) -> ExperimentReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiments::data::tests::tiny_context;
     use crate::experiments::data::collect;
+    use crate::experiments::data::tests::tiny_context;
 
     #[test]
     fn tables_render_and_serialize() {

@@ -16,12 +16,7 @@ use stage_metrics::BucketReport;
 
 /// Extracts `(actual, a_pred, b_pred)` triples over records where `filter`
 /// holds and both predictions exist.
-fn subset<FA, FB, FF>(
-    data: &Collected,
-    filter: FF,
-    a: FA,
-    b: FB,
-) -> (Vec<f64>, Vec<f64>, Vec<f64>)
+fn subset<FA, FB, FF>(data: &Collected, filter: FF, a: FA, b: FB) -> (Vec<f64>, Vec<f64>, Vec<f64>)
 where
     FF: Fn(&crate::replay::AblationRecord) -> bool,
     FA: Fn(&crate::replay::AblationRecord, f64) -> Option<f64>,
@@ -110,7 +105,10 @@ pub fn tab4(_ctx: &ExperimentContext, data: &Collected) -> ExperimentReport {
         |r, _| r.local_secs,
         |_, auto| Some(auto),
     );
-    let note = format!("\ncache-miss queries with a trained local model: {}\n", actual.len());
+    let note = format!(
+        "\ncache-miss queries with a trained local model: {}\n",
+        actual.len()
+    );
     two_table_report(
         "tab4",
         "Table 4 — local model on cache-miss queries (abs error, s)",

@@ -69,31 +69,36 @@ impl Collected {
 
 /// Replays every evaluation instance with all predictors. Trains the global
 /// model first when `with_global` is set.
+///
+/// Instances are replayed shard-parallel: each worker streams its own
+/// workload and owns its predictors; only the (immutable) global model is
+/// shared. Results carry their instance id and come back in id order, so
+/// the output is identical to the sequential loop at any thread count.
 pub fn collect(ctx: &ExperimentContext, with_global: bool) -> Collected {
     let global = if with_global {
         Some(ctx.global_model())
     } else {
         None
     };
-    let mut instances = Vec::with_capacity(ctx.n_eval());
-    for id in 0..ctx.n_eval() as u32 {
+    let instances = ctx.replayer().run(ctx.n_eval(), |shard| {
+        let id = shard as u32;
         let workload = ctx.eval_instance(id);
 
         let mut stage_predictor = if with_global {
-            ctx.stage_predictor()
+            ctx.stage_predictor_for(id)
         } else {
-            ctx.stage_predictor_no_global()
+            ctx.stage_predictor_no_global_for(id)
         };
         let stage = replay(&workload, &mut stage_predictor);
 
-        let mut deployed_predictor = ctx.stage_predictor_no_global();
+        let mut deployed_predictor = ctx.stage_predictor_no_global_for(id);
         let stage_deployed = if with_global {
             replay(&workload, &mut deployed_predictor)
         } else {
             stage.clone()
         };
 
-        let mut auto_predictor = ctx.autowlm_predictor();
+        let mut auto_predictor = ctx.autowlm_predictor_for(id);
         let auto = replay(&workload, &mut auto_predictor);
 
         let ablation = ablation_replay(
@@ -104,15 +109,15 @@ pub fn collect(ctx: &ExperimentContext, with_global: bool) -> Collected {
             global.as_deref(),
         );
 
-        instances.push(InstanceData {
+        InstanceData {
             id,
             stage,
             stage_deployed,
             auto,
             ablation,
             stage_stats: stage_predictor.stats(),
-        });
-    }
+        }
+    });
     Collected {
         instances,
         with_global,

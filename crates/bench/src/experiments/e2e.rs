@@ -60,10 +60,7 @@ fn simulate_all(ctx: &ExperimentContext, data: &Collected) -> Vec<InstanceE2e> {
         .map(|inst| {
             let [qs, qa, qo] = sim_queries(inst);
             let lat = |queries: &[SimQuery]| -> Vec<f64> {
-                sim.run(queries)
-                    .iter()
-                    .map(|r| r.latency_secs())
-                    .collect()
+                sim.run(queries).iter().map(|r| r.latency_secs()).collect()
             };
             InstanceE2e {
                 id: inst.id,

@@ -13,13 +13,15 @@ use stage_workload::stats::daily_unique_fraction;
 
 /// Fig. 1a: per-cluster daily-unique fractions, binned into deciles.
 pub fn fig1a(ctx: &ExperimentContext) -> ExperimentReport {
-    let mut fractions = Vec::with_capacity(ctx.n_eval());
-    for id in 0..ctx.n_eval() as u32 {
-        let w = ctx.eval_instance(id);
-        if let Some(u) = daily_unique_fraction(&w.events) {
-            fractions.push(u);
-        }
-    }
+    let fractions: Vec<f64> = ctx
+        .replayer()
+        .run(ctx.n_eval(), |id| {
+            let w = ctx.eval_instance(id as u32);
+            daily_unique_fraction(&w.events)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     let mut deciles = [0usize; 10];
     for &f in &fractions {
         let bucket = ((f * 10.0) as usize).min(9);
@@ -33,7 +35,12 @@ pub fn fig1a(ctx: &ExperimentContext) -> ExperimentReport {
     );
     for (i, &n) in deciles.iter().enumerate() {
         let bar = "#".repeat(n);
-        text.push_str(&format!("{:>3}-{:>3}%  {:>4}  {bar}\n", i * 10, (i + 1) * 10, n));
+        text.push_str(&format!(
+            "{:>3}-{:>3}%  {:>4}  {bar}\n",
+            i * 10,
+            (i + 1) * 10,
+            n
+        ));
     }
     text.push_str(&format!(
         "\nfleet mean unique fraction: {mean_unique:.3} (paper: ~0.4 ⇒ >60% repeats)\n"
@@ -51,12 +58,17 @@ pub fn fig1a(ctx: &ExperimentContext) -> ExperimentReport {
 /// Fig. 1b: fleet-wide latency distribution from the 0.01th to the 99.99th
 /// percentile.
 pub fn fig1b(ctx: &ExperimentContext) -> ExperimentReport {
-    let mut hist = LogHistogram::for_latencies();
-    for id in 0..ctx.n_eval() as u32 {
-        let w = ctx.eval_instance(id);
+    let per_instance = ctx.replayer().run(ctx.n_eval(), |id| {
+        let w = ctx.eval_instance(id as u32);
+        let mut h = LogHistogram::for_latencies();
         for e in &w.events {
-            hist.record(e.true_exec_secs);
+            h.record(e.true_exec_secs);
         }
+        h
+    });
+    let mut hist = LogHistogram::for_latencies();
+    for h in &per_instance {
+        hist.merge(h);
     }
     const QS: [f64; 11] = [
         0.0001, 0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 0.9999,
@@ -68,7 +80,8 @@ pub fn fig1b(ctx: &ExperimentContext) -> ExperimentReport {
     let frac_under_100ms = hist.cdf(0.1);
     let frac_under_1s = hist.cdf(1.0);
 
-    let mut text = String::from("Fig 1b — fleet query-latency distribution\npercentile   latency(s)\n");
+    let mut text =
+        String::from("Fig 1b — fleet query-latency distribution\npercentile   latency(s)\n");
     for &(q, v) in &quantiles {
         text.push_str(&format!("{:>9.2}%   {v:>12.4}\n", q * 100.0));
     }

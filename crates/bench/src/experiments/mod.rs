@@ -39,10 +39,32 @@ impl ExperimentReport {
 
 /// All experiment ids, in the order `all` runs them.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "fig1a", "fig1b", "tab1", "tab2", "tab3", "tab4", "tab5", "tab6", "fig6", "fig7", "fig9",
-    "fig10", "fig11", "ablation_alpha", "ablation_cache_mode", "ablation_k", "ablation_pool", "ablation_coldstart",
-    "ablation_routing", "ablation_drift", "ablation_heterogeneity", "ablation_mixed",
-    "ablation_uncertainty", "ablation_importance", "ablation_env", "ablation_hash",
+    "fig1a",
+    "fig1b",
+    "tab1",
+    "tab2",
+    "tab3",
+    "tab4",
+    "tab5",
+    "tab6",
+    "fig6",
+    "fig7",
+    "fig9",
+    "fig10",
+    "fig11",
+    "ablation_alpha",
+    "ablation_cache_mode",
+    "ablation_k",
+    "ablation_pool",
+    "ablation_coldstart",
+    "ablation_routing",
+    "ablation_drift",
+    "ablation_heterogeneity",
+    "ablation_mixed",
+    "ablation_uncertainty",
+    "ablation_importance",
+    "ablation_env",
+    "ablation_hash",
     "ablation_welford",
 ];
 

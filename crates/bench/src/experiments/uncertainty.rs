@@ -109,7 +109,9 @@ pub fn fig11(_ctx: &ExperimentContext, data: &Collected) -> ExperimentReport {
     }
     text.push_str(&format!(
         "\nmedian PRR: {} over {} instances (paper: median 0.9, ~30% near 1.0)\n",
-        median.map(|m| format!("{m:.3}")).unwrap_or_else(|| "n/a".into()),
+        median
+            .map(|m| format!("{m:.3}"))
+            .unwrap_or_else(|| "n/a".into()),
         scores.len()
     ));
     let json = json!({

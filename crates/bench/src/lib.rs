@@ -11,6 +11,10 @@
 //!   / global / AutoWLM predictions side by side for every query;
 //! * [`context`] — experiment configuration, fleet construction, and global
 //!   model training on disjoint training instances;
+//! * [`parallel`] — the shard-parallel fleet replay engine: per-instance
+//!   work distributed over a scoped worker pool, index-tagged so results
+//!   are identical to the sequential loop at any thread count
+//!   (`STAGE_THREADS` or the `parallelism` knob control sizing);
 //! * [`experiments`] — one function per paper artefact (`fig1a` … `fig11`,
 //!   `tab1` … `tab6`) and per ablation, each returning both a human-readable
 //!   report and a JSON value;
@@ -19,7 +23,9 @@
 
 pub mod context;
 pub mod experiments;
+pub mod parallel;
 pub mod replay;
 
 pub use context::{ExperimentContext, HarnessConfig};
+pub use parallel::{resolve_parallelism, ParallelFleetReplay, STAGE_THREADS_ENV};
 pub use replay::{ablation_replay, replay, AblationRecord, ReplayRecord};

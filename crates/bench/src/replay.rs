@@ -5,15 +5,15 @@
 
 use serde::{Deserialize, Serialize};
 use stage_core::{
-    plan_to_tree_sample, ExecTimePredictor, GlobalModel, LocalModel, LocalModelConfig,
-    PoolConfig, PredictionSource, SystemContext, TrainingPool,
+    plan_to_tree_sample, ExecTimePredictor, GlobalModel, LocalModel, LocalModelConfig, PoolConfig,
+    PredictionSource, SystemContext, TrainingPool,
 };
 use stage_core::{CacheConfig, ExecTimeCache};
 use stage_plan::plan_feature_vector;
 use stage_workload::InstanceWorkload;
 
 /// One replayed query: what happened and what was predicted.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ReplayRecord {
     /// Arrival time in seconds since replay start.
     pub arrival_secs: f64,
@@ -51,7 +51,7 @@ pub fn replay(
 /// Side-by-side component predictions for one query — the raw material of
 /// the paper's ablation tables (Tables 3–6) and uncertainty figures
 /// (Figs. 10–11).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AblationRecord {
     /// Arrival time.
     pub arrival_secs: f64,

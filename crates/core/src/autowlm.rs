@@ -53,6 +53,7 @@ pub struct AutoWlmPredictor {
     model: Option<Gbm>,
     observations_since_train: usize,
     trainings: u64,
+    instance_salt: u64,
 }
 
 impl AutoWlmPredictor {
@@ -69,7 +70,16 @@ impl AutoWlmPredictor {
             model: None,
             observations_since_train: 0,
             trainings: 0,
+            instance_salt: 0,
         }
+    }
+
+    /// Sets the per-instance seed salt (see
+    /// [`crate::LocalModel::set_instance_salt`]): retraining seeds derive
+    /// only from per-instance state, keeping replays deterministic at any
+    /// parallelism.
+    pub fn set_instance_salt(&mut self, salt: u64) {
+        self.instance_salt = salt;
     }
 
     /// Whether a trained model exists.
@@ -93,11 +103,10 @@ impl AutoWlmPredictor {
         let Some(dataset) = self.pool.to_dataset() else {
             return;
         };
+        // Same per-instance-state-only derivation as the Stage local model:
+        // base seed ⊕ instance salt, stepped by the retrain counter.
         let params = GbmParams {
-            seed: self
-                .config
-                .gbm
-                .seed
+            seed: (self.config.gbm.seed ^ self.instance_salt.wrapping_mul(0xD6E8_FEB8_6659_FD93))
                 .wrapping_add(self.trainings.wrapping_mul(0x9E37_79B9)),
             ..self.config.gbm
         };

@@ -14,8 +14,8 @@
 //! exceeded (the paper keeps 2 000 unique queries).
 
 use serde::{Deserialize, Serialize};
-use stage_plan::{plan_feature_vector, PhysicalPlan};
 use stage_metrics::Welford;
+use stage_plan::{plan_feature_vector, PhysicalPlan};
 use std::collections::HashMap;
 
 /// How a cached query's history becomes a prediction.
@@ -120,8 +120,7 @@ impl ExecTimeCache {
                 self.hits += 1;
                 let pred = match self.config.mode {
                     CacheMode::AlphaBlend => {
-                        self.config.alpha * e.stats.mean()
-                            + (1.0 - self.config.alpha) * e.last_secs
+                        self.config.alpha * e.stats.mean() + (1.0 - self.config.alpha) * e.last_secs
                     }
                     CacheMode::Holt { .. } => (e.holt_level + e.holt_trend).max(0.0),
                 };
@@ -219,19 +218,14 @@ impl ExecTimeCache {
     /// four stat scalars + seq (paper's "4 values per hash table entry"
     /// plus bookkeeping).
     pub fn approx_size_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.entries.len() * (8 + std::mem::size_of::<Entry>())
+        std::mem::size_of::<Self>() + self.entries.len() * (8 + std::mem::size_of::<Entry>())
     }
 
     /// Evicts the entry with the smallest `last_update`. Linear scan —
     /// at the paper's capacity (2 000) this is microseconds and happens at
     /// most once per insert.
     fn evict_oldest(&mut self) {
-        if let Some((&key, _)) = self
-            .entries
-            .iter()
-            .min_by_key(|(_, e)| e.last_update)
-        {
+        if let Some((&key, _)) = self.entries.iter().min_by_key(|(_, e)| e.last_update) {
             self.entries.remove(&key);
         }
     }
@@ -243,7 +237,11 @@ mod tests {
     use proptest::prelude::*;
 
     fn cache(capacity: usize, alpha: f64) -> ExecTimeCache {
-        ExecTimeCache::new(CacheConfig { capacity, alpha, ..CacheConfig::default() })
+        ExecTimeCache::new(CacheConfig {
+            capacity,
+            alpha,
+            ..CacheConfig::default()
+        })
     }
 
     #[test]
@@ -413,6 +411,52 @@ mod tests {
     }
 
     proptest! {
+        // Model-based check against a reference implementation of the
+        // paper's eviction rule, under arbitrary lookup/record
+        // interleavings:
+        //   * the cache never exceeds its capacity,
+        //   * exactly the least-recently-updated entry is evicted (the
+        //     surviving key set equals the reference model's at every step),
+        //   * hits + misses equals the number of lookup calls.
+        #[test]
+        fn prop_capacity_lru_eviction_and_counters(
+            ops in proptest::collection::vec(
+                (0u64..12, 0.01f64..50.0, proptest::bool::ANY),
+                1..400,
+            )
+        ) {
+            const CAP: usize = 4;
+            let mut c = cache(CAP, 0.8);
+            // Reference model: key -> last-update sequence number. Seqs are
+            // unique, so "least recently updated" is unambiguous.
+            let mut reference: std::collections::HashMap<u64, u64> =
+                std::collections::HashMap::new();
+            let mut seq = 0u64;
+            let mut lookups = 0u64;
+            for &(k, v, is_lookup) in &ops {
+                if is_lookup {
+                    let hit = c.lookup(k).is_some();
+                    lookups += 1;
+                    prop_assert_eq!(hit, reference.contains_key(&k));
+                } else {
+                    c.record(k, v);
+                    seq += 1;
+                    if !reference.contains_key(&k) && reference.len() == CAP {
+                        let oldest =
+                            *reference.iter().min_by_key(|&(_, &s)| s).unwrap().0;
+                        reference.remove(&oldest);
+                    }
+                    reference.insert(k, seq);
+                }
+                prop_assert!(c.len() <= CAP);
+                prop_assert_eq!(c.len(), reference.len());
+            }
+            for k in reference.keys() {
+                prop_assert!(c.contains(*k));
+            }
+            prop_assert_eq!(c.hits() + c.misses(), lookups);
+        }
+
         #[test]
         fn prop_len_bounded_and_prediction_in_range(
             ops in proptest::collection::vec((0u64..20, 0.01f64..100.0), 1..300)

@@ -130,18 +130,22 @@ impl GlobalModel {
             seed: config.seed,
         };
         // Hold out every 10th sample for calibration.
-        let (fit_set, holdout): (Vec<_>, Vec<_>) = samples
-            .iter()
-            .enumerate()
-            .partition(|(i, _)| i % 10 != 9);
+        let (fit_set, holdout): (Vec<_>, Vec<_>) =
+            samples.iter().enumerate().partition(|(i, _)| i % 10 != 9);
         let fit_samples: Vec<TreeSample> = fit_set.into_iter().map(|(_, s)| s.clone()).collect();
         let holdout: Vec<TreeSample> = holdout.into_iter().map(|(_, s)| s.clone()).collect();
 
         let mut gcn = PlanGcn::new(gcn_config);
         let report = gcn.fit(&fit_samples);
 
-        let lo = samples.iter().map(|s| s.target).fold(f64::INFINITY, f64::min);
-        let hi = samples.iter().map(|s| s.target).fold(f64::NEG_INFINITY, f64::max);
+        let lo = samples
+            .iter()
+            .map(|s| s.target)
+            .fold(f64::INFINITY, f64::min);
+        let hi = samples
+            .iter()
+            .map(|s| s.target)
+            .fold(f64::NEG_INFINITY, f64::max);
 
         // Least-squares y = a·ŷ + b on the holdout (fallback: identity).
         let calibration = if holdout.len() >= 10 {

@@ -80,6 +80,7 @@ pub struct LocalModel {
     ensemble: Option<BayesianEnsemble>,
     observations_since_train: usize,
     trainings: u64,
+    instance_salt: u64,
 }
 
 impl LocalModel {
@@ -90,7 +91,22 @@ impl LocalModel {
             ensemble: None,
             observations_since_train: 0,
             trainings: 0,
+            instance_salt: 0,
         }
+    }
+
+    /// Sets the per-instance seed salt. Retraining seeds derive only from
+    /// the configured base seed, this salt, and the retrain counter — all
+    /// per-instance state — so replays are bit-identical regardless of how
+    /// instances are scheduled across threads, while distinct instances
+    /// still train decorrelated ensembles.
+    pub fn set_instance_salt(&mut self, salt: u64) {
+        self.instance_salt = salt;
+    }
+
+    /// The per-instance seed salt.
+    pub fn instance_salt(&self) -> u64 {
+        self.instance_salt
     }
 
     /// Whether a trained ensemble is available.
@@ -121,13 +137,15 @@ impl LocalModel {
         let Some(dataset) = pool.to_dataset() else {
             return;
         };
-        // Vary the seed across retrainings so ensembles don't ossify.
+        // Vary the seed across retrainings so ensembles don't ossify, and
+        // across instances so fleets don't train in lockstep. Derived only
+        // from per-instance state (base seed, instance salt, retrain
+        // counter) — never from global counters or thread identity — so a
+        // replay is deterministic at any parallelism.
         let params = EnsembleParams {
-            seed: self
-                .config
-                .ensemble
-                .seed
-                .wrapping_add(self.trainings.wrapping_mul(0x9E37_79B9)),
+            seed: (self.config.ensemble.seed
+                ^ self.instance_salt.wrapping_mul(0xD6E8_FEB8_6659_FD93))
+            .wrapping_add(self.trainings.wrapping_mul(0x9E37_79B9)),
             ..self.config.ensemble
         };
         if let Some(e) = BayesianEnsemble::fit(&dataset, &params) {
@@ -244,6 +262,28 @@ mod tests {
         assert!(p.total_variance() > 0.0);
         assert!((p.log_std().powi(2) - p.total_variance()).abs() < 1e-12);
         assert!(p.exec_secs >= 0.0);
+    }
+
+    #[test]
+    fn retrain_seed_depends_only_on_instance_state() {
+        let pool = filled_pool(200, 9);
+        let predict_with_salt = |salt: u64| {
+            let mut m = LocalModel::new(quick_config());
+            m.set_instance_salt(salt);
+            m.retrain(&pool);
+            m.retrain(&pool); // second training steps the retrain counter
+            m.predict(&[50.0, 1.0]).unwrap()
+        };
+        // Same per-instance state -> bit-identical model, no matter when or
+        // where (which thread) the retraining ran.
+        let a = predict_with_salt(17);
+        let b = predict_with_salt(17);
+        assert_eq!(a, b);
+        // Default salt is zero and is reported back.
+        let mut m = LocalModel::new(quick_config());
+        assert_eq!(m.instance_salt(), 0);
+        m.set_instance_salt(3);
+        assert_eq!(m.instance_salt(), 3);
     }
 
     #[test]

@@ -30,8 +30,7 @@ fn save_impl<T: Serialize, W: Write>(kind: &str, value: &T, mut out: W) -> io::R
         kind: kind.to_string(),
         payload: value,
     };
-    serde_json::to_writer(&mut out, &env)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    serde_json::to_writer(&mut out, &env).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 fn load_impl<T: DeserializeOwned, R: Read>(kind: &str, input: R) -> io::Result<T> {
@@ -133,11 +132,7 @@ mod tests {
         let mut back = load_cache(buf.as_slice()).unwrap();
         for k in 0..50u64 {
             assert_eq!(cache.contains(k), back.contains(k));
-            assert_eq!(
-                { back.lookup(k) },
-                { cache.lookup(k) },
-                "key {k}"
-            );
+            assert_eq!({ back.lookup(k) }, { cache.lookup(k) }, "key {k}");
         }
     }
 
@@ -194,10 +189,9 @@ mod tests {
         // Wrong kind.
         assert!(load_local(buf.as_slice()).is_err());
         // Wrong version.
-        let text = String::from_utf8(buf).unwrap().replace(
-            "\"version\":1",
-            "\"version\":999",
-        );
+        let text = String::from_utf8(buf)
+            .unwrap()
+            .replace("\"version\":1", "\"version\":999");
         assert!(load_cache(text.as_bytes()).is_err());
     }
 

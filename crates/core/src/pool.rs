@@ -212,10 +212,7 @@ mod tests {
         // FIFO of 100: the long query is gone.
         let ds = p.to_dataset().unwrap();
         let long_target = 500.0f64.ln_1p();
-        assert!(ds
-            .targets()
-            .iter()
-            .all(|&t| (t - long_target).abs() > 1e-9));
+        assert!(ds.targets().iter().all(|&t| (t - long_target).abs() > 1e-9));
         assert_eq!(p.len(), 100);
     }
 

@@ -141,6 +141,14 @@ impl StagePredictor {
         self.global = Some(global);
     }
 
+    /// Sets the per-instance seed salt on the local model (see
+    /// [`LocalModel::set_instance_salt`]): retraining seeds then derive only
+    /// from per-instance state, so shard-parallel fleet replays are
+    /// bit-identical to sequential ones.
+    pub fn set_instance_salt(&mut self, salt: u64) {
+        self.local.set_instance_salt(salt);
+    }
+
     /// Routing counters so far.
     pub fn stats(&self) -> RoutingStats {
         self.stats
@@ -248,6 +256,23 @@ impl ExecTimePredictor for StagePredictor {
         std::mem::size_of::<Self>() + c + p + l
     }
 }
+
+// Thread-safety contract of the shard-parallel fleet replay engine,
+// checked at compile time: every per-instance predictor moves into a worker
+// thread (`Send`), and the one fleet-trained global model is shared across
+// workers behind an `Arc` (`Send + Sync`). A field change that silently
+// breaks one of these bounds fails the build here rather than at a distant
+// `thread::scope` call site.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<GlobalModel>();
+    assert_send::<StagePredictor>();
+    assert_send::<crate::autowlm::AutoWlmPredictor>();
+    assert_send::<LocalModel>();
+    assert_send::<ExecTimeCache>();
+    assert_send::<TrainingPool>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -105,7 +105,10 @@ impl Binner {
     /// # Panics
     /// Panics if `n_bins < 2` or `n_bins > 256`, or the dataset is empty.
     pub fn fit(data: &Dataset, n_bins: usize) -> Self {
-        assert!((2..=Self::MAX_BINS).contains(&n_bins), "n_bins must be in 2..=256");
+        assert!(
+            (2..=Self::MAX_BINS).contains(&n_bins),
+            "n_bins must be in 2..=256"
+        );
         assert!(!data.is_empty(), "cannot bin an empty dataset");
         let n = data.n_rows();
         let mut cuts = Vec::with_capacity(data.n_cols());

@@ -189,12 +189,7 @@ impl Gbm {
     /// Rough in-memory size in bytes (for Fig. 9-style reporting).
     pub fn approx_size_bytes(&self) -> usize {
         // Each node is ~24 bytes of payload in the arena representation.
-        std::mem::size_of::<Self>()
-            + self
-                .trees
-                .iter()
-                .map(|t| t.n_nodes() * 24)
-                .sum::<usize>()
+        std::mem::size_of::<Self>() + self.trees.iter().map(|t| t.n_nodes() * 24).sum::<usize>()
     }
 }
 
@@ -238,7 +233,13 @@ mod tests {
         // y = 10 sin(x0) + 5 x1^2 + 2 x2, a smooth nonlinear target.
         let mut rng = StdRng::seed_from_u64(seed);
         let rows: Vec<Vec<f64>> = (0..n)
-            .map(|_| vec![rng.gen_range(0.0..std::f64::consts::PI), rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
+            .map(|_| {
+                vec![
+                    rng.gen_range(0.0..std::f64::consts::PI),
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                ]
+            })
             .collect();
         let targets: Vec<f64> = rows
             .iter()

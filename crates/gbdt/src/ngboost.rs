@@ -154,10 +154,24 @@ impl NgBoost {
             }
             let cols = sample_cols(&all_cols, params.colsample, &mut rng);
             let t_mu = Tree::fit(
-                data, &binned, &binner, &grad_mu, &hess, &rows, &cols, &params.tree,
+                data,
+                &binned,
+                &binner,
+                &grad_mu,
+                &hess,
+                &rows,
+                &cols,
+                &params.tree,
             );
             let t_s = Tree::fit(
-                data, &binned, &binner, &grad_s, &hess, &rows, &cols, &params.tree,
+                data,
+                &binned,
+                &binner,
+                &grad_s,
+                &hess,
+                &rows,
+                &cols,
+                &params.tree,
             );
             for (i, m) in mu.iter_mut().enumerate() {
                 let row = data.row(i);

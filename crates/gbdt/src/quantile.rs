@@ -139,7 +139,11 @@ impl QuantileGbm {
 
         for _round in 0..params.n_estimators {
             for &i in train_idx {
-                grads[i] = if data.target(i) < preds[i] { 1.0 - q } else { -q };
+                grads[i] = if data.target(i) < preds[i] {
+                    1.0 - q
+                } else {
+                    -q
+                };
             }
             let rows = sample_rows(train_idx, params.subsample, &mut rng);
             if rows.is_empty() {
@@ -147,7 +151,14 @@ impl QuantileGbm {
             }
             let cols = sample_cols(&all_cols, params.colsample, &mut rng);
             let tree = Tree::fit(
-                data, &binned, &binner, &grads, &hess, &rows, &cols, &params.tree,
+                data,
+                &binned,
+                &binner,
+                &grads,
+                &hess,
+                &rows,
+                &cols,
+                &params.tree,
             );
             for (i, pred) in preds.iter_mut().enumerate() {
                 *pred += params.learning_rate * tree.predict(data.row(i));
@@ -206,12 +217,7 @@ pub struct QuantileBand {
 
 impl QuantileBand {
     /// Fits the three models at `(lo_q, 0.5, hi_q)` with shared settings.
-    pub fn fit(
-        data: &Dataset,
-        lo_q: f64,
-        hi_q: f64,
-        base: &QuantileGbmParams,
-    ) -> Option<Self> {
+    pub fn fit(data: &Dataset, lo_q: f64, hi_q: f64, base: &QuantileGbmParams) -> Option<Self> {
         if !(0.0 < lo_q && lo_q < 0.5 && 0.5 < hi_q && hi_q < 1.0) {
             return None;
         }

@@ -222,8 +222,8 @@ impl Tree {
                 {
                     continue;
                 }
-                let gain = gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda)
-                    - parent_score;
+                let gain =
+                    gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda) - parent_score;
                 if gain > params.min_gain && best.map(|(_, _, g)| gain > g).unwrap_or(true) {
                     best = Some((c, b as u8, gain));
                 }
@@ -261,10 +261,28 @@ impl Tree {
             right: 0,
         });
         let left = self.build(
-            binned, binner, grads, hess, idx, start, mid, depth + 1, columns, params,
+            binned,
+            binner,
+            grads,
+            hess,
+            idx,
+            start,
+            mid,
+            depth + 1,
+            columns,
+            params,
         );
         let right = self.build(
-            binned, binner, grads, hess, idx, mid, end, depth + 1, columns, params,
+            binned,
+            binner,
+            grads,
+            hess,
+            idx,
+            mid,
+            end,
+            depth + 1,
+            columns,
+            params,
         );
         if let Node::Split {
             left: l, right: r, ..
@@ -292,7 +310,9 @@ mod tests {
         let hess = vec![1.0; data.n_rows()];
         let indices: Vec<usize> = (0..data.n_rows()).collect();
         let columns: Vec<usize> = (0..data.n_cols()).collect();
-        Tree::fit(data, &binned, &binner, &grads, &hess, &indices, &columns, params)
+        Tree::fit(
+            data, &binned, &binner, &grads, &hess, &indices, &columns, params,
+        )
     }
 
     fn step_data() -> Dataset {
@@ -376,9 +396,7 @@ mod tests {
     #[test]
     fn column_subset_restricts_splits() {
         // Feature 0 is informative, feature 1 is noise; restrict to column 1.
-        let rows: Vec<Vec<f64>> = (0..100)
-            .map(|i| vec![i as f64, (i % 3) as f64])
-            .collect();
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, (i % 3) as f64]).collect();
         let targets: Vec<f64> = (0..100).map(|i| if i < 50 { 0.0 } else { 10.0 }).collect();
         let data = Dataset::from_rows(&rows, &targets);
         let binner = Binner::fit(&data, 32);

@@ -147,7 +147,10 @@ impl BucketReport {
                     "{label:<13} {:>12} {:>10.3} {:>10.3} {:>10.3}\n",
                     a.count, a.mae, a.p50, a.p90
                 )),
-                None => out.push_str(&format!("{label:<13} {:>12} {:>10} {:>10} {:>10}\n", 0, "-", "-", "-")),
+                None => out.push_str(&format!(
+                    "{label:<13} {:>12} {:>10} {:>10} {:>10}\n",
+                    0, "-", "-", "-"
+                )),
             }
         }
         out
@@ -206,7 +209,10 @@ impl BucketReport {
                     "{label:<13} {:>12} {:>10.3} {:>10.3} {:>10.3}\n",
                     q.count, q.mqe, q.p50, q.p90
                 )),
-                None => out.push_str(&format!("{label:<13} {:>12} {:>10} {:>10} {:>10}\n", 0, "-", "-", "-")),
+                None => out.push_str(&format!(
+                    "{label:<13} {:>12} {:>10} {:>10} {:>10}\n",
+                    0, "-", "-", "-"
+                )),
             }
         }
         out
@@ -235,7 +241,10 @@ mod tests {
         let pred = [1.0; 7];
         let r = BucketReport::from_pairs(&actual, &pred).unwrap();
         let overall = r.overall().count();
-        let sum: usize = ExecTimeBucket::ALL.iter().map(|&b| r.bucket(b).count()).sum();
+        let sum: usize = ExecTimeBucket::ALL
+            .iter()
+            .map(|&b| r.bucket(b).count())
+            .sum();
         assert_eq!(overall, 7);
         assert_eq!(sum, overall);
         assert_eq!(r.bucket(ExecTimeBucket::UpTo10s).count(), 3);

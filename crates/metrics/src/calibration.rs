@@ -87,7 +87,12 @@ mod tests {
 
     #[test]
     fn coverage_basic() {
-        let triples = [(1.0, 0.0, 2.0), (5.0, 0.0, 2.0), (2.0, 2.0, 2.0), (3.0, 1.0, 4.0)];
+        let triples = [
+            (1.0, 0.0, 2.0),
+            (5.0, 0.0, 2.0),
+            (2.0, 2.0, 2.0),
+            (3.0, 1.0, 4.0),
+        ];
         assert_eq!(interval_coverage(&triples), Some(0.75));
         assert_eq!(interval_coverage(&[]), None);
         assert_eq!(interval_coverage(&[(1.0, 2.0, 0.0)]), None); // inverted

@@ -57,9 +57,7 @@ impl PrrCurves {
         };
 
         let mut oracle_order: Vec<usize> = (0..n).collect();
-        oracle_order.sort_by(|&a, &b| {
-            errors[b].partial_cmp(&errors[a]).expect("NaN error in PRR")
-        });
+        oracle_order.sort_by(|&a, &b| errors[b].partial_cmp(&errors[a]).expect("NaN error in PRR"));
         let mut unc_order: Vec<usize> = (0..n).collect();
         unc_order.sort_by(|&a, &b| {
             uncertainties[b]
@@ -147,7 +145,7 @@ mod tests {
         assert!(prr_score(&[], &[]).is_none());
         assert!(prr_score(&[1.0], &[1.0, 2.0]).is_none());
         assert!(prr_score(&[0.0, 0.0], &[1.0, 2.0]).is_none()); // zero total error
-        // all-equal errors -> oracle AUC 0 -> undefined
+                                                                // all-equal errors -> oracle AUC 0 -> undefined
         assert!(prr_score(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]).is_none());
     }
 

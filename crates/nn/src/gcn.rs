@@ -175,6 +175,15 @@ pub struct TrainReport {
     pub epoch_losses: Vec<f64>,
 }
 
+// A trained plan-GCN is immutable at inference time and is shared across
+// replay worker threads behind an `Arc` (via `stage_core::GlobalModel`);
+// this compile-time check pins that contract.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PlanGcn>();
+    assert_send_sync::<TreeSample>();
+};
+
 impl PlanGcn {
     /// Initializes a model with random weights.
     pub fn new(config: GcnConfig) -> Self {
@@ -205,13 +214,7 @@ impl PlanGcn {
 
     /// Forward pass for one sample on an existing tape. Returns the `1×1`
     /// prediction var.
-    fn forward(
-        &self,
-        g: &mut Graph,
-        sample: &TreeSample,
-        training: bool,
-        rng: &mut StdRng,
-    ) -> Var {
+    fn forward(&self, g: &mut Graph, sample: &TreeSample, training: bool, rng: &mut StdRng) -> Var {
         let order = sample.topo_order();
         let n = sample.node_feats.len();
 
@@ -277,7 +280,9 @@ impl PlanGcn {
                 panic!("invalid sample {i}: {e}");
             }
             assert!(
-                s.node_feats.iter().all(|f| f.len() == self.config.node_feat_dim),
+                s.node_feats
+                    .iter()
+                    .all(|f| f.len() == self.config.node_feat_dim),
                 "sample {i}: node feature width mismatch"
             );
             assert_eq!(

@@ -140,7 +140,13 @@ impl Graph {
         let xv = &self.nodes[x.0].value;
         let keep = 1.0 / (1.0 - p);
         let mask: Vec<f64> = (0..xv.rows() * xv.cols())
-            .map(|_| if rng.gen_range(0.0..1.0) < p { 0.0 } else { keep })
+            .map(|_| {
+                if rng.gen_range(0.0..1.0) < p {
+                    0.0
+                } else {
+                    keep
+                }
+            })
             .collect();
         let value = Matrix::from_vec(
             xv.rows(),
@@ -200,7 +206,10 @@ impl Graph {
     /// `(x[0,0] − target)²` as a `1×1` loss term.
     pub fn squared_error(&mut self, x: Var, target: f64) -> Var {
         let d = self.nodes[x.0].value.get(0, 0) - target;
-        self.push(Op::SquaredError(x, target), Matrix::from_vec(1, 1, vec![d * d]))
+        self.push(
+            Op::SquaredError(x, target),
+            Matrix::from_vec(1, 1, vec![d * d]),
+        )
     }
 
     /// Sums a list of `1×1` scalars and divides by their count (batch-mean
@@ -220,16 +229,17 @@ impl Graph {
     pub fn backward(&mut self, loss: Var, store: &mut ParamStore) {
         {
             let n = &mut self.nodes[loss.0];
-            assert_eq!((n.value.rows(), n.value.cols()), (1, 1), "loss must be scalar");
+            assert_eq!(
+                (n.value.rows(), n.value.cols()),
+                (1, 1),
+                "loss must be scalar"
+            );
             n.grad.set(0, 0, 1.0);
         }
         for i in (0..=loss.0).rev() {
             // Take the node's gradient to appease the borrow checker; ops
             // never read their own grad afterwards.
-            let gout = std::mem::replace(
-                &mut self.nodes[i].grad,
-                Matrix::zeros(0, 0),
-            );
+            let gout = std::mem::replace(&mut self.nodes[i].grad, Matrix::zeros(0, 0));
             if gout.data().iter().all(|&g| g == 0.0) {
                 self.nodes[i].grad = gout;
                 continue;

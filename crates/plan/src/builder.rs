@@ -232,7 +232,10 @@ impl PlanBuilder {
 
     /// Pops all pending sub-plans and unions them (UNION ALL / Append).
     pub fn append_all(mut self) -> Self {
-        assert!(!self.stack.is_empty(), "append_all needs at least one input");
+        assert!(
+            !self.stack.is_empty(),
+            "append_all needs at least one input"
+        );
         let children = std::mem::take(&mut self.stack);
         let rows: f64 = children.iter().map(|c| c.est_rows).sum();
         let width = children.iter().map(|c| c.width).fold(0.0, f64::max);

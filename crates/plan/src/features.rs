@@ -121,12 +121,11 @@ pub fn feature_name(i: usize) -> String {
     assert!(i < CACHE_FEATURE_DIM, "feature index out of range");
     if i < OperatorCategory::COUNT * 2 {
         let cat = OperatorCategory::ALL[i / 2];
-        let what = if i % 2 == 0 { "cost" } else { "rows" };
+        let what = if i.is_multiple_of(2) { "cost" } else { "rows" };
         format!("{cat:?}.{what}")
     } else {
         let qt = i - OperatorCategory::COUNT * 2;
-        const NAMES: [&str; QueryType::COUNT] =
-            ["Select", "Insert", "Update", "Delete", "Other"];
+        const NAMES: [&str; QueryType::COUNT] = ["Select", "Insert", "Update", "Delete", "Other"];
         format!("query_type.{}", NAMES[qt])
     }
 }
@@ -156,7 +155,10 @@ mod tests {
             PlanNode::leaf(K::S3Scan, 400.0, 5_000.0, 128.0).with_table(S3Format::Parquet, 5e6);
         let hash = PlanNode::internal(K::Hash, 80.0, 5_000.0, 128.0, vec![t2]);
         let join = PlanNode::internal(K::HashJoin, 900.0, 2_000.0, 160.0, vec![t1, hash]);
-        PhysicalPlan::new(QueryType::Select, PlanNode::internal(K::Result, 10.0, 2_000.0, 160.0, vec![join]))
+        PhysicalPlan::new(
+            QueryType::Select,
+            PlanNode::internal(K::Result, 10.0, 2_000.0, 160.0, vec![join]),
+        )
     }
 
     #[test]

@@ -234,11 +234,7 @@ fn dp_enumerate(query: &LogicalQuery) -> Candidate {
             if let (Some(a), Some(b)) = (&best[sub as usize], &best[other as usize]) {
                 if let Some(sel) = cross_selectivity(sub, other, &query.joins) {
                     let cand = join_candidate(a, b, sel);
-                    if winner
-                        .as_ref()
-                        .map(|w| cand.cost < w.cost)
-                        .unwrap_or(true)
-                    {
+                    if winner.as_ref().map(|w| cand.cost < w.cost).unwrap_or(true) {
                         winner = Some(cand);
                     }
                 }
@@ -362,9 +358,7 @@ mod tests {
             .find(|n| n.op == OperatorKind::Hash)
             .unwrap();
         assert_eq!(hash.est_rows, 1e3);
-        assert!(p
-            .iter_preorder()
-            .any(|n| n.op == OperatorKind::DsBcast));
+        assert!(p.iter_preorder().any(|n| n.op == OperatorKind::DsBcast));
     }
 
     #[test]
@@ -378,8 +372,16 @@ mod tests {
                 table(1e4, 1.0), // dim B, non-reducing join
             ],
             joins: vec![
-                JoinEdge { left: 0, right: 1, selectivity: 1e-8 },
-                JoinEdge { left: 0, right: 2, selectivity: 1e-4 },
+                JoinEdge {
+                    left: 0,
+                    right: 1,
+                    selectivity: 1e-8,
+                },
+                JoinEdge {
+                    left: 0,
+                    right: 2,
+                    selectivity: 1e-4,
+                },
             ],
         };
         let p = optimize(&q).unwrap();
@@ -416,7 +418,12 @@ mod tests {
             .collect();
         let p = optimize(&LogicalQuery { tables, joins }).unwrap();
         assert_eq!(p.join_count(), n - 1);
-        assert!(p.iter_preorder().filter(|x| x.op.is_base_table_scan()).count() == n);
+        assert!(
+            p.iter_preorder()
+                .filter(|x| x.op.is_base_table_scan())
+                .count()
+                == n
+        );
     }
 
     #[test]
@@ -437,12 +444,19 @@ mod tests {
     #[test]
     fn errors() {
         assert_eq!(
-            optimize(&LogicalQuery { tables: vec![], joins: vec![] }),
+            optimize(&LogicalQuery {
+                tables: vec![],
+                joins: vec![]
+            }),
             Err(OptimizeError::Empty)
         );
         let q = LogicalQuery {
             tables: vec![table(10.0, 1.0), table(10.0, 1.0)],
-            joins: vec![JoinEdge { left: 0, right: 5, selectivity: 0.1 }],
+            joins: vec![JoinEdge {
+                left: 0,
+                right: 5,
+                selectivity: 0.1,
+            }],
         };
         assert_eq!(optimize(&q), Err(OptimizeError::BadJoinEdge { edge: 0 }));
         let disconnected = LogicalQuery {
@@ -454,11 +468,22 @@ mod tests {
         let self_edge = LogicalQuery {
             tables: vec![table(10.0, 1.0), table(10.0, 1.0)],
             joins: vec![
-                JoinEdge { left: 0, right: 0, selectivity: 0.1 },
-                JoinEdge { left: 0, right: 1, selectivity: 0.1 },
+                JoinEdge {
+                    left: 0,
+                    right: 0,
+                    selectivity: 0.1,
+                },
+                JoinEdge {
+                    left: 0,
+                    right: 1,
+                    selectivity: 0.1,
+                },
             ],
         };
-        assert_eq!(optimize(&self_edge), Err(OptimizeError::BadJoinEdge { edge: 0 }));
+        assert_eq!(
+            optimize(&self_edge),
+            Err(OptimizeError::BadJoinEdge { edge: 0 })
+        );
     }
 
     #[test]
@@ -466,8 +491,16 @@ mod tests {
         let q = LogicalQuery {
             tables: vec![table(1e6, 0.5), table(1e5, 1.0), table(1e4, 1.0)],
             joins: vec![
-                JoinEdge { left: 0, right: 1, selectivity: 1e-5 },
-                JoinEdge { left: 1, right: 2, selectivity: 1e-4 },
+                JoinEdge {
+                    left: 0,
+                    right: 1,
+                    selectivity: 1e-5,
+                },
+                JoinEdge {
+                    left: 1,
+                    right: 2,
+                    selectivity: 1e-4,
+                },
             ],
         };
         let p = optimize(&q).unwrap();

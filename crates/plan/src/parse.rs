@@ -33,7 +33,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "explain parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "explain parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -53,12 +57,18 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
 /// `parse_explain(&plan.explain()) == Ok(plan)` for every plan this crate
 /// can build.
 pub fn parse_explain(text: &str) -> Result<PhysicalPlan, ParseError> {
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
 
     // Header: "<QueryType> plan:"
     let (hline, header) = lines.next().ok_or_else(|| err(0, "empty input"))?;
     let query_type = parse_header(header).ok_or_else(|| {
-        err(hline + 1, format!("expected '<QueryType> plan:', got {header:?}"))
+        err(
+            hline + 1,
+            format!("expected '<QueryType> plan:', got {header:?}"),
+        )
     })?;
 
     // Parse node lines into (depth, node) pairs.

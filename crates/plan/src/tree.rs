@@ -69,7 +69,11 @@ impl PlanNode {
 
     /// Number of nodes in the subtree rooted here.
     pub fn subtree_size(&self) -> usize {
-        1 + self.children.iter().map(PlanNode::subtree_size).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(PlanNode::subtree_size)
+            .sum::<usize>()
     }
 
     /// Height of the subtree (a leaf has height 1).
@@ -162,10 +166,7 @@ impl PhysicalPlan {
             let arrow = if depth == 0 { "" } else { "->  " };
             out.push_str(&format!(
                 "{indent}{arrow}{}  (cost={:.2} rows={:.0} width={:.0}",
-                node.op,
-                node.est_cost,
-                node.est_rows,
-                node.width
+                node.op, node.est_cost, node.est_rows, node.width
             ));
             if let (Some(fmt), Some(rows)) = (node.s3_format, node.table_rows) {
                 out.push_str(&format!(" format={fmt:?} table_rows={rows:.0}"));
@@ -220,7 +221,14 @@ mod tests {
         let ops: Vec<_> = p.iter_preorder().map(|n| n.op).collect();
         assert_eq!(
             ops,
-            vec![K::Result, K::HashJoin, K::DsBcast, K::SeqScan, K::Hash, K::S3Scan]
+            vec![
+                K::Result,
+                K::HashJoin,
+                K::DsBcast,
+                K::SeqScan,
+                K::Hash,
+                K::S3Scan
+            ]
         );
     }
 
@@ -256,10 +264,7 @@ mod tests {
 
     #[test]
     fn single_node_plan() {
-        let p = PhysicalPlan::new(
-            QueryType::Other,
-            PlanNode::leaf(K::Result, 0.0, 1.0, 8.0),
-        );
+        let p = PhysicalPlan::new(QueryType::Other, PlanNode::leaf(K::Result, 0.0, 1.0, 8.0));
         assert_eq!(p.node_count(), 1);
         assert_eq!(p.height(), 1);
         assert_eq!(p.join_count(), 0);

@@ -127,7 +127,9 @@ impl PartialOrd for OrdF64 {
 }
 impl Ord for OrdF64 {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0.partial_cmp(&other.0).expect("no NaN by construction")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("no NaN by construction")
     }
 }
 
@@ -214,12 +216,12 @@ impl Simulation {
 
         // Starts every query that can start at time `now`.
         let start_ready = |now: f64,
-                               short_queue: &mut BinaryHeap<Waiting>,
-                               long_queue: &mut BinaryHeap<Waiting>,
-                               running: &mut BinaryHeap<Running>,
-                               busy_short: &mut usize,
-                               busy_long: &mut usize,
-                               results: &mut Vec<Option<SimResult>>| {
+                           short_queue: &mut BinaryHeap<Waiting>,
+                           long_queue: &mut BinaryHeap<Waiting>,
+                           running: &mut BinaryHeap<Running>,
+                           busy_short: &mut usize,
+                           busy_long: &mut usize,
+                           results: &mut Vec<Option<SimResult>>| {
             while *busy_short < cfg.short_slots {
                 let Some(w) = short_queue.pop() else { break };
                 let q = &queries[w.seq];
@@ -249,13 +251,12 @@ impl Simulation {
                 });
             }
             loop {
-                let effective_slots = if cfg.enable_scaling
-                    && long_queue.len() > cfg.scaling_trigger_len
-                {
-                    cfg.long_slots + cfg.scaling_slots
-                } else {
-                    cfg.long_slots
-                };
+                let effective_slots =
+                    if cfg.enable_scaling && long_queue.len() > cfg.scaling_trigger_len {
+                        cfg.long_slots + cfg.scaling_slots
+                    } else {
+                        cfg.long_slots
+                    };
                 if *busy_long >= effective_slots {
                     break;
                 }
@@ -315,11 +316,7 @@ impl Simulation {
             } else {
                 now = completion_time.expect("checked");
                 // Complete everything finishing at this instant.
-                while running
-                    .peek()
-                    .map(|r| r.finish.0 <= now)
-                    .unwrap_or(false)
-                {
+                while running.peek().map(|r| r.finish.0 <= now).unwrap_or(false) {
                     let r = running.pop().expect("peeked");
                     match r.queue {
                         QueueKind::Short => busy_short -= 1,

@@ -106,7 +106,10 @@ pub fn choose_cluster_size(
     let chosen = if policy.latency_target_secs.is_some() {
         let meeting: Vec<&SizingDecision> = projected.iter().filter(|d| d.meets_target).collect();
         if !meeting.is_empty() {
-            **meeting.iter().min_by(|a, b| by_cost(a, b)).expect("non-empty")
+            **meeting
+                .iter()
+                .min_by(|a, b| by_cost(a, b))
+                .expect("non-empty")
         } else {
             // Nothing meets the SLA: minimize latency, tie-break by cost.
             *projected
@@ -115,14 +118,18 @@ pub fn choose_cluster_size(
                     a.projected_latency_secs
                         .partial_cmp(&b.projected_latency_secs)
                         .expect("finite")
-                        .then(a.projected_cost.partial_cmp(&b.projected_cost).expect("finite"))
+                        .then(
+                            a.projected_cost
+                                .partial_cmp(&b.projected_cost)
+                                .expect("finite"),
+                        )
                 })
                 .expect("non-empty")
         }
     } else {
         *projected
             .iter()
-            .min_by(|a, b| by_cost(&a, &b))
+            .min_by(|a, b| by_cost(a, b))
             .expect("non-empty")
     };
     Some(chosen)
@@ -191,10 +198,22 @@ mod tests {
         // Diminishing returns: doubling nodes buys only 20% speedup beyond
         // 4 nodes — cost then grows with size, so 4 should win without SLA.
         let candidates = vec![
-            SizingCandidate { n_nodes: 2, predicted_secs: 400.0 },
-            SizingCandidate { n_nodes: 4, predicted_secs: 210.0 },
-            SizingCandidate { n_nodes: 8, predicted_secs: 170.0 },
-            SizingCandidate { n_nodes: 16, predicted_secs: 150.0 },
+            SizingCandidate {
+                n_nodes: 2,
+                predicted_secs: 400.0,
+            },
+            SizingCandidate {
+                n_nodes: 4,
+                predicted_secs: 210.0,
+            },
+            SizingCandidate {
+                n_nodes: 8,
+                predicted_secs: 170.0,
+            },
+            SizingCandidate {
+                n_nodes: 16,
+                predicted_secs: 150.0,
+            },
         ];
         let policy = SizingPolicy {
             startup_secs: 0.0,
@@ -207,9 +226,15 @@ mod tests {
     #[test]
     fn invalid_inputs_rejected() {
         assert!(choose_cluster_size(&[], &SizingPolicy::default()).is_none());
-        let bad = vec![SizingCandidate { n_nodes: 0, predicted_secs: 1.0 }];
+        let bad = vec![SizingCandidate {
+            n_nodes: 0,
+            predicted_secs: 1.0,
+        }];
         assert!(choose_cluster_size(&bad, &SizingPolicy::default()).is_none());
-        let nan = vec![SizingCandidate { n_nodes: 2, predicted_secs: f64::NAN }];
+        let nan = vec![SizingCandidate {
+            n_nodes: 2,
+            predicted_secs: f64::NAN,
+        }];
         assert!(choose_cluster_size(&nan, &SizingPolicy::default()).is_none());
     }
 }

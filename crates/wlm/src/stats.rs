@@ -30,7 +30,11 @@ pub fn queue_stats(results: &[SimResult], config: &WlmConfig) -> [QueueStats; 2]
         .iter()
         .map(|r| r.arrival_secs)
         .fold(f64::INFINITY, f64::min);
-    let makespan = if t_start.is_finite() { t_end - t_start } else { 0.0 };
+    let makespan = if t_start.is_finite() {
+        t_end - t_start
+    } else {
+        0.0
+    };
     let mut out = [QueueStats {
         count: 0,
         avg_wait: 0.0,
@@ -48,7 +52,14 @@ pub fn queue_stats(results: &[SimResult], config: &WlmConfig) -> [QueueStats; 2]
         let busy: f64 = rs.iter().map(|r| r.finish_secs - r.start_secs).sum();
         let slots = match kind {
             QueueKind::Short => config.short_slots,
-            QueueKind::Long => config.long_slots + if config.enable_scaling { config.scaling_slots } else { 0 },
+            QueueKind::Long => {
+                config.long_slots
+                    + if config.enable_scaling {
+                        config.scaling_slots
+                    } else {
+                        0
+                    }
+            }
         };
         out[i] = QueueStats {
             count: rs.len(),
@@ -111,8 +122,8 @@ mod tests {
     fn stats_partition_by_queue() {
         let cfg = WlmConfig::default();
         let queries = vec![
-            q(0.0, 1.0, 1.0),  // short
-            q(0.0, 1.0, 1.0),  // short
+            q(0.0, 1.0, 1.0),   // short
+            q(0.0, 1.0, 1.0),   // short
             q(0.0, 60.0, 60.0), // long
         ];
         let results = run(&queries, cfg);

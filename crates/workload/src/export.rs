@@ -32,10 +32,7 @@ pub fn read_jsonl<R: BufRead>(input: R) -> io::Result<Vec<QueryEvent>> {
             continue;
         }
         let event: QueryEvent = serde_json::from_str(&line).map_err(|e| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("line {}: {e}", i + 1),
-            )
+            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", i + 1))
         })?;
         events.push(event);
     }

@@ -184,15 +184,28 @@ impl InstanceWorkload {
 
         let mut templates = Vec::new();
         let mut next_id = 0u32;
-        let mut add = |kind: TemplateKind, range: (usize, usize), rng: &mut StdRng, templates: &mut Vec<Template>| {
+        let mut add = |kind: TemplateKind,
+                       range: (usize, usize),
+                       rng: &mut StdRng,
+                       templates: &mut Vec<Template>| {
             let n = rng.gen_range(range.0..=range.1);
             for _ in 0..n {
                 templates.push(Template::sample(next_id, kind, &tables, rng));
                 next_id += 1;
             }
         };
-        add(TemplateKind::Dashboard, config.dashboards, &mut rng, &mut templates);
-        add(TemplateKind::Report, config.reports, &mut rng, &mut templates);
+        add(
+            TemplateKind::Dashboard,
+            config.dashboards,
+            &mut rng,
+            &mut templates,
+        );
+        add(
+            TemplateKind::Report,
+            config.reports,
+            &mut rng,
+            &mut templates,
+        );
         add(TemplateKind::AdHoc, config.adhoc, &mut rng, &mut templates);
         add(TemplateKind::Etl, config.etl, &mut rng, &mut templates);
 
@@ -366,7 +379,11 @@ mod tests {
         assert_eq!(fleet.instances.len(), 3);
         assert_eq!(
             fleet.total_events(),
-            fleet.instances.iter().map(|i| i.events.len()).sum::<usize>()
+            fleet
+                .instances
+                .iter()
+                .map(|i| i.events.len())
+                .sum::<usize>()
         );
         // Streaming API matches eager generation.
         let streamed = InstanceWorkload::generate(&fleet.config, 2);
@@ -416,7 +433,11 @@ mod tests {
             .flat_map(|i| i.events.iter().map(|e| e.true_exec_secs))
             .collect();
         all.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        assert!(all.len() > 500, "need a meaningful sample, got {}", all.len());
+        assert!(
+            all.len() > 500,
+            "need a meaningful sample, got {}",
+            all.len()
+        );
         let p10 = all[all.len() / 10];
         let p99 = all[all.len() * 99 / 100];
         assert!(

@@ -168,8 +168,7 @@ mod tests {
 
     #[test]
     fn node_type_indices_unique() {
-        let idx: std::collections::HashSet<_> =
-            NodeType::ALL.iter().map(|t| t.index()).collect();
+        let idx: std::collections::HashSet<_> = NodeType::ALL.iter().map(|t| t.index()).collect();
         assert_eq!(idx.len(), NodeType::COUNT);
     }
 
@@ -203,8 +202,9 @@ mod tests {
     #[test]
     fn truth_factors_positive_and_spread() {
         let mut rng = StdRng::seed_from_u64(2);
-        let truths: Vec<InstanceTruth> =
-            (0..100).map(|_| InstanceTruth::sample(&mut rng, 0.4)).collect();
+        let truths: Vec<InstanceTruth> = (0..100)
+            .map(|_| InstanceTruth::sample(&mut rng, 0.4))
+            .collect();
         for t in &truths {
             assert!(t.global_factor > 0.0);
             assert!(t.fixed_overhead_secs > 0.0);

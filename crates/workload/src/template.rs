@@ -199,12 +199,14 @@ impl Template {
             TemplateKind::Etl => (rng.gen_range(0..=1), (1e-2, 0.5), 0.0),
         };
         let n_scans = n_joins + 1;
-        let table_ids: Vec<usize> = (0..n_scans).map(|_| rng.gen_range(0..tables.len())).collect();
+        let table_ids: Vec<usize> = (0..n_scans)
+            .map(|_| rng.gen_range(0..tables.len()))
+            .collect();
         let selectivities: Vec<f64> = (0..n_scans)
             .map(|_| {
                 let (lo, hi) = sel_range;
                 // Log-uniform selectivity.
-                (lo.ln() + rng.gen_range(0.0..1.0) * (hi.ln() - lo.ln())).exp()
+                (lo.ln() + rng.gen_range(0.0f64..1.0) * (hi.ln() - lo.ln())).exp()
             })
             .collect();
         let query_type = match kind {
@@ -239,7 +241,11 @@ impl Template {
                 }
             }
             TemplateKind::Report => {
-                let period = if rng.gen_range(0..2) == 0 { 43_200.0 } else { 86_400.0 };
+                let period = if rng.gen_range(0..2) == 0 {
+                    43_200.0
+                } else {
+                    86_400.0
+                };
                 Schedule::Periodic {
                     period_secs: period,
                     phase_secs: rng.gen_range(0.0..period),
@@ -505,10 +511,7 @@ mod tests {
         let q_later = tpl.instantiate(&ts, &stats, 86_400.0, &mut rng);
         let sum_now: f64 = q_now.true_rows.iter().sum();
         let sum_later: f64 = q_later.true_rows.iter().sum();
-        assert!(
-            sum_later > 1.5 * sum_now,
-            "now={sum_now} later={sum_later}"
-        );
+        assert!(sum_later > 1.5 * sum_now, "now={sum_now} later={sum_later}");
         // Same plan (stale stats), different truth.
         assert_eq!(
             plan_feature_vector(&q_now.plan).stable_hash(),

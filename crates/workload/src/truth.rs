@@ -318,7 +318,13 @@ mod tests {
     /// Test helper: scans read their full output (no pruning), others 0.
     fn scans_read_everything(plan: &PhysicalPlan) -> Vec<f64> {
         plan.iter_preorder()
-            .map(|n| if n.op.is_base_table_scan() { n.est_rows } else { 0.0 })
+            .map(|n| {
+                if n.op.is_base_table_scan() {
+                    n.est_rows
+                } else {
+                    0.0
+                }
+            })
             .collect()
     }
 
@@ -386,8 +392,20 @@ mod tests {
             .finish();
         let rows_l: Vec<f64> = local.iter_preorder().map(|n| n.est_rows).collect();
         let rows_t: Vec<f64> = text.iter_preorder().map(|n| n.est_rows).collect();
-        let tl = m.base_exec_time(&local, &rows_l, &scans_read_everything(&local), &spec(4), &neutral_truth());
-        let tt = m.base_exec_time(&text, &rows_t, &scans_read_everything(&text), &spec(4), &neutral_truth());
+        let tl = m.base_exec_time(
+            &local,
+            &rows_l,
+            &scans_read_everything(&local),
+            &spec(4),
+            &neutral_truth(),
+        );
+        let tt = m.base_exec_time(
+            &text,
+            &rows_t,
+            &scans_read_everything(&text),
+            &spec(4),
+            &neutral_truth(),
+        );
         assert!(tt > 2.0 * tl, "local={tl} text={tt}");
     }
 
@@ -437,10 +455,7 @@ mod tests {
         // damp ∈ [0.25, 1], so doubling the load raises exec-time by
         // between 25% and 100%.
         let ratio = t2 / t1;
-        assert!(
-            (1.25 - 1e-9..=2.0 + 1e-9).contains(&ratio),
-            "ratio {ratio}"
-        );
+        assert!((1.25 - 1e-9..=2.0 + 1e-9).contains(&ratio), "ratio {ratio}");
     }
 
     #[test]

@@ -7,8 +7,7 @@
 //! ```
 
 use stage::core::{
-    AutoWlmConfig, AutoWlmPredictor, ExecTimePredictor, StageConfig, StagePredictor,
-    SystemContext,
+    AutoWlmConfig, AutoWlmPredictor, ExecTimePredictor, StageConfig, StagePredictor, SystemContext,
 };
 use stage::metrics::BucketReport;
 use stage::workload::{FleetConfig, InstanceWorkload};
@@ -58,8 +57,14 @@ fn main() {
 
     let stage_report = BucketReport::from_pairs(&actual, &stage_pred).expect("non-empty");
     let auto_report = BucketReport::from_pairs(&actual, &auto_pred).expect("non-empty");
-    println!("{}", stage_report.render_abs("Stage predictor — absolute error (s)"));
-    println!("{}", auto_report.render_abs("AutoWLM predictor — absolute error (s)"));
+    println!(
+        "{}",
+        stage_report.render_abs("Stage predictor — absolute error (s)")
+    );
+    println!(
+        "{}",
+        auto_report.render_abs("AutoWLM predictor — absolute error (s)")
+    );
 
     let stats = stage.stats();
     println!(

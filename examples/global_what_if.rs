@@ -11,8 +11,8 @@
 //! ```
 
 use stage::core::{plan_to_tree_sample, GlobalModel, GlobalModelConfig, SystemContext};
-use stage::wlm::{choose_cluster_size, SizingCandidate, SizingPolicy};
 use stage::plan::{PhysicalPlan, PlanBuilder, S3Format};
+use stage::wlm::{choose_cluster_size, SizingCandidate, SizingPolicy};
 use stage::workload::instance::INSTANCE_FEATURE_DIM;
 use stage::workload::{FleetConfig, InstanceWorkload};
 
@@ -34,7 +34,10 @@ fn main() {
         seed: 99,
         ..FleetConfig::default()
     };
-    println!("training the global model on {} instances...", fleet.n_instances);
+    println!(
+        "training the global model on {} instances...",
+        fleet.n_instances
+    );
     let mut samples = Vec::new();
     for id in 0..fleet.n_instances as u32 {
         let w = InstanceWorkload::generate(&fleet, id);

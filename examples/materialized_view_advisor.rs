@@ -30,7 +30,12 @@ fn raw_plan(fact_rows: f64) -> PhysicalPlan {
 fn mv_plan(fact_rows: f64) -> PhysicalPlan {
     // The MV holds one row per (campaign, day): ~0.1% of the fact table.
     PlanBuilder::select()
-        .scan("clicks_by_campaign_mv", S3Format::Local, fact_rows * 0.001, 96.0)
+        .scan(
+            "clicks_by_campaign_mv",
+            S3Format::Local,
+            fact_rows * 0.001,
+            96.0,
+        )
         .sort()
         .finish()
 }
@@ -70,8 +75,14 @@ fn main() {
     let candidate = mv_plan(fact_rows);
     let estimate = estimate_benefit(&mut predictor, &baseline, &candidate, &sys, 1.96);
 
-    println!("\nbaseline (raw join+agg) : {:>8.2}s", estimate.baseline_secs);
-    println!("candidate (via MV)      : {:>8.2}s", estimate.candidate_secs);
+    println!(
+        "\nbaseline (raw join+agg) : {:>8.2}s",
+        estimate.baseline_secs
+    );
+    println!(
+        "candidate (via MV)      : {:>8.2}s",
+        estimate.candidate_secs
+    );
     println!("point benefit           : {:>8.2}s", estimate.benefit_secs);
     match estimate.interval {
         Some((lo, hi)) => {

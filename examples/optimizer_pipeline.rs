@@ -41,9 +41,21 @@ fn main() {
             }, // 3: item (external)
         ],
         joins: vec![
-            JoinEdge { left: 0, right: 1, selectivity: 5e-7 },
-            JoinEdge { left: 0, right: 2, selectivity: 2.5e-5 },
-            JoinEdge { left: 0, right: 3, selectivity: 1e-5 },
+            JoinEdge {
+                left: 0,
+                right: 1,
+                selectivity: 5e-7,
+            },
+            JoinEdge {
+                left: 0,
+                right: 2,
+                selectivity: 2.5e-5,
+            },
+            JoinEdge {
+                left: 0,
+                right: 3,
+                selectivity: 1e-5,
+            },
         ],
     };
 
@@ -60,7 +72,10 @@ fn main() {
     let mut predictor = StagePredictor::new(StageConfig::default());
     let sys = SystemContext::empty(7);
     let p0 = predictor.predict(&parsed, &sys);
-    println!("cold-start prediction : {:>8.3}s ({:?})", p0.exec_secs, p0.source);
+    println!(
+        "cold-start prediction : {:>8.3}s ({:?})",
+        p0.exec_secs, p0.source
+    );
 
     for observed in [38.2, 41.9, 40.1] {
         predictor.observe(&parsed, &sys, observed);

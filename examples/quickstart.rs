@@ -28,7 +28,10 @@ fn main() {
 
     // 1. Cold start: nothing is known, the default fires.
     let p = predictor.predict(&plan, &sys);
-    println!("cold start  : {:>8.3}s  (source: {:?})", p.exec_secs, p.source);
+    println!(
+        "cold start  : {:>8.3}s  (source: {:?})",
+        p.exec_secs, p.source
+    );
 
     // 2. The query executes a few times (with load-induced variance) and
     //    Stage observes the outcomes.
@@ -39,7 +42,10 @@ fn main() {
     // 3. An identical plan now hits the exec-time cache:
     //    α·mean + (1−α)·last with α = 0.8.
     let p = predictor.predict(&plan, &sys);
-    println!("after repeats: {:>7.3}s  (source: {:?})", p.exec_secs, p.source);
+    println!(
+        "after repeats: {:>7.3}s  (source: {:?})",
+        p.exec_secs, p.source
+    );
 
     // 4. Feed many *similar but distinct* queries (different scales) so the
     //    local model trains, then predict an unseen scale.

@@ -38,7 +38,9 @@ fn main() {
     // queries are stable, large ones vary with system load.
     let mut state = 0x1234_5678_u64;
     let mut rand01 = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as f64 / (1u64 << 31) as f64
     };
     for round in 0..40 {
@@ -54,19 +56,25 @@ fn main() {
 
     println!("scale   pred(s)   model-unc   data-unc   total-std   escalate?");
     for scale in [2.0, 10.0, 18.0, 40.0, 100.0] {
-        let p = local
-            .predict(&plan_features(scale))
-            .expect("trained model");
+        let p = local.predict(&plan_features(scale)).expect("trained model");
         // Stage escalates when predicted long AND uncertain.
         let escalate = p.exec_secs >= 5.0 && p.log_std() > 0.6;
-        let marker = if scale > 20.0 { " <- outside training range" } else { "" };
+        let marker = if scale > 20.0 {
+            " <- outside training range"
+        } else {
+            ""
+        };
         println!(
             "{scale:>5.0} {:>9.3} {:>11.4} {:>10.4} {:>11.4}   {}{marker}",
             p.exec_secs,
             p.model_uncertainty,
             p.data_uncertainty,
             p.log_std(),
-            if escalate { "yes -> global model" } else { "no" },
+            if escalate {
+                "yes -> global model"
+            } else {
+                "no"
+            },
         );
     }
     println!(

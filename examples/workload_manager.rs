@@ -8,8 +8,7 @@
 //! ```
 
 use stage::core::{
-    AutoWlmConfig, AutoWlmPredictor, ExecTimePredictor, StageConfig, StagePredictor,
-    SystemContext,
+    AutoWlmConfig, AutoWlmPredictor, ExecTimePredictor, StageConfig, StagePredictor, SystemContext,
 };
 use stage::wlm::{SimQuery, Simulation, WlmConfig};
 use stage::workload::{FleetConfig, InstanceWorkload};

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: formatting, lints (warnings are errors), and the
+# full test suite. Run from anywhere inside the repository.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --check
+cargo clippy --workspace -- -D warnings
+cargo test -q --workspace

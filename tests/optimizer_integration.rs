@@ -30,8 +30,16 @@ fn star_query(fact_rows: f64) -> LogicalQuery {
             },
         ],
         joins: vec![
-            JoinEdge { left: 0, right: 1, selectivity: 1e-4 },
-            JoinEdge { left: 0, right: 2, selectivity: 1e-5 },
+            JoinEdge {
+                left: 0,
+                right: 1,
+                selectivity: 1e-4,
+            },
+            JoinEdge {
+                left: 0,
+                right: 2,
+                selectivity: 1e-5,
+            },
         ],
     }
 }
@@ -69,8 +77,14 @@ fn optimizer_uses_redshift_operators() {
     let ops: Vec<OperatorKind> = plan.iter_preorder().map(|n| n.op).collect();
     assert!(ops.contains(&OperatorKind::HashJoin));
     assert!(ops.contains(&OperatorKind::Hash));
-    assert!(ops.iter().any(|o| o.is_network()), "distribution step expected");
-    assert!(ops.contains(&OperatorKind::S3Scan), "external table scanned");
+    assert!(
+        ops.iter().any(|o| o.is_network()),
+        "distribution step expected"
+    );
+    assert!(
+        ops.contains(&OperatorKind::S3Scan),
+        "external table scanned"
+    );
     let v = plan_feature_vector(&plan);
     assert!(v.as_slice().iter().all(|x| x.is_finite() && *x >= 0.0));
 }
@@ -82,13 +96,36 @@ fn optimizer_prefers_selective_dimension_first() {
     // cardinalities: the first join's output must be the small one.
     let q = LogicalQuery {
         tables: vec![
-            TableRef { rows: 1e8, width: 100.0, format: S3Format::Local, filter_selectivity: 1.0 },
-            TableRef { rows: 1e4, width: 50.0, format: S3Format::Local, filter_selectivity: 1.0 },
-            TableRef { rows: 1e4, width: 50.0, format: S3Format::Local, filter_selectivity: 1.0 },
+            TableRef {
+                rows: 1e8,
+                width: 100.0,
+                format: S3Format::Local,
+                filter_selectivity: 1.0,
+            },
+            TableRef {
+                rows: 1e4,
+                width: 50.0,
+                format: S3Format::Local,
+                filter_selectivity: 1.0,
+            },
+            TableRef {
+                rows: 1e4,
+                width: 50.0,
+                format: S3Format::Local,
+                filter_selectivity: 1.0,
+            },
         ],
         joins: vec![
-            JoinEdge { left: 0, right: 1, selectivity: 1e-9 }, // very selective
-            JoinEdge { left: 0, right: 2, selectivity: 1e-4 }, // mildly selective
+            JoinEdge {
+                left: 0,
+                right: 1,
+                selectivity: 1e-9,
+            }, // very selective
+            JoinEdge {
+                left: 0,
+                right: 2,
+                selectivity: 1e-4,
+            }, // mildly selective
         ],
     };
     let plan = optimize(&q).unwrap();

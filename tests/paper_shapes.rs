@@ -118,7 +118,11 @@ fn uncertainty_ranks_errors_positively() {
             }
         }
     }
-    assert!(errors.len() > 300, "need scored queries, got {}", errors.len());
+    assert!(
+        errors.len() > 300,
+        "need scored queries, got {}",
+        errors.len()
+    );
     let prr = stage::metrics::prr_score(&errors, &uncertainties).expect("defined");
     assert!(
         prr > 0.15,

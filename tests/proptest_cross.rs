@@ -3,18 +3,18 @@
 
 use proptest::prelude::*;
 use stage::core::{
-    ExecTimeCache, CacheConfig, ExecTimePredictor, StageConfig, StagePredictor, SystemContext,
+    CacheConfig, ExecTimeCache, ExecTimePredictor, StageConfig, StagePredictor, SystemContext,
 };
 use stage::plan::{plan_feature_vector, PhysicalPlan, PlanBuilder, S3Format, CACHE_FEATURE_DIM};
 
 /// Strategy: a random but well-formed plan.
 fn arb_plan() -> impl Strategy<Value = PhysicalPlan> {
     (
-        1u32..4,                                 // number of joins
+        1u32..4, // number of joins
         proptest::collection::vec((1e2f64..1e8, 8f64..512.0), 1..5),
-        proptest::bool::ANY,                     // aggregate?
-        proptest::bool::ANY,                     // sort?
-        0usize..4,                               // format selector
+        proptest::bool::ANY, // aggregate?
+        proptest::bool::ANY, // sort?
+        0usize..4,           // format selector
     )
         .prop_map(|(joins, scans, agg, sort, fmt_i)| {
             let fmt = [

@@ -1,0 +1,334 @@
+//! Offline micro-benchmark harness exposing the criterion API surface this
+//! workspace uses: `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`/`iter_batched`, `BenchmarkId`,
+//! `BatchSize`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros.
+//!
+//! Measurement model: each benchmark is calibrated to pick an iteration
+//! count whose batch lasts roughly [`TARGET_SAMPLE`], then `sample_size`
+//! timed batches are collected and the mean/min/max per-iteration times are
+//! printed. Results are also appended to `Criterion::take_results` so a
+//! caller (e.g. a scaling bench) can persist them.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock duration for one timed batch.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+/// How batched setup costs are treated. The offline harness times only the
+/// routine, so the variants are equivalent; they exist for API parity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier for a parameterised benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    pub name: String,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+    pub samples: usize,
+    pub iters_per_sample: u64,
+}
+
+/// Times a single batch of `iters` calls via the given runner.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back calls of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `iters` calls of `routine`, excluding per-call `setup` cost.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+
+    /// Like `iter_batched`, passing the input by reference.
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 30,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// API parity with upstream; CLI flags are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let sample_size = self.sample_size;
+        self.run_one(name.to_string(), sample_size, f);
+        self
+    }
+
+    /// Drains results accumulated so far (used by benches that persist
+    /// measurements to disk).
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+
+    fn run_one(&mut self, name: String, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+        // Calibrate: grow the iteration count until one batch is long enough
+        // to time reliably.
+        let mut iters: u64 = 1;
+        let per_iter_ns = loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            let ns = b.elapsed.as_nanos().max(1) as f64 / iters as f64;
+            if b.elapsed >= TARGET_SAMPLE / 4 || iters >= 1 << 24 {
+                break ns;
+            }
+            iters = iters.saturating_mul(4);
+        };
+        let iters_per_sample =
+            ((TARGET_SAMPLE.as_nanos() as f64 / per_iter_ns).ceil() as u64).clamp(1, 1 << 24);
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            let mut b = Bencher {
+                iters: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            per_iter.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{:<48} time: [{} {} {}]  ({} samples x {} iters)",
+            name,
+            format_ns(min),
+            format_ns(mean),
+            format_ns(max),
+            sample_size,
+            iters_per_sample
+        );
+        self.results.push(BenchResult {
+            name,
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+            samples: sample_size,
+            iters_per_sample,
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} us", ns / 1e3)
+    } else {
+        format!("{:.4} ns", ns)
+    }
+}
+
+/// Named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(full, sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(full, sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a group runner function calling each target with one shared
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+        let results = c.take_results();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].mean_ns > 0.0);
+    }
+
+    #[test]
+    fn groups_and_batched() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("f", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        assert_eq!(c.take_results().len(), 2);
+    }
+}

@@ -1,0 +1,401 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! subset. The generated code targets the simplified value-tree data model
+//! in the vendored `serde` crate: `Serialize::to_value(&self) -> Value` and
+//! `Deserialize::from_value(&Value) -> Result<Self, serde::Error>`.
+//!
+//! Supported input shapes (everything this workspace derives on):
+//! * structs with named fields, including generic type parameters;
+//! * tuple structs (one field serializes transparently, newtype-style);
+//! * enums with unit and struct variants (externally tagged, like serde).
+//!
+//! The parser works directly on `proc_macro::TokenStream` — no `syn`,
+//! `quote`, or any other crates.io dependency is available offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed derive input.
+struct Input {
+    name: String,
+    /// Generic type-parameter names (lifetimes/consts unsupported: unused
+    /// by this workspace).
+    generics: Vec<String>,
+    data: Data,
+}
+
+enum Data {
+    /// Named fields in declaration order.
+    Struct(Vec<String>),
+    /// Number of tuple fields.
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(field names)` for struct variants.
+    fields: Option<Vec<String>>,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    gen_serialize(&input).parse().expect("serde_derive generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    gen_deserialize(&input).parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` etc.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    // Optional generics: collect top-level type-parameter names.
+    let mut generics = Vec::new();
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1usize;
+        let mut expect_param = true;
+        while depth > 0 {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                    expect_param = true;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' => expect_param = false,
+                Some(TokenTree::Ident(id)) if depth == 1 && expect_param => {
+                    generics.push(id.to_string());
+                    expect_param = false;
+                }
+                Some(_) => {}
+                None => panic!("serde_derive: unterminated generics on {name}"),
+            }
+            i += 1;
+        }
+    }
+
+    let data = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Unit,
+            other => panic!("serde_derive: malformed struct {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: malformed enum {name}: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for {other} {name}"),
+    };
+
+    Input { name, generics, data }
+}
+
+/// Parses `field: Type, ...` capturing field names. Skips attributes and
+/// visibility; tracks angle-bracket depth so commas inside generic types
+/// (e.g. `HashMap<u64, Entry>`) don't split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility before the field name.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                // Expect `:` then the type; consume to the top-level comma.
+                assert!(
+                    matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+                    "serde_derive: expected ':' after field {}",
+                    fields.last().unwrap()
+                );
+                i += 1;
+                let mut angle = 0i32;
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            other => panic!("serde_derive: unexpected token in fields: {other:?}"),
+        }
+    }
+    fields
+}
+
+/// Counts tuple-struct fields (top-level commas + trailing element).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                // Trailing comma adds no field.
+                if i + 1 < tokens.len() {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let fields = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        Some(parse_named_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        panic!("serde_derive: tuple enum variants unsupported ({name})")
+                    }
+                    _ => None,
+                };
+                variants.push(Variant { name, fields });
+            }
+            other => panic!("serde_derive: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `impl<T: serde::Serialize, ...> Trait for Name<T, ...>` header parts.
+fn impl_header(input: &Input, bound: &str) -> (String, String) {
+    if input.generics.is_empty() {
+        (String::new(), input.name.clone())
+    } else {
+        let params: Vec<String> = input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {bound}"))
+            .collect();
+        (
+            format!("<{}>", params.join(", ")),
+            format!("{}<{}>", input.name, input.generics.join(", ")),
+        )
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let (generics, ty) = impl_header(input, "serde::Serialize");
+    let body = match &input.data {
+        Data::Struct(fields) => {
+            let mut s = String::from(
+                "let mut __o: Vec<(String, serde::Value)> = Vec::new();\n",
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "__o.push((String::from(\"{f}\"), serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            s.push_str("serde::Value::Object(__o)");
+            s
+        }
+        Data::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Data::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Data::Unit => format!("serde::Value::Str(String::from(\"{}\"))", input.name),
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    None => arms.push_str(&format!(
+                        "Self::{vn} => serde::Value::Str(String::from(\"{vn}\")),\n"
+                    )),
+                    Some(fields) => {
+                        let pat = fields.join(", ");
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "__o.push((String::from(\"{f}\"), serde::Serialize::to_value({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "Self::{vn} {{ {pat} }} => {{\n\
+                             let mut __o: Vec<(String, serde::Value)> = Vec::new();\n\
+                             {pushes}\
+                             serde::Value::Object(vec![(String::from(\"{vn}\"), serde::Value::Object(__o))])\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{generics} serde::Serialize for {ty} {{\n\
+         fn to_value(&self) -> serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let (generics, ty) = impl_header(input, "serde::Deserialize");
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Struct(fields) => {
+            let mut s = format!("let __obj = serde::expect_object(__v, \"{name}\")?;\n");
+            s.push_str(&format!("Ok({name} {{\n"));
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: serde::de_field(__obj, \"{f}\", \"{name}\")?,\n"
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Data::Tuple(1) => format!("Ok({name}(serde::Deserialize::from_value(__v)?))"),
+        Data::Tuple(n) => {
+            let mut s = format!(
+                "let __arr = serde::expect_array(__v, \"{name}\", {n})?;\n"
+            );
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("serde::Deserialize::from_value(&__arr[{k}])?"))
+                .collect();
+            s.push_str(&format!("Ok({name}({}))", items.join(", ")));
+            s
+        }
+        Data::Unit => format!(
+            "match __v {{\n\
+             serde::Value::Str(s) if s == \"{name}\" => Ok({name}),\n\
+             _ => Err(serde::Error::custom(format!(\"expected unit struct {name}, got {{__v:?}}\"))),\n\
+             }}"
+        ),
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    None => unit_arms.push_str(&format!(
+                        "serde::Value::Str(s) if s == \"{vn}\" => Ok(Self::{vn}),\n"
+                    )),
+                    Some(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{f}: serde::de_field(__inner, \"{f}\", \"{name}::{vn}\")?,\n"
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __inner = serde::expect_object(__payload, \"{name}::{vn}\")?;\n\
+                             Ok(Self::{vn} {{ {inits} }})\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 {unit_arms}\
+                 serde::Value::Object(__tag) if __tag.len() == 1 => {{\n\
+                 let (__variant, __payload) = &__tag[0];\n\
+                 match __variant.as_str() {{\n\
+                 {data_arms}\
+                 __other => Err(serde::Error::custom(format!(\"unknown variant {{__other}} of {name}\"))),\n\
+                 }}\n\
+                 }}\n\
+                 _ => Err(serde::Error::custom(format!(\"expected {name}, got {{__v:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{generics} serde::Deserialize for {ty} {{\n\
+         fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

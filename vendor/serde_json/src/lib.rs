@@ -1,0 +1,616 @@
+//! Offline JSON serialization over the vendored serde [`Value`] tree.
+//!
+//! Provides the `serde_json` surface this workspace uses: `to_string`,
+//! `to_string_pretty`, `to_writer`, `to_writer_pretty`, `from_str`,
+//! `from_reader`, `to_value`, the [`json!`] macro, and [`Value`] itself
+//! (re-exported from the vendored `serde`).
+//!
+//! Numbers round-trip exactly: floats print with Rust's shortest-roundtrip
+//! `Display` and parse with the stdlib's correctly rounded `f64::from_str`,
+//! so `parse(print(x)) == x` bit-for-bit for finite values. Non-finite
+//! floats print as `null`, matching upstream `serde_json`.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::io;
+
+pub use serde::Error;
+pub use serde::Value;
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+pub fn from_value<T: serde::de::DeserializeOwned>(value: &Value) -> Result<T, Error> {
+    T::from_value(value)
+}
+
+/// Serializes to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Serializes to a human-readable JSON string (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.to_value(), &mut out, 0);
+    Ok(out)
+}
+
+/// Serializes compact JSON into a writer.
+pub fn to_writer<W: io::Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<(), Error> {
+    let text = to_string(value)?;
+    writer
+        .write_all(text.as_bytes())
+        .map_err(|e| Error::custom(format!("write failed: {e}")))
+}
+
+/// Serializes pretty JSON into a writer.
+pub fn to_writer_pretty<W: io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let text = to_string_pretty(value)?;
+    writer
+        .write_all(text.as_bytes())
+        .map_err(|e| Error::custom(format!("write failed: {e}")))
+}
+
+/// Parses a typed value from a JSON string.
+pub fn from_str<T: serde::de::DeserializeOwned>(text: &str) -> Result<T, Error> {
+    let value = parse_value(text)?;
+    T::from_value(&value)
+}
+
+/// Parses a typed value from a reader.
+pub fn from_reader<R: io::Read, T: serde::de::DeserializeOwned>(mut reader: R) -> Result<T, Error> {
+    let mut text = String::new();
+    reader
+        .read_to_string(&mut text)
+        .map_err(|e| Error::custom(format!("read failed: {e}")))?;
+    from_str(&text)
+}
+
+// ---------------------------------------------------------------------------
+// Printing
+// ---------------------------------------------------------------------------
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(x: f64, out: &mut String) {
+    if x.is_finite() {
+        // Rust's Display for f64 is shortest-roundtrip. Keep a float marker
+        // ("5" -> "5.0") so the value re-parses as a float — otherwise
+        // "-0" would round-trip through the integer path and lose its sign.
+        let start = out.len();
+        let _ = write!(out, "{x}");
+        if !out[start..].contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::UInt(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Float(x) => write_number(*x, out),
+        Value::Str(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(v: &Value, out: &mut String, indent: usize) {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_pretty(item, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(val, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parses a complete JSON document into a [`Value`].
+pub fn parse_value(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected {:?} at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error::custom(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return Err(Error::custom(format!(
+                        "expected ',' or ']' at byte {}, got {:?}",
+                        self.pos,
+                        other.map(|b| b as char)
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                other => {
+                    return Err(Error::custom(format!(
+                        "expected ',' or '}}' at byte {}, got {:?}",
+                        self.pos,
+                        other.map(|b| b as char)
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::custom("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if !self.eat_keyword("\\u") {
+                                    return Err(Error::custom("lone high surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                let combined =
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00));
+                                char::from_u32(combined)
+                                    .ok_or_else(|| Error::custom("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| Error::custom("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        other => {
+                            return Err(Error::custom(format!(
+                                "invalid escape {:?}",
+                                other.map(|b| b as char)
+                            )))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is valid UTF-8 by
+                    // construction: it came from a &str).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::custom("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Reads exactly four hex digits (after `\u`); leaves pos past them.
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::custom("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::custom("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| Error::custom("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Int(n));
+            }
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::custom(format!("invalid number {text:?}")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// json! macro
+// ---------------------------------------------------------------------------
+
+/// Builds a [`Value`] from a JSON-like literal. Supports object and array
+/// literals with arbitrary serializable expressions in value position.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => { $crate::json_array!([] $($tt)*) };
+    ({ $($tt:tt)* }) => { $crate::json_object!({} () $($tt)*) };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Internal: array literal muncher. Accumulates element expressions.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    // Finished: no more tokens.
+    ([ $($elem:expr,)* ]) => { $crate::Value::Array(vec![$($elem),*]) };
+    // Nested array element.
+    ([ $($elem:expr,)* ] [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_array!([ $($elem,)* $crate::json!([ $($inner)* ]), ] $($($rest)*)?)
+    };
+    // Nested object element.
+    ([ $($elem:expr,)* ] { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_array!([ $($elem,)* $crate::json!({ $($inner)* }), ] $($($rest)*)?)
+    };
+    // null element.
+    ([ $($elem:expr,)* ] null $(, $($rest:tt)*)?) => {
+        $crate::json_array!([ $($elem,)* $crate::Value::Null, ] $($($rest)*)?)
+    };
+    // Expression element: munch tokens up to the next top-level comma.
+    ([ $($elem:expr,)* ] $($tt:tt)+) => {
+        $crate::json_expr_then!{ (json_array_resume [ $($elem,)* ]) () $($tt)+ }
+    };
+}
+
+/// Internal: continuation for [`json_array!`] after an expression element.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_resume {
+    ([ $($elem:expr,)* ] ($($expr:tt)+) $($rest:tt)*) => {
+        $crate::json_array!([ $($elem,)* $crate::to_value(&($($expr)+)), ] $($rest)*)
+    };
+}
+
+/// Internal: object literal muncher. `{ done-entries } (pending-key) rest`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    // Finished.
+    ({ $(($key:expr, $val:expr),)* } ()) => {
+        $crate::Value::Object(vec![$(($key.to_string(), $val)),*])
+    };
+    // Take the next key.
+    ({ $($done:tt)* } () $key:literal : $($rest:tt)+) => {
+        $crate::json_object!({ $($done)* } ($key) $($rest)+)
+    };
+    // Trailing comma before end.
+    ({ $($done:tt)* } () , ) => { $crate::json_object!({ $($done)* } ()) };
+    // Nested object value.
+    ({ $(($dk:expr, $dv:expr),)* } ($key:expr) { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_object!({ $(($dk, $dv),)* ($key, $crate::json!({ $($inner)* })), } () $($($rest)*)?)
+    };
+    // Nested array value.
+    ({ $(($dk:expr, $dv:expr),)* } ($key:expr) [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_object!({ $(($dk, $dv),)* ($key, $crate::json!([ $($inner)* ])), } () $($($rest)*)?)
+    };
+    // null value.
+    ({ $(($dk:expr, $dv:expr),)* } ($key:expr) null $(, $($rest:tt)*)?) => {
+        $crate::json_object!({ $(($dk, $dv),)* ($key, $crate::Value::Null), } () $($($rest)*)?)
+    };
+    // Expression value: munch tokens up to the next top-level comma.
+    ({ $($done:tt)* } ($key:expr) $($tt:tt)+) => {
+        $crate::json_expr_then!{ (json_object_resume { $($done)* } ($key)) () $($tt)+ }
+    };
+}
+
+/// Internal: continuation for [`json_object!`] after an expression value.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_resume {
+    ({ $(($dk:expr, $dv:expr),)* } ($key:expr) ($($expr:tt)+) $($rest:tt)*) => {
+        $crate::json_object!({ $(($dk, $dv),)* ($key, $crate::to_value(&($($expr)+))), } () $($rest)*)
+    };
+}
+
+/// Internal: accumulates tokens into an expression until a top-level comma
+/// (or end of input), then invokes the given continuation macro with
+/// `(expr-tokens) remaining-tokens`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_expr_then {
+    // Top-level comma ends the expression; hand back remaining tokens.
+    (($k:ident $($kargs:tt)*) ($($acc:tt)+) , $($rest:tt)*) => {
+        $crate::$k!{ $($kargs)* ($($acc)+) $($rest)* }
+    };
+    // End of input ends the expression.
+    (($k:ident $($kargs:tt)*) ($($acc:tt)+)) => {
+        $crate::$k!{ $($kargs)* ($($acc)+) }
+    };
+    // Otherwise consume one token tree into the accumulator.
+    (($k:ident $($kargs:tt)*) ($($acc:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_expr_then!{ ($k $($kargs)*) ($($acc)* $next) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_round_trip() {
+        let v = json!({
+            "a": 1,
+            "b": [1.5, 2.5, null],
+            "c": {"nested": true},
+            "s": "hi\n\"there\"",
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+        assert!(text.starts_with("{\"a\":1,"));
+    }
+
+    #[test]
+    fn pretty_has_spaced_colon() {
+        let text = to_string_pretty(&json!({"x": 1})).unwrap();
+        assert!(text.contains("\"x\": 1"), "{text}");
+    }
+
+    #[test]
+    fn float_round_trip_exact() {
+        for &x in &[0.1f64, 1.0 / 3.0, 6.02e23, 5.0, -0.0, 1e-300, 123456789.123456789] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(x.to_bits(), back.to_bits(), "{x} -> {text} -> {back}");
+        }
+    }
+
+    #[test]
+    fn expressions_in_json_macro() {
+        let xs = [1.0f64, 2.0, 3.0];
+        let n = 2u64;
+        let v = json!({
+            "sum": xs.iter().sum::<f64>(),
+            "n": n,
+            "pairs": xs.iter().map(|&x| json!({"x": x})).collect::<Vec<_>>(),
+            "arr": [n, 7],
+        });
+        assert_eq!(v["sum"].as_f64(), Some(6.0));
+        assert_eq!(v["n"].as_u64(), Some(2));
+        assert_eq!(v["pairs"].as_array().unwrap().len(), 3);
+        assert_eq!(v["arr"][1].as_u64(), Some(7));
+        assert_eq!(v["pairs"][0]["x"].as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v: Value = from_str(r#""aé😀b""#).unwrap();
+        assert_eq!(v.as_str(), Some("aé😀b"));
+    }
+
+    #[test]
+    fn integers_stay_integers() {
+        let text = to_string(&json!({"version": 1u32})).unwrap();
+        assert_eq!(text, "{\"version\":1}");
+        let v: Value = from_str("{\"big\":18446744073709551615}").unwrap();
+        assert_eq!(v["big"].as_u64(), Some(u64::MAX));
+    }
+}
