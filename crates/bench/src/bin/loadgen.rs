@@ -1,0 +1,470 @@
+//! Load generator for the stage-serve online prediction service.
+//!
+//! Drives a server with the synthetic fleet's own query streams: each
+//! instance thread replays its `stage-workload` event log (cycling when the
+//! log is shorter than the requested round count) as predict→observe
+//! round-trips, paced by a shared token bucket at the target rate. Reports
+//! sustained throughput and client-side p50/p95/p99 service latency via
+//! `stage_metrics::LogHistogram`, and verifies **zero dropped observes** —
+//! every `Overloaded` feedback answer is retried until ingested, then
+//! cross-checked against the server's own counters.
+//!
+//! ```text
+//! cargo run --release -p stage-bench --bin loadgen -- \
+//!     [--instances N] [--rounds N] [--qps F] [--seed N] \
+//!     [--addr HOST:PORT] [--out FILE]
+//! ```
+//!
+//! Without `--addr` the server is booted in-process on an ephemeral port
+//! (and shut down gracefully afterwards), so the default invocation is
+//! self-contained. The artefact lands in `results/bench_serve.json`.
+
+use serde::Serialize;
+use stage_core::{LocalModelConfig, StageConfig};
+use stage_gbdt::{EnsembleParams, NgBoostParams};
+use stage_metrics::LogHistogram;
+use stage_serve::{Response, ServeClient, ServeConfig, Server, TokenBucket};
+use stage_workload::{FleetConfig, InstanceWorkload};
+use std::process::ExitCode;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Retry bound for a single rejected request (~10 s at 1 ms backoff).
+const MAX_RETRIES: u32 = 10_000;
+
+struct Args {
+    instances: u32,
+    rounds: u64,
+    qps: f64,
+    seed: u64,
+    addr: Option<String>,
+    out: String,
+}
+
+#[derive(Serialize)]
+struct LatencySummary {
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+}
+
+#[derive(Serialize)]
+struct SourceCounts {
+    cache: u64,
+    local: u64,
+    global: u64,
+    default: u64,
+}
+
+/// The `results/bench_serve.json` artefact.
+#[derive(Serialize)]
+struct ServeBenchReport {
+    instances: u32,
+    round_trips: u64,
+    target_qps: f64,
+    elapsed_secs: f64,
+    round_trips_per_sec: f64,
+    requests_per_sec: f64,
+    predict_latency: LatencySummary,
+    observe_latency: LatencySummary,
+    predict_overload_retries: u64,
+    observe_overload_retries: u64,
+    dropped_observes: u64,
+    sources: SourceCounts,
+    server_in_process: bool,
+}
+
+/// Per-thread tallies merged after the run.
+struct ThreadResult {
+    predict_hist: LogHistogram,
+    observe_hist: LogHistogram,
+    predict_retries: u64,
+    observe_retries: u64,
+    dropped_observes: u64,
+    sources: SourceCounts,
+}
+
+fn latency_hist() -> LogHistogram {
+    // 1 µs .. 10 s, 120 log-spaced buckets.
+    LogHistogram::new(1e-6, 10.0, 120)
+}
+
+fn summarize(hist: &LogHistogram) -> LatencySummary {
+    let q = |p: f64| hist.quantile(p).unwrap_or(0.0) * 1e6;
+    LatencySummary {
+        p50_us: q(0.50),
+        p95_us: q(0.95),
+        p99_us: q(0.99),
+    }
+}
+
+/// A serving-speed Stage configuration: the same trimmed ensemble the
+/// replay tests use, so retrains pause a shard for milliseconds rather
+/// than seconds while still exercising the full predict→observe→retrain
+/// path. Queue bounds and worker counts stay at server defaults — that is
+/// what the backpressure claim is about.
+fn serving_stage_config() -> StageConfig {
+    StageConfig {
+        local: LocalModelConfig {
+            ensemble: EnsembleParams {
+                n_members: 4,
+                member: NgBoostParams {
+                    n_estimators: 25,
+                    ..NgBoostParams::default()
+                },
+                seed: 11,
+            },
+            min_train_examples: 30,
+            retrain_interval: 300,
+        },
+        ..StageConfig::default()
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Some(a) => a,
+        None => return ExitCode::from(2),
+    };
+
+    // Boot an in-process server unless pointed at an external one.
+    let (server, addr) = match &args.addr {
+        Some(addr) => (None, addr.clone()),
+        None => {
+            let server = match Server::start(ServeConfig {
+                n_instances: args.instances,
+                stage: serving_stage_config(),
+                ..ServeConfig::default()
+            }) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("loadgen: cannot start in-process server: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let addr = server.local_addr().to_string();
+            (Some(server), addr)
+        }
+    };
+
+    println!(
+        "loadgen: {} round-trips across {} instances against {addr} at {} rt/s target",
+        args.rounds, args.instances, args.qps
+    );
+
+    let bucket = Mutex::new(TokenBucket::new(args.qps, (args.qps / 10.0).max(1.0)));
+    let started = Instant::now();
+    let results: Vec<ThreadResult> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for instance in 0..args.instances {
+            let rounds = per_instance_rounds(args.rounds, args.instances, instance);
+            let addr = addr.as_str();
+            let bucket = &bucket;
+            let seed = args.seed;
+            handles.push(scope.spawn(move || drive_instance(instance, rounds, addr, bucket, seed)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("driver panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    // Merge thread tallies.
+    let mut predict_hist = latency_hist();
+    let mut observe_hist = latency_hist();
+    let mut predict_retries = 0;
+    let mut observe_retries = 0;
+    let mut dropped_observes = 0;
+    let mut sources = SourceCounts {
+        cache: 0,
+        local: 0,
+        global: 0,
+        default: 0,
+    };
+    for r in &results {
+        predict_hist.merge(&r.predict_hist);
+        observe_hist.merge(&r.observe_hist);
+        predict_retries += r.predict_retries;
+        observe_retries += r.observe_retries;
+        dropped_observes += r.dropped_observes;
+        sources.cache += r.sources.cache;
+        sources.local += r.sources.local;
+        sources.global += r.sources.global;
+        sources.default += r.sources.default;
+    }
+
+    // Cross-check the server's ingestion counters: every observe the
+    // clients believe was accepted must be visible server-side.
+    let mut counter_mismatch = false;
+    if let Ok(mut client) = ServeClient::connect(&addr) {
+        for instance in 0..args.instances {
+            let expected = per_instance_rounds(args.rounds, args.instances, instance);
+            match client.stats(instance) {
+                Ok(Response::Stats {
+                    routing, observes, ..
+                }) => {
+                    if observes != expected || routing.total() != expected {
+                        eprintln!(
+                            "loadgen: instance {instance}: server saw {observes} observes / \
+                             {} predicts, expected {expected} of each",
+                            routing.total()
+                        );
+                        counter_mismatch = true;
+                    }
+                }
+                other => {
+                    eprintln!("loadgen: stats({instance}) failed: {other:?}");
+                    counter_mismatch = true;
+                }
+            }
+        }
+        if server.is_some() {
+            let _ = client.shutdown();
+        }
+    }
+    if let Some(server) = server {
+        if let Err(e) = server.join() {
+            eprintln!("loadgen: server shutdown error: {e}");
+        }
+    }
+
+    let report = ServeBenchReport {
+        instances: args.instances,
+        round_trips: args.rounds,
+        target_qps: args.qps,
+        elapsed_secs: elapsed,
+        round_trips_per_sec: args.rounds as f64 / elapsed,
+        requests_per_sec: 2.0 * args.rounds as f64 / elapsed,
+        predict_latency: summarize(&predict_hist),
+        observe_latency: summarize(&observe_hist),
+        predict_overload_retries: predict_retries,
+        observe_overload_retries: observe_retries,
+        dropped_observes,
+        sources,
+        server_in_process: args.addr.is_none(),
+    };
+
+    println!(
+        "loadgen: {} round-trips in {:.2}s = {:.0} rt/s ({:.0} req/s)",
+        report.round_trips,
+        report.elapsed_secs,
+        report.round_trips_per_sec,
+        report.requests_per_sec
+    );
+    println!(
+        "loadgen: predict p50/p95/p99 = {:.0}/{:.0}/{:.0} µs, observe = {:.0}/{:.0}/{:.0} µs",
+        report.predict_latency.p50_us,
+        report.predict_latency.p95_us,
+        report.predict_latency.p99_us,
+        report.observe_latency.p50_us,
+        report.observe_latency.p95_us,
+        report.observe_latency.p99_us,
+    );
+    println!(
+        "loadgen: sources cache/local/global/default = {}/{}/{}/{}, \
+         overload retries predict={} observe={}, dropped observes={}",
+        report.sources.cache,
+        report.sources.local,
+        report.sources.global,
+        report.sources.default,
+        report.predict_overload_retries,
+        report.observe_overload_retries,
+        report.dropped_observes,
+    );
+
+    if let Some(parent) = std::path::Path::new(&args.out).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::File::create(&args.out) {
+        Ok(f) => {
+            if let Err(e) = serde_json::to_writer_pretty(f, &report) {
+                eprintln!("loadgen: cannot write {}: {e}", args.out);
+                return ExitCode::FAILURE;
+            }
+            println!("loadgen: wrote {}", args.out);
+        }
+        Err(e) => {
+            eprintln!("loadgen: cannot create {}: {e}", args.out);
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if dropped_observes > 0 || counter_mismatch {
+        eprintln!("loadgen: FAILED: lost feedback (dropped={dropped_observes})");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Splits `total` round-trips across instances (remainder to the low ids).
+fn per_instance_rounds(total: u64, instances: u32, instance: u32) -> u64 {
+    let base = total / u64::from(instances);
+    let extra = u64::from(u64::from(instance) < total % u64::from(instances));
+    base + extra
+}
+
+/// One instance's driver: replays its workload events as paced
+/// predict→observe round-trips over its own connection.
+fn drive_instance(
+    instance: u32,
+    rounds: u64,
+    addr: &str,
+    bucket: &Mutex<TokenBucket>,
+    seed: u64,
+) -> ThreadResult {
+    let workload = InstanceWorkload::generate(
+        &FleetConfig {
+            n_instances: 64, // id space; only this shard's stream is built
+            duration_days: 1.0,
+            seed,
+            max_events_per_instance: 20_000,
+            ..FleetConfig::tiny()
+        },
+        instance,
+    );
+    let mut result = ThreadResult {
+        predict_hist: latency_hist(),
+        observe_hist: latency_hist(),
+        predict_retries: 0,
+        observe_retries: 0,
+        dropped_observes: 0,
+        sources: SourceCounts {
+            cache: 0,
+            local: 0,
+            global: 0,
+            default: 0,
+        },
+    };
+    let mut client = match ServeClient::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("loadgen: instance {instance}: cannot connect: {e}");
+            result.dropped_observes = rounds;
+            return result;
+        }
+    };
+
+    for i in 0..rounds {
+        let event = &workload.events[(i as usize) % workload.events.len()];
+        let sys = workload.spec.system_features(event.concurrency);
+        // Pace the *round-trip* rate; the observe rides the same token.
+        bucket.lock().expect("bucket poisoned").take();
+
+        // Predict (retry shed requests — they were never executed).
+        let mut attempts = 0;
+        loop {
+            let t0 = Instant::now();
+            match client.predict(instance, &event.plan, &sys) {
+                Ok(Response::Predicted { source, .. }) => {
+                    result.predict_hist.record(t0.elapsed().as_secs_f64());
+                    match source {
+                        stage_core::PredictionSource::Cache => result.sources.cache += 1,
+                        stage_core::PredictionSource::Local => result.sources.local += 1,
+                        stage_core::PredictionSource::Global => result.sources.global += 1,
+                        stage_core::PredictionSource::Default => result.sources.default += 1,
+                    }
+                    break;
+                }
+                Ok(Response::Overloaded { retry_after_ms }) => {
+                    result.predict_retries += 1;
+                    attempts += 1;
+                    if attempts > MAX_RETRIES {
+                        eprintln!("loadgen: instance {instance}: predict starved");
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(retry_after_ms.max(1)));
+                }
+                other => {
+                    eprintln!("loadgen: instance {instance}: predict failed: {other:?}");
+                    break;
+                }
+            }
+        }
+
+        // Observe (must never drop — retried until ingested).
+        let t0 = Instant::now();
+        match client.observe_with_retry(
+            instance,
+            &event.plan,
+            &sys,
+            event.true_exec_secs,
+            MAX_RETRIES,
+        ) {
+            Ok(retries) => {
+                result.observe_hist.record(t0.elapsed().as_secs_f64());
+                result.observe_retries += u64::from(retries);
+            }
+            Err(e) => {
+                eprintln!("loadgen: instance {instance}: observe dropped: {e}");
+                result.dropped_observes += 1;
+            }
+        }
+    }
+    result
+}
+
+fn parse_args() -> Option<Args> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        instances: 2,
+        rounds: 10_000,
+        qps: 2_000.0,
+        seed: 42,
+        addr: None,
+        out: "results/bench_serve.json".to_string(),
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--instances" => {
+                i += 1;
+                args.instances = parse_val(&argv, i, "--instances")?;
+            }
+            "--rounds" => {
+                i += 1;
+                args.rounds = parse_val(&argv, i, "--rounds")?;
+            }
+            "--qps" => {
+                i += 1;
+                args.qps = parse_val(&argv, i, "--qps")?;
+            }
+            "--seed" => {
+                i += 1;
+                args.seed = parse_val(&argv, i, "--seed")?;
+            }
+            "--addr" => {
+                i += 1;
+                args.addr = Some(argv.get(i)?.clone());
+            }
+            "--out" => {
+                i += 1;
+                args.out = argv.get(i)?.clone();
+            }
+            other => {
+                eprintln!("loadgen: unknown flag {other}");
+                eprintln!(
+                    "usage: loadgen [--instances N] [--rounds N] [--qps F] [--seed N] \
+                     [--addr HOST:PORT] [--out FILE]"
+                );
+                return None;
+            }
+        }
+        i += 1;
+    }
+    if args.instances == 0 || args.rounds == 0 || args.qps <= 0.0 {
+        eprintln!("loadgen: instances, rounds, and qps must be positive");
+        return None;
+    }
+    Some(args)
+}
+
+fn parse_val<T: std::str::FromStr>(argv: &[String], i: usize, flag: &str) -> Option<T> {
+    match argv.get(i).and_then(|s| s.parse().ok()) {
+        Some(v) => Some(v),
+        None => {
+            eprintln!("loadgen: invalid value for {flag}");
+            None
+        }
+    }
+}

@@ -43,7 +43,7 @@ pub use pool::{PoolConfig, TrainingPool};
 pub use predictor::{
     ExecTimePredictor, Prediction, PredictionSource, SystemContext, DEFAULT_PREDICTION_SECS,
 };
-pub use stage::{RoutingConfig, RoutingStats, StageConfig, StagePredictor};
+pub use stage::{RoutingConfig, RoutingStats, StageConfig, StagePredictor, StageSnapshot};
 
 /// Converts seconds to the model target space `ln(1 + secs)`.
 pub fn to_log_space(secs: f64) -> f64 {

@@ -10,9 +10,11 @@
 use crate::cache::ExecTimeCache;
 use crate::global::GlobalModel;
 use crate::local::LocalModel;
+use crate::stage::StageSnapshot;
 use serde::{de::DeserializeOwned, Deserialize, Serialize};
 use std::io::{self, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Artefact format version; bump on breaking model-layout changes.
 pub const PERSIST_VERSION: u32 = 1;
@@ -54,6 +56,43 @@ fn load_impl<T: DeserializeOwned, R: Read>(kind: &str, input: R) -> io::Result<T
     Ok(env.payload)
 }
 
+/// Monotonic counter distinguishing temp files written by one process.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// The temporary path a crash-safe write of `path` stages into: same
+/// directory (so the final `rename` cannot cross filesystems), name
+/// extended with process id and a per-process sequence number (so
+/// concurrent checkpointers never collide).
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(".{}.{}.tmp", std::process::id(), seq));
+    path.with_file_name(name)
+}
+
+/// Crash-safe file write: streams through `write` into a temp file in the
+/// target directory, fsyncs, then atomically `rename`s into place. A kill
+/// at any instant leaves either the old artefact or the new one at `path`
+/// — never a truncated hybrid (the failure mode of writing in place).
+fn atomic_write<F>(path: &Path, write: F) -> io::Result<()>
+where
+    F: FnOnce(&mut io::BufWriter<std::fs::File>) -> io::Result<()>,
+{
+    let tmp = tmp_sibling(path);
+    let result = (|| {
+        let mut out = io::BufWriter::new(std::fs::File::create(&tmp)?);
+        write(&mut out)?;
+        out.flush()?;
+        out.get_ref().sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        // Best-effort cleanup; the original artefact at `path` is intact.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
 macro_rules! persistable {
     ($ty:ty, $kind:literal, $save:ident, $load:ident, $save_file:ident, $load_file:ident) => {
         /// Serializes the model to a writer (versioned JSON envelope).
@@ -66,9 +105,10 @@ macro_rules! persistable {
             load_impl($kind, input)
         }
 
-        /// Saves to a file path.
+        /// Saves to a file path crash-safely (temp file + atomic rename;
+        /// a kill mid-write never corrupts an existing artefact).
         pub fn $save_file(model: &$ty, path: &Path) -> io::Result<()> {
-            $save(model, std::io::BufWriter::new(std::fs::File::create(path)?))
+            atomic_write(path, |out| $save(model, out))
         }
 
         /// Loads from a file path.
@@ -101,6 +141,14 @@ persistable!(
     load_cache,
     save_cache_file,
     load_cache_file
+);
+persistable!(
+    StageSnapshot,
+    "stage-predictor-snapshot",
+    save_stage,
+    load_stage,
+    save_stage_file,
+    load_stage_file
 );
 
 #[cfg(test)]
@@ -203,5 +251,96 @@ mod tests {
         let path = dir.join("cache.json");
         save_cache_file(&cache, &path).unwrap();
         assert!(load_cache_file(&path).is_ok());
+    }
+
+    #[test]
+    fn stage_snapshot_round_trip_resumes_warm() {
+        use crate::predictor::{ExecTimePredictor, PredictionSource};
+        use crate::stage::{StageConfig, StagePredictor};
+
+        let mut s = StagePredictor::new(StageConfig::default());
+        s.set_instance_salt(7);
+        let sys = SystemContext::empty(2);
+        for i in 1..=30 {
+            let q = plan(i as f64 * 1e4);
+            s.predict(&q, &sys);
+            s.observe(&q, &sys, i as f64 * 0.1);
+        }
+        let mut buf = Vec::new();
+        save_stage(&s.snapshot(), &mut buf).unwrap();
+        let mut back = StagePredictor::from_snapshot(load_stage(buf.as_slice()).unwrap());
+
+        // Counters, pool contents, and salt survive.
+        assert_eq!(back.stats(), s.stats());
+        assert_eq!(back.pool().len(), s.pool().len());
+        assert_eq!(back.cache().len(), s.cache().len());
+        assert_eq!(back.local().instance_salt(), 7);
+        // A query cached before the snapshot is a warm cache hit after.
+        let p = back.predict(&plan(5e4), &sys);
+        assert_eq!(p.source, PredictionSource::Cache);
+        // The restored predictor keeps learning (same retrain cadence).
+        back.observe(&plan(9.9e5), &sys, 3.0);
+        assert_eq!(back.pool().len(), s.pool().len() + 1);
+    }
+
+    #[test]
+    fn save_file_is_atomic_under_simulated_crash() {
+        let dir = std::env::temp_dir().join("stage-persist-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+
+        // A valid artefact exists.
+        let mut cache = ExecTimeCache::new(CacheConfig::default());
+        cache.record(1, 2.0);
+        save_cache_file(&cache, &path).unwrap();
+
+        // A checkpoint killed mid-write leaves only a partial *temp* file
+        // (this is exactly the on-disk state after a kill -9: `rename`
+        // never ran). The artefact itself must stay loadable.
+        let tmp = super::tmp_sibling(&path);
+        std::fs::write(&tmp, b"{\"version\":1,\"kind\":\"stage-exec-ti").unwrap();
+        let loaded = load_cache_file(&path).unwrap();
+        assert!(loaded.contains(1));
+
+        // A completed save over the existing artefact replaces it whole.
+        let mut newer = ExecTimeCache::new(CacheConfig::default());
+        newer.record(2, 4.0);
+        save_cache_file(&newer, &path).unwrap();
+        let loaded = load_cache_file(&path).unwrap();
+        assert!(loaded.contains(2) && !loaded.contains(1));
+
+        // Successful saves leave no temp droppings behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                let name = e.file_name().to_string_lossy().into_owned();
+                name.ends_with(".tmp") && name != tmp.file_name().unwrap().to_string_lossy()
+            })
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+        let _ = std::fs::remove_file(&tmp);
+    }
+
+    #[test]
+    fn failed_save_preserves_existing_artefact() {
+        let dir = std::env::temp_dir().join("stage-persist-fail-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        let mut cache = ExecTimeCache::new(CacheConfig::default());
+        cache.record(9, 1.5);
+        save_cache_file(&cache, &path).unwrap();
+
+        // A save whose write step errors must leave the artefact untouched
+        // and clean up its temp file.
+        let err = super::atomic_write(&path, |_w| Err(io::Error::other("simulated crash")));
+        assert!(err.is_err());
+        assert!(load_cache_file(&path).unwrap().contains(9));
+        let tmps = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .count();
+        assert_eq!(tmps, 0, "temp file not cleaned up after failed save");
     }
 }

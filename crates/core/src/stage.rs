@@ -105,6 +105,27 @@ impl RoutingStats {
     }
 }
 
+/// The full serializable state of a [`StagePredictor`] minus the global
+/// model: cache, training pool, local model, routing counters, and the
+/// configuration they were built under. The global model is deliberately
+/// excluded — it is fleet-trained and shipped separately (paper Fig. 9
+/// deploys it as a shared service), so a snapshot stays a per-instance
+/// artefact and re-attaching the global model after restore is the
+/// caller's job ([`StagePredictor::set_global`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageSnapshot {
+    /// Configuration the predictor was running with.
+    pub config: StageConfig,
+    /// Exec-time cache contents (hit/miss counters included).
+    pub cache: ExecTimeCache,
+    /// Training pool contents.
+    pub pool: TrainingPool,
+    /// Local model (trained ensemble, retrain counters, instance salt).
+    pub local: LocalModel,
+    /// Routing counters.
+    pub stats: RoutingStats,
+}
+
 /// The hierarchical Stage predictor.
 pub struct StagePredictor {
     config: StageConfig,
@@ -167,6 +188,37 @@ impl StagePredictor {
     /// The training pool (read access for diagnostics).
     pub fn pool(&self) -> &TrainingPool {
         &self.pool
+    }
+
+    /// Exports the predictor's full mutable state (cache + pool + local
+    /// model + routing counters) as one artefact. Pair with
+    /// [`StagePredictor::from_snapshot`] to checkpoint/restore a warm
+    /// predictor across process restarts (no cold-start, Fig. 9
+    /// discussion); `crate::persist::save_stage`/`load_stage` wrap it in
+    /// the versioned on-disk envelope.
+    pub fn snapshot(&self) -> StageSnapshot {
+        StageSnapshot {
+            config: self.config,
+            cache: self.cache.clone(),
+            pool: self.pool.clone(),
+            local: self.local.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds a predictor from a snapshot, resuming exactly where
+    /// [`StagePredictor::snapshot`] left it. The global model is not part
+    /// of the snapshot; attach one afterwards with
+    /// [`StagePredictor::set_global`] if the deployment uses it.
+    pub fn from_snapshot(snapshot: StageSnapshot) -> Self {
+        Self {
+            config: snapshot.config,
+            cache: snapshot.cache,
+            pool: snapshot.pool,
+            local: snapshot.local,
+            global: None,
+            stats: snapshot.stats,
+        }
     }
 
     /// Component-wise memory breakdown `(cache, pool, local)` in bytes. The

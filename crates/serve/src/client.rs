@@ -1,0 +1,106 @@
+//! A blocking client for the stage-serve protocol, used by the load
+//! generator, the integration tests, and the `--smoke` self-check.
+
+use crate::protocol::{read_message, write_message, Request, Response};
+use stage_plan::PhysicalPlan;
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A synchronous connection to a stage-serve server: one in-flight request
+/// at a time (open several clients to pipeline).
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true).ok();
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self { reader, writer })
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        write_message(&mut self.writer, request)?;
+        read_message(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-request",
+            )
+        })
+    }
+
+    /// `Predict` convenience wrapper.
+    pub fn predict(
+        &mut self,
+        instance: u32,
+        plan: &PhysicalPlan,
+        sys: &[f64],
+    ) -> io::Result<Response> {
+        self.call(&Request::Predict {
+            instance,
+            plan: plan.clone(),
+            sys: sys.to_vec(),
+        })
+    }
+
+    /// `Observe` convenience wrapper.
+    pub fn observe(
+        &mut self,
+        instance: u32,
+        plan: &PhysicalPlan,
+        sys: &[f64],
+        actual_secs: f64,
+    ) -> io::Result<Response> {
+        self.call(&Request::Observe {
+            instance,
+            plan: plan.clone(),
+            sys: sys.to_vec(),
+            actual_secs,
+        })
+    }
+
+    /// `Observe` that retries `Overloaded` answers (bounded backoff) so no
+    /// feedback is ever dropped; returns the number of retries it took.
+    pub fn observe_with_retry(
+        &mut self,
+        instance: u32,
+        plan: &PhysicalPlan,
+        sys: &[f64],
+        actual_secs: f64,
+        max_retries: u32,
+    ) -> io::Result<u32> {
+        for attempt in 0..=max_retries {
+            match self.observe(instance, plan, sys, actual_secs)? {
+                Response::Observed { .. } => return Ok(attempt),
+                Response::Overloaded { retry_after_ms } => {
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.max(1)));
+                }
+                other => return Err(io::Error::other(format!("observe rejected: {other:?}"))),
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            format!("observe still overloaded after {max_retries} retries"),
+        ))
+    }
+
+    /// `Stats` convenience wrapper.
+    pub fn stats(&mut self, instance: u32) -> io::Result<Response> {
+        self.call(&Request::Stats { instance })
+    }
+
+    /// `Snapshot` convenience wrapper.
+    pub fn snapshot(&mut self) -> io::Result<Response> {
+        self.call(&Request::Snapshot)
+    }
+
+    /// `Shutdown` convenience wrapper.
+    pub fn shutdown(&mut self) -> io::Result<Response> {
+        self.call(&Request::Shutdown)
+    }
+}

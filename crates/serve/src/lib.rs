@@ -1,0 +1,31 @@
+//! # stage-serve
+//!
+//! The **online prediction service**: Stage is not an offline artefact —
+//! in Redshift it runs inside the database, answering per-query latency
+//! predictions for AutoWLM's admission decisions and learning from every
+//! observed execution (paper §1, §5). This crate is that deployment shape
+//! for the reproduction: a std-only (no async runtime) multi-threaded TCP
+//! server speaking newline-delimited JSON, hosting one warm
+//! [`stage_core::StagePredictor`] per simulated instance.
+//!
+//! * [`protocol`] — the five-verb wire protocol (`Predict`, `Observe`,
+//!   `Stats`, `Snapshot`, `Shutdown`) and its line framing.
+//! * [`registry`] — the sharded `RwLock` predictor registry with
+//!   crash-safe checkpointing and atomic warm restart.
+//! * [`queue`] — bounded per-worker admission queues (explicit
+//!   `Overloaded` backpressure, close-and-drain shutdown) and the token
+//!   bucket the load generator paces with.
+//! * [`server`] — the accept/dispatch/worker machinery.
+//! * [`client`] — a blocking client used by the load generator and tests.
+
+pub mod client;
+pub mod protocol;
+pub mod queue;
+pub mod registry;
+pub mod server;
+
+pub use client::ServeClient;
+pub use protocol::{Request, Response};
+pub use queue::{BoundedQueue, PushError, TokenBucket};
+pub use registry::{Shard, ShardRegistry};
+pub use server::{ServeConfig, Server};

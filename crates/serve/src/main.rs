@@ -1,0 +1,143 @@
+//! The `stage-serve` binary: boots the online prediction service.
+//!
+//! ```text
+//! cargo run --release -p stage-serve -- \
+//!     [--addr HOST:PORT] [--instances N] [--workers N] [--queue-cap N] \
+//!     [--snapshot-dir DIR] [--snapshot-secs F] [--smoke]
+//! ```
+//!
+//! `--smoke` is the CI self-check: bind an ephemeral port, run one
+//! predict→observe→predict round-trip against ourselves, shut down
+//! cleanly, and print `serve smoke OK`.
+
+use stage_serve::{Response, ServeClient, ServeConfig, Server};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut smoke = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                config.addr = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--instances" => {
+                i += 1;
+                config.n_instances = parse(&args, i, "--instances");
+            }
+            "--workers" => {
+                i += 1;
+                config.n_workers = parse(&args, i, "--workers");
+            }
+            "--queue-cap" => {
+                i += 1;
+                config.queue_capacity = parse(&args, i, "--queue-cap");
+            }
+            "--snapshot-dir" => {
+                i += 1;
+                config.snapshot_dir =
+                    Some(args.get(i).map(PathBuf::from).unwrap_or_else(|| usage()));
+            }
+            "--snapshot-secs" => {
+                i += 1;
+                let secs: f64 = parse(&args, i, "--snapshot-secs");
+                config.snapshot_every = Some(Duration::from_secs_f64(secs));
+            }
+            "--smoke" => smoke = true,
+            _ => {
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    if smoke {
+        config.addr = "127.0.0.1:0".to_string();
+        return run_smoke(config);
+    }
+
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("stage-serve: cannot start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("stage-serve listening on {}", server.local_addr());
+    if let Err(e) = server.join() {
+        eprintln!("stage-serve: shutdown error: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("stage-serve: drained and stopped");
+    ExitCode::SUCCESS
+}
+
+/// One full round-trip against an in-process server, suitable for CI.
+fn run_smoke(config: ServeConfig) -> ExitCode {
+    use stage_plan::{PlanBuilder, S3Format};
+    let result = (|| -> std::io::Result<()> {
+        let server = Server::start(config)?;
+        let mut client = ServeClient::connect(server.local_addr())?;
+        let plan = PlanBuilder::select()
+            .scan("smoke", S3Format::Local, 1e5, 64.0)
+            .hash_aggregate(0.01)
+            .finish();
+        let sys = [0.0, 0.0];
+
+        let p = client.predict(0, &plan, &sys)?;
+        let Response::Predicted { .. } = p else {
+            return Err(std::io::Error::other(format!("bad predict reply: {p:?}")));
+        };
+        client.observe(0, &plan, &sys, 2.5)?;
+        let p2 = client.predict(0, &plan, &sys)?;
+        let Response::Predicted {
+            exec_secs, source, ..
+        } = p2
+        else {
+            return Err(std::io::Error::other(format!("bad predict reply: {p2:?}")));
+        };
+        if source != stage_core::PredictionSource::Cache || (exec_secs - 2.5).abs() > 1e-9 {
+            return Err(std::io::Error::other(format!(
+                "observe did not reach the cache: {source:?} {exec_secs}"
+            )));
+        }
+        let Response::ShuttingDown = client.shutdown()? else {
+            return Err(std::io::Error::other("bad shutdown reply"));
+        };
+        drop(client);
+        server.join()
+    })();
+    match result {
+        Ok(()) => {
+            println!("serve smoke OK");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve smoke FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
+    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("invalid value for {flag}");
+        usage()
+    })
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: stage-serve [--addr HOST:PORT] [--instances N] [--workers N] \
+         [--queue-cap N] [--snapshot-dir DIR] [--snapshot-secs F] [--smoke]"
+    );
+    std::process::exit(2);
+}

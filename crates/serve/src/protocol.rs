@@ -1,0 +1,225 @@
+//! The wire protocol: newline-delimited JSON over TCP.
+//!
+//! One request per line, one response per line, in order. The framing is
+//! deliberately primitive — compact JSON never contains a raw newline, so
+//! a `BufRead::read_line` loop is a complete parser and any language's
+//! `netcat | jq` can drive the server. Requests are externally tagged
+//! (`{"Predict": {...}}`, `"Shutdown"`), matching serde's default enum
+//! representation.
+
+use serde::{Deserialize, Serialize};
+use stage_core::{PredictionSource, RoutingStats};
+use stage_plan::PhysicalPlan;
+use std::io::{self, BufRead, Write};
+
+/// A client request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Request {
+    /// Predict the exec-time of `plan` on `instance` before running it.
+    Predict {
+        /// Target instance id (shard).
+        instance: u32,
+        /// The optimizer-produced physical plan.
+        plan: PhysicalPlan,
+        /// System-context feature vector (instance features + concurrency,
+        /// see `stage_workload::InstanceSpec::system_features`).
+        sys: Vec<f64>,
+    },
+    /// Report the observed exec-time after running a query, feeding the
+    /// instance's cache and training pool exactly like offline replay.
+    Observe {
+        /// Target instance id (shard).
+        instance: u32,
+        /// The executed plan.
+        plan: PhysicalPlan,
+        /// System-context feature vector at submission time.
+        sys: Vec<f64>,
+        /// Observed execution time in seconds.
+        actual_secs: f64,
+    },
+    /// Fetch routing/ingestion counters for one instance.
+    Stats {
+        /// Target instance id (shard).
+        instance: u32,
+    },
+    /// Checkpoint every instance's predictor to the snapshot directory.
+    Snapshot,
+    /// Gracefully drain all queues, checkpoint, and stop the server.
+    Shutdown,
+}
+
+/// A server response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to [`Request::Predict`].
+    Predicted {
+        /// Point prediction in seconds.
+        exec_secs: f64,
+        /// Lower bound of the 95% confidence interval (when the serving
+        /// model measures uncertainty).
+        interval_lo: Option<f64>,
+        /// Upper bound of the 95% confidence interval.
+        interval_hi: Option<f64>,
+        /// Which stage of the hierarchy answered.
+        source: PredictionSource,
+        /// Server-side service latency (enqueue → answered) in µs.
+        latency_us: u64,
+    },
+    /// Answer to [`Request::Observe`].
+    Observed {
+        /// Server-side service latency in µs.
+        latency_us: u64,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats {
+        /// Prediction routing counters.
+        routing: RoutingStats,
+        /// Observations ingested.
+        observes: u64,
+        /// Exec-time cache entries.
+        cache_len: u64,
+        /// Training-pool entries.
+        pool_len: u64,
+        /// Whether the local model has a trained ensemble.
+        local_trained: bool,
+    },
+    /// Answer to [`Request::Snapshot`].
+    Snapshotted {
+        /// Instances checkpointed.
+        instances: u32,
+    },
+    /// Answer to [`Request::Shutdown`]: the drain has begun.
+    ShuttingDown,
+    /// Backpressure: the target worker's queue is full (or draining). The
+    /// request was **not** executed; retry after a pause or shed load.
+    Overloaded {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request was malformed or referenced an unknown instance.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+/// Writes one message as a compact-JSON line.
+pub fn write_message<T: Serialize, W: Write>(out: &mut W, msg: &T) -> io::Result<()> {
+    let mut line = serde_json::to_string(msg).map_err(io::Error::other)?;
+    // One write per message: two small writes on an unbuffered socket would
+    // emit two TCP segments and invite Nagle/delayed-ACK stalls.
+    line.push('\n');
+    out.write_all(line.as_bytes())?;
+    out.flush()
+}
+
+/// Reads one message line; `Ok(None)` on a clean EOF.
+pub fn read_message<T: serde::de::DeserializeOwned, R: BufRead>(
+    input: &mut R,
+) -> io::Result<Option<T>> {
+    let mut line = String::new();
+    if input.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let msg = serde_json::from_str(line.trim_end())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Ok(Some(msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stage_plan::{PlanBuilder, S3Format};
+
+    fn plan() -> PhysicalPlan {
+        PlanBuilder::select()
+            .scan("t", S3Format::Local, 1e4, 64.0)
+            .hash_aggregate(0.01)
+            .finish()
+    }
+
+    #[test]
+    fn requests_round_trip_as_single_lines() {
+        let requests = vec![
+            Request::Predict {
+                instance: 3,
+                plan: plan(),
+                sys: vec![1.0, 2.0],
+            },
+            Request::Observe {
+                instance: 3,
+                plan: plan(),
+                sys: vec![1.0, 2.0],
+                actual_secs: 4.25,
+            },
+            Request::Stats { instance: 0 },
+            Request::Snapshot,
+            Request::Shutdown,
+        ];
+        let mut buf = Vec::new();
+        for r in &requests {
+            write_message(&mut buf, r).unwrap();
+        }
+        assert_eq!(buf.iter().filter(|&&b| b == b'\n').count(), requests.len());
+        let mut reader = io::BufReader::new(buf.as_slice());
+        for expected in &requests {
+            let got: Request = read_message(&mut reader).unwrap().unwrap();
+            assert_eq!(
+                serde_json::to_string(&got).unwrap(),
+                serde_json::to_string(expected).unwrap()
+            );
+        }
+        assert!(read_message::<Request, _>(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = vec![
+            Response::Predicted {
+                exec_secs: 2.5,
+                interval_lo: Some(1.0),
+                interval_hi: Some(6.0),
+                source: PredictionSource::Local,
+                latency_us: 120,
+            },
+            Response::Observed { latency_us: 40 },
+            Response::Stats {
+                routing: RoutingStats {
+                    cache: 3,
+                    local: 2,
+                    global: 0,
+                    default: 1,
+                },
+                observes: 6,
+                cache_len: 4,
+                pool_len: 5,
+                local_trained: false,
+            },
+            Response::Snapshotted { instances: 2 },
+            Response::ShuttingDown,
+            Response::Overloaded { retry_after_ms: 5 },
+            Response::Error {
+                message: "unknown instance 9".into(),
+            },
+        ];
+        let mut buf = Vec::new();
+        for r in &responses {
+            write_message(&mut buf, r).unwrap();
+        }
+        let mut reader = io::BufReader::new(buf.as_slice());
+        for expected in &responses {
+            let got: Response = read_message(&mut reader).unwrap().unwrap();
+            assert_eq!(
+                serde_json::to_string(&got).unwrap(),
+                serde_json::to_string(expected).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_line_is_invalid_data() {
+        let mut reader = io::BufReader::new(&b"{nonsense\n"[..]);
+        let err = read_message::<Request, _>(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,271 @@
+//! Admission control primitives: a bounded MPSC work queue with explicit
+//! rejection, and a token bucket for client-side pacing.
+//!
+//! The server gives every worker one [`BoundedQueue`]; producers (connection
+//! threads) never block on a full queue — they get [`PushError::Full`] back
+//! and turn it into an `Overloaded` response, pushing the wait out to the
+//! client where it belongs (same shape as the admission queues in queueing
+//! simulators: reject at the door, don't build an invisible line). Closing
+//! the queue starts a graceful drain: producers are refused, consumers keep
+//! popping until the backlog is empty.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; retry later.
+    Full,
+    /// The queue is closed (server draining); do not retry.
+    Closed,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer single-consumer queue with close-and-drain
+/// semantics.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues without blocking; refuses when full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        if s.closed {
+            return Err(PushError::Closed);
+        }
+        if s.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues, blocking while the queue is open and empty. Returns
+    /// `None` only once the queue is closed **and** fully drained — so a
+    /// consumer loop `while let Some(job) = q.pop()` implements graceful
+    /// drain for free.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.ready.wait(s).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: producers are refused from now on, consumers
+    /// drain the backlog and then see `None`.
+    pub fn close(&self) {
+        let mut s = self.state.lock().expect("queue poisoned");
+        s.closed = true;
+        drop(s);
+        self.ready.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A token bucket: capacity `burst`, refilled continuously at `rate_per_sec`.
+/// Used by the load generator to hold a target request rate; `take` blocks
+/// (sleeping) until a token is available.
+pub struct TokenBucket {
+    rate_per_sec: f64,
+    burst: f64,
+    tokens: f64,
+    last_refill: Instant,
+}
+
+impl TokenBucket {
+    /// Creates a bucket emitting `rate_per_sec` tokens per second with the
+    /// given burst capacity (also the initial fill).
+    ///
+    /// # Panics
+    /// Panics unless `rate_per_sec > 0` and `burst >= 1`.
+    pub fn new(rate_per_sec: f64, burst: f64) -> Self {
+        assert!(rate_per_sec > 0.0, "rate must be positive");
+        assert!(burst >= 1.0, "burst must admit at least one token");
+        Self {
+            rate_per_sec,
+            burst,
+            tokens: burst,
+            last_refill: Instant::now(),
+        }
+    }
+
+    fn refill(&mut self, now: Instant) {
+        let dt = now.duration_since(self.last_refill).as_secs_f64();
+        self.tokens = (self.tokens + dt * self.rate_per_sec).min(self.burst);
+        self.last_refill = now;
+    }
+
+    /// Takes one token if available right now.
+    pub fn try_take(&mut self) -> bool {
+        self.refill(Instant::now());
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Blocks (sleeping in short slices) until a token is available, then
+    /// takes it.
+    pub fn take(&mut self) {
+        loop {
+            if self.try_take() {
+                return;
+            }
+            let deficit = (1.0 - self.tokens) / self.rate_per_sec;
+            std::thread::sleep(Duration::from_secs_f64(deficit.clamp(1e-5, 0.05)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_queue_refuses_without_blocking() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        // Popping frees a slot.
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(8);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "stays terminated");
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing_under_retry() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let n_producers = 4;
+        let per_producer = 250;
+        let mut handles = Vec::new();
+        for p in 0..n_producers {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_producer {
+                    loop {
+                        match q.try_push(p * per_producer + i) {
+                            Ok(()) => break,
+                            Err(PushError::Full) => std::thread::yield_now(),
+                            Err(PushError::Closed) => panic!("closed early"),
+                        }
+                    }
+                }
+            }));
+        }
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            let mut seen = Vec::new();
+            while let Some(x) = q2.pop() {
+                seen.push(x);
+            }
+            seen
+        });
+        for h in handles {
+            h.join().unwrap();
+        }
+        q.close();
+        let mut seen = consumer.join().unwrap();
+        seen.sort_unstable();
+        let expected: Vec<usize> = (0..n_producers * per_producer).collect();
+        assert_eq!(seen, expected, "every accepted push must be consumed");
+    }
+
+    #[test]
+    fn token_bucket_paces() {
+        let mut tb = TokenBucket::new(1000.0, 5.0);
+        // The initial burst is free...
+        for _ in 0..5 {
+            assert!(tb.try_take());
+        }
+        // ...then tokens only arrive with time.
+        assert!(!tb.try_take());
+        let t0 = Instant::now();
+        tb.take();
+        assert!(t0.elapsed() >= Duration::from_micros(200));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = BoundedQueue::<u8>::new(0);
+    }
+}

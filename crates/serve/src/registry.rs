@@ -1,0 +1,191 @@
+//! The shard registry: one warm [`StagePredictor`] per simulated instance,
+//! each behind its own `RwLock` so instances never contend with each other
+//! — the serving-layer analogue of the shard-parallel replay engine's
+//! "an instance owns its predictors" invariant.
+
+use stage_core::persist;
+use stage_core::{ExecTimePredictor, Prediction, StageConfig, StagePredictor, SystemContext};
+use stage_plan::PhysicalPlan;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::RwLock;
+
+/// One instance's serving state: the predictor plus ingestion counters the
+/// bare predictor doesn't track.
+pub struct Shard {
+    predictor: StagePredictor,
+    observes: u64,
+}
+
+impl Shard {
+    fn new(predictor: StagePredictor) -> Self {
+        Self {
+            predictor,
+            observes: 0,
+        }
+    }
+
+    /// Serves one prediction.
+    pub fn predict(&mut self, plan: &PhysicalPlan, sys: &SystemContext) -> Prediction {
+        self.predictor.predict(plan, sys)
+    }
+
+    /// Ingests one observed exec-time (cache + pool + retrain cadence,
+    /// exactly as offline replay does).
+    pub fn observe(&mut self, plan: &PhysicalPlan, sys: &SystemContext, actual_secs: f64) {
+        self.predictor.observe(plan, sys, actual_secs);
+        self.observes += 1;
+    }
+
+    /// Observations ingested since start (snapshot restores do not reset
+    /// routing counters but do reset this per-process counter).
+    pub fn observes(&self) -> u64 {
+        self.observes
+    }
+
+    /// The wrapped predictor (read access for stats/snapshots).
+    pub fn predictor(&self) -> &StagePredictor {
+        &self.predictor
+    }
+}
+
+/// All shards of one server process, indexed by instance id.
+pub struct ShardRegistry {
+    shards: Vec<RwLock<Shard>>,
+}
+
+impl ShardRegistry {
+    /// Creates `n_instances` cold predictors with per-instance seed salts
+    /// (instance id, matching the replay engine's convention).
+    pub fn new(n_instances: u32, config: StageConfig) -> Self {
+        let shards = (0..n_instances)
+            .map(|id| {
+                let mut p = StagePredictor::new(config);
+                p.set_instance_salt(u64::from(id));
+                RwLock::new(Shard::new(p))
+            })
+            .collect();
+        Self { shards }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the registry has no shards.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The lock guarding instance `id`, or `None` for an unknown id.
+    pub fn shard(&self, id: u32) -> Option<&RwLock<Shard>> {
+        self.shards.get(id as usize)
+    }
+
+    /// Snapshot path of instance `id` under `dir`.
+    pub fn snapshot_path(dir: &Path, id: u32) -> PathBuf {
+        dir.join(format!("instance_{id}.json"))
+    }
+
+    /// Checkpoints every shard to `dir` (one crash-safe artefact per
+    /// instance). Takes each shard's read lock briefly; serving continues
+    /// on other shards meanwhile. Returns the number written.
+    pub fn save_snapshots(&self, dir: &Path) -> io::Result<u32> {
+        std::fs::create_dir_all(dir)?;
+        for (id, lock) in self.shards.iter().enumerate() {
+            let snapshot = lock.read().expect("shard poisoned").predictor.snapshot();
+            persist::save_stage_file(&snapshot, &Self::snapshot_path(dir, id as u32))?;
+        }
+        Ok(self.shards.len() as u32)
+    }
+
+    /// Warm-starts shards from artefacts in `dir` (atomic load-on-start):
+    /// each instance with a loadable snapshot resumes exactly where the
+    /// last checkpoint left it; missing or unreadable artefacts leave the
+    /// cold predictor in place (never a partial hybrid, because
+    /// `persist::save_stage_file` writes atomically). Returns how many
+    /// shards were restored.
+    pub fn load_snapshots(&self, dir: &Path) -> u32 {
+        let mut restored = 0;
+        for (id, lock) in self.shards.iter().enumerate() {
+            let id = id as u32;
+            match persist::load_stage_file(&Self::snapshot_path(dir, id)) {
+                Ok(snapshot) => {
+                    let mut shard = lock.write().expect("shard poisoned");
+                    shard.predictor = StagePredictor::from_snapshot(snapshot);
+                    restored += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    eprintln!("stage-serve: ignoring unreadable snapshot for instance {id}: {e}");
+                }
+            }
+        }
+        restored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stage_core::PredictionSource;
+    use stage_plan::{PlanBuilder, S3Format};
+
+    fn plan(rows: f64) -> PhysicalPlan {
+        PlanBuilder::select()
+            .scan("t", S3Format::Local, rows, 64.0)
+            .hash_aggregate(0.01)
+            .finish()
+    }
+
+    #[test]
+    fn shards_are_independent() {
+        let reg = ShardRegistry::new(2, StageConfig::default());
+        let sys = SystemContext::empty(2);
+        {
+            let mut s0 = reg.shard(0).unwrap().write().unwrap();
+            s0.observe(&plan(1e4), &sys, 2.0);
+            assert_eq!(s0.observes(), 1);
+        }
+        let mut s1 = reg.shard(1).unwrap().write().unwrap();
+        assert_eq!(s1.observes(), 0);
+        let p = s1.predict(&plan(1e4), &sys);
+        assert_eq!(p.source, PredictionSource::Default);
+        assert!(reg.shard(2).is_none());
+        assert_eq!(reg.len(), 2);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn snapshot_round_trip_restores_warm_shards() {
+        let dir = std::env::temp_dir().join("stage-serve-registry-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let sys = SystemContext::empty(2);
+        let reg = ShardRegistry::new(2, StageConfig::default());
+        reg.shard(0)
+            .unwrap()
+            .write()
+            .unwrap()
+            .observe(&plan(5e4), &sys, 3.5);
+        assert_eq!(reg.save_snapshots(&dir).unwrap(), 2);
+
+        let fresh = ShardRegistry::new(2, StageConfig::default());
+        assert_eq!(fresh.load_snapshots(&dir), 2);
+        let p = fresh
+            .shard(0)
+            .unwrap()
+            .write()
+            .unwrap()
+            .predict(&plan(5e4), &sys);
+        assert_eq!(p.source, PredictionSource::Cache);
+        assert!((p.exec_secs - 3.5).abs() < 1e-9);
+
+        // A corrupt artefact is skipped, not fatal (and cannot be produced
+        // by a killed checkpoint — writes are atomic — only by operators).
+        std::fs::write(ShardRegistry::snapshot_path(&dir, 1), b"garbage").unwrap();
+        let partial = ShardRegistry::new(2, StageConfig::default());
+        assert_eq!(partial.load_snapshots(&dir), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

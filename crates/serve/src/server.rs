@@ -1,0 +1,519 @@
+//! The serving loop: TCP accept → per-connection reader threads → bounded
+//! per-worker queues → shard workers → newline-delimited JSON responses.
+//!
+//! ```text
+//!            ┌──────────────┐  try_push   ┌─────────────┐ write lock
+//! client ──► │ conn thread  │ ──────────► │ worker 0..W │ ──────────► shard
+//!            │ (parse line) │ ◄────────── │ (drain on   │             registry
+//!            └──────────────┘  mpsc reply │  shutdown)  │
+//!                  │ full queue?          └─────────────┘
+//!                  └─► Overloaded (backpressure, request NOT executed)
+//! ```
+//!
+//! Requests for one instance always land on the same worker
+//! (`instance % n_workers`), so a client's predict→observe order is
+//! preserved per instance. A full worker queue is answered with
+//! [`Response::Overloaded`] immediately — the server never builds an
+//! unbounded invisible backlog. `Shutdown` closes every queue; workers
+//! finish the backlog (graceful drain), a final checkpoint runs, and
+//! [`Server::join`] returns.
+
+use crate::protocol::{read_message, write_message, Request, Response};
+use crate::queue::{BoundedQueue, PushError};
+use crate::registry::ShardRegistry;
+use stage_core::{StageConfig, SystemContext};
+use std::io::{self, BufReader};
+use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Number of instance shards to host (instance ids `0..n`).
+    pub n_instances: u32,
+    /// Worker threads executing predict/observe jobs.
+    pub n_workers: usize,
+    /// Bound of each worker's request queue; a full queue answers
+    /// `Overloaded` instead of queueing further.
+    pub queue_capacity: usize,
+    /// Per-instance predictor configuration.
+    pub stage: StageConfig,
+    /// Snapshot directory: load-on-start (warm restart) plus the target of
+    /// background/final/on-demand checkpoints. `None` disables persistence.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Background checkpoint cadence; `None` checkpoints only on demand
+    /// (`Snapshot` request) and at shutdown.
+    pub snapshot_every: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            n_instances: 2,
+            n_workers: 4,
+            queue_capacity: 1024,
+            stage: StageConfig::default(),
+            snapshot_dir: None,
+            snapshot_every: None,
+        }
+    }
+}
+
+/// A predict/observe job queued for a worker.
+struct Job {
+    request: Request,
+    enqueued: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+/// State shared by every server thread.
+struct Shared {
+    registry: ShardRegistry,
+    queues: Vec<BoundedQueue<Job>>,
+    shutting_down: AtomicBool,
+    overloaded: AtomicU64,
+    snapshot_dir: Option<PathBuf>,
+    local_addr: SocketAddr,
+    // Wakes the background checkpointer early (for shutdown).
+    checkpoint_gate: (Mutex<()>, Condvar),
+}
+
+impl Shared {
+    fn worker_of(&self, instance: u32) -> usize {
+        instance as usize % self.queues.len()
+    }
+
+    /// Flips the server into draining mode exactly once: queues close (the
+    /// backlog still drains), and the accept loop is woken so it can exit.
+    fn begin_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for q in &self.queues {
+            q.close();
+        }
+        self.checkpoint_gate.1.notify_all();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
+    /// Executes one dequeued job against its shard.
+    fn run_job(&self, request: Request, enqueued: Instant) -> Response {
+        match request {
+            Request::Predict {
+                instance,
+                plan,
+                sys,
+            } => match self.registry.shard(instance) {
+                Some(lock) => {
+                    let sys = SystemContext { features: sys };
+                    let p = lock.write().expect("shard poisoned").predict(&plan, &sys);
+                    let (interval_lo, interval_hi) = match p.confidence_interval(1.96) {
+                        Some((lo, hi)) => (Some(lo), Some(hi)),
+                        None => (None, None),
+                    };
+                    Response::Predicted {
+                        exec_secs: p.exec_secs,
+                        interval_lo,
+                        interval_hi,
+                        source: p.source,
+                        latency_us: enqueued.elapsed().as_micros() as u64,
+                    }
+                }
+                None => unknown_instance(instance, self.registry.len()),
+            },
+            Request::Observe {
+                instance,
+                plan,
+                sys,
+                actual_secs,
+            } => match self.registry.shard(instance) {
+                Some(lock) => {
+                    let sys = SystemContext { features: sys };
+                    lock.write()
+                        .expect("shard poisoned")
+                        .observe(&plan, &sys, actual_secs);
+                    Response::Observed {
+                        latency_us: enqueued.elapsed().as_micros() as u64,
+                    }
+                }
+                None => unknown_instance(instance, self.registry.len()),
+            },
+            // Stats/Snapshot/Shutdown are handled inline by connection
+            // threads and never enqueued.
+            _ => Response::Error {
+                message: "internal: non-shard request routed to worker".to_string(),
+            },
+        }
+    }
+}
+
+fn unknown_instance(instance: u32, n: usize) -> Response {
+    Response::Error {
+        message: format!("unknown instance {instance} (server hosts 0..{n})"),
+    }
+}
+
+/// A running server; dropping the handle does **not** stop it — send a
+/// [`Request::Shutdown`] (or call [`Server::shutdown`]) and then
+/// [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    listener_handle: JoinHandle<()>,
+    worker_handles: Vec<JoinHandle<()>>,
+    checkpoint_handle: Option<JoinHandle<()>>,
+    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    conn_streams: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl Server {
+    /// Binds, warm-starts from the snapshot directory when one is
+    /// configured, and spawns the accept loop, workers, and (optionally)
+    /// the background checkpointer.
+    pub fn start(config: ServeConfig) -> io::Result<Self> {
+        assert!(config.n_workers > 0, "need at least one worker");
+        assert!(config.n_instances > 0, "need at least one instance");
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+
+        let registry = ShardRegistry::new(config.n_instances, config.stage);
+        if let Some(dir) = &config.snapshot_dir {
+            let restored = registry.load_snapshots(dir);
+            if restored > 0 {
+                eprintln!(
+                    "stage-serve: warm-started {restored}/{} instances from {}",
+                    config.n_instances,
+                    dir.display()
+                );
+            }
+        }
+        let shared = Arc::new(Shared {
+            registry,
+            queues: (0..config.n_workers)
+                .map(|_| BoundedQueue::new(config.queue_capacity))
+                .collect(),
+            shutting_down: AtomicBool::new(false),
+            overloaded: AtomicU64::new(0),
+            snapshot_dir: config.snapshot_dir.clone(),
+            local_addr,
+            checkpoint_gate: (Mutex::new(()), Condvar::new()),
+        });
+
+        let worker_handles = (0..config.n_workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{w}"))
+                    .spawn(move || {
+                        while let Some(job) = shared.queues[w].pop() {
+                            let response = shared.run_job(job.request, job.enqueued);
+                            // The client may have disconnected; that loses
+                            // only its response, not the state change.
+                            let _ = job.reply.send(response);
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let checkpoint_handle = match (&config.snapshot_dir, config.snapshot_every) {
+            (Some(dir), Some(every)) => {
+                let shared = Arc::clone(&shared);
+                let dir = dir.clone();
+                Some(
+                    std::thread::Builder::new()
+                        .name("serve-checkpointer".to_string())
+                        .spawn(move || loop {
+                            let (lock, cv) = &shared.checkpoint_gate;
+                            let guard = lock.lock().expect("gate poisoned");
+                            let _ = cv.wait_timeout(guard, every).expect("gate poisoned");
+                            if shared.shutting_down.load(Ordering::SeqCst) {
+                                // The final checkpoint runs in `join` after
+                                // the drain completes.
+                                return;
+                            }
+                            if let Err(e) = shared.registry.save_snapshots(&dir) {
+                                eprintln!("stage-serve: background checkpoint failed: {e}");
+                            }
+                        })
+                        .expect("spawn checkpointer"),
+                )
+            }
+            _ => None,
+        };
+
+        let conn_handles = Arc::new(Mutex::new(Vec::new()));
+        let conn_streams = Arc::new(Mutex::new(Vec::new()));
+        let listener_handle = {
+            let shared = Arc::clone(&shared);
+            let conn_handles = Arc::clone(&conn_handles);
+            let conn_streams = Arc::clone(&conn_streams);
+            std::thread::Builder::new()
+                .name("serve-listener".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shared.shutting_down.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        // Responses are single small lines; Nagle+delayed-ACK
+                        // would add ~40 ms to every round-trip.
+                        stream.set_nodelay(true).ok();
+                        if let Ok(clone) = stream.try_clone() {
+                            conn_streams.lock().expect("streams poisoned").push(clone);
+                        }
+                        let shared = Arc::clone(&shared);
+                        let handle = std::thread::Builder::new()
+                            .name("serve-conn".to_string())
+                            .spawn(move || serve_connection(&shared, stream))
+                            .expect("spawn connection thread");
+                        conn_handles.lock().expect("handles poisoned").push(handle);
+                    }
+                })
+                .expect("spawn listener")
+        };
+
+        Ok(Self {
+            shared,
+            listener_handle,
+            worker_handles,
+            checkpoint_handle,
+            conn_handles,
+            conn_streams,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Requests routed to a full queue so far (shed load).
+    pub fn overloaded_count(&self) -> u64 {
+        self.shared.overloaded.load(Ordering::Relaxed)
+    }
+
+    /// Initiates the same graceful drain a [`Request::Shutdown`] does.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until the server has fully drained and stopped, then runs
+    /// the final checkpoint. Call after `shutdown` / a client `Shutdown`.
+    pub fn join(self) -> io::Result<()> {
+        self.listener_handle.join().expect("listener panicked");
+        for h in self.worker_handles {
+            h.join().expect("worker panicked");
+        }
+        if let Some(h) = self.checkpoint_handle {
+            h.join().expect("checkpointer panicked");
+        }
+        // Every queued job is now executed and answered; persist the final
+        // state so a restart resumes warm.
+        if let Some(dir) = &self.shared.snapshot_dir {
+            self.shared.registry.save_snapshots(dir)?;
+        }
+        // Unblock connection threads still parked in read_line.
+        for s in self
+            .conn_streams
+            .lock()
+            .expect("streams poisoned")
+            .drain(..)
+        {
+            let _ = s.shutdown(SockShutdown::Both);
+        }
+        let handles: Vec<_> = self
+            .conn_handles
+            .lock()
+            .expect("handles poisoned")
+            .drain(..)
+            .collect();
+        for h in handles {
+            h.join().expect("connection thread panicked");
+        }
+        Ok(())
+    }
+}
+
+/// One connection's request→response loop.
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        let request = match read_message::<Request, _>(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => break, // clean EOF
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let resp = Response::Error {
+                    message: format!("bad request: {e}"),
+                };
+                if write_message(&mut writer, &resp).is_err() {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break, // connection torn down
+        };
+        let response = match request {
+            Request::Predict { instance, .. } | Request::Observe { instance, .. } => {
+                dispatch_to_worker(shared, instance, request)
+            }
+            Request::Stats { instance } => match shared.registry.shard(instance) {
+                Some(lock) => {
+                    let shard = lock.read().expect("shard poisoned");
+                    Response::Stats {
+                        routing: shard.predictor().stats(),
+                        observes: shard.observes(),
+                        cache_len: shard.predictor().cache().len() as u64,
+                        pool_len: shard.predictor().pool().len() as u64,
+                        local_trained: shard.predictor().local().is_trained(),
+                    }
+                }
+                None => unknown_instance(instance, shared.registry.len()),
+            },
+            Request::Snapshot => match &shared.snapshot_dir {
+                Some(dir) => match shared.registry.save_snapshots(dir) {
+                    Ok(instances) => Response::Snapshotted { instances },
+                    Err(e) => Response::Error {
+                        message: format!("checkpoint failed: {e}"),
+                    },
+                },
+                None => Response::Error {
+                    message: "no snapshot directory configured".to_string(),
+                },
+            },
+            Request::Shutdown => {
+                let ack = write_message(&mut writer, &Response::ShuttingDown);
+                shared.begin_shutdown();
+                if ack.is_err() {
+                    // Client vanished mid-ack; the drain still proceeds.
+                }
+                break;
+            }
+        };
+        if write_message(&mut writer, &response).is_err() {
+            break;
+        }
+    }
+}
+
+/// Routes a predict/observe request through the target worker's bounded
+/// queue and waits for its answer.
+fn dispatch_to_worker(shared: &Shared, instance: u32, request: Request) -> Response {
+    if shared.registry.shard(instance).is_none() {
+        return unknown_instance(instance, shared.registry.len());
+    }
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job {
+        request,
+        enqueued: Instant::now(),
+        reply: reply_tx,
+    };
+    match shared.queues[shared.worker_of(instance)].try_push(job) {
+        Ok(()) => match reply_rx.recv() {
+            Ok(response) => response,
+            // Unreachable in practice: workers answer every drained job.
+            Err(_) => Response::Error {
+                message: "worker dropped request".to_string(),
+            },
+        },
+        Err(PushError::Full) => {
+            shared.overloaded.fetch_add(1, Ordering::Relaxed);
+            Response::Overloaded { retry_after_ms: 1 }
+        }
+        Err(PushError::Closed) => Response::ShuttingDown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ServeClient;
+    use stage_plan::{PhysicalPlan, PlanBuilder, S3Format};
+
+    fn plan(rows: f64) -> PhysicalPlan {
+        PlanBuilder::select()
+            .scan("t", S3Format::Local, rows, 64.0)
+            .hash_aggregate(0.01)
+            .finish()
+    }
+
+    #[test]
+    fn predict_observe_stats_round_trip() {
+        let server = Server::start(ServeConfig::default()).unwrap();
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+
+        let p = client.predict(0, &plan(1e5), &[0.0, 0.0]).unwrap();
+        let Response::Predicted { source, .. } = p else {
+            panic!("expected Predicted, got {p:?}");
+        };
+        assert_eq!(source, stage_core::PredictionSource::Default);
+
+        let o = client.observe(0, &plan(1e5), &[0.0, 0.0], 7.0).unwrap();
+        assert!(matches!(o, Response::Observed { .. }));
+
+        let p2 = client.predict(0, &plan(1e5), &[0.0, 0.0]).unwrap();
+        let Response::Predicted {
+            exec_secs, source, ..
+        } = p2
+        else {
+            panic!("expected Predicted, got {p2:?}");
+        };
+        assert_eq!(source, stage_core::PredictionSource::Cache);
+        assert!((exec_secs - 7.0).abs() < 1e-9);
+
+        let s = client.stats(0).unwrap();
+        let Response::Stats {
+            routing, observes, ..
+        } = s
+        else {
+            panic!("expected Stats, got {s:?}");
+        };
+        assert_eq!(routing.total(), 2);
+        assert_eq!(observes, 1);
+
+        // Unknown instances error without crashing the connection.
+        let e = client.stats(99).unwrap();
+        assert!(matches!(e, Response::Error { .. }));
+
+        assert!(matches!(client.shutdown().unwrap(), Response::ShuttingDown));
+        drop(client);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn snapshot_without_dir_is_an_error() {
+        let server = Server::start(ServeConfig::default()).unwrap();
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+        let r = client.snapshot().unwrap();
+        assert!(matches!(r, Response::Error { .. }));
+        client.shutdown().unwrap();
+        drop(client);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn requests_after_shutdown_are_refused_not_lost() {
+        let server = Server::start(ServeConfig::default()).unwrap();
+        let mut a = ServeClient::connect(server.local_addr()).unwrap();
+        let mut b = ServeClient::connect(server.local_addr()).unwrap();
+        a.shutdown().unwrap();
+        // The other connection's next shard request sees the drain.
+        let r = b.predict(0, &plan(1e4), &[0.0, 0.0]).unwrap();
+        assert!(matches!(r, Response::ShuttingDown));
+        drop(a);
+        drop(b);
+        server.join().unwrap();
+    }
+}

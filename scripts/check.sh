@@ -7,3 +7,9 @@ cd "$(dirname "$0")/.."
 cargo fmt --check
 cargo clippy --workspace -- -D warnings
 cargo test -q --workspace
+
+# Serving smoke test: boot stage-serve on an ephemeral port, run one
+# predict→observe→predict round-trip, drain, and stop. Bounded so a hung
+# accept loop can never wedge CI.
+cargo build -q --release -p stage-serve
+timeout 120 ./target/release/stage-serve --smoke

@@ -1,0 +1,202 @@
+//! End-to-end tests for the `stage-serve` online prediction service: the
+//! full wire protocol over a real TCP socket, warm restart from snapshots,
+//! and concurrent clients losing no feedback.
+
+use stage_core::PredictionSource;
+use stage_plan::{PhysicalPlan, PlanBuilder, S3Format};
+use stage_serve::{Response, ServeClient, ServeConfig, Server};
+use std::path::PathBuf;
+
+fn plan(tag: &str, rows: f64) -> PhysicalPlan {
+    PlanBuilder::select()
+        .scan(tag, S3Format::Local, rows, 64.0)
+        .hash_aggregate(0.01)
+        .finish()
+}
+
+/// A unique temp dir per test; removed on drop so reruns start clean.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn all_five_verbs_and_warm_restart_from_snapshot() {
+    let snapshots = TempDir::new("stage-serve-restart-test");
+    let config = ServeConfig {
+        snapshot_dir: Some(snapshots.0.clone()),
+        ..ServeConfig::default()
+    };
+    let query = plan("restart", 1e5);
+    let sys = [0.0, 0.0];
+
+    // First server lifetime: exercise every verb, then shut down (which
+    // checkpoints every shard).
+    let server = Server::start(config.clone()).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+
+    let Response::Predicted { source, .. } = client.predict(0, &query, &sys).unwrap() else {
+        panic!("predict did not answer Predicted");
+    };
+    assert_eq!(
+        source,
+        PredictionSource::Default,
+        "fresh shard must cold-start"
+    );
+
+    let Response::Observed { .. } = client.observe(0, &query, &sys, 3.25).unwrap() else {
+        panic!("observe did not answer Observed");
+    };
+
+    let Response::Stats {
+        routing,
+        observes,
+        cache_len,
+        ..
+    } = client.stats(0).unwrap()
+    else {
+        panic!("stats did not answer Stats");
+    };
+    assert_eq!(routing.total(), 1);
+    assert_eq!(observes, 1);
+    assert_eq!(cache_len, 1);
+
+    let Response::Snapshotted { instances } = client.snapshot().unwrap() else {
+        panic!("snapshot did not answer Snapshotted");
+    };
+    assert_eq!(instances, config.n_instances);
+
+    let Response::ShuttingDown = client.shutdown().unwrap() else {
+        panic!("shutdown did not answer ShuttingDown");
+    };
+    drop(client);
+    server.join().unwrap();
+
+    // Second lifetime: the cache entry must survive the restart, so the
+    // same plan now answers from the cache with the observed time.
+    let server = Server::start(config).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    let Response::Predicted {
+        exec_secs, source, ..
+    } = client.predict(0, &query, &sys).unwrap()
+    else {
+        panic!("predict did not answer Predicted");
+    };
+    assert_eq!(
+        source,
+        PredictionSource::Cache,
+        "warm restart must hit the cache"
+    );
+    assert!(
+        (exec_secs - 3.25).abs() < 1e-9,
+        "cached exec-time drifted: {exec_secs}"
+    );
+
+    // Instance 1 was never fed; its restored shard must still be cold.
+    let Response::Stats { observes, .. } = client.stats(1).unwrap() else {
+        panic!("stats did not answer Stats");
+    };
+    assert_eq!(observes, 0);
+
+    client.shutdown().unwrap();
+    drop(client);
+    server.join().unwrap();
+}
+
+#[test]
+fn unknown_instance_is_an_error_not_a_crash() {
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    let query = plan("bogus", 1e4);
+    let Response::Error { message } = client.predict(99, &query, &[0.0, 0.0]).unwrap() else {
+        panic!("out-of-range instance must answer Error");
+    };
+    assert!(
+        message.contains("99"),
+        "error names the instance: {message}"
+    );
+    client.shutdown().unwrap();
+    drop(client);
+    server.join().unwrap();
+}
+
+#[test]
+fn concurrent_clients_lose_no_observes() {
+    const CLIENTS: usize = 8;
+    const ROUNDS: usize = 50;
+    let config = ServeConfig {
+        n_instances: 4,
+        // A deliberately tight queue so backpressure actually fires under
+        // contention; correctness must hold regardless.
+        queue_capacity: 16,
+        ..ServeConfig::default()
+    };
+    let n_instances = config.n_instances;
+    let server = Server::start(config).unwrap();
+    let addr = server.local_addr();
+
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            scope.spawn(move || {
+                let mut client = ServeClient::connect(addr).unwrap();
+                let instance = (c as u32) % n_instances;
+                let sys = [1.0, 0.5];
+                for r in 0..ROUNDS {
+                    let query = plan("conc", 1e4 + (c * ROUNDS + r) as f64);
+                    // Predicts may be shed under backpressure; retry them
+                    // like a real client would.
+                    loop {
+                        match client.predict(instance, &query, &sys).unwrap() {
+                            Response::Predicted { .. } => break,
+                            Response::Overloaded { retry_after_ms } => {
+                                std::thread::sleep(std::time::Duration::from_millis(
+                                    retry_after_ms.max(1),
+                                ));
+                            }
+                            other => panic!("predict rejected: {other:?}"),
+                        }
+                    }
+                    // Observes must never be lost: bounded retry on overload.
+                    client
+                        .observe_with_retry(instance, &query, &sys, 1.0, 10_000)
+                        .unwrap();
+                }
+            });
+        }
+    });
+
+    let expected = (CLIENTS * ROUNDS) as u64;
+    let mut client = ServeClient::connect(addr).unwrap();
+    let (mut total_observes, mut total_predicts) = (0u64, 0u64);
+    for instance in 0..n_instances {
+        let Response::Stats {
+            routing, observes, ..
+        } = client.stats(instance).unwrap()
+        else {
+            panic!("stats did not answer Stats");
+        };
+        total_observes += observes;
+        total_predicts += routing.total();
+    }
+    assert_eq!(total_observes, expected, "observes were dropped");
+    assert_eq!(
+        total_predicts, expected,
+        "predict routing counters diverged"
+    );
+
+    client.shutdown().unwrap();
+    drop(client);
+    server.join().unwrap();
+}
