@@ -182,6 +182,12 @@ impl ExecTimeCache {
                 }
             }
         }
+        debug_assert!(
+            self.entries.len() <= self.config.capacity,
+            "cache invariant violated after record: {} entries > capacity {}",
+            self.entries.len(),
+            self.config.capacity
+        );
     }
 
     /// Number of cached unique queries.
@@ -225,9 +231,14 @@ impl ExecTimeCache {
     /// at the paper's capacity (2 000) this is microseconds and happens at
     /// most once per insert.
     fn evict_oldest(&mut self) {
+        let before = self.entries.len();
         if let Some((&key, _)) = self.entries.iter().min_by_key(|(_, e)| e.last_update) {
             self.entries.remove(&key);
         }
+        debug_assert!(
+            self.entries.len() < before.max(1),
+            "eviction must shrink a non-empty cache"
+        );
     }
 }
 
@@ -455,6 +466,28 @@ mod tests {
                 prop_assert!(c.contains(*k));
             }
             prop_assert_eq!(c.hits() + c.misses(), lookups);
+        }
+
+        // Debug-mode hammer for the in-structure `debug_assert!` invariants
+        // (len ≤ capacity after every op) under the Holt cache mode, whose
+        // update path differs from the α-blend one the other properties
+        // cover.
+        #[test]
+        fn prop_holt_mode_keeps_capacity_and_nonnegative_predictions(
+            ops in proptest::collection::vec((0u64..16, 0.01f64..100.0), 1..300)
+        ) {
+            let mut c = ExecTimeCache::new(CacheConfig {
+                capacity: 4,
+                alpha: 0.8,
+                mode: CacheMode::Holt { level_alpha: 0.7, trend_beta: 0.3 },
+            });
+            for &(k, v) in &ops {
+                c.record(k, v);
+                prop_assert!(c.len() <= 4);
+                if let Some(p) = c.lookup(k) {
+                    prop_assert!(p >= 0.0, "Holt prediction went negative: {p}");
+                }
+            }
         }
 
         #[test]

@@ -33,6 +33,7 @@ pub mod persist;
 pub mod pool;
 pub mod predictor;
 pub mod stage;
+pub mod sync;
 
 pub use autowlm::{AutoWlmConfig, AutoWlmPredictor};
 pub use benefit::{estimate_benefit, BenefitEstimate};
@@ -44,6 +45,7 @@ pub use predictor::{
     ExecTimePredictor, Prediction, PredictionSource, SystemContext, DEFAULT_PREDICTION_SECS,
 };
 pub use stage::{RoutingConfig, RoutingStats, StageConfig, StagePredictor, StageSnapshot};
+pub use sync::{LockRank, OrderedMutex, OrderedRwLock};
 
 /// Converts seconds to the model target space `ln(1 + secs)`.
 pub fn to_log_space(secs: f64) -> f64 {

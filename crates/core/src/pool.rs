@@ -102,6 +102,31 @@ impl TrainingPool {
                 bucket.pop_front();
             }
         }
+        self.debug_check_caps();
+    }
+
+    /// Debug-build invariant: no bucket ever exceeds its cap (per-bucket
+    /// caps when bucketing, the summed cap as one FIFO otherwise).
+    fn debug_check_caps(&self) {
+        if cfg!(debug_assertions) {
+            if self.config.bucketing {
+                for (b, bucket) in self.buckets.iter().enumerate() {
+                    debug_assert!(
+                        bucket.len() <= self.config.bucket_capacity[b].max(1),
+                        "pool invariant violated: bucket {b} holds {} > cap {}",
+                        bucket.len(),
+                        self.config.bucket_capacity[b].max(1)
+                    );
+                }
+            } else {
+                let cap: usize = self.config.bucket_capacity.iter().sum::<usize>().max(1);
+                debug_assert!(
+                    self.len() <= cap,
+                    "pool invariant violated: {} entries > summed cap {cap}",
+                    self.len()
+                );
+            }
+        }
     }
 
     /// Number of examples currently held.
@@ -254,5 +279,59 @@ mod tests {
         p.add(feat(1.0), -5.0);
         let ds = p.to_dataset().unwrap();
         assert_eq!(ds.target(0), 0.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            // Debug-mode hammer for `debug_check_caps`: arbitrary duration
+            // mixes (spanning all three buckets) against tiny caps, in both
+            // bucketing modes. Every `add` re-checks the invariant
+            // internally; the external assertions pin the same bounds.
+            #[test]
+            fn prop_bucket_caps_hold_under_arbitrary_mixes(
+                secs in proptest::collection::vec(0.0f64..300.0, 1..250),
+                bucketing in proptest::bool::ANY,
+            ) {
+                let cfg = PoolConfig {
+                    bucket_capacity: [5, 3, 2],
+                    bucketing,
+                };
+                let mut p = TrainingPool::new(cfg);
+                for (i, &s) in secs.iter().enumerate() {
+                    p.add(vec![i as f64, s], s);
+                    if bucketing {
+                        let lens = p.bucket_lens();
+                        prop_assert!(lens[0] <= 5 && lens[1] <= 3 && lens[2] <= 2);
+                    } else {
+                        prop_assert!(p.len() <= 10);
+                    }
+                }
+                prop_assert_eq!(p.total_added(), secs.len() as u64);
+            }
+
+            // FIFO-within-bucket: after overflow, the survivors are exactly
+            // the most recent `cap` additions to that bucket.
+            #[test]
+            fn prop_eviction_keeps_newest_per_bucket(
+                n in 1usize..60,
+            ) {
+                let cfg = PoolConfig {
+                    bucket_capacity: [4, 1, 1],
+                    bucketing: true,
+                };
+                let mut p = TrainingPool::new(cfg);
+                for i in 0..n {
+                    p.add(vec![i as f64], 1.0); // all land in bucket 0
+                }
+                let ds = p.to_dataset().expect("non-empty pool");
+                let survivors: Vec<f64> = (0..ds.n_rows()).map(|r| ds.row(r)[0]).collect();
+                let expected: Vec<f64> =
+                    (n.saturating_sub(4)..n).map(|i| i as f64).collect();
+                prop_assert_eq!(survivors, expected);
+            }
+        }
     }
 }

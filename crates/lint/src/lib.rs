@@ -1,0 +1,226 @@
+//! stage-lint: a std-only static-analysis pass over this workspace's own
+//! sources, enforcing the four invariants the serving path depends on:
+//!
+//! | rule id               | invariant                                       |
+//! |-----------------------|-------------------------------------------------|
+//! | `no-panic`            | serve request path + persist layer are panic-free |
+//! | `no-nondeterminism`   | replay-deterministic crates read no clock/entropy |
+//! | `lock-order`          | nested guards follow registry → shard → queue   |
+//! | `protocol-exhaustive` | every Request verb is dispatched and documented |
+//!
+//! Findings can be suppressed (except malformed-pragma findings) with a
+//! `// lint:allow(<rule>): <reason>` comment on the offending line or the
+//! line directly above. The pass is deliberately lexical — no parser, no
+//! dependencies — so it runs in milliseconds on every `scripts/check.sh`.
+
+pub mod rules;
+pub mod source;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use rules::{RULE_DETERMINISM, RULE_LOCK_ORDER, RULE_NO_PANIC, RULE_PRAGMA};
+use source::SourceFile;
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule id (see [`rules`]).
+    pub rule: &'static str,
+    /// File the finding is anchored in.
+    pub file: PathBuf,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl Finding {
+    /// Builds a finding.
+    pub fn new(rule: &'static str, file: &Path, line: usize, message: String) -> Self {
+        Self {
+            rule,
+            file: file.to_path_buf(),
+            line,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Per-rule file scopes, relative to the workspace root.
+///
+/// `no-panic` covers the serve request path and the snapshot/persist layer:
+/// a panic there takes down every connection or corrupts a checkpoint.
+const NO_PANIC_FILES: &[&str] = &[
+    "crates/serve/src/server.rs",
+    "crates/serve/src/queue.rs",
+    "crates/serve/src/registry.rs",
+    "crates/serve/src/protocol.rs",
+    "crates/core/src/persist.rs",
+];
+
+/// `no-nondeterminism` covers every crate the fleet replay engine loads:
+/// models, workload synthesis, and the replay driver itself.
+const DETERMINISM_DIRS: &[&str] = &[
+    "crates/core/src",
+    "crates/gbdt/src",
+    "crates/nn/src",
+    "crates/workload/src",
+];
+const DETERMINISM_FILES: &[&str] = &["crates/bench/src/replay.rs", "crates/bench/src/parallel.rs"];
+
+/// `lock-order` covers everywhere the ordered locks live or are taken.
+const LOCK_ORDER_DIRS: &[&str] = &["crates/serve/src", "crates/core/src"];
+
+/// Lints the workspace rooted at `root`; returns findings sorted by
+/// (file, line, rule).
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    // Work out which rules apply to which files, then lex each file once.
+    let mut plan: BTreeMap<PathBuf, Vec<&'static str>> = BTreeMap::new();
+    for rel in NO_PANIC_FILES {
+        plan.entry(root.join(rel)).or_default().push(RULE_NO_PANIC);
+    }
+    for dir in DETERMINISM_DIRS {
+        for file in rust_files(&root.join(dir))? {
+            plan.entry(file).or_default().push(RULE_DETERMINISM);
+        }
+    }
+    for rel in DETERMINISM_FILES {
+        plan.entry(root.join(rel))
+            .or_default()
+            .push(RULE_DETERMINISM);
+    }
+    for dir in LOCK_ORDER_DIRS {
+        for file in rust_files(&root.join(dir))? {
+            plan.entry(file).or_default().push(RULE_LOCK_ORDER);
+        }
+    }
+
+    let mut findings = Vec::new();
+    for (path, rule_ids) in &plan {
+        let file = SourceFile::read(path)?;
+        for &rule in rule_ids {
+            let raw = match rule {
+                RULE_NO_PANIC => rules::no_panic::check(&file),
+                RULE_DETERMINISM => rules::determinism::check(&file),
+                RULE_LOCK_ORDER => rules::lock_order::check(&file),
+                _ => Vec::new(),
+            };
+            findings.extend(raw.into_iter().filter(|f| !file.allowed(f.rule, f.line)));
+        }
+        // Malformed pragmas are reported once per file and can never be
+        // suppressed — a typo'd allow must not silently allow anything.
+        for line in file.malformed_pragmas() {
+            findings.push(Finding::new(
+                RULE_PRAGMA,
+                path,
+                line,
+                "malformed lint:allow pragma — expected `// lint:allow(<rule>): <reason>` with a \
+                 non-empty reason"
+                    .to_string(),
+            ));
+        }
+    }
+
+    findings.extend(rules::protocol::check_workspace(root));
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.rule)
+            .cmp(&(&b.file, b.line, b.rule))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+    Ok(findings)
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for determinism.
+fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Renders findings as the JSON report format written to
+/// `results/lint_report.json`:
+/// `{"findings":[{"rule":..,"file":..,"line":..,"message":..},..],"total":N}`.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"rule\": ");
+        json_string(&mut out, f.rule);
+        out.push_str(", \"file\": ");
+        json_string(&mut out, &f.file.display().to_string());
+        out.push_str(&format!(", \"line\": {}, \"message\": ", f.line));
+        json_string(&mut out, &f.message);
+        out.push('}');
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!("],\n  \"total\": {}\n}}\n", findings.len()));
+    out
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let findings = vec![Finding::new(
+            RULE_NO_PANIC,
+            Path::new("a\\b.rs"),
+            7,
+            "say \"no\"".to_string(),
+        )];
+        let json = render_json(&findings);
+        assert!(json.contains("\"total\": 1"));
+        assert!(json.contains("\\\\b.rs"));
+        assert!(json.contains("\\\"no\\\""));
+        let empty = render_json(&[]);
+        assert!(empty.contains("\"findings\": []"));
+        assert!(empty.contains("\"total\": 0"));
+    }
+}

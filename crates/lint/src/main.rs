@@ -1,0 +1,96 @@
+//! stage-lint CLI.
+//!
+//! ```text
+//! stage-lint --workspace [--json] [--root DIR]
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = findings, 2 = usage / I/O error. With
+//! `--json` the report is also written to `results/lint_report.json`
+//! under the workspace root.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut workspace = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root requires a directory"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: stage-lint --workspace [--json] [--root DIR]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument: {other}")),
+        }
+    }
+    if !workspace {
+        return usage("pass --workspace to lint the workspace sources");
+    }
+
+    let root = match root.or_else(find_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("stage-lint: no workspace root found (looked for Cargo.toml + crates/ walking up from the current directory); pass --root DIR");
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = match stage_lint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(err) => {
+            eprintln!("stage-lint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &findings {
+        println!("{f}");
+    }
+    if json {
+        let report = stage_lint::render_json(&findings);
+        let out_dir = root.join("results");
+        let out_path = out_dir.join("lint_report.json");
+        if let Err(err) =
+            std::fs::create_dir_all(&out_dir).and_then(|()| std::fs::write(&out_path, report))
+        {
+            eprintln!("stage-lint: cannot write {}: {err}", out_path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("stage-lint: report written to {}", out_path.display());
+    }
+    if findings.is_empty() {
+        eprintln!("stage-lint: workspace clean (4 rules)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("stage-lint: {} finding(s)", findings.len());
+        ExitCode::from(1)
+    }
+}
+
+/// Walks up from the current directory looking for a workspace root
+/// (a `Cargo.toml` next to a `crates/` directory).
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("stage-lint: {msg}");
+    eprintln!("usage: stage-lint --workspace [--json] [--root DIR]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,67 @@
+//! Rule `no-nondeterminism`: the replay-deterministic crates must not read
+//! wall clocks or entropy. PR 1's headline guarantee — bit-identical fleet
+//! replay at any thread count — holds only because every stochastic
+//! component derives from explicit seeds and no model consults the clock;
+//! this rule turns that convention into a checked invariant.
+
+use crate::rules::RULE_DETERMINISM;
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// Forbidden source text (matched against comment/string-stripped code).
+/// Each entry is (needle, why).
+const FORBIDDEN: &[(&str, &str)] = &[
+    (
+        "Instant::now",
+        "wall-clock read breaks bit-identical replay",
+    ),
+    (
+        "SystemTime::now",
+        "wall-clock read breaks bit-identical replay",
+    ),
+    (
+        "thread_rng",
+        "ambient RNG is seeded from entropy — derive from an explicit seed",
+    ),
+    (
+        "from_entropy",
+        "entropy-seeded RNG — derive from an explicit seed",
+    ),
+    (
+        "getrandom",
+        "OS entropy source — derive from an explicit seed",
+    ),
+    ("OsRng", "OS entropy source — derive from an explicit seed"),
+    (
+        "RandomState::new",
+        "randomly-keyed hasher makes iteration order differ across runs",
+    ),
+];
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (line_no, code) in file.code_lines() {
+        for &(needle, why) in FORBIDDEN {
+            for (at, _) in code.match_indices(needle) {
+                // Word boundaries: `my_thread_rng_like` must not match.
+                let before_ok = at == 0
+                    || !code[..at]
+                        .chars()
+                        .next_back()
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+                let after = code[at + needle.len()..].chars().next();
+                let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+                if before_ok && after_ok {
+                    findings.push(Finding::new(
+                        RULE_DETERMINISM,
+                        &file.path,
+                        line_no,
+                        format!("{needle} in a replay-deterministic crate: {why}"),
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}

@@ -1,0 +1,227 @@
+//! Rule `lock-order`: the workspace declares one total order over its
+//! named locks — `registry(0) → shard(1) → queue(2)` (see
+//! `stage_core::sync`) — and this rule checks it *lexically*: within
+//! nested guard scopes, no lower-ranked lock may be acquired while a
+//! higher-ranked guard is live.
+//!
+//! The static pass is the cheap half of a two-layer defence: the
+//! `stage_core::sync::{OrderedMutex, OrderedRwLock}` wrappers enforce the
+//! same order dynamically (per-thread held-rank tracking, debug builds).
+//! Statically we recognize acquisitions by shape — a zero-argument
+//! `.lock()` / `.read()` / `.write()` call — and classify the lock by the
+//! receiver's final identifier against the name table below, which is the
+//! workspace naming convention for lock-holding fields and bindings.
+//! Receivers outside the table (I/O writers, unrelated mutexes) are
+//! ignored. Guards bound with `let` live to the end of their enclosing
+//! brace scope (or an explicit `drop(name)`); un-bound acquisitions are
+//! transient and only checked, never tracked.
+//!
+//! Known lexical blind spot: a closure body is checked in the scope that
+//! *defines* it, so guards held at definition site are assumed held inside
+//! — conservative in the safe direction for spawn-style closures.
+
+use crate::rules::{idents, RULE_LOCK_ORDER};
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// Receiver-name → rank table (the single naming convention the workspace
+/// uses for lock-holding fields/bindings).
+const LOCK_NAMES: &[(&str, u8)] = &[
+    ("registry", 0),
+    ("shards", 0),
+    ("shard", 1),
+    ("queue", 2),
+    ("queues", 2),
+];
+
+/// Rendering of the declared order for messages.
+const ORDER: &str = "registry(0) -> shard(1) -> queue(2)";
+
+/// The lock-acquisition method names this rule recognizes (zero-arg only,
+/// so `io::Read::read(buf)` never matches).
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
+
+#[derive(Debug)]
+struct Held {
+    depth: i64,
+    rank: u8,
+    lock_name: &'static str,
+    binding: Option<String>,
+    line: usize,
+}
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth: i64 = 0;
+    for (line_no, code) in file.code_lines() {
+        // `drop(name)` releases a tracked guard early.
+        for dropped in explicit_drops(code) {
+            held.retain(|h| h.binding.as_deref() != Some(dropped.as_str()));
+        }
+        let let_binding = let_binding_of(code);
+        // Walk the line char-by-char so brace scoping and acquisition
+        // order interleave correctly.
+        let mut i = 0;
+        let bytes = code.as_bytes();
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    held.retain(|h| h.depth <= depth);
+                }
+                b'.' => {
+                    if let Some((method, rest)) = acquisition_at(code, i) {
+                        if let Some((lock_name, rank)) = classify_receiver(code, i) {
+                            if let Some(worst) =
+                                held.iter().filter(|h| h.rank > rank).max_by_key(|h| h.rank)
+                            {
+                                findings.push(Finding::new(
+                                    RULE_LOCK_ORDER,
+                                    &file.path,
+                                    line_no,
+                                    format!(
+                                        "acquiring \"{lock_name}\" (rank {rank}) via .{method}() \
+                                         while \"{}\" (rank {}) from line {} is held; declared \
+                                         order is {ORDER}",
+                                        worst.lock_name, worst.rank, worst.line
+                                    ),
+                                ));
+                            }
+                            if let Some(binding) = &let_binding {
+                                held.push(Held {
+                                    depth,
+                                    rank,
+                                    lock_name,
+                                    binding: Some(binding.clone()),
+                                    line: line_no,
+                                });
+                            }
+                        }
+                        i += rest;
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    findings
+}
+
+/// If a `.lock()` / `.read()` / `.write()` call starts at the `.` at byte
+/// `at`, returns the method name and how many bytes to skip.
+fn acquisition_at(code: &str, at: usize) -> Option<(&'static str, usize)> {
+    let rest = &code[at + 1..];
+    for &m in ACQUIRE_METHODS {
+        if let Some(after) = rest.strip_prefix(m) {
+            let mut chars = after.chars();
+            // Zero-argument call: `()` with only whitespace inside.
+            let open = chars.find(|c| !c.is_whitespace());
+            if open != Some('(') {
+                continue;
+            }
+            let close = chars.find(|c| !c.is_whitespace());
+            if close == Some(')') {
+                return Some((m, 1 + m.len()));
+            }
+        }
+    }
+    None
+}
+
+/// Classifies the receiver chain ending at the `.` at byte `at`: walks
+/// back over one optional `[..]` / `(..)` group and takes the final
+/// identifier (`self.state.lock()` → `state`, `shards[i].write()` →
+/// `shards`).
+fn classify_receiver(code: &str, at: usize) -> Option<(&'static str, u8)> {
+    let mut end = at;
+    let tail = code[..end].trim_end();
+    end = tail.len();
+    if end == 0 {
+        return None;
+    }
+    let last = tail.as_bytes()[end - 1];
+    if last == b']' || last == b')' {
+        // Skip the balanced bracket group.
+        let (open, close) = if last == b']' {
+            (b'[', b']')
+        } else {
+            (b'(', b')')
+        };
+        let mut depth = 0i64;
+        let mut j = end;
+        while j > 0 {
+            j -= 1;
+            let b = tail.as_bytes()[j];
+            if b == close {
+                depth += 1;
+            } else if b == open {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+        end = j;
+    }
+    let ident_start = code[..end]
+        .rfind(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .map_or(0, |p| p + 1);
+    let ident = &code[ident_start..end];
+    LOCK_NAMES
+        .iter()
+        .find(|(n, _)| *n == ident)
+        .map(|&(n, r)| (n, r))
+}
+
+/// The binding name of a `let`-statement on this line, if any
+/// (`let mut s = ...` → `s`; tuple/struct patterns are not tracked).
+fn let_binding_of(code: &str) -> Option<String> {
+    let words = idents(code);
+    let let_pos = words.iter().position(|(_, w)| *w == "let")?;
+    let mut k = let_pos + 1;
+    let mut prev_end = words[let_pos].0 + "let".len();
+    if let Some((at, w)) = words.get(k) {
+        if *w == "mut" {
+            prev_end = at + "mut".len();
+            k += 1;
+        }
+    }
+    let (at, name) = words.get(k)?;
+    // Reject patterns like `let (a, b) = ...`: the binding ident must
+    // directly follow `let`/`mut` modulo whitespace.
+    if !code[prev_end..*at].trim().is_empty() {
+        return None;
+    }
+    Some((*name).to_string())
+}
+
+/// Names passed to `drop(...)` on this line.
+fn explicit_drops(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for (at, _) in code.match_indices("drop") {
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '.');
+        if !before_ok {
+            continue;
+        }
+        let rest = &code[at + 4..];
+        let Some(rest) = rest.trim_start().strip_prefix('(') else {
+            continue;
+        };
+        if let Some(close) = rest.find(')') {
+            let arg = rest[..close].trim();
+            if arg.chars().all(|c| c.is_alphanumeric() || c == '_') && !arg.is_empty() {
+                out.push(arg.to_string());
+            }
+        }
+    }
+    out
+}

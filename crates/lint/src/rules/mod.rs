@@ -1,0 +1,52 @@
+//! The four workspace invariant rules. Each rule is a pure function from
+//! lexed source to raw findings; pragma suppression and malformed-pragma
+//! reporting are applied uniformly by the driver in `lib.rs`.
+
+pub mod determinism;
+pub mod lock_order;
+pub mod no_panic;
+pub mod protocol;
+
+/// Stable rule identifiers (used in findings, pragmas, and the JSON
+/// report).
+pub const RULE_NO_PANIC: &str = "no-panic";
+/// See [`determinism`].
+pub const RULE_DETERMINISM: &str = "no-nondeterminism";
+/// See [`lock_order`].
+pub const RULE_LOCK_ORDER: &str = "lock-order";
+/// See [`protocol`].
+pub const RULE_PROTOCOL: &str = "protocol-exhaustive";
+/// Malformed `lint:allow` pragmas (never suppressible).
+pub const RULE_PRAGMA: &str = "pragma";
+
+/// Splits `code` into identifier-ish words with their byte offsets.
+pub(crate) fn idents(code: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut start = None;
+    for (i, c) in code.char_indices() {
+        if c.is_alphanumeric() || c == '_' {
+            if start.is_none() {
+                start = Some(i);
+            }
+        } else if let Some(s) = start.take() {
+            out.push((s, &code[s..i]));
+        }
+    }
+    if let Some(s) = start {
+        out.push((s, &code[s..]));
+    }
+    out
+}
+
+/// The last non-space char before byte offset `at`, with its offset.
+pub(crate) fn prev_nonspace(code: &str, at: usize) -> Option<(usize, char)> {
+    code[..at]
+        .char_indices()
+        .rev()
+        .find(|(_, c)| !c.is_whitespace())
+}
+
+/// The first non-space char at-or-after byte offset `at`.
+pub(crate) fn next_nonspace(code: &str, at: usize) -> Option<char> {
+    code[at..].chars().find(|c| !c.is_whitespace())
+}

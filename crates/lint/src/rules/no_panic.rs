@@ -1,0 +1,116 @@
+//! Rule `no-panic`: the serve request path and the persistence layer must
+//! not contain reachable panics — no `.unwrap()` / `.expect(...)`, no
+//! panicking macros, no unguarded indexing. A server that panics on a
+//! malformed snapshot or a full queue takes every connection down with it;
+//! these paths must degrade to protocol errors / `io::Result`s instead.
+//!
+//! Genuinely unreachable cases stay allowed via
+//! `// lint:allow(no-panic): reason`.
+
+use crate::rules::{idents, next_nonspace, prev_nonspace, RULE_NO_PANIC};
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// Method calls that panic on the error/none case.
+const PANICKING_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Macros that are unconditional (or condition-failure) panics. The
+/// `debug_assert*` family is deliberately absent: it compiles out of
+/// release builds and is the sanctioned way to state invariants.
+const PANICKING_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Keywords that may directly precede `[` without forming an index
+/// expression (`let [a, b] = ..`, `for x in [..]`, `return [..]`, ...).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "in", "if", "else", "match", "return", "mut", "ref", "move", "as", "break", "continue",
+    "where", "for", "while", "loop", "use", "const", "static", "type", "enum", "struct", "fn",
+    "trait", "impl", "dyn", "pub", "mod", "unsafe", "yield",
+];
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (line_no, code) in file.code_lines() {
+        for (at, word) in idents(code) {
+            // Word boundary on the left: `unwrap_or_else` / `debug_assert`
+            // never match because the identifier differs; `x.unwrap` has
+            // boundary char `.`.
+            if PANICKING_METHODS.contains(&word)
+                && prev_nonspace(code, at).is_some_and(|(_, c)| c == '.')
+                && next_nonspace(code, at + word.len()) == Some('(')
+            {
+                findings.push(Finding::new(
+                    RULE_NO_PANIC,
+                    &file.path,
+                    line_no,
+                    format!(
+                        ".{word}() panics on the error case — return a protocol error or \
+                         io::Result instead"
+                    ),
+                ));
+            }
+            if PANICKING_MACROS.contains(&word)
+                && next_nonspace(code, at + word.len()) == Some('!')
+                && prev_nonspace(code, at).is_none_or(|(_, c)| !is_ident_char(c) && c != '!')
+            {
+                findings.push(Finding::new(
+                    RULE_NO_PANIC,
+                    &file.path,
+                    line_no,
+                    format!("{word}! is a reachable panic on this path"),
+                ));
+            }
+        }
+        findings.extend(check_indexing(file, line_no, code));
+    }
+    findings
+}
+
+/// Flags `expr[...]` index expressions: a `[` whose preceding token is an
+/// expression tail (identifier, `)`, or `]`) rather than a type position,
+/// attribute, macro bang, or slice-pattern keyword.
+fn check_indexing(file: &SourceFile, line_no: usize, code: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (at, c) in code.char_indices() {
+        if c != '[' {
+            continue;
+        }
+        let Some((pat, prev)) = prev_nonspace(code, at) else {
+            continue;
+        };
+        let is_expr_tail = is_ident_char(prev) || prev == ')' || prev == ']';
+        if !is_expr_tail {
+            continue; // attribute `#[`, macro `vec![`, slice type `&[`, ...
+        }
+        if is_ident_char(prev) {
+            // Reject keyword prefixes (`let [a, b]`, `for x in [..]`).
+            let word_start = code[..=pat]
+                .rfind(|ch: char| !is_ident_char(ch))
+                .map_or(0, |p| p + 1);
+            let word = &code[word_start..=pat];
+            if NON_INDEX_KEYWORDS.contains(&word) || word.chars().all(|ch| ch.is_ascii_digit()) {
+                continue;
+            }
+        }
+        findings.push(Finding::new(
+            RULE_NO_PANIC,
+            &file.path,
+            line_no,
+            "unguarded indexing panics when out of bounds — use .get() or guard the index"
+                .to_string(),
+        ));
+    }
+    findings
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}

@@ -1,0 +1,180 @@
+//! Rule `protocol-exhaustive`: every `protocol::Request` variant must be
+//! (a) dispatched somewhere in `server.rs` (as `Request::<Variant>`) and
+//! (b) documented in README's verb table (as a backticked `` `Variant` ``).
+//! Adding a request verb and forgetting either half is exactly the kind of
+//! drift a lexical check catches cheaply; findings anchor at the variant's
+//! declaration line in `protocol.rs` so the fix starts from the source of
+//! truth.
+
+use std::path::Path;
+
+use crate::rules::{idents, RULE_PROTOCOL};
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// A declared `Request` variant and where it was declared.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Variant {
+    pub name: String,
+    pub line: usize,
+}
+
+/// Runs the rule given the three inputs it cross-references.
+pub fn check(protocol: &SourceFile, server: &SourceFile, readme: &str) -> Vec<Finding> {
+    let variants = request_variants(protocol);
+    let mut findings = Vec::new();
+    if variants.is_empty() {
+        findings.push(Finding::new(
+            RULE_PROTOCOL,
+            &protocol.path,
+            1,
+            "no `enum Request` variants found — protocol.rs moved or renamed?".to_string(),
+        ));
+        return findings;
+    }
+    for v in &variants {
+        if !dispatches(server, &v.name) {
+            findings.push(Finding::new(
+                RULE_PROTOCOL,
+                &protocol.path,
+                v.line,
+                format!(
+                    "Request::{} is never dispatched in {} — add a match arm or remove the \
+                     variant",
+                    v.name,
+                    server.path.display()
+                ),
+            ));
+        }
+        if !readme.contains(&format!("`{}`", v.name)) {
+            findings.push(Finding::new(
+                RULE_PROTOCOL,
+                &protocol.path,
+                v.line,
+                format!(
+                    "Request::{} is missing from the README verb table — document the verb as \
+                     `{}`",
+                    v.name, v.name
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+/// Extracts the variants of `enum Request` from lexed protocol source.
+/// Variant names are the identifiers at brace depth 1 inside the enum body
+/// that start a line's first ident (fields inside `{ .. }` sit at depth 2).
+pub fn request_variants(protocol: &SourceFile) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut in_enum = false;
+    let mut depth = 0i64;
+    for (line_no, code) in protocol.code_lines() {
+        if !in_enum {
+            if let Some(at) = find_enum_request(code) {
+                in_enum = true;
+                // Count braces only after the declaration site.
+                for c in code[at..].chars() {
+                    match c {
+                        '{' => depth += 1,
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if depth == 0 && code[at..].contains('{') {
+                    in_enum = false; // one-line enum
+                }
+            }
+            continue;
+        }
+        // First identifier on a depth-1 line is a variant name.
+        if depth == 1 {
+            if let Some((_, first)) = idents(code).into_iter().next() {
+                if first.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                    variants.push(Variant {
+                        name: first.to_string(),
+                        line: line_no,
+                    });
+                }
+            }
+        }
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return variants;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    variants
+}
+
+/// Byte offset just past `enum Request` if this line declares it.
+fn find_enum_request(code: &str) -> Option<usize> {
+    let words = idents(code);
+    let pos = words
+        .iter()
+        .position(|(_, w)| *w == "enum")
+        .filter(|&p| words.get(p + 1).map(|(_, w)| *w) == Some("Request"))?;
+    let (at, _) = words[pos + 1];
+    Some(at + "Request".len())
+}
+
+/// True when `server` mentions `Request::<variant>` in code.
+fn dispatches(server: &SourceFile, variant: &str) -> bool {
+    let needle = format!("Request::{variant}");
+    server.code_lines().any(|(_, code)| {
+        code.match_indices(&needle).any(|(at, _)| {
+            let after = code[at + needle.len()..].chars().next();
+            !after.is_some_and(|c| c.is_alphanumeric() || c == '_')
+        })
+    })
+}
+
+/// Convenience for the driver: reads both sides from disk relative to the
+/// workspace root and applies the rule; missing inputs become findings
+/// rather than I/O errors so a partial tree still lints.
+pub fn check_workspace(root: &Path) -> Vec<Finding> {
+    let protocol_path = root.join("crates/serve/src/protocol.rs");
+    let server_path = root.join("crates/serve/src/server.rs");
+    let readme_path = root.join("README.md");
+    let protocol = match SourceFile::read(&protocol_path) {
+        Ok(f) => f,
+        Err(err) => {
+            return vec![Finding::new(
+                RULE_PROTOCOL,
+                &protocol_path,
+                1,
+                format!("cannot read protocol source: {err}"),
+            )]
+        }
+    };
+    let server = match SourceFile::read(&server_path) {
+        Ok(f) => f,
+        Err(err) => {
+            return vec![Finding::new(
+                RULE_PROTOCOL,
+                &server_path,
+                1,
+                format!("cannot read server source: {err}"),
+            )]
+        }
+    };
+    let readme = match std::fs::read_to_string(&readme_path) {
+        Ok(t) => t,
+        Err(err) => {
+            return vec![Finding::new(
+                RULE_PROTOCOL,
+                &readme_path,
+                1,
+                format!("cannot read README: {err}"),
+            )]
+        }
+    };
+    check(&protocol, &server, &readme)
+}

@@ -1,0 +1,399 @@
+//! A lexical model of one Rust source file: per-line *code* with comment
+//! and string-literal contents removed (so rules never match inside prose
+//! or message strings), per-line *comments* (so `lint:allow` pragmas can be
+//! parsed), and a mask of lines that belong to `#[cfg(test)]` blocks.
+//!
+//! This is a hand-rolled mini-lexer, not a parser: it understands exactly
+//! the token classes that can hide rule-trigger text — line comments,
+//! nested block comments, string/byte-string literals, raw strings with
+//! arbitrary `#` fences, and char literals (disambiguated from lifetimes)
+//! — and nothing more. That is all the four workspace rules need, and it
+//! keeps the linter std-only and fast enough to run on every check.
+
+use std::path::{Path, PathBuf};
+
+/// One source line after lexing.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code with comments removed and string-literal contents blanked
+    /// (quotes retained so tokens don't merge across a removed literal).
+    pub code: String,
+    /// Concatenated line-comment text on this line (block-comment text is
+    /// dropped; pragmas must be line comments).
+    pub comment: String,
+}
+
+/// A lexed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path the file was read from (reported in findings).
+    pub path: PathBuf,
+    /// Lines, 0-indexed (finding line numbers are 1-indexed).
+    pub lines: Vec<Line>,
+    /// `in_test[i]` is true when line `i` is inside a `#[cfg(test)]` item.
+    pub in_test: Vec<bool>,
+}
+
+/// A parsed `// lint:allow(rule): reason` pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// 1-indexed line the pragma comment sits on.
+    pub line: usize,
+    /// Rule id being allowed.
+    pub rule: String,
+    /// Mandatory human justification.
+    pub reason: String,
+}
+
+impl SourceFile {
+    /// Reads and lexes `path`.
+    pub fn read(path: &Path) -> std::io::Result<Self> {
+        Ok(Self::parse(path, &std::fs::read_to_string(path)?))
+    }
+
+    /// Lexes in-memory source (used by the fixture tests).
+    pub fn parse(path: &Path, text: &str) -> Self {
+        let lines = lex(text);
+        let in_test = test_mask(&lines);
+        Self {
+            path: path.to_path_buf(),
+            lines,
+            in_test,
+        }
+    }
+
+    /// 1-indexed iteration over non-test code lines.
+    pub fn code_lines(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.lines
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.in_test.get(*i).copied().unwrap_or(false))
+            .map(|(i, l)| (i + 1, l.code.as_str()))
+    }
+
+    /// All well-formed `lint:allow` pragmas in the file.
+    pub fn pragmas(&self) -> Vec<Pragma> {
+        let mut out = Vec::new();
+        for (i, line) in self.lines.iter().enumerate() {
+            if let Some(PragmaParse::Ok { rule, reason }) = parse_pragma(&line.comment) {
+                out.push(Pragma {
+                    line: i + 1,
+                    rule,
+                    reason,
+                });
+            }
+        }
+        out
+    }
+
+    /// Whether a finding of `rule` at 1-indexed `line` is suppressed by a
+    /// pragma on the same line (trailing comment) or a comment-only pragma
+    /// on the line directly above. A *trailing* pragma covers only its own
+    /// line — it must not leak onto the next statement.
+    pub fn allowed(&self, rule: &str, line: usize) -> bool {
+        let ok = |l: &Line| matches!(parse_pragma(&l.comment), Some(PragmaParse::Ok { rule: r, .. }) if r == rule);
+        if line >= 1 && self.lines.get(line - 1).is_some_and(ok) {
+            return true;
+        }
+        line >= 2
+            && self
+                .lines
+                .get(line - 2)
+                .is_some_and(|l| l.code.trim().is_empty() && ok(l))
+    }
+
+    /// Lines whose comment *looks like* a pragma but is malformed (missing
+    /// rule or empty reason). Reported as rule `pragma` findings so typos
+    /// never silently allow anything.
+    pub fn malformed_pragmas(&self) -> Vec<usize> {
+        self.lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| matches!(parse_pragma(&l.comment), Some(PragmaParse::Malformed)))
+            .map(|(i, _)| i + 1)
+            .collect()
+    }
+}
+
+enum PragmaParse {
+    Ok { rule: String, reason: String },
+    Malformed,
+}
+
+/// Parses `lint:allow(<rule>): <reason>` out of a comment string.
+fn parse_pragma(comment: &str) -> Option<PragmaParse> {
+    let idx = comment.find("lint:allow")?;
+    let rest = &comment[idx + "lint:allow".len()..];
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Some(PragmaParse::Malformed);
+    };
+    let Some(close) = rest.find(')') else {
+        return Some(PragmaParse::Malformed);
+    };
+    let rule = rest[..close].trim();
+    let after = &rest[close + 1..];
+    let Some(reason) = after.strip_prefix(':') else {
+        return Some(PragmaParse::Malformed);
+    };
+    if rule.is_empty() || reason.trim().is_empty() {
+        return Some(PragmaParse::Malformed);
+    }
+    Some(PragmaParse::Ok {
+        rule: rule.to_string(),
+        reason: reason.trim().to_string(),
+    })
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    /// Inside `/* ... */`, tracking nesting depth.
+    Block(u32),
+    /// Inside a `"..."` (or `b"..."`) literal.
+    Str,
+    /// Inside `r"..."` / `r#"..."#` with the given fence size.
+    RawStr(u32),
+}
+
+/// Splits `text` into per-line code/comment, per the module docs.
+fn lex(text: &str) -> Vec<Line> {
+    let mut lines = Vec::new();
+    let mut cur = Line::default();
+    let bytes: Vec<char> = text.chars().collect();
+    let mut state = State::Normal;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            // A line comment ends at the newline; everything else carries
+            // its state across lines.
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                let next = bytes.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    // Line comment: capture text for pragma parsing.
+                    let start = i + 2;
+                    let end = bytes[start..]
+                        .iter()
+                        .position(|&b| b == '\n')
+                        .map_or(bytes.len(), |p| start + p);
+                    cur.comment
+                        .push_str(&bytes[start..end].iter().collect::<String>());
+                    i = end;
+                } else if c == '/' && next == Some('*') {
+                    state = State::Block(1);
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !prev_is_ident(&cur.code) {
+                    // Possible raw/byte string start: r", br", b", r#",...
+                    let mut j = i + 1;
+                    if c == 'b' && bytes.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while bytes.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&'"') && (c != 'b' || j > i + 1 || hashes == 0) {
+                        let raw = c == 'r' || bytes.get(i + 1) == Some(&'r');
+                        cur.code.push('"');
+                        state = if raw {
+                            State::RawStr(hashes)
+                        } else {
+                            State::Str
+                        };
+                        i = j + 1;
+                    } else {
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Char literal vs lifetime: '\...' or 'x' (closing
+                    // quote two chars on) is a literal; 'ident is not.
+                    if bytes.get(i + 1) == Some(&'\\') {
+                        // Escaped char literal: skip to the closing quote.
+                        let mut j = i + 2;
+                        if bytes.get(j) == Some(&'\\') || bytes.get(j) == Some(&'\'') {
+                            j += 1;
+                        }
+                        while j < bytes.len() && bytes[j] != '\'' {
+                            j += 1;
+                        }
+                        cur.code.push_str("''");
+                        i = j + 1;
+                    } else if bytes.get(i + 2) == Some(&'\'') {
+                        cur.code.push_str("''");
+                        i += 3;
+                    } else {
+                        cur.code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            State::Block(depth) => {
+                let next = bytes.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::Block(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::Block(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2; // skip the escaped char (even if it's a quote)
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    i += 1; // literal contents are blanked
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && bytes.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        cur.code.push('"');
+                        state = State::Normal;
+                        i = j;
+                    } else {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    // A trailing newline already pushed its line; don't add a phantom one.
+    if !text.is_empty() && !text.ends_with('\n') {
+        lines.push(cur);
+    }
+    lines
+}
+
+fn prev_is_ident(code: &str) -> bool {
+    code.chars()
+        .next_back()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Marks lines inside `#[cfg(test)]` items (the attribute line itself, the
+/// item header, and the brace-balanced body).
+fn test_mask(lines: &[Line]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        let squashed: String = lines[i].code.split_whitespace().collect();
+        if squashed.contains("#[cfg(test)]") {
+            // Everything from here through the end of the next
+            // brace-balanced block is test code.
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                mask[j] = true;
+                for c in lines[j].code.chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> SourceFile {
+        SourceFile::parse(Path::new("mem.rs"), text)
+    }
+
+    #[test]
+    fn comments_and_strings_are_stripped_from_code() {
+        let f = parse("let x = \"unwrap() inside\"; // .unwrap() in comment\n");
+        assert_eq!(f.lines[0].code, "let x = \"\"; ");
+        assert!(f.lines[0].comment.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked() {
+        let f = parse("let s = r#\"panic!(\"x\")\"#; let c = '\\n'; let l: &'static str = s;\n");
+        assert!(!f.lines[0].code.contains("panic!"));
+        assert!(f.lines[0].code.contains("&'static str"));
+    }
+
+    #[test]
+    fn nested_block_comments_span_lines() {
+        let f = parse("a /* x /* y */ still comment\nmore */ b\n");
+        assert_eq!(f.lines[0].code.trim(), "a");
+        assert_eq!(f.lines[1].code.trim(), "b");
+    }
+
+    #[test]
+    fn multiline_strings_stay_strings() {
+        let f = parse("let s = \"line one\nline .unwrap() two\";\nx.unwrap();\n");
+        assert!(!f.lines[1].code.contains("unwrap"));
+        assert!(f.lines[2].code.contains("unwrap"));
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_masked() {
+        let text = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn live2() {}\n";
+        let f = parse(text);
+        assert_eq!(f.in_test, vec![false, true, true, true, true, false]);
+        let visible: Vec<usize> = f.code_lines().map(|(n, _)| n).collect();
+        assert_eq!(visible, vec![1, 6]);
+    }
+
+    #[test]
+    fn pragmas_parse_and_suppress() {
+        let text = "// lint:allow(no-panic): boot-time contract\nassert!(x);\ny.unwrap(); // lint:allow(no-panic): checked above\nz.unwrap(); // lint:allow(no-panic):\n";
+        let f = parse(text);
+        assert!(f.allowed("no-panic", 2), "own-line pragma covers next line");
+        assert!(f.allowed("no-panic", 3), "trailing pragma covers its line");
+        assert!(!f.allowed("no-panic", 4), "empty reason is not a pragma");
+        assert!(!f.allowed("lock-order", 2), "rule ids must match");
+        assert_eq!(f.malformed_pragmas(), vec![4]);
+        assert_eq!(f.pragmas().len(), 2);
+    }
+}

@@ -1,0 +1,140 @@
+//! Fixture corpus tests: each rule fires on its violation fixture with the
+//! exact rule id and line numbers, stays silent on its clean fixture, and
+//! the merged workspace lints clean end-to-end.
+
+use std::path::{Path, PathBuf};
+
+use stage_lint::rules;
+use stage_lint::source::SourceFile;
+use stage_lint::Finding;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Runs one single-file rule the way the driver does: check, then drop
+/// pragma-suppressed findings.
+fn run(rule: fn(&SourceFile) -> Vec<Finding>, name: &str) -> Vec<Finding> {
+    let file = SourceFile::read(&fixture(name)).expect("fixture readable");
+    rule(&file)
+        .into_iter()
+        .filter(|f| !file.allowed(f.rule, f.line))
+        .collect()
+}
+
+fn lines_of(findings: &[Finding], rule: &str) -> Vec<usize> {
+    findings
+        .iter()
+        .inspect(|f| assert_eq!(f.rule, rule, "unexpected rule id in {f}"))
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn no_panic_violation_fixture_lines() {
+    let findings = run(rules::no_panic::check, "no_panic_violation.rs");
+    assert_eq!(
+        lines_of(&findings, "no-panic"),
+        vec![5, 6, 8, 10, 11],
+        "unwrap, expect, panic!, assert!, and indexing — one finding each: {findings:#?}"
+    );
+    assert!(findings[0].file.ends_with("no_panic_violation.rs"));
+}
+
+#[test]
+fn no_panic_clean_fixture_is_silent() {
+    let findings = run(rules::no_panic::check, "no_panic_clean.rs");
+    assert!(findings.is_empty(), "clean fixture flagged: {findings:#?}");
+}
+
+#[test]
+fn determinism_violation_fixture_lines() {
+    let findings = run(rules::determinism::check, "determinism_violation.rs");
+    assert_eq!(
+        lines_of(&findings, "no-nondeterminism"),
+        vec![4, 8, 12],
+        "Instant::now, SystemTime::now, thread_rng: {findings:#?}"
+    );
+}
+
+#[test]
+fn determinism_clean_fixture_is_silent() {
+    let findings = run(rules::determinism::check, "determinism_clean.rs");
+    assert!(findings.is_empty(), "clean fixture flagged: {findings:#?}");
+}
+
+#[test]
+fn lock_order_violation_fixture_lines() {
+    let findings = run(rules::lock_order::check, "lock_order_violation.rs");
+    assert_eq!(
+        lines_of(&findings, "lock-order"),
+        vec![5, 9],
+        "shard-under-queue and registry-under-shard: {findings:#?}"
+    );
+    assert!(
+        findings[0].message.contains("\"shard\" (rank 1)")
+            && findings[0].message.contains("\"queue\" (rank 2)"),
+        "message names both locks and ranks: {}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn lock_order_clean_fixture_is_silent() {
+    let findings = run(rules::lock_order::check, "lock_order_clean.rs");
+    assert!(findings.is_empty(), "clean fixture flagged: {findings:#?}");
+}
+
+#[test]
+fn protocol_violation_fixture_lines() {
+    let dir = fixture("protocol");
+    let protocol = SourceFile::read(&dir.join("protocol.rs")).expect("fixture readable");
+    let server = SourceFile::read(&dir.join("server.rs")).expect("fixture readable");
+    let readme = std::fs::read_to_string(dir.join("README.md")).expect("fixture readable");
+    let findings = rules::protocol::check(&protocol, &server, &readme);
+    // Ping (line 6) is both undispatched and undocumented.
+    assert_eq!(lines_of(&findings, "protocol-exhaustive"), vec![6, 6]);
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("never dispatched")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("missing from the README")));
+    assert!(findings.iter().all(|f| f.file.ends_with("protocol.rs")));
+}
+
+#[test]
+fn protocol_clean_fixture_is_silent() {
+    let dir = fixture("protocol_clean");
+    let protocol = SourceFile::read(&dir.join("protocol.rs")).expect("fixture readable");
+    let server = SourceFile::read(&dir.join("server.rs")).expect("fixture readable");
+    let readme = std::fs::read_to_string(dir.join("README.md")).expect("fixture readable");
+    let findings = rules::protocol::check(&protocol, &server, &readme);
+    assert!(findings.is_empty(), "clean fixture flagged: {findings:#?}");
+}
+
+#[test]
+fn malformed_pragma_is_reported_and_unsuppressible() {
+    let text = "fn f(x: Option<u8>) {\n    let _ = x.unwrap(); // lint:allow(no-panic)\n}\n";
+    let file = SourceFile::parse(Path::new("mem.rs"), text);
+    // The pragma is malformed (no reason), so the unwrap is NOT allowed...
+    assert!(!file.allowed("no-panic", 2));
+    // ...and the pragma itself is surfaced.
+    assert_eq!(file.malformed_pragmas(), vec![2]);
+}
+
+#[test]
+fn merged_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let findings = stage_lint::lint_workspace(&root).expect("lint runs");
+    assert!(
+        findings.is_empty(),
+        "the merged tree must lint clean: {findings:#?}"
+    );
+}

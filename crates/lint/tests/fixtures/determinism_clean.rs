@@ -1,0 +1,18 @@
+// Fixture: seeded determinism the rule must accept — explicit seeds,
+// logical clocks, and prose that merely *mentions* the forbidden names.
+
+/// Never call Instant::now() here; replay time is the virtual clock.
+fn virtual_clock(tick: u64) -> u64 {
+    tick + 1
+}
+
+fn seeded(seed: u64) -> u64 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let note = "thread_rng is banned; SystemTime::now too";
+    let _ = note;
+    rng.gen()
+}
+
+fn my_thread_rng_like_name() -> u64 {
+    0
+}

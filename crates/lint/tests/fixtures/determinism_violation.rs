@@ -1,0 +1,14 @@
+// Fixture: clock and entropy reads the determinism rule must flag.
+
+fn stamp() -> std::time::Instant {
+    std::time::Instant::now() // line 4: Instant::now
+}
+
+fn wall() -> std::time::SystemTime {
+    std::time::SystemTime::now() // line 8: SystemTime::now
+}
+
+fn roll() -> u64 {
+    let mut rng = rand::thread_rng(); // line 12: thread_rng
+    rng.gen()
+}

@@ -1,0 +1,31 @@
+// Fixture: lock usage the lock-order rule must accept — declared-order
+// nesting, early drop() before a lower acquisition, scope-limited guards,
+// zero-arg-only matching, and receivers outside the lock-name table.
+
+fn declared_order(registry: &R, shard: &S, queue: &Q) {
+    let reg = registry.read();
+    let sh = shard.write();
+    let q = queue.lock();
+    drop(q);
+    drop(sh);
+    drop(reg);
+}
+
+fn drop_then_lower(queue: &Q, shard: &S) {
+    let q = queue.lock();
+    drop(q);
+    let _s = shard.write(); // fine: queue guard was dropped first
+}
+
+fn scoped(queue: &Q, registry: &R) {
+    {
+        let _q = queue.lock();
+    }
+    let _r = registry.read(); // fine: queue guard died with its block
+}
+
+fn not_locks(mut file: impl std::io::Read, buf: &mut [u8]) {
+    let _n = file.read(buf); // one-arg read(): not a lock acquisition
+    let other = some_mutex.lock(); // receiver not in the lock-name table
+    drop(other);
+}

@@ -1,0 +1,12 @@
+// Fixture: out-of-order acquisitions the lock-order rule must flag.
+
+fn inverted(queue: &Q, shard: &S, registry: &R) {
+    let q = queue.lock();
+    let s = shard.write(); // line 5: shard(1) while queue(2) held
+    drop(s);
+    drop(q);
+    let sh = shard.read();
+    let r = registry.read(); // line 9: registry(0) while shard(1) held
+    drop(r);
+    drop(sh);
+}

@@ -1,0 +1,28 @@
+// Fixture: code the no-panic rule must NOT flag — pragma'd sites, test
+// code, non-panicking cousins, and strings/comments that mention panics.
+
+fn boot(capacity: usize) {
+    // lint:allow(no-panic): boot-time contract, checked once at startup
+    assert!(capacity > 0);
+    let checked = capacity.checked_add(1).unwrap(); // lint:allow(no-panic): cannot overflow, capacity is user-bounded
+    debug_assert!(checked > capacity);
+}
+
+fn safe(xs: &[u64], r: Result<u64, String>) -> u64 {
+    let a = r.unwrap_or_default();
+    let b = r.unwrap_or_else(|_| 0);
+    let c = xs.get(0).copied().unwrap_or(0);
+    let msg = "calling .unwrap() here would panic!";
+    let _ = msg;
+    a + b + c
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v = vec![1u64];
+        assert_eq!(v[0], Some(1).unwrap());
+        panic!("test-only panic is fine");
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: every class of no-panic violation, at stable line numbers.
+// Not compiled — lexed by the fixture tests.
+
+fn hot_path(xs: &[u64], r: Result<u64, String>) -> u64 {
+    let a = r.unwrap(); // line 5: .unwrap()
+    let b = xs.first().expect("nonempty"); // line 6: .expect(
+    if xs.is_empty() {
+        panic!("empty input"); // line 8: panic!
+    }
+    assert!(a > 0); // line 10: assert!
+    a + b + xs[0] // line 11: unguarded indexing
+}

@@ -1,0 +1,13 @@
+// Fixture: a Request enum with one undispatched, undocumented verb.
+
+pub enum Request {
+    Predict { instance: usize },
+    Observe { instance: usize, actual_secs: f64 },
+    Ping, // line 6: not dispatched in server.rs, not in README.md
+    Shutdown,
+}
+
+pub enum Response {
+    Ok,
+    Error { message: String },
+}

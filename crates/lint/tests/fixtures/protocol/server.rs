@@ -1,0 +1,10 @@
+// Fixture: dispatch that forgot Ping.
+
+fn dispatch(req: Request) -> Response {
+    match req {
+        Request::Predict { instance } => predict(instance),
+        Request::Observe { instance, actual_secs } => observe(instance, actual_secs),
+        Request::Shutdown => shutdown(),
+        _ => Response::Ok,
+    }
+}

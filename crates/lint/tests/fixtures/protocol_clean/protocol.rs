@@ -1,0 +1,7 @@
+// Fixture: every verb dispatched and documented.
+
+pub enum Request {
+    Predict { instance: usize },
+    Observe { instance: usize, actual_secs: f64 },
+    Shutdown,
+}

@@ -1,0 +1,9 @@
+// Fixture: exhaustive dispatch.
+
+fn dispatch(req: Request) -> Response {
+    match req {
+        Request::Predict { instance } => predict(instance),
+        Request::Observe { instance, actual_secs } => observe(instance, actual_secs),
+        Request::Shutdown => shutdown(),
+    }
+}

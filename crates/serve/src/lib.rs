@@ -29,3 +29,18 @@ pub use protocol::{Request, Response};
 pub use queue::{BoundedQueue, PushError, TokenBucket};
 pub use registry::{Shard, ShardRegistry};
 pub use server::{ServeConfig, Server};
+
+// Compile-time proof that the serving types crossing thread boundaries are
+// safe to share: the registry is read by workers, connection threads, and
+// the snapshot checkpointer at once; queues are produced into by many
+// connection threads and drained by one worker each. (`Shared` and `Job`,
+// the private counterparts, carry the same assertions in `server.rs`.)
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ShardRegistry>();
+    assert_send::<Shard>();
+    assert_send_sync::<BoundedQueue<stage_plan::PhysicalPlan>>();
+    assert_send_sync::<Server>();
+    assert_send::<TokenBucket>();
+};

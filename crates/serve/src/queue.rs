@@ -9,8 +9,9 @@
 //! the queue starts a graceful drain: producers are refused, consumers keep
 //! popping until the backlog is empty.
 
+use stage_core::sync::{self, OrderedMutex, RANK_QUEUE};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::Condvar;
 use std::time::{Duration, Instant};
 
 /// Why a push was refused.
@@ -28,9 +29,11 @@ struct QueueState<T> {
 }
 
 /// A bounded multi-producer single-consumer queue with close-and-drain
-/// semantics.
+/// semantics. The internal mutex participates in the declared lock order
+/// at rank `queue` — acquiring it while a shard or registry guard is held
+/// is fine; the inverse trips the debug-build detector.
 pub struct BoundedQueue<T> {
-    state: Mutex<QueueState<T>>,
+    queue: OrderedMutex<QueueState<T>>,
     ready: Condvar,
     capacity: usize,
 }
@@ -41,12 +44,16 @@ impl<T> BoundedQueue<T> {
     /// # Panics
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
+        // lint:allow(no-panic): constructor contract checked once at boot, not reachable per-request
         assert!(capacity > 0, "queue capacity must be positive");
         Self {
-            state: Mutex::new(QueueState {
-                items: VecDeque::new(),
-                closed: false,
-            }),
+            queue: OrderedMutex::new(
+                RANK_QUEUE,
+                QueueState {
+                    items: VecDeque::new(),
+                    closed: false,
+                },
+            ),
             ready: Condvar::new(),
             capacity,
         }
@@ -54,7 +61,7 @@ impl<T> BoundedQueue<T> {
 
     /// Enqueues without blocking; refuses when full or closed.
     pub fn try_push(&self, item: T) -> Result<(), PushError> {
-        let mut s = self.state.lock().expect("queue poisoned");
+        let mut s = self.queue.lock();
         if s.closed {
             return Err(PushError::Closed);
         }
@@ -72,7 +79,7 @@ impl<T> BoundedQueue<T> {
     /// consumer loop `while let Some(job) = q.pop()` implements graceful
     /// drain for free.
     pub fn pop(&self) -> Option<T> {
-        let mut s = self.state.lock().expect("queue poisoned");
+        let mut s = self.queue.lock();
         loop {
             if let Some(item) = s.items.pop_front() {
                 return Some(item);
@@ -80,14 +87,14 @@ impl<T> BoundedQueue<T> {
             if s.closed {
                 return None;
             }
-            s = self.ready.wait(s).expect("queue poisoned");
+            s = sync::wait(&self.ready, s);
         }
     }
 
     /// Closes the queue: producers are refused from now on, consumers
     /// drain the backlog and then see `None`.
     pub fn close(&self) {
-        let mut s = self.state.lock().expect("queue poisoned");
+        let mut s = self.queue.lock();
         s.closed = true;
         drop(s);
         self.ready.notify_all();
@@ -95,7 +102,7 @@ impl<T> BoundedQueue<T> {
 
     /// Items currently queued.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue poisoned").items.len()
+        self.queue.lock().items.len()
     }
 
     /// Whether the queue is currently empty.
@@ -121,7 +128,9 @@ impl TokenBucket {
     /// # Panics
     /// Panics unless `rate_per_sec > 0` and `burst >= 1`.
     pub fn new(rate_per_sec: f64, burst: f64) -> Self {
+        // lint:allow(no-panic): loadgen-side pacing constructor, never on the server request path
         assert!(rate_per_sec > 0.0, "rate must be positive");
+        // lint:allow(no-panic): loadgen-side pacing constructor, never on the server request path
         assert!(burst >= 1.0, "burst must admit at least one token");
         Self {
             rate_per_sec,

@@ -1,14 +1,22 @@
 //! The shard registry: one warm [`StagePredictor`] per simulated instance,
-//! each behind its own `RwLock` so instances never contend with each other
-//! — the serving-layer analogue of the shard-parallel replay engine's
+//! each behind its own shard lock so instances never contend with each
+//! other — the serving-layer analogue of the shard-parallel replay engine's
 //! "an instance owns its predictors" invariant.
+//!
+//! The registry is a two-level locked structure on the declared workspace
+//! lock order: the shard *table* sits behind a rank-0 `registry` lock
+//! (today it only grows at boot, but the rank-0 slot is what lets a future
+//! dynamic-membership PR add/remove instances without re-deriving the
+//! hierarchy), and each shard behind its own rank-1 `shard` lock. Every
+//! request therefore exercises the debug-build lock-order detector on the
+//! canonical `registry → shard` nesting.
 
 use stage_core::persist;
+use stage_core::sync::{OrderedRwLock, RANK_REGISTRY, RANK_SHARD};
 use stage_core::{ExecTimePredictor, Prediction, StageConfig, StagePredictor, SystemContext};
 use stage_plan::PhysicalPlan;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::RwLock;
 
 /// One instance's serving state: the predictor plus ingestion counters the
 /// bare predictor doesn't track.
@@ -51,36 +59,56 @@ impl Shard {
 
 /// All shards of one server process, indexed by instance id.
 pub struct ShardRegistry {
-    shards: Vec<RwLock<Shard>>,
+    shards: OrderedRwLock<Vec<OrderedRwLock<Shard>>>,
 }
 
 impl ShardRegistry {
     /// Creates `n_instances` cold predictors with per-instance seed salts
     /// (instance id, matching the replay engine's convention).
     pub fn new(n_instances: u32, config: StageConfig) -> Self {
-        let shards = (0..n_instances)
+        let table = (0..n_instances)
             .map(|id| {
                 let mut p = StagePredictor::new(config);
                 p.set_instance_salt(u64::from(id));
-                RwLock::new(Shard::new(p))
+                OrderedRwLock::new(RANK_SHARD, Shard::new(p))
             })
             .collect();
-        Self { shards }
+        Self {
+            shards: OrderedRwLock::new(RANK_REGISTRY, table),
+        }
     }
 
     /// Number of shards.
     pub fn len(&self) -> usize {
-        self.shards.len()
+        self.shards.read().len()
     }
 
     /// Whether the registry has no shards.
     pub fn is_empty(&self) -> bool {
-        self.shards.is_empty()
+        self.len() == 0
     }
 
-    /// The lock guarding instance `id`, or `None` for an unknown id.
-    pub fn shard(&self, id: u32) -> Option<&RwLock<Shard>> {
-        self.shards.get(id as usize)
+    /// Whether instance `id` is hosted here.
+    pub fn contains(&self, id: u32) -> bool {
+        (id as usize) < self.len()
+    }
+
+    /// Runs `f` under instance `id`'s shard read lock (nested inside the
+    /// registry read lock), or returns `None` for an unknown id.
+    pub fn with_shard_read<R>(&self, id: u32, f: impl FnOnce(&Shard) -> R) -> Option<R> {
+        let shards = self.shards.read();
+        let shard = shards.get(id as usize)?;
+        let result = f(&shard.read());
+        Some(result)
+    }
+
+    /// Runs `f` under instance `id`'s shard write lock (nested inside the
+    /// registry read lock), or returns `None` for an unknown id.
+    pub fn with_shard_write<R>(&self, id: u32, f: impl FnOnce(&mut Shard) -> R) -> Option<R> {
+        let shards = self.shards.read();
+        let shard = shards.get(id as usize)?;
+        let result = f(&mut shard.write());
+        Some(result)
     }
 
     /// Snapshot path of instance `id` under `dir`.
@@ -93,11 +121,12 @@ impl ShardRegistry {
     /// on other shards meanwhile. Returns the number written.
     pub fn save_snapshots(&self, dir: &Path) -> io::Result<u32> {
         std::fs::create_dir_all(dir)?;
-        for (id, lock) in self.shards.iter().enumerate() {
-            let snapshot = lock.read().expect("shard poisoned").predictor.snapshot();
+        let shards = self.shards.read();
+        for (id, shard) in shards.iter().enumerate() {
+            let snapshot = shard.read().predictor.snapshot();
             persist::save_stage_file(&snapshot, &Self::snapshot_path(dir, id as u32))?;
         }
-        Ok(self.shards.len() as u32)
+        Ok(shards.len() as u32)
     }
 
     /// Warm-starts shards from artefacts in `dir` (atomic load-on-start):
@@ -108,12 +137,12 @@ impl ShardRegistry {
     /// shards were restored.
     pub fn load_snapshots(&self, dir: &Path) -> u32 {
         let mut restored = 0;
-        for (id, lock) in self.shards.iter().enumerate() {
+        let shards = self.shards.read();
+        for (id, shard) in shards.iter().enumerate() {
             let id = id as u32;
             match persist::load_stage_file(&Self::snapshot_path(dir, id)) {
                 Ok(snapshot) => {
-                    let mut shard = lock.write().expect("shard poisoned");
-                    shard.predictor = StagePredictor::from_snapshot(snapshot);
+                    shard.write().predictor = StagePredictor::from_snapshot(snapshot);
                     restored += 1;
                 }
                 Err(e) if e.kind() == io::ErrorKind::NotFound => {}
@@ -143,16 +172,20 @@ mod tests {
     fn shards_are_independent() {
         let reg = ShardRegistry::new(2, StageConfig::default());
         let sys = SystemContext::empty(2);
-        {
-            let mut s0 = reg.shard(0).unwrap().write().unwrap();
+        reg.with_shard_write(0, |s0| {
             s0.observe(&plan(1e4), &sys, 2.0);
             assert_eq!(s0.observes(), 1);
-        }
-        let mut s1 = reg.shard(1).unwrap().write().unwrap();
-        assert_eq!(s1.observes(), 0);
-        let p = s1.predict(&plan(1e4), &sys);
+        })
+        .unwrap();
+        let p = reg
+            .with_shard_write(1, |s1| {
+                assert_eq!(s1.observes(), 0);
+                s1.predict(&plan(1e4), &sys)
+            })
+            .unwrap();
         assert_eq!(p.source, PredictionSource::Default);
-        assert!(reg.shard(2).is_none());
+        assert!(reg.with_shard_read(2, |_| ()).is_none());
+        assert!(!reg.contains(2));
         assert_eq!(reg.len(), 2);
         assert!(!reg.is_empty());
     }
@@ -163,21 +196,15 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let sys = SystemContext::empty(2);
         let reg = ShardRegistry::new(2, StageConfig::default());
-        reg.shard(0)
-            .unwrap()
-            .write()
-            .unwrap()
-            .observe(&plan(5e4), &sys, 3.5);
+        reg.with_shard_write(0, |s| s.observe(&plan(5e4), &sys, 3.5))
+            .unwrap();
         assert_eq!(reg.save_snapshots(&dir).unwrap(), 2);
 
         let fresh = ShardRegistry::new(2, StageConfig::default());
         assert_eq!(fresh.load_snapshots(&dir), 2);
         let p = fresh
-            .shard(0)
-            .unwrap()
-            .write()
-            .unwrap()
-            .predict(&plan(5e4), &sys);
+            .with_shard_write(0, |s| s.predict(&plan(5e4), &sys))
+            .unwrap();
         assert_eq!(p.source, PredictionSource::Cache);
         assert!((p.exec_secs - 3.5).abs() < 1e-9);
 

@@ -2,7 +2,7 @@
 //! per-worker queues → shard workers → newline-delimited JSON responses.
 //!
 //! ```text
-//!            ┌──────────────┐  try_push   ┌─────────────┐ write lock
+//!            ┌──────────────┐  try_push   ┌─────────────┐ shard write lock
 //! client ──► │ conn thread  │ ──────────► │ worker 0..W │ ──────────► shard
 //!            │ (parse line) │ ◄────────── │ (drain on   │             registry
 //!            └──────────────┘  mpsc reply │  shutdown)  │
@@ -17,16 +17,23 @@
 //! unbounded invisible backlog. `Shutdown` closes every queue; workers
 //! finish the backlog (graceful drain), a final checkpoint runs, and
 //! [`Server::join`] returns.
+//!
+//! This file is inside `stage-lint`'s panic-freedom scope: the request
+//! path must never `unwrap`/`expect`/`panic!` — malformed input, unknown
+//! instances, and resource exhaustion all map to protocol errors or
+//! `io::Result`s. All locks are `stage_core::sync` ordered locks, so the
+//! debug-build lock-order detector runs on every request.
 
 use crate::protocol::{read_message, write_message, Request, Response};
 use crate::queue::{BoundedQueue, PushError};
 use crate::registry::ShardRegistry;
+use stage_core::sync::{self, OrderedMutex, RANK_SESSION};
 use stage_core::{StageConfig, SystemContext};
 use std::io::{self, BufReader};
 use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -83,12 +90,22 @@ struct Shared {
     snapshot_dir: Option<PathBuf>,
     local_addr: SocketAddr,
     // Wakes the background checkpointer early (for shutdown).
-    checkpoint_gate: (Mutex<()>, Condvar),
+    checkpoint_gate: (OrderedMutex<()>, Condvar),
 }
+
+// Compile-time proof that everything crossing a thread boundary is safe to
+// do so: `Shared` is cloned into the listener, workers, and checkpointer;
+// `Job`s travel through the worker queues.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Shared>();
+    assert_send::<Job>();
+};
 
 impl Shared {
     fn worker_of(&self, instance: u32) -> usize {
-        instance as usize % self.queues.len()
+        instance as usize % self.queues.len().max(1)
     }
 
     /// Flips the server into draining mode exactly once: queues close (the
@@ -112,41 +129,41 @@ impl Shared {
                 instance,
                 plan,
                 sys,
-            } => match self.registry.shard(instance) {
-                Some(lock) => {
-                    let sys = SystemContext { features: sys };
-                    let p = lock.write().expect("shard poisoned").predict(&plan, &sys);
-                    let (interval_lo, interval_hi) = match p.confidence_interval(1.96) {
-                        Some((lo, hi)) => (Some(lo), Some(hi)),
-                        None => (None, None),
-                    };
-                    Response::Predicted {
-                        exec_secs: p.exec_secs,
-                        interval_lo,
-                        interval_hi,
-                        source: p.source,
-                        latency_us: enqueued.elapsed().as_micros() as u64,
-                    }
-                }
-                None => unknown_instance(instance, self.registry.len()),
-            },
+            } => {
+                let sys = SystemContext { features: sys };
+                self.registry
+                    .with_shard_write(instance, |shard| {
+                        let p = shard.predict(&plan, &sys);
+                        let (interval_lo, interval_hi) = match p.confidence_interval(1.96) {
+                            Some((lo, hi)) => (Some(lo), Some(hi)),
+                            None => (None, None),
+                        };
+                        Response::Predicted {
+                            exec_secs: p.exec_secs,
+                            interval_lo,
+                            interval_hi,
+                            source: p.source,
+                            latency_us: enqueued.elapsed().as_micros() as u64,
+                        }
+                    })
+                    .unwrap_or_else(|| unknown_instance(instance, self.registry.len()))
+            }
             Request::Observe {
                 instance,
                 plan,
                 sys,
                 actual_secs,
-            } => match self.registry.shard(instance) {
-                Some(lock) => {
-                    let sys = SystemContext { features: sys };
-                    lock.write()
-                        .expect("shard poisoned")
-                        .observe(&plan, &sys, actual_secs);
-                    Response::Observed {
-                        latency_us: enqueued.elapsed().as_micros() as u64,
-                    }
-                }
-                None => unknown_instance(instance, self.registry.len()),
-            },
+            } => {
+                let sys = SystemContext { features: sys };
+                self.registry
+                    .with_shard_write(instance, |shard| {
+                        shard.observe(&plan, &sys, actual_secs);
+                        Response::Observed {
+                            latency_us: enqueued.elapsed().as_micros() as u64,
+                        }
+                    })
+                    .unwrap_or_else(|| unknown_instance(instance, self.registry.len()))
+            }
             // Stats/Snapshot/Shutdown are handled inline by connection
             // threads and never enqueued.
             _ => Response::Error {
@@ -162,6 +179,10 @@ fn unknown_instance(instance: u32, n: usize) -> Response {
     }
 }
 
+fn invalid_config(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidInput, format!("serve config: {what}"))
+}
+
 /// A running server; dropping the handle does **not** stop it — send a
 /// [`Request::Shutdown`] (or call [`Server::shutdown`]) and then
 /// [`Server::join`].
@@ -170,17 +191,25 @@ pub struct Server {
     listener_handle: JoinHandle<()>,
     worker_handles: Vec<JoinHandle<()>>,
     checkpoint_handle: Option<JoinHandle<()>>,
-    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    conn_streams: Arc<Mutex<Vec<TcpStream>>>,
+    conn_handles: Arc<OrderedMutex<Vec<JoinHandle<()>>>>,
+    conn_streams: Arc<OrderedMutex<Vec<TcpStream>>>,
 }
 
 impl Server {
     /// Binds, warm-starts from the snapshot directory when one is
     /// configured, and spawns the accept loop, workers, and (optionally)
-    /// the background checkpointer.
+    /// the background checkpointer. Invalid configuration and failed
+    /// spawns are `Err`s, never panics.
     pub fn start(config: ServeConfig) -> io::Result<Self> {
-        assert!(config.n_workers > 0, "need at least one worker");
-        assert!(config.n_instances > 0, "need at least one instance");
+        if config.n_workers == 0 {
+            return Err(invalid_config("need at least one worker"));
+        }
+        if config.n_instances == 0 {
+            return Err(invalid_config("need at least one instance"));
+        }
+        if config.queue_capacity == 0 {
+            return Err(invalid_config("queue capacity must be positive"));
+        }
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
 
@@ -204,25 +233,27 @@ impl Server {
             overloaded: AtomicU64::new(0),
             snapshot_dir: config.snapshot_dir.clone(),
             local_addr,
-            checkpoint_gate: (Mutex::new(()), Condvar::new()),
+            checkpoint_gate: (OrderedMutex::new(RANK_SESSION, ()), Condvar::new()),
         });
 
-        let worker_handles = (0..config.n_workers)
-            .map(|w| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("serve-worker-{w}"))
-                    .spawn(move || {
-                        while let Some(job) = shared.queues[w].pop() {
-                            let response = shared.run_job(job.request, job.enqueued);
-                            // The client may have disconnected; that loses
-                            // only its response, not the state change.
-                            let _ = job.reply.send(response);
-                        }
-                    })
-                    .expect("spawn worker")
-            })
-            .collect();
+        let mut worker_handles = Vec::with_capacity(config.n_workers);
+        for w in 0..config.n_workers {
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("serve-worker-{w}"))
+                .spawn(move || {
+                    let Some(queue) = shared.queues.get(w) else {
+                        return;
+                    };
+                    while let Some(job) = queue.pop() {
+                        let response = shared.run_job(job.request, job.enqueued);
+                        // The client may have disconnected; that loses
+                        // only its response, not the state change.
+                        let _ = job.reply.send(response);
+                    }
+                })?;
+            worker_handles.push(handle);
+        }
 
         let checkpoint_handle = match (&config.snapshot_dir, config.snapshot_every) {
             (Some(dir), Some(every)) => {
@@ -232,9 +263,12 @@ impl Server {
                     std::thread::Builder::new()
                         .name("serve-checkpointer".to_string())
                         .spawn(move || loop {
-                            let (lock, cv) = &shared.checkpoint_gate;
-                            let guard = lock.lock().expect("gate poisoned");
-                            let _ = cv.wait_timeout(guard, every).expect("gate poisoned");
+                            let (gate, cv) = &shared.checkpoint_gate;
+                            let guard = gate.lock();
+                            // The returned guard is dropped immediately so
+                            // no session-rank lock is held while the
+                            // checkpoint takes registry/shard locks below.
+                            let _ = sync::wait_timeout(cv, guard, every);
                             if shared.shutting_down.load(Ordering::SeqCst) {
                                 // The final checkpoint runs in `join` after
                                 // the drain completes.
@@ -243,15 +277,14 @@ impl Server {
                             if let Err(e) = shared.registry.save_snapshots(&dir) {
                                 eprintln!("stage-serve: background checkpoint failed: {e}");
                             }
-                        })
-                        .expect("spawn checkpointer"),
+                        })?,
                 )
             }
             _ => None,
         };
 
-        let conn_handles = Arc::new(Mutex::new(Vec::new()));
-        let conn_streams = Arc::new(Mutex::new(Vec::new()));
+        let conn_handles = Arc::new(OrderedMutex::new(RANK_SESSION, Vec::new()));
+        let conn_streams = Arc::new(OrderedMutex::new(RANK_SESSION, Vec::new()));
         let listener_handle = {
             let shared = Arc::clone(&shared);
             let conn_handles = Arc::clone(&conn_handles);
@@ -268,17 +301,23 @@ impl Server {
                         // would add ~40 ms to every round-trip.
                         stream.set_nodelay(true).ok();
                         if let Ok(clone) = stream.try_clone() {
-                            conn_streams.lock().expect("streams poisoned").push(clone);
+                            conn_streams.lock().push(clone);
                         }
                         let shared = Arc::clone(&shared);
-                        let handle = std::thread::Builder::new()
+                        match std::thread::Builder::new()
                             .name("serve-conn".to_string())
                             .spawn(move || serve_connection(&shared, stream))
-                            .expect("spawn connection thread");
-                        conn_handles.lock().expect("handles poisoned").push(handle);
+                        {
+                            Ok(handle) => conn_handles.lock().push(handle),
+                            // Thread exhaustion sheds this connection (the
+                            // client sees EOF and retries) instead of
+                            // killing the listener.
+                            Err(e) => {
+                                eprintln!("stage-serve: cannot spawn connection thread: {e}");
+                            }
+                        }
                     }
-                })
-                .expect("spawn listener")
+                })?
         };
 
         Ok(Self {
@@ -308,13 +347,18 @@ impl Server {
 
     /// Blocks until the server has fully drained and stopped, then runs
     /// the final checkpoint. Call after `shutdown` / a client `Shutdown`.
+    /// A serving thread that panicked surfaces as an `Err` here.
     pub fn join(self) -> io::Result<()> {
-        self.listener_handle.join().expect("listener panicked");
+        self.listener_handle
+            .join()
+            .map_err(|_| io::Error::other("listener thread panicked"))?;
         for h in self.worker_handles {
-            h.join().expect("worker panicked");
+            h.join()
+                .map_err(|_| io::Error::other("worker thread panicked"))?;
         }
         if let Some(h) = self.checkpoint_handle {
-            h.join().expect("checkpointer panicked");
+            h.join()
+                .map_err(|_| io::Error::other("checkpointer thread panicked"))?;
         }
         // Every queued job is now executed and answered; persist the final
         // state so a restart resumes warm.
@@ -322,22 +366,13 @@ impl Server {
             self.shared.registry.save_snapshots(dir)?;
         }
         // Unblock connection threads still parked in read_line.
-        for s in self
-            .conn_streams
-            .lock()
-            .expect("streams poisoned")
-            .drain(..)
-        {
+        for s in self.conn_streams.lock().drain(..) {
             let _ = s.shutdown(SockShutdown::Both);
         }
-        let handles: Vec<_> = self
-            .conn_handles
-            .lock()
-            .expect("handles poisoned")
-            .drain(..)
-            .collect();
+        let handles: Vec<_> = self.conn_handles.lock().drain(..).collect();
         for h in handles {
-            h.join().expect("connection thread panicked");
+            h.join()
+                .map_err(|_| io::Error::other("connection thread panicked"))?;
         }
         Ok(())
     }
@@ -369,19 +404,16 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
             Request::Predict { instance, .. } | Request::Observe { instance, .. } => {
                 dispatch_to_worker(shared, instance, request)
             }
-            Request::Stats { instance } => match shared.registry.shard(instance) {
-                Some(lock) => {
-                    let shard = lock.read().expect("shard poisoned");
-                    Response::Stats {
-                        routing: shard.predictor().stats(),
-                        observes: shard.observes(),
-                        cache_len: shard.predictor().cache().len() as u64,
-                        pool_len: shard.predictor().pool().len() as u64,
-                        local_trained: shard.predictor().local().is_trained(),
-                    }
-                }
-                None => unknown_instance(instance, shared.registry.len()),
-            },
+            Request::Stats { instance } => shared
+                .registry
+                .with_shard_read(instance, |shard| Response::Stats {
+                    routing: shard.predictor().stats(),
+                    observes: shard.observes(),
+                    cache_len: shard.predictor().cache().len() as u64,
+                    pool_len: shard.predictor().pool().len() as u64,
+                    local_trained: shard.predictor().local().is_trained(),
+                })
+                .unwrap_or_else(|| unknown_instance(instance, shared.registry.len())),
             Request::Snapshot => match &shared.snapshot_dir {
                 Some(dir) => match shared.registry.save_snapshots(dir) {
                     Ok(instances) => Response::Snapshotted { instances },
@@ -411,16 +443,23 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
 /// Routes a predict/observe request through the target worker's bounded
 /// queue and waits for its answer.
 fn dispatch_to_worker(shared: &Shared, instance: u32, request: Request) -> Response {
-    if shared.registry.shard(instance).is_none() {
+    if !shared.registry.contains(instance) {
         return unknown_instance(instance, shared.registry.len());
     }
+    let Some(queue) = shared.queues.get(shared.worker_of(instance)) else {
+        // Unreachable: worker_of is modulo the queue count, but a protocol
+        // error beats an index panic on the request path.
+        return Response::Error {
+            message: "internal: no worker queue for instance".to_string(),
+        };
+    };
     let (reply_tx, reply_rx) = mpsc::channel();
     let job = Job {
         request,
         enqueued: Instant::now(),
         reply: reply_tx,
     };
-    match shared.queues[shared.worker_of(instance)].try_push(job) {
+    match queue.try_push(job) {
         Ok(()) => match reply_rx.recv() {
             Ok(response) => response,
             // Unreachable in practice: workers answer every drained job.
@@ -515,5 +554,28 @@ mod tests {
         drop(a);
         drop(b);
         server.join().unwrap();
+    }
+
+    #[test]
+    fn degenerate_configs_are_errors_not_panics() {
+        for broken in [
+            ServeConfig {
+                n_workers: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                n_instances: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                queue_capacity: 0,
+                ..ServeConfig::default()
+            },
+        ] {
+            let Err(err) = Server::start(broken) else {
+                panic!("degenerate config must be refused");
+            };
+            assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        }
     }
 }

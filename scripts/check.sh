@@ -6,6 +6,11 @@ cd "$(dirname "$0")/.."
 
 cargo fmt --check
 cargo clippy --workspace -- -D warnings
+
+# Workspace invariants (panic-freedom, determinism, lock order, protocol
+# exhaustiveness) — cheap, so it runs before the test suite.
+cargo run -q -p stage-lint -- --workspace
+
 cargo test -q --workspace
 
 # Serving smoke test: boot stage-serve on an ephemeral port, run one
