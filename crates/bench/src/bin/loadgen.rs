@@ -11,9 +11,17 @@
 //!
 //! ```text
 //! cargo run --release -p stage-bench --bin loadgen -- \
-//!     [--instances N] [--rounds N] [--qps F] [--seed N] \
+//!     [--instances N] [--rounds N] [--qps F] [--seed N] [--batch N] \
 //!     [--addr HOST:PORT] [--out FILE]
 //! ```
+//!
+//! `--batch N` (default 1) prices plans through the `PredictBatch` verb in
+//! groups of N instead of one `Predict` per round-trip. Batch answers are
+//! cross-checked for input-order alignment: the first batches of every
+//! driver thread are re-priced plan-by-plan through the scalar verb and
+//! each position must answer bit-identically, and the server's
+//! `predict_batches` Stats counter must match the number of batch requests
+//! each thread got served.
 //!
 //! Without `--addr` the server is booted in-process on an ephemeral port
 //! (and shut down gracefully afterwards), so the default invocation is
@@ -37,9 +45,14 @@ struct Args {
     rounds: u64,
     qps: f64,
     seed: u64,
+    batch: u64,
     addr: Option<String>,
     out: String,
 }
+
+/// How many leading batches per thread are re-priced through the scalar
+/// verb to prove index alignment (cheap: a few extra round-trips).
+const ORDER_CHECK_BATCHES: u64 = 2;
 
 #[derive(Serialize)]
 struct LatencySummary {
@@ -61,6 +74,9 @@ struct SourceCounts {
 struct ServeBenchReport {
     instances: u32,
     round_trips: u64,
+    batch: u64,
+    predict_batch_requests: u64,
+    order_mismatches: u64,
     target_qps: f64,
     elapsed_secs: f64,
     round_trips_per_sec: f64,
@@ -82,6 +98,14 @@ struct ThreadResult {
     observe_retries: u64,
     dropped_observes: u64,
     sources: SourceCounts,
+    /// Predictions the server must have counted in its routing stats
+    /// (batched predictions plus scalar order-check re-predicts).
+    expected_predicts: u64,
+    /// `PredictBatch` requests served for this thread's instance.
+    batch_requests: u64,
+    /// Batch answers whose length or per-index values diverged from the
+    /// scalar path — must be zero.
+    order_mismatches: u64,
 }
 
 fn latency_hist() -> LogHistogram {
@@ -148,8 +172,9 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "loadgen: {} round-trips across {} instances against {addr} at {} rt/s target",
-        args.rounds, args.instances, args.qps
+        "loadgen: {} round-trips across {} instances against {addr} at {} rt/s target \
+         (predict batch size {})",
+        args.rounds, args.instances, args.qps, args.batch
     );
 
     let bucket = Mutex::new(TokenBucket::new(args.qps, (args.qps / 10.0).max(1.0)));
@@ -161,7 +186,10 @@ fn main() -> ExitCode {
             let addr = addr.as_str();
             let bucket = &bucket;
             let seed = args.seed;
-            handles.push(scope.spawn(move || drive_instance(instance, rounds, addr, bucket, seed)));
+            let batch = args.batch;
+            handles.push(
+                scope.spawn(move || drive_instance(instance, rounds, addr, bucket, seed, batch)),
+            );
         }
         handles
             .into_iter()
@@ -176,6 +204,8 @@ fn main() -> ExitCode {
     let mut predict_retries = 0;
     let mut observe_retries = 0;
     let mut dropped_observes = 0;
+    let mut batch_requests = 0;
+    let mut order_mismatches = 0;
     let mut sources = SourceCounts {
         cache: 0,
         local: 0,
@@ -188,6 +218,8 @@ fn main() -> ExitCode {
         predict_retries += r.predict_retries;
         observe_retries += r.observe_retries;
         dropped_observes += r.dropped_observes;
+        batch_requests += r.batch_requests;
+        order_mismatches += r.order_mismatches;
         sources.cache += r.sources.cache;
         sources.local += r.sources.local;
         sources.global += r.sources.global;
@@ -195,20 +227,32 @@ fn main() -> ExitCode {
     }
 
     // Cross-check the server's ingestion counters: every observe the
-    // clients believe was accepted must be visible server-side.
+    // clients believe was accepted must be visible server-side, every
+    // prediction (batched or scalar) must have advanced a routing counter,
+    // and the batch counter must match the batches each thread got served.
     let mut counter_mismatch = false;
     if let Ok(mut client) = ServeClient::connect(&addr) {
-        for instance in 0..args.instances {
-            let expected = per_instance_rounds(args.rounds, args.instances, instance);
+        for (idx, r) in results.iter().enumerate() {
+            let instance = idx as u32;
+            let expected_observes = per_instance_rounds(args.rounds, args.instances, instance);
             match client.stats(instance) {
                 Ok(Response::Stats {
-                    routing, observes, ..
+                    routing,
+                    observes,
+                    predict_batches,
+                    ..
                 }) => {
-                    if observes != expected || routing.total() != expected {
+                    if observes != expected_observes
+                        || routing.total() != r.expected_predicts
+                        || predict_batches != r.batch_requests
+                    {
                         eprintln!(
                             "loadgen: instance {instance}: server saw {observes} observes / \
-                             {} predicts, expected {expected} of each",
-                            routing.total()
+                             {} predicts / {predict_batches} batches, expected \
+                             {expected_observes} / {} / {}",
+                            routing.total(),
+                            r.expected_predicts,
+                            r.batch_requests
                         );
                         counter_mismatch = true;
                     }
@@ -232,6 +276,9 @@ fn main() -> ExitCode {
     let report = ServeBenchReport {
         instances: args.instances,
         round_trips: args.rounds,
+        batch: args.batch,
+        predict_batch_requests: batch_requests,
+        order_mismatches,
         target_qps: args.qps,
         elapsed_secs: elapsed,
         round_trips_per_sec: args.rounds as f64 / elapsed,
@@ -290,8 +337,11 @@ fn main() -> ExitCode {
         }
     }
 
-    if dropped_observes > 0 || counter_mismatch {
-        eprintln!("loadgen: FAILED: lost feedback (dropped={dropped_observes})");
+    if dropped_observes > 0 || counter_mismatch || order_mismatches > 0 {
+        eprintln!(
+            "loadgen: FAILED: lost feedback (dropped={dropped_observes}) or \
+             misordered batch answers (order_mismatches={order_mismatches})"
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
@@ -305,13 +355,16 @@ fn per_instance_rounds(total: u64, instances: u32, instance: u32) -> u64 {
 }
 
 /// One instance's driver: replays its workload events as paced
-/// predict→observe round-trips over its own connection.
+/// predict→observe round-trips over its own connection. With `batch > 1`
+/// predictions travel through `PredictBatch` in groups, order-checked
+/// against the scalar verb on the leading batches.
 fn drive_instance(
     instance: u32,
     rounds: u64,
     addr: &str,
     bucket: &Mutex<TokenBucket>,
     seed: u64,
+    batch: u64,
 ) -> ThreadResult {
     let workload = InstanceWorkload::generate(
         &FleetConfig {
@@ -335,6 +388,9 @@ fn drive_instance(
             global: 0,
             default: 0,
         },
+        expected_predicts: 0,
+        batch_requests: 0,
+        order_mismatches: 0,
     };
     let mut client = match ServeClient::connect(addr) {
         Ok(c) => c,
@@ -345,63 +401,181 @@ fn drive_instance(
         }
     };
 
-    for i in 0..rounds {
-        let event = &workload.events[(i as usize) % workload.events.len()];
-        let sys = workload.spec.system_features(event.concurrency);
-        // Pace the *round-trip* rate; the observe rides the same token.
-        bucket.lock().expect("bucket poisoned").take();
+    let mut done = 0u64;
+    while done < rounds {
+        let group_len = batch.max(1).min(rounds - done) as usize;
+        let mut events = Vec::with_capacity(group_len);
+        for k in 0..group_len {
+            // Pace the *round-trip* rate; the observe rides the same token.
+            bucket.lock().expect("bucket poisoned").take();
+            events.push(&workload.events[((done + k as u64) as usize) % workload.events.len()]);
+        }
 
-        // Predict (retry shed requests — they were never executed).
-        let mut attempts = 0;
-        loop {
-            let t0 = Instant::now();
-            match client.predict(instance, &event.plan, &sys) {
-                Ok(Response::Predicted { source, .. }) => {
-                    result.predict_hist.record(t0.elapsed().as_secs_f64());
-                    match source {
-                        stage_core::PredictionSource::Cache => result.sources.cache += 1,
-                        stage_core::PredictionSource::Local => result.sources.local += 1,
-                        stage_core::PredictionSource::Global => result.sources.global += 1,
-                        stage_core::PredictionSource::Default => result.sources.default += 1,
-                    }
-                    break;
-                }
-                Ok(Response::Overloaded { retry_after_ms }) => {
-                    result.predict_retries += 1;
-                    attempts += 1;
-                    if attempts > MAX_RETRIES {
-                        eprintln!("loadgen: instance {instance}: predict starved");
-                        break;
-                    }
-                    std::thread::sleep(std::time::Duration::from_millis(retry_after_ms.max(1)));
-                }
-                other => {
-                    eprintln!("loadgen: instance {instance}: predict failed: {other:?}");
-                    break;
-                }
-            }
+        if batch > 1 {
+            drive_batch(
+                instance,
+                &workload,
+                &events,
+                &mut client,
+                &mut result,
+                done / batch < ORDER_CHECK_BATCHES,
+            );
+        } else if let Some(event) = events.first() {
+            let sys = workload.spec.system_features(event.concurrency);
+            predict_scalar(instance, &event.plan, &sys, &mut client, &mut result);
         }
 
         // Observe (must never drop — retried until ingested).
-        let t0 = Instant::now();
-        match client.observe_with_retry(
-            instance,
-            &event.plan,
-            &sys,
-            event.true_exec_secs,
-            MAX_RETRIES,
-        ) {
-            Ok(retries) => {
-                result.observe_hist.record(t0.elapsed().as_secs_f64());
-                result.observe_retries += u64::from(retries);
+        for event in &events {
+            let sys = workload.spec.system_features(event.concurrency);
+            let t0 = Instant::now();
+            match client.observe_with_retry(
+                instance,
+                &event.plan,
+                &sys,
+                event.true_exec_secs,
+                MAX_RETRIES,
+            ) {
+                Ok(retries) => {
+                    result.observe_hist.record(t0.elapsed().as_secs_f64());
+                    result.observe_retries += u64::from(retries);
+                }
+                Err(e) => {
+                    eprintln!("loadgen: instance {instance}: observe dropped: {e}");
+                    result.dropped_observes += 1;
+                }
             }
-            Err(e) => {
-                eprintln!("loadgen: instance {instance}: observe dropped: {e}");
-                result.dropped_observes += 1;
+        }
+        done += group_len as u64;
+    }
+    result
+}
+
+/// One scalar predict with bounded retry on shed requests (they were never
+/// executed). Returns the answer when one arrived.
+fn predict_scalar(
+    instance: u32,
+    plan: &stage_plan::PhysicalPlan,
+    sys: &[f64],
+    client: &mut ServeClient,
+    result: &mut ThreadResult,
+) -> Option<(f64, stage_core::PredictionSource)> {
+    let mut attempts = 0;
+    loop {
+        let t0 = Instant::now();
+        match client.predict(instance, plan, sys) {
+            Ok(Response::Predicted {
+                exec_secs, source, ..
+            }) => {
+                result.predict_hist.record(t0.elapsed().as_secs_f64());
+                result.expected_predicts += 1;
+                match source {
+                    stage_core::PredictionSource::Cache => result.sources.cache += 1,
+                    stage_core::PredictionSource::Local => result.sources.local += 1,
+                    stage_core::PredictionSource::Global => result.sources.global += 1,
+                    stage_core::PredictionSource::Default => result.sources.default += 1,
+                }
+                return Some((exec_secs, source));
+            }
+            Ok(Response::Overloaded { retry_after_ms }) => {
+                result.predict_retries += 1;
+                attempts += 1;
+                if attempts > MAX_RETRIES {
+                    eprintln!("loadgen: instance {instance}: predict starved");
+                    return None;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(retry_after_ms.max(1)));
+            }
+            other => {
+                eprintln!("loadgen: instance {instance}: predict failed: {other:?}");
+                return None;
             }
         }
     }
-    result
+}
+
+/// Prices one group of events through `PredictBatch` (bounded retry on
+/// shed batches) and, on `order_check` groups, re-prices every plan through
+/// the scalar verb asserting bit-identical index-aligned answers.
+fn drive_batch(
+    instance: u32,
+    workload: &InstanceWorkload,
+    events: &[&stage_workload::QueryEvent],
+    client: &mut ServeClient,
+    result: &mut ThreadResult,
+    order_check: bool,
+) {
+    let plans: Vec<_> = events.iter().map(|e| e.plan.clone()).collect();
+    // One system context prices the whole batch (the protocol's contract:
+    // a queue-full admitted at the same instant).
+    let sys = workload.spec.system_features(events[0].concurrency);
+
+    let mut attempts = 0;
+    let predictions = loop {
+        let t0 = Instant::now();
+        match client.predict_batch(instance, &plans, &sys) {
+            Ok(Response::PredictionsBatch { predictions, .. }) => {
+                let per_prediction = t0.elapsed().as_secs_f64() / plans.len() as f64;
+                for _ in 0..plans.len() {
+                    result.predict_hist.record(per_prediction);
+                }
+                result.batch_requests += 1;
+                result.expected_predicts += plans.len() as u64;
+                break predictions;
+            }
+            Ok(Response::Overloaded { retry_after_ms }) => {
+                result.predict_retries += 1;
+                attempts += 1;
+                if attempts > MAX_RETRIES {
+                    eprintln!("loadgen: instance {instance}: batch predict starved");
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(retry_after_ms.max(1)));
+            }
+            other => {
+                eprintln!("loadgen: instance {instance}: batch predict failed: {other:?}");
+                return;
+            }
+        }
+    };
+
+    if predictions.len() != plans.len() {
+        eprintln!(
+            "loadgen: instance {instance}: batch answered {} predictions for {} plans",
+            predictions.len(),
+            plans.len()
+        );
+        result.order_mismatches += 1;
+        return;
+    }
+    for p in &predictions {
+        match p.source {
+            stage_core::PredictionSource::Cache => result.sources.cache += 1,
+            stage_core::PredictionSource::Local => result.sources.local += 1,
+            stage_core::PredictionSource::Global => result.sources.global += 1,
+            stage_core::PredictionSource::Default => result.sources.default += 1,
+        }
+    }
+    if order_check {
+        // Predictions are pure reads of model state, so re-pricing the same
+        // plan under the same system context must answer identically — any
+        // index shuffle inside the batch shows up here.
+        for (k, bp) in predictions.iter().enumerate() {
+            let Some((exec_secs, source)) =
+                predict_scalar(instance, &plans[k], &sys, client, result)
+            else {
+                continue;
+            };
+            if exec_secs.to_bits() != bp.exec_secs.to_bits() || source != bp.source {
+                eprintln!(
+                    "loadgen: instance {instance}: batch position {k} diverged from scalar: \
+                     {} ({:?}) vs {} ({:?})",
+                    bp.exec_secs, bp.source, exec_secs, source
+                );
+                result.order_mismatches += 1;
+            }
+        }
+    }
 }
 
 fn parse_args() -> Option<Args> {
@@ -411,6 +585,7 @@ fn parse_args() -> Option<Args> {
         rounds: 10_000,
         qps: 2_000.0,
         seed: 42,
+        batch: 1,
         addr: None,
         out: "results/bench_serve.json".to_string(),
     };
@@ -433,6 +608,10 @@ fn parse_args() -> Option<Args> {
                 i += 1;
                 args.seed = parse_val(&argv, i, "--seed")?;
             }
+            "--batch" => {
+                i += 1;
+                args.batch = parse_val(&argv, i, "--batch")?;
+            }
             "--addr" => {
                 i += 1;
                 args.addr = Some(argv.get(i)?.clone());
@@ -445,15 +624,15 @@ fn parse_args() -> Option<Args> {
                 eprintln!("loadgen: unknown flag {other}");
                 eprintln!(
                     "usage: loadgen [--instances N] [--rounds N] [--qps F] [--seed N] \
-                     [--addr HOST:PORT] [--out FILE]"
+                     [--batch N] [--addr HOST:PORT] [--out FILE]"
                 );
                 return None;
             }
         }
         i += 1;
     }
-    if args.instances == 0 || args.rounds == 0 || args.qps <= 0.0 {
-        eprintln!("loadgen: instances, rounds, and qps must be positive");
+    if args.instances == 0 || args.rounds == 0 || args.qps <= 0.0 || args.batch == 0 {
+        eprintln!("loadgen: instances, rounds, qps, and batch must be positive");
         return None;
     }
     Some(args)

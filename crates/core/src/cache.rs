@@ -107,14 +107,27 @@ impl ExecTimeCache {
         }
     }
 
-    /// Hash key of a plan (the stable hash of its 33-dim vector).
+    /// Hash key of a plan (the stable hash of its 33-dim vector). Extracts
+    /// the feature vector just to hash it — callers that already hold the
+    /// features (the batched predict path) should use
+    /// [`ExecTimeCache::key_of_features`] instead and hash once.
     pub fn key_of(plan: &PhysicalPlan) -> u64 {
         plan_feature_vector(plan).stable_hash()
     }
 
-    /// Looks up a plan; returns the blended prediction on a hit. Updates
-    /// hit/miss counters.
-    pub fn lookup(&mut self, key: u64) -> Option<f64> {
+    /// Hash key of an already-extracted plan feature vector. Identical to
+    /// [`ExecTimeCache::key_of`] on the same plan's features; the split lets
+    /// the serve path pay feature extraction + hashing exactly once per plan
+    /// per request.
+    pub fn key_of_features(features: &[f64]) -> u64 {
+        stage_plan::stable_hash_slice(features)
+    }
+
+    /// Looks up a precomputed key; returns the blended prediction on a hit.
+    /// Updates hit/miss counters. This is the lookup primitive — every other
+    /// lookup form delegates here, so counters stay consistent across the
+    /// scalar and batch paths.
+    pub fn get_by_key(&mut self, key: u64) -> Option<f64> {
         match self.entries.get(&key) {
             Some(e) => {
                 self.hits += 1;
@@ -131,6 +144,19 @@ impl ExecTimeCache {
                 None
             }
         }
+    }
+
+    /// Looks up a plan; returns the blended prediction on a hit. Updates
+    /// hit/miss counters.
+    pub fn lookup(&mut self, key: u64) -> Option<f64> {
+        self.get_by_key(key)
+    }
+
+    /// Looks up many precomputed keys in one pass, index-aligned with
+    /// `keys`. Counter effects are exactly those of calling
+    /// [`ExecTimeCache::get_by_key`] per key, in order.
+    pub fn lookup_many(&mut self, keys: &[u64]) -> Vec<Option<f64>> {
+        keys.iter().map(|&k| self.get_by_key(k)).collect()
     }
 
     /// Whether a key is cached (no counter side effects).
@@ -340,6 +366,49 @@ mod tests {
             ExecTimeCache::key_of(&build()),
             ExecTimeCache::key_of(&build())
         );
+    }
+
+    #[test]
+    fn key_of_features_matches_key_of() {
+        use stage_plan::{plan_feature_vector, PlanBuilder, S3Format};
+        let plan = PlanBuilder::select()
+            .scan("t", S3Format::Local, 1e5, 64.0)
+            .hash_aggregate(0.01)
+            .finish();
+        let features = plan_feature_vector(&plan).0;
+        assert_eq!(
+            ExecTimeCache::key_of(&plan),
+            ExecTimeCache::key_of_features(&features)
+        );
+    }
+
+    #[test]
+    fn batch_lookup_counters_consistent_with_scalar() {
+        // The same key sequence through lookup_many and through per-key
+        // get_by_key must produce identical predictions AND identical
+        // hit/miss counters — the batch path may not double- or
+        // under-count.
+        let keys: Vec<u64> = vec![1, 2, 1, 3, 2, 2, 9, 1];
+        let mut batched = cache(10, 0.8);
+        let mut scalar = cache(10, 0.8);
+        for c in [&mut batched, &mut scalar] {
+            c.record(1, 4.0);
+            c.record(2, 8.0);
+            c.record(2, 10.0);
+        }
+        let from_batch = batched.lookup_many(&keys);
+        let from_scalar: Vec<Option<f64>> = keys.iter().map(|&k| scalar.get_by_key(k)).collect();
+        assert_eq!(from_batch, from_scalar);
+        assert_eq!(batched.hits(), scalar.hits());
+        assert_eq!(batched.misses(), scalar.misses());
+        assert_eq!(
+            batched.hits() + batched.misses(),
+            keys.len() as u64,
+            "every batch element must count exactly once"
+        );
+        // 1, 2 present (hits), 3, 9 absent (misses): 6 hits, 2 misses.
+        assert_eq!(batched.hits(), 6);
+        assert_eq!(batched.misses(), 2);
     }
 
     #[test]

@@ -168,6 +168,26 @@ impl LocalModel {
         })
     }
 
+    /// Predicts exec-time and uncertainty for a batch of feature vectors —
+    /// bit-identical to calling [`LocalModel::predict`] per row, but one
+    /// pass over the ensemble's flat batched path. `None` until the first
+    /// training (matching the scalar contract for every row at once).
+    pub fn predict_batch<R: AsRef<[f64]>>(&self, features: &[R]) -> Option<Vec<LocalPrediction>> {
+        let ensemble = self.ensemble.as_ref()?;
+        Some(
+            ensemble
+                .predict_batch(features)
+                .into_iter()
+                .map(|p| LocalPrediction {
+                    exec_secs: from_log_space(p.mean),
+                    log_mean: p.mean,
+                    model_uncertainty: p.model_uncertainty,
+                    data_uncertainty: p.data_uncertainty,
+                })
+                .collect(),
+        )
+    }
+
     /// Approximate resident size in bytes.
     pub fn approx_size_bytes(&self) -> usize {
         std::mem::size_of::<Self>()

@@ -112,6 +112,36 @@ impl BayesianEnsemble {
         }
     }
 
+    /// Predicts mean and decomposed uncertainty for a batch of rows —
+    /// bit-identical to calling [`BayesianEnsemble::predict`] per row. Each
+    /// member runs its flat batched path over the whole batch (member-major),
+    /// then Eqs. 1–2 combine per row in member order, matching the scalar
+    /// summation sequence exactly.
+    pub fn predict_batch<R: AsRef<[f64]>>(&self, rows: &[R]) -> Vec<EnsemblePrediction> {
+        let k = self.members.len() as f64;
+        let per_member: Vec<Vec<(f64, f64)>> = self
+            .members
+            .iter()
+            .map(|m| m.predict_dist_batch(rows))
+            .collect();
+        (0..rows.len())
+            .map(|r| {
+                let mean = per_member.iter().map(|d| d[r].0).sum::<f64>() / k;
+                let model_uncertainty = per_member
+                    .iter()
+                    .map(|d| (d[r].0 - mean).powi(2))
+                    .sum::<f64>()
+                    / k;
+                let data_uncertainty = per_member.iter().map(|d| d[r].1).sum::<f64>() / k;
+                EnsemblePrediction {
+                    mean,
+                    model_uncertainty,
+                    data_uncertainty,
+                }
+            })
+            .collect()
+    }
+
     /// Number of members.
     pub fn n_members(&self) -> usize {
         self.members.len()

@@ -1,0 +1,269 @@
+//! Flattened structure-of-arrays forests for batched inference.
+//!
+//! The arena [`Tree`](crate::tree::Tree) stores an enum per node; traversal
+//! chases a discriminant plus payload per step, which is fine for one row but
+//! wasteful for a batch: every row re-streams the same node payloads through
+//! cache. [`FlatTree`] re-lays a tree out as parallel arrays (one `u32`
+//! feature id, one `f64` cut, two `u32` child indices per node), and
+//! [`FlatForest`] drives the batch loop *tree-major* — outer loop over trees,
+//! inner over rows — so a tree's node arrays stay hot while every row of the
+//! batch walks it.
+//!
+//! Flattening is a pure re-layout: node order, comparison operands, and leaf
+//! weights are copied bit-for-bit from the arena tree, so batched prediction
+//! is bit-identical to scalar traversal (property-tested in this module and
+//! against the full model classes in `tests/flat_identity.rs`).
+//!
+//! Models hold their flat twin in a [`Lazy`] cell: built eagerly at the end
+//! of `fit`, rebuilt on first batched use after a snapshot restore (the cell
+//! deliberately does not serialize — it is derived state).
+
+use crate::tree::Tree;
+use serde::{Deserialize, Error, Serialize, Value};
+use std::sync::OnceLock;
+
+/// Feature tag marking a leaf node; `threshold` then holds the leaf weight.
+const LEAF: u32 = u32::MAX;
+
+/// One tree in structure-of-arrays layout. Node `i` of the source arena tree
+/// becomes index `i` of each array, so child indices carry over unchanged.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlatTree {
+    /// Split feature per node; [`LEAF`] tags leaves.
+    feature: Vec<u32>,
+    /// Split cut per node (`go left iff x[feature] <= threshold`); for a
+    /// leaf-tagged node this slot holds the leaf weight instead.
+    threshold: Vec<f64>,
+    /// Left child index per node (unused for leaves).
+    left: Vec<u32>,
+    /// Right child index per node (unused for leaves).
+    right: Vec<u32>,
+}
+
+impl FlatTree {
+    /// Flattens an arena tree. Node indices are preserved.
+    pub fn from_tree(tree: &Tree) -> Self {
+        let n = tree.n_nodes();
+        let mut flat = FlatTree {
+            feature: Vec::with_capacity(n),
+            threshold: Vec::with_capacity(n),
+            left: Vec::with_capacity(n),
+            right: Vec::with_capacity(n),
+        };
+        tree.for_each_node(|feature, threshold, left, right| match feature {
+            Some(f) => {
+                flat.feature.push(f);
+                flat.threshold.push(threshold);
+                flat.left.push(left);
+                flat.right.push(right);
+            }
+            None => {
+                flat.feature.push(LEAF);
+                flat.threshold.push(threshold);
+                flat.left.push(0);
+                flat.right.push(0);
+            }
+        });
+        flat
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// Predicts the leaf weight for one row — same comparisons on the same
+    /// bits as `Tree::predict`, just against the flat arrays.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            let f = self.feature[i];
+            if f == LEAF {
+                return self.threshold[i];
+            }
+            i = if row[f as usize] <= self.threshold[i] {
+                self.left[i] as usize
+            } else {
+                self.right[i] as usize
+            };
+        }
+    }
+}
+
+/// An ordered set of flattened trees with a tree-major batch kernel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlatForest {
+    trees: Vec<FlatTree>,
+}
+
+impl FlatForest {
+    /// Flattens a slice of arena trees, preserving order.
+    pub fn from_trees(trees: &[Tree]) -> Self {
+        Self {
+            trees: trees.iter().map(FlatTree::from_tree).collect(),
+        }
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Writes tree `t`'s raw leaf weight for every row into `out[..rows.len()]`.
+    /// This is the batch inner loop: one tree's arrays service all rows
+    /// before the next tree is touched.
+    ///
+    /// # Panics
+    /// Panics if `t` is out of range or `out` is shorter than `rows`.
+    pub fn predict_tree_into<R: AsRef<[f64]>>(&self, t: usize, rows: &[R], out: &mut [f64]) {
+        let tree = &self.trees[t];
+        for (row, slot) in rows.iter().zip(out.iter_mut()) {
+            *slot = tree.predict(row.as_ref());
+        }
+    }
+
+    /// Unweighted sum of all trees per row (tree-major), for callers without
+    /// per-tree accumulation needs.
+    pub fn predict_batch<R: AsRef<[f64]>>(&self, rows: &[R]) -> Vec<f64> {
+        let mut acc = vec![0.0; rows.len()];
+        let mut tmp = vec![0.0; rows.len()];
+        for t in 0..self.trees.len() {
+            self.predict_tree_into(t, rows, &mut tmp);
+            for (a, v) in acc.iter_mut().zip(&tmp) {
+                *a += *v;
+            }
+        }
+        acc
+    }
+}
+
+/// A lazily built, non-serialized cache cell for derived model state (the
+/// flat twin of an arena forest).
+///
+/// Serialization writes `null` and deserialization accepts anything into an
+/// empty cell: snapshots never carry the flat layout, and snapshots written
+/// before this field existed restore cleanly. The cell refills on first
+/// batched prediction via [`Lazy::get_or_init`].
+#[derive(Debug, Default)]
+pub struct Lazy<T>(OnceLock<T>);
+
+impl<T> Lazy<T> {
+    /// An empty cell.
+    pub fn new() -> Self {
+        Self(OnceLock::new())
+    }
+
+    /// A cell pre-filled with `value` (used at the end of `fit`).
+    pub fn filled(value: T) -> Self {
+        let cell = OnceLock::new();
+        let _ = cell.set(value);
+        Self(cell)
+    }
+
+    /// Returns the cached value, building it with `init` on first use.
+    pub fn get_or_init(&self, init: impl FnOnce() -> T) -> &T {
+        self.0.get_or_init(init)
+    }
+}
+
+impl<T: Clone> Clone for Lazy<T> {
+    fn clone(&self) -> Self {
+        Self(self.0.clone())
+    }
+}
+
+impl<T> Serialize for Lazy<T> {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<T> Deserialize for Lazy<T> {
+    fn from_value(_: &Value) -> Result<Self, Error> {
+        Ok(Self::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Binner, Dataset};
+    use crate::tree::TreeParams;
+    use proptest::prelude::*;
+
+    fn fit_on_targets(data: &Dataset) -> Tree {
+        let binner = Binner::fit(data, 32);
+        let binned = binner.transform(data);
+        let grads: Vec<f64> = data.targets().iter().map(|&y| -y).collect();
+        let hess = vec![1.0; data.n_rows()];
+        let indices: Vec<usize> = (0..data.n_rows()).collect();
+        let columns: Vec<usize> = (0..data.n_cols()).collect();
+        Tree::fit(
+            data,
+            &binned,
+            &binner,
+            &grads,
+            &hess,
+            &indices,
+            &columns,
+            &TreeParams::default(),
+        )
+    }
+
+    #[test]
+    fn flat_single_leaf() {
+        let t = Tree::constant(2.5);
+        let f = FlatTree::from_tree(&t);
+        assert_eq!(f.n_nodes(), 1);
+        assert_eq!(f.predict(&[0.0]), 2.5);
+    }
+
+    #[test]
+    fn forest_batch_matches_scalar_sum() {
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+        let targets: Vec<f64> = (0..60).map(|i| (i % 13) as f64).collect();
+        let data = Dataset::from_rows(&rows, &targets);
+        let trees = vec![fit_on_targets(&data), Tree::constant(-1.0)];
+        let forest = FlatForest::from_trees(&trees);
+        assert_eq!(forest.n_trees(), 2);
+        let batch = forest.predict_batch(&rows);
+        for (row, got) in rows.iter().zip(&batch) {
+            let want: f64 = trees.iter().map(|t| t.predict(row)).sum();
+            assert_eq!(*got, want);
+        }
+    }
+
+    #[test]
+    fn lazy_serializes_to_null_and_restores_empty() {
+        let filled: Lazy<u64> = Lazy::filled(9);
+        assert_eq!(filled.to_value(), Value::Null);
+        let back = Lazy::<u64>::from_value(&Value::Int(123)).unwrap();
+        assert_eq!(*back.get_or_init(|| 7), 7);
+        assert_eq!(*filled.get_or_init(|| 7), 9);
+        let cloned = filled.clone();
+        assert_eq!(*cloned.get_or_init(|| 7), 9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_flat_tree_bit_identical(
+            pairs in proptest::collection::vec(
+                (-100.0f64..100.0, -100.0f64..100.0, -50.0f64..50.0), 5..80),
+            probes in proptest::collection::vec(
+                (-120.0f64..120.0, -120.0f64..120.0), 1..40),
+        ) {
+            let rows: Vec<Vec<f64>> = pairs.iter().map(|p| vec![p.0, p.1]).collect();
+            let targets: Vec<f64> = pairs.iter().map(|p| p.2).collect();
+            let data = Dataset::from_rows(&rows, &targets);
+            let tree = fit_on_targets(&data);
+            let flat = FlatTree::from_tree(&tree);
+            prop_assert_eq!(flat.n_nodes(), tree.n_nodes());
+            for p in &probes {
+                let row = [p.0, p.1];
+                let scalar = tree.predict(&row);
+                let batch = flat.predict(&row);
+                prop_assert_eq!(scalar.to_bits(), batch.to_bits());
+            }
+        }
+    }
+}

@@ -22,12 +22,16 @@
 //! * [`ensemble`] — the Bayesian ensemble (Eqs. 1–2): K independently
 //!   trained NGBoost members; prediction = mean of member means, total
 //!   uncertainty = variance of member means (model/knowledge uncertainty)
-//!   + mean of member variances (data uncertainty).
+//!   + mean of member variances (data uncertainty);
+//! * [`flat`] — structure-of-arrays flattened forests behind every model's
+//!   `predict_batch`: tree-major batch traversal, bit-identical to the
+//!   scalar arena path.
 //!
 //! All training is deterministic given the seed.
 
 pub mod dataset;
 pub mod ensemble;
+pub mod flat;
 pub mod gbm;
 pub mod mixed;
 pub mod ngboost;
@@ -36,6 +40,7 @@ pub mod tree;
 
 pub use dataset::{BinnedDataset, Binner, Dataset};
 pub use ensemble::{BayesianEnsemble, EnsembleParams, EnsemblePrediction};
+pub use flat::{FlatForest, FlatTree};
 pub use gbm::{Gbm, GbmParams};
 pub use mixed::{MixedEnsemble, MixedEnsembleParams};
 pub use ngboost::{NgBoost, NgBoostParams};

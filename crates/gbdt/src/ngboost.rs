@@ -15,6 +15,7 @@
 //! * early stopping monitors validation NLL.
 
 use crate::dataset::{Binner, Dataset};
+use crate::flat::{FlatForest, Lazy};
 use crate::gbm::{sample_cols, sample_rows};
 use crate::tree::{Tree, TreeParams};
 use rand::rngs::StdRng;
@@ -75,6 +76,16 @@ pub struct NgBoost {
     mu_trees: Vec<Tree>,
     var_trees: Vec<Tree>,
     n_cols: usize,
+    /// Flat twins of both heads for batched prediction. Derived state:
+    /// filled at the end of `fit`, rebuilt lazily after deserialization.
+    flat: Lazy<FlatHeads>,
+}
+
+/// Flattened μ- and s-head forests, kept together so one cell covers both.
+#[derive(Debug, Clone)]
+struct FlatHeads {
+    mu: FlatForest,
+    var: FlatForest,
 }
 
 impl NgBoost {
@@ -113,6 +124,7 @@ impl NgBoost {
             mu_trees: Vec::new(),
             var_trees: Vec::new(),
             n_cols: data.n_cols(),
+            flat: Lazy::new(),
         };
 
         let binner = Binner::fit(data, params.n_bins);
@@ -199,6 +211,10 @@ impl NgBoost {
             model.mu_trees.truncate(best_len);
             model.var_trees.truncate(best_len);
         }
+        model.flat = Lazy::filled(FlatHeads {
+            mu: FlatForest::from_trees(&model.mu_trees),
+            var: FlatForest::from_trees(&model.var_trees),
+        });
         Some(model)
     }
 
@@ -213,6 +229,35 @@ impl NgBoost {
             s = (s + self.learning_rate * ts.predict(row)).clamp(lo, hi);
         }
         (mu, s.exp())
+    }
+
+    /// Predicts `(μ, σ²)` for a batch of rows — bit-identical to calling
+    /// [`NgBoost::predict_dist`] per row. The loop is round-major over the
+    /// flat heads: each round updates every row's μ, then every row's s
+    /// (with the per-round clamp), exactly the scalar update order.
+    pub fn predict_dist_batch<R: AsRef<[f64]>>(&self, rows: &[R]) -> Vec<(f64, f64)> {
+        let flat = self.flat.get_or_init(|| FlatHeads {
+            mu: FlatForest::from_trees(&self.mu_trees),
+            var: FlatForest::from_trees(&self.var_trees),
+        });
+        let n = rows.len();
+        let (lo, hi) = self.log_var_range;
+        let mut mu = vec![self.base_mu; n];
+        let mut s = vec![self.base_log_var; n];
+        let mut tmp = vec![0.0; n];
+        // Scalar traversal zips the two heads, so rounds stop at the shorter.
+        let rounds = flat.mu.n_trees().min(flat.var.n_trees());
+        for t in 0..rounds {
+            flat.mu.predict_tree_into(t, rows, &mut tmp);
+            for (m, v) in mu.iter_mut().zip(&tmp) {
+                *m += self.learning_rate * *v;
+            }
+            flat.var.predict_tree_into(t, rows, &mut tmp);
+            for (sv, v) in s.iter_mut().zip(&tmp) {
+                *sv = (*sv + self.learning_rate * *v).clamp(lo, hi);
+            }
+        }
+        mu.into_iter().zip(s).map(|(m, sv)| (m, sv.exp())).collect()
     }
 
     /// Point prediction (the mean).

@@ -124,6 +124,24 @@ impl Tree {
         }
     }
 
+    /// Visits nodes in arena order, for flattening into [`crate::flat`]
+    /// layouts. Splits invoke the visitor with `Some(feature)`; leaves pass
+    /// `None` with the leaf weight in the threshold slot and zero children.
+    pub(crate) fn for_each_node(&self, mut visit: impl FnMut(Option<u32>, f64, u32, u32)) {
+        for node in &self.nodes {
+            match node {
+                Node::Leaf { weight } => visit(None, *weight, 0, 0),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => visit(Some(*feature), *threshold, *left, *right),
+            }
+        }
+    }
+
     /// Predicts the leaf weight for a raw (unbinned) feature row.
     pub fn predict(&self, row: &[f64]) -> f64 {
         let mut i = 0usize;

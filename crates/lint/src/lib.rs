@@ -71,6 +71,7 @@ const NO_PANIC_FILES: &[&str] = &[
     "crates/serve/src/queue.rs",
     "crates/serve/src/registry.rs",
     "crates/serve/src/protocol.rs",
+    "crates/serve/src/client.rs",
     "crates/core/src/persist.rs",
 ];
 

@@ -61,19 +61,26 @@ impl FeatureVector {
     /// exec-time cache key (paper §4.2, Optimization 1: "storing the hash
     /// value of the feature vector as the key").
     pub fn stable_hash(&self) -> u64 {
-        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = FNV_OFFSET;
-        for &v in &self.0 {
-            // Normalize -0.0 to 0.0 so equal values hash equally.
-            let bits = if v == 0.0 { 0u64 } else { v.to_bits() };
-            for byte in bits.to_le_bytes() {
-                h ^= byte as u64;
-                h = h.wrapping_mul(FNV_PRIME);
-            }
-        }
-        h
+        stable_hash_slice(&self.0)
     }
+}
+
+/// [`FeatureVector::stable_hash`] over a raw slice, for callers that hold
+/// extracted features without the wrapper (e.g. the batched serve path,
+/// which hashes each plan's features exactly once per request).
+pub fn stable_hash_slice(features: &[f64]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for &v in features {
+        // Normalize -0.0 to 0.0 so equal values hash equally.
+        let bits = if v == 0.0 { 0u64 } else { v.to_bits() };
+        for byte in bits.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
 }
 
 /// Flattens a plan into its 33-dim feature vector (paper §4.2).

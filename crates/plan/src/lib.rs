@@ -30,8 +30,8 @@ pub mod tree;
 
 pub use builder::PlanBuilder;
 pub use features::{
-    feature_name, node_features, plan_feature_vector, FeatureVector, CACHE_FEATURE_DIM,
-    NODE_FEATURE_DIM,
+    feature_name, node_features, plan_feature_vector, stable_hash_slice, FeatureVector,
+    CACHE_FEATURE_DIM, NODE_FEATURE_DIM,
 };
 pub use operator::{OperatorCategory, OperatorKind, QueryType, S3Format};
 pub use optimizer::{optimize, JoinEdge, LogicalQuery, OptimizeError, TableRef};

@@ -48,6 +48,22 @@ impl ServeClient {
         })
     }
 
+    /// `PredictBatch` convenience wrapper: one round trip prices every
+    /// plan in `plans` against the same system context; answers arrive in
+    /// submission order inside [`Response::PredictionsBatch`].
+    pub fn predict_batch(
+        &mut self,
+        instance: u32,
+        plans: &[PhysicalPlan],
+        sys: &[f64],
+    ) -> io::Result<Response> {
+        self.call(&Request::PredictBatch {
+            instance,
+            plans: plans.to_vec(),
+            sys: sys.to_vec(),
+        })
+    }
+
     /// `Observe` convenience wrapper.
     pub fn observe(
         &mut self,

@@ -8,8 +8,8 @@
 //! server speaking newline-delimited JSON, hosting one warm
 //! [`stage_core::StagePredictor`] per simulated instance.
 //!
-//! * [`protocol`] — the five-verb wire protocol (`Predict`, `Observe`,
-//!   `Stats`, `Snapshot`, `Shutdown`) and its line framing.
+//! * [`protocol`] — the six-verb wire protocol (`Predict`, `PredictBatch`,
+//!   `Observe`, `Stats`, `Snapshot`, `Shutdown`) and its line framing.
 //! * [`registry`] — the sharded `RwLock` predictor registry with
 //!   crash-safe checkpointing and atomic warm restart.
 //! * [`queue`] — bounded per-worker admission queues (explicit
@@ -25,7 +25,7 @@ pub mod registry;
 pub mod server;
 
 pub use client::ServeClient;
-pub use protocol::{Request, Response};
+pub use protocol::{BatchPrediction, Request, Response};
 pub use queue::{BoundedQueue, PushError, TokenBucket};
 pub use registry::{Shard, ShardRegistry};
 pub use server::{ServeConfig, Server};

@@ -25,6 +25,19 @@ pub enum Request {
         /// see `stage_workload::InstanceSpec::system_features`).
         sys: Vec<f64>,
     },
+    /// Predict the exec-times of a whole batch of plans on `instance` in
+    /// one round trip. Answers arrive in submission order; the batch is
+    /// served under a single shard-lock acquisition, so per-prediction
+    /// overhead (framing, queueing, locking) is amortised across the batch.
+    PredictBatch {
+        /// Target instance id (shard).
+        instance: u32,
+        /// The optimizer-produced physical plans, in submission order.
+        plans: Vec<PhysicalPlan>,
+        /// System-context feature vector shared by the whole batch (all
+        /// plans are priced against the same instant's system state).
+        sys: Vec<f64>,
+    },
     /// Report the observed exec-time after running a query, feeding the
     /// instance's cache and training pool exactly like offline replay.
     Observe {
@@ -48,6 +61,22 @@ pub enum Request {
     Shutdown,
 }
 
+/// One element of a [`Response::PredictionsBatch`] answer, mirroring the
+/// per-prediction fields of [`Response::Predicted`] without the per-message
+/// latency (the batch carries one latency for the whole round trip).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchPrediction {
+    /// Point prediction in seconds.
+    pub exec_secs: f64,
+    /// Lower bound of the 95% confidence interval (when the serving model
+    /// measures uncertainty).
+    pub interval_lo: Option<f64>,
+    /// Upper bound of the 95% confidence interval.
+    pub interval_hi: Option<f64>,
+    /// Which stage of the hierarchy answered.
+    pub source: PredictionSource,
+}
+
 /// A server response.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Response {
@@ -65,6 +94,15 @@ pub enum Response {
         /// Server-side service latency (enqueue → answered) in µs.
         latency_us: u64,
     },
+    /// Answer to [`Request::PredictBatch`]: one prediction per submitted
+    /// plan, in submission order.
+    PredictionsBatch {
+        /// Per-plan predictions, index-aligned with the request's `plans`.
+        predictions: Vec<BatchPrediction>,
+        /// Server-side service latency (enqueue → answered) in µs for the
+        /// whole batch.
+        latency_us: u64,
+    },
     /// Answer to [`Request::Observe`].
     Observed {
         /// Server-side service latency in µs.
@@ -76,6 +114,9 @@ pub enum Response {
         routing: RoutingStats,
         /// Observations ingested.
         observes: u64,
+        /// `PredictBatch` requests served (the routing counters above count
+        /// every prediction inside each batch individually).
+        predict_batches: u64,
         /// Exec-time cache entries.
         cache_len: u64,
         /// Training-pool entries.
@@ -105,11 +146,24 @@ pub enum Response {
 
 /// Writes one message as a compact-JSON line.
 pub fn write_message<T: Serialize, W: Write>(out: &mut W, msg: &T) -> io::Result<()> {
-    let mut line = serde_json::to_string(msg).map_err(io::Error::other)?;
+    let mut line = String::new();
+    write_message_buffered(out, msg, &mut line)
+}
+
+/// Writes one message as a compact-JSON line, serializing into `buf` (a
+/// caller-owned scratch buffer, cleared first) so a connection loop reuses
+/// one allocation for every response instead of allocating per message.
+pub fn write_message_buffered<T: Serialize, W: Write>(
+    out: &mut W,
+    msg: &T,
+    buf: &mut String,
+) -> io::Result<()> {
+    buf.clear();
+    serde_json::to_string_into(msg, buf);
     // One write per message: two small writes on an unbuffered socket would
     // emit two TCP segments and invite Nagle/delayed-ACK stalls.
-    line.push('\n');
-    out.write_all(line.as_bytes())?;
+    buf.push('\n');
+    out.write_all(buf.as_bytes())?;
     out.flush()
 }
 
@@ -144,6 +198,11 @@ mod tests {
             Request::Predict {
                 instance: 3,
                 plan: plan(),
+                sys: vec![1.0, 2.0],
+            },
+            Request::PredictBatch {
+                instance: 1,
+                plans: vec![plan(), plan()],
                 sys: vec![1.0, 2.0],
             },
             Request::Observe {
@@ -182,6 +241,23 @@ mod tests {
                 source: PredictionSource::Local,
                 latency_us: 120,
             },
+            Response::PredictionsBatch {
+                predictions: vec![
+                    BatchPrediction {
+                        exec_secs: 2.5,
+                        interval_lo: Some(1.0),
+                        interval_hi: Some(6.0),
+                        source: PredictionSource::Local,
+                    },
+                    BatchPrediction {
+                        exec_secs: 0.5,
+                        interval_lo: None,
+                        interval_hi: None,
+                        source: PredictionSource::Cache,
+                    },
+                ],
+                latency_us: 310,
+            },
             Response::Observed { latency_us: 40 },
             Response::Stats {
                 routing: RoutingStats {
@@ -191,6 +267,7 @@ mod tests {
                     default: 1,
                 },
                 observes: 6,
+                predict_batches: 2,
                 cache_len: 4,
                 pool_len: 5,
                 local_trained: false,
@@ -214,6 +291,17 @@ mod tests {
                 serde_json::to_string(expected).unwrap()
             );
         }
+    }
+
+    #[test]
+    fn buffered_writer_matches_unbuffered() {
+        let msg = Request::Stats { instance: 7 };
+        let mut plain = Vec::new();
+        write_message(&mut plain, &msg).unwrap();
+        let mut buffered = Vec::new();
+        let mut scratch = String::from("stale contents from a previous message");
+        write_message_buffered(&mut buffered, &msg, &mut scratch).unwrap();
+        assert_eq!(plain, buffered);
     }
 
     #[test]

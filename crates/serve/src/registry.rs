@@ -23,6 +23,7 @@ use std::path::{Path, PathBuf};
 pub struct Shard {
     predictor: StagePredictor,
     observes: u64,
+    predict_batches: u64,
 }
 
 impl Shard {
@@ -30,12 +31,31 @@ impl Shard {
         Self {
             predictor,
             observes: 0,
+            predict_batches: 0,
         }
     }
 
     /// Serves one prediction.
     pub fn predict(&mut self, plan: &PhysicalPlan, sys: &SystemContext) -> Prediction {
         self.predictor.predict(plan, sys)
+    }
+
+    /// Serves a whole batch of predictions in submission order under the
+    /// one shard-lock acquisition the caller already holds. Routing
+    /// counters advance per prediction exactly as the scalar path would;
+    /// only the batch counter is new.
+    pub fn predict_batch(
+        &mut self,
+        plans: &[PhysicalPlan],
+        sys: &SystemContext,
+    ) -> Vec<Prediction> {
+        self.predict_batches += 1;
+        self.predictor.predict_batch(plans, sys)
+    }
+
+    /// `PredictBatch` requests served since start.
+    pub fn predict_batches(&self) -> u64 {
+        self.predict_batches
     }
 
     /// Ingests one observed exec-time (cache + pool + retrain cadence,

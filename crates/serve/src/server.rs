@@ -24,7 +24,7 @@
 //! `io::Result`s. All locks are `stage_core::sync` ordered locks, so the
 //! debug-build lock-order detector runs on every request.
 
-use crate::protocol::{read_message, write_message, Request, Response};
+use crate::protocol::{read_message, write_message_buffered, BatchPrediction, Request, Response};
 use crate::queue::{BoundedQueue, PushError};
 use crate::registry::ShardRegistry;
 use stage_core::sync::{self, OrderedMutex, RANK_SESSION};
@@ -143,6 +143,39 @@ impl Shared {
                             interval_lo,
                             interval_hi,
                             source: p.source,
+                            latency_us: enqueued.elapsed().as_micros() as u64,
+                        }
+                    })
+                    .unwrap_or_else(|| unknown_instance(instance, self.registry.len()))
+            }
+            Request::PredictBatch {
+                instance,
+                plans,
+                sys,
+            } => {
+                let sys = SystemContext { features: sys };
+                self.registry
+                    .with_shard_write(instance, |shard| {
+                        // One lock acquisition prices the whole batch, so
+                        // queueing/locking overhead amortises across it.
+                        let predictions = shard
+                            .predict_batch(&plans, &sys)
+                            .into_iter()
+                            .map(|p| {
+                                let (interval_lo, interval_hi) = match p.confidence_interval(1.96) {
+                                    Some((lo, hi)) => (Some(lo), Some(hi)),
+                                    None => (None, None),
+                                };
+                                BatchPrediction {
+                                    exec_secs: p.exec_secs,
+                                    interval_lo,
+                                    interval_hi,
+                                    source: p.source,
+                                }
+                            })
+                            .collect();
+                        Response::PredictionsBatch {
+                            predictions,
                             latency_us: enqueued.elapsed().as_micros() as u64,
                         }
                     })
@@ -385,6 +418,10 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
+    // One serialization buffer per connection: every response on this
+    // connection reuses the same allocation instead of building a fresh
+    // String per message (the old per-request hot-path allocation).
+    let mut write_buf = String::new();
     loop {
         let request = match read_message::<Request, _>(&mut reader) {
             Ok(Some(r)) => r,
@@ -393,7 +430,7 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
                 let resp = Response::Error {
                     message: format!("bad request: {e}"),
                 };
-                if write_message(&mut writer, &resp).is_err() {
+                if write_message_buffered(&mut writer, &resp, &mut write_buf).is_err() {
                     break;
                 }
                 continue;
@@ -401,14 +438,15 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
             Err(_) => break, // connection torn down
         };
         let response = match request {
-            Request::Predict { instance, .. } | Request::Observe { instance, .. } => {
-                dispatch_to_worker(shared, instance, request)
-            }
+            Request::Predict { instance, .. }
+            | Request::PredictBatch { instance, .. }
+            | Request::Observe { instance, .. } => dispatch_to_worker(shared, instance, request),
             Request::Stats { instance } => shared
                 .registry
                 .with_shard_read(instance, |shard| Response::Stats {
                     routing: shard.predictor().stats(),
                     observes: shard.observes(),
+                    predict_batches: shard.predict_batches(),
                     cache_len: shard.predictor().cache().len() as u64,
                     pool_len: shard.predictor().pool().len() as u64,
                     local_trained: shard.predictor().local().is_trained(),
@@ -426,7 +464,8 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
                 },
             },
             Request::Shutdown => {
-                let ack = write_message(&mut writer, &Response::ShuttingDown);
+                let ack =
+                    write_message_buffered(&mut writer, &Response::ShuttingDown, &mut write_buf);
                 shared.begin_shutdown();
                 if ack.is_err() {
                     // Client vanished mid-ack; the drain still proceeds.
@@ -434,7 +473,7 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
                 break;
             }
         };
-        if write_message(&mut writer, &response).is_err() {
+        if write_message_buffered(&mut writer, &response, &mut write_buf).is_err() {
             break;
         }
     }

@@ -18,3 +18,10 @@ cargo test -q --workspace
 # accept loop can never wedge CI.
 cargo build -q --release -p stage-serve
 timeout 120 ./target/release/stage-serve --smoke
+
+# Batched-inference smoke: correctness only (one full-width PredictBatch
+# answer must be bit-identical, index by index, to the scalar verb).
+# Throughput ranking is deliberately not asserted — single-core CI cannot
+# honestly rank batch against scalar.
+cargo build -q --release -p stage-bench --bin bench_predict_batch
+timeout 120 ./target/release/bench_predict_batch --smoke

@@ -33,7 +33,7 @@ impl Drop for TempDir {
 }
 
 #[test]
-fn all_five_verbs_and_warm_restart_from_snapshot() {
+fn all_six_verbs_and_warm_restart_from_snapshot() {
     let snapshots = TempDir::new("stage-serve-restart-test");
     let config = ServeConfig {
         snapshot_dir: Some(snapshots.0.clone()),
@@ -60,17 +60,28 @@ fn all_five_verbs_and_warm_restart_from_snapshot() {
         panic!("observe did not answer Observed");
     };
 
+    let Response::PredictionsBatch { predictions, .. } = client
+        .predict_batch(0, std::slice::from_ref(&query), &sys)
+        .unwrap()
+    else {
+        panic!("predict_batch did not answer PredictionsBatch");
+    };
+    assert_eq!(predictions.len(), 1);
+    assert_eq!(predictions[0].source, PredictionSource::Cache);
+
     let Response::Stats {
         routing,
         observes,
+        predict_batches,
         cache_len,
         ..
     } = client.stats(0).unwrap()
     else {
         panic!("stats did not answer Stats");
     };
-    assert_eq!(routing.total(), 1);
+    assert_eq!(routing.total(), 2);
     assert_eq!(observes, 1);
+    assert_eq!(predict_batches, 1);
     assert_eq!(cache_len, 1);
 
     let Response::Snapshotted { instances } = client.snapshot().unwrap() else {
@@ -109,6 +120,88 @@ fn all_five_verbs_and_warm_restart_from_snapshot() {
         panic!("stats did not answer Stats");
     };
     assert_eq!(observes, 0);
+
+    client.shutdown().unwrap();
+    drop(client);
+    server.join().unwrap();
+}
+
+#[test]
+fn predict_batch_preserves_order_and_counts() {
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    let sys = [0.0, 0.0];
+
+    // Two plans with known observed times plus one never-seen plan: the
+    // batch answer must line up with the submission order, not e.g. a
+    // cache-hits-first order.
+    let a = plan("batch-a", 1e4);
+    let b = plan("batch-b", 5e5);
+    let c = plan("batch-c", 7e6);
+    let Response::Observed { .. } = client.observe(0, &a, &sys, 2.0).unwrap() else {
+        panic!("observe(a) failed");
+    };
+    let Response::Observed { .. } = client.observe(0, &b, &sys, 5.0).unwrap() else {
+        panic!("observe(b) failed");
+    };
+
+    let plans = [a.clone(), b.clone(), c.clone()];
+    let Response::PredictionsBatch { predictions, .. } =
+        client.predict_batch(0, &plans, &sys).unwrap()
+    else {
+        panic!("predict_batch did not answer PredictionsBatch");
+    };
+    assert_eq!(predictions.len(), 3);
+    assert_eq!(predictions[0].source, PredictionSource::Cache);
+    assert!((predictions[0].exec_secs - 2.0).abs() < 1e-9);
+    assert_eq!(predictions[1].source, PredictionSource::Cache);
+    assert!((predictions[1].exec_secs - 5.0).abs() < 1e-9);
+    assert_eq!(predictions[2].source, PredictionSource::Default);
+
+    // Every batch position must answer exactly like the scalar verb.
+    for (k, p) in plans.iter().enumerate() {
+        let Response::Predicted {
+            exec_secs, source, ..
+        } = client.predict(0, p, &sys).unwrap()
+        else {
+            panic!("scalar predict failed");
+        };
+        assert_eq!(
+            exec_secs.to_bits(),
+            predictions[k].exec_secs.to_bits(),
+            "batch position {k} diverged from scalar"
+        );
+        assert_eq!(source, predictions[k].source);
+    }
+
+    // An empty batch is legal and answers an empty prediction list.
+    let Response::PredictionsBatch { predictions, .. } =
+        client.predict_batch(0, &[], &sys).unwrap()
+    else {
+        panic!("empty predict_batch did not answer PredictionsBatch");
+    };
+    assert!(predictions.is_empty());
+
+    // Counters: two batches served; routing advanced per prediction
+    // (3 batched + 3 scalar re-checks + 0 from the empty batch).
+    let Response::Stats {
+        routing,
+        observes,
+        predict_batches,
+        ..
+    } = client.stats(0).unwrap()
+    else {
+        panic!("stats did not answer Stats");
+    };
+    assert_eq!(predict_batches, 2);
+    assert_eq!(routing.total(), 6);
+    assert_eq!(observes, 2);
+
+    // Unknown instances answer Error for batches like for scalars.
+    let Response::Error { message } = client.predict_batch(99, &plans, &sys).unwrap() else {
+        panic!("out-of-range batch must answer Error");
+    };
+    assert!(message.contains("99"));
 
     client.shutdown().unwrap();
     drop(client);

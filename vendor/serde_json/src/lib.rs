@@ -34,6 +34,13 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Serializes compact JSON into an existing string buffer (appended), so
+/// hot paths can reuse one allocation across many messages. The buffer is
+/// *not* cleared first; callers decide whether to accumulate or reset.
+pub fn to_string_into<T: Serialize + ?Sized>(value: &T, out: &mut String) {
+    write_compact(&value.to_value(), out);
+}
+
 /// Serializes to a human-readable JSON string (two-space indent).
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
@@ -385,13 +392,21 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character (input is valid UTF-8 by
-                    // construction: it came from a &str).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Consume the longest run of plain bytes (no quote, no
+                    // escape) as one chunk. Validating just the chunk keeps
+                    // string parsing linear — validating from `pos` to the
+                    // end of input per character would be quadratic in the
+                    // document length, which large batched messages hit.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| Error::custom("invalid UTF-8"))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(chunk);
                 }
             }
         }
@@ -566,6 +581,17 @@ mod tests {
         let back: Value = from_str(&text).unwrap();
         assert_eq!(v, back);
         assert!(text.starts_with("{\"a\":1,"));
+    }
+
+    #[test]
+    fn to_string_into_appends_without_clearing() {
+        let mut buf = String::from("prefix:");
+        to_string_into(&json!({"x": 1}), &mut buf);
+        assert_eq!(buf, "prefix:{\"x\":1}");
+        buf.clear();
+        to_string_into(&json!([true]), &mut buf);
+        assert_eq!(buf, "[true]");
+        assert_eq!(to_string(&json!([true])).unwrap(), buf);
     }
 
     #[test]
