@@ -1,0 +1,65 @@
+//! The deterministic mixing function behind every injection decision.
+//!
+//! Fault decisions must be reproducible under thread interleaving: two runs
+//! with the same seed and the same per-site traffic must inject the same
+//! faults even when unrelated sites' calls interleave differently across
+//! threads. A shared RNG *stream* would break that (the interleaving decides
+//! who draws which value), so decisions are instead a pure hash of
+//! `(seed, site, call ordinal)` — SplitMix64's finalizer, whose output is
+//! statistically uniform even on sequential inputs.
+
+/// SplitMix64 finalizer: a bijective avalanche mix of a 64-bit value.
+pub fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` determined by `(seed, site, call)`.
+pub fn unit(seed: u64, site: u64, call: u64) -> f64 {
+    let h = mix(seed ^ mix(site.wrapping_mul(0xA24B_AED4_963E_E407).wrapping_add(call)));
+    // 53 high bits -> the full f64 mantissa range.
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_is_deterministic_and_in_range() {
+        for call in 0..1000 {
+            let a = unit(42, 3, call);
+            let b = unit(42, 3, call);
+            assert_eq!(a, b);
+            assert!((0.0..1.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn unit_is_roughly_uniform() {
+        let n = 10_000;
+        let below_half = (0..n).filter(|&c| unit(7, 1, c) < 0.5).count();
+        // A fair coin lands in [4500, 5500] with overwhelming probability.
+        assert!((4500..=5500).contains(&below_half), "{below_half}/{n}");
+    }
+
+    #[test]
+    fn sites_and_seeds_decorrelate() {
+        let same = (0..1000)
+            .filter(|&c| (unit(1, 0, c) < 0.5) == (unit(1, 1, c) < 0.5))
+            .count();
+        assert!(
+            (350..=650).contains(&same),
+            "site streams correlated: {same}"
+        );
+        let same = (0..1000)
+            .filter(|&c| (unit(1, 0, c) < 0.5) == (unit(2, 0, c) < 0.5))
+            .count();
+        assert!(
+            (350..=650).contains(&same),
+            "seed streams correlated: {same}"
+        );
+    }
+}

@@ -40,11 +40,15 @@ pub use benefit::{estimate_benefit, BenefitEstimate};
 pub use cache::{CacheConfig, CacheMode, ExecTimeCache};
 pub use global::{plan_to_tree_sample, GlobalModel, GlobalModelConfig, GLOBAL_SYS_DIM_BASE};
 pub use local::{LocalModel, LocalModelConfig, LocalPrediction};
+pub use persist::{PersistFaults, RestoreError};
 pub use pool::{PoolConfig, TrainingPool};
 pub use predictor::{
     ExecTimePredictor, Prediction, PredictionSource, SystemContext, DEFAULT_PREDICTION_SECS,
 };
-pub use stage::{RoutingConfig, RoutingStats, StageConfig, StagePredictor, StageSnapshot};
+pub use stage::{
+    ComponentFaults, DegradedStats, RetrainFault, RoutingConfig, RoutingStats, StageConfig,
+    StagePredictor, StageSnapshot,
+};
 pub use sync::{LockRank, OrderedMutex, OrderedRwLock};
 
 /// Converts seconds to the model target space `ln(1 + secs)`.

@@ -132,6 +132,25 @@ impl LocalModel {
         }
     }
 
+    /// Whether the *next* [`LocalModel::note_observation`] call would
+    /// trigger a retraining (given `pool` already contains the new
+    /// observation). Lets callers intercept a due retrain — e.g. to skip a
+    /// poisoned one — before committing to it.
+    pub fn retrain_due_after_next(&self, pool: &TrainingPool) -> bool {
+        match self.ensemble {
+            None => pool.len() >= self.config.min_train_examples,
+            Some(_) => self.observations_since_train + 1 >= self.config.retrain_interval,
+        }
+    }
+
+    /// Counts an observation *without* retraining even if one is due — the
+    /// degraded path for a poisoned retrain: the stale ensemble keeps
+    /// serving, and the skipped training is re-attempted at the next due
+    /// observation (the counter keeps climbing past the interval).
+    pub fn defer_retrain(&mut self) {
+        self.observations_since_train += 1;
+    }
+
     /// Forces a retraining from the pool (no-op on an empty pool).
     pub fn retrain(&mut self, pool: &TrainingPool) {
         let Some(dataset) = pool.to_dataset() else {
@@ -304,6 +323,30 @@ mod tests {
         assert_eq!(m.instance_salt(), 0);
         m.set_instance_salt(3);
         assert_eq!(m.instance_salt(), 3);
+    }
+
+    #[test]
+    fn retrain_due_preview_and_deferral() {
+        let mut m = LocalModel::new(quick_config()); // min 20, interval 50
+        let pool = filled_pool(100, 5);
+        // Untrained + a big-enough pool: the next observation would train.
+        assert!(m.retrain_due_after_next(&pool));
+        m.retrain(&pool);
+        assert_eq!(m.trainings(), 1);
+        for _ in 0..48 {
+            assert!(!m.retrain_due_after_next(&pool));
+            m.note_observation(&pool);
+        }
+        assert_eq!(m.trainings(), 1);
+        m.note_observation(&pool); // 49th since training
+        assert!(m.retrain_due_after_next(&pool), "50th would retrain");
+        // A poisoned retrain defers: the observation counts, training
+        // doesn't run, and the debt stays due until a healthy observation.
+        m.defer_retrain();
+        assert_eq!(m.trainings(), 1);
+        assert!(m.retrain_due_after_next(&pool));
+        m.note_observation(&pool);
+        assert_eq!(m.trainings(), 2);
     }
 
     #[test]

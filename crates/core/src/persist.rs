@@ -6,18 +6,151 @@
 //! cold-start. This module provides the equivalent: JSON (de)serialization
 //! of every trained model plus the exec-time cache, with a version tag so
 //! stale artefacts fail loudly instead of predicting garbage.
+//!
+//! On-disk artefacts are additionally *framed*: a one-line header carrying
+//! the format version, a CRC32 of the payload, and the payload length,
+//! followed by the JSON envelope. Restore verifies the frame before any
+//! deserialization runs, so disk rot, truncation, and stale formats surface
+//! as a typed [`RestoreError`] — and the offending file is renamed to
+//! `<name>.quarantine` so the next restore doesn't trip over it again. The
+//! write path accepts an optional [`PersistFaults`] hook through which the
+//! chaos layer injects partial writes, fsync failures, and read-side bit
+//! flips without this module knowing anything about fault schedules.
 
 use crate::cache::ExecTimeCache;
 use crate::global::GlobalModel;
 use crate::local::LocalModel;
 use crate::stage::StageSnapshot;
 use serde::{de::DeserializeOwned, Deserialize, Serialize};
+use std::fmt;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Artefact format version; bump on breaking model-layout changes.
-pub const PERSIST_VERSION: u32 = 1;
+/// v2: snapshots carry degraded-mode counters, files carry a CRC32 frame.
+pub const PERSIST_VERSION: u32 = 2;
+
+/// Hooks through which I/O faults are injected into the file persistence
+/// path (the chaos layer implements this; production passes `None`). Every
+/// method defaults to a no-op.
+pub trait PersistFaults: Send + Sync {
+    /// Called with the serialized payload before it is written; may mutate
+    /// it (truncation = a partial write that still renamed into place) or
+    /// fail the write outright.
+    fn before_write(&self, path: &Path, bytes: &mut Vec<u8>) -> io::Result<()> {
+        let _ = (path, bytes);
+        Ok(())
+    }
+
+    /// The outcome of the fsync barrier (an `Err` models a failed fsync:
+    /// the write aborts before the atomic rename).
+    fn on_fsync(&self, path: &Path) -> io::Result<()> {
+        let _ = path;
+        Ok(())
+    }
+
+    /// Called with the raw bytes just read on restore; may mutate them
+    /// (bit rot between checkpoint and restart).
+    fn after_read(&self, path: &Path, bytes: &mut Vec<u8>) {
+        let _ = (path, bytes);
+    }
+}
+
+/// Why a file restore failed. Everything except [`RestoreError::Io`] means
+/// the file existed but its contents cannot be trusted; those files are
+/// renamed to `*.quarantine` before the error is returned.
+#[derive(Debug)]
+pub enum RestoreError {
+    /// The file could not be read at all (includes not-found).
+    Io(io::Error),
+    /// The file does not start with a recognisable artefact frame header
+    /// (pre-frame artefacts land here too — they predate v2).
+    MissingHeader,
+    /// The frame is a format version this build does not support.
+    UnsupportedVersion {
+        /// Version found in the frame header.
+        found: u32,
+        /// Version this build writes and reads.
+        supported: u32,
+    },
+    /// The payload is shorter or longer than the frame header declares
+    /// (classic kill-mid-write / partial-write damage).
+    Truncated {
+        /// Payload length the header declares.
+        expected: usize,
+        /// Payload length actually present.
+        actual: usize,
+    },
+    /// The payload's CRC32 does not match the frame header (bit rot).
+    ChecksumMismatch {
+        /// Checksum the header declares.
+        expected: u32,
+        /// Checksum of the payload as read.
+        actual: u32,
+    },
+    /// The frame verified but the JSON envelope did not deserialize or was
+    /// of the wrong kind/version.
+    Malformed {
+        /// Human-readable cause.
+        detail: String,
+    },
+}
+
+impl RestoreError {
+    /// Whether this is a benign missing-file error (cold start), as opposed
+    /// to damage.
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, RestoreError::Io(e) if e.kind() == io::ErrorKind::NotFound)
+    }
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::Io(e) => write!(f, "cannot read artefact: {e}"),
+            RestoreError::MissingHeader => write!(f, "missing or unrecognisable frame header"),
+            RestoreError::UnsupportedVersion { found, supported } => {
+                write!(f, "frame version {found} != supported {supported}")
+            }
+            RestoreError::Truncated { expected, actual } => {
+                write!(
+                    f,
+                    "payload truncated: header declares {expected} bytes, found {actual}"
+                )
+            }
+            RestoreError::ChecksumMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "payload checksum {actual:08x} != declared {expected:08x}"
+                )
+            }
+            RestoreError::Malformed { detail } => write!(f, "malformed envelope: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+impl From<io::Error> for RestoreError {
+    fn from(e: io::Error) -> Self {
+        RestoreError::Io(e)
+    }
+}
+
+/// CRC32 (IEEE 802.3 polynomial, the zlib/PNG variant) of `bytes`.
+/// Bitwise — snapshot artefacts are small enough that a lookup table is
+/// not worth the code.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            crc = (crc >> 1) ^ (0xEDB8_8320 & 0u32.wrapping_sub(crc & 1));
+        }
+    }
+    !crc
+}
 
 #[derive(Serialize, Deserialize)]
 struct Envelope<T> {
@@ -74,7 +207,9 @@ fn tmp_sibling(path: &Path) -> PathBuf {
 /// target directory, fsyncs, then atomically `rename`s into place. A kill
 /// at any instant leaves either the old artefact or the new one at `path`
 /// — never a truncated hybrid (the failure mode of writing in place).
-fn atomic_write<F>(path: &Path, write: F) -> io::Result<()>
+/// An injected fsync failure (`faults`) aborts before the rename, exactly
+/// like a real one.
+fn atomic_write<F>(path: &Path, write: F, faults: Option<&dyn PersistFaults>) -> io::Result<()>
 where
     F: FnOnce(&mut io::BufWriter<std::fs::File>) -> io::Result<()>,
 {
@@ -83,6 +218,9 @@ where
         let mut out = io::BufWriter::new(std::fs::File::create(&tmp)?);
         write(&mut out)?;
         out.flush()?;
+        if let Some(f) = faults {
+            f.on_fsync(path)?;
+        }
         out.get_ref().sync_all()?;
         std::fs::rename(&tmp, path)
     })();
@@ -93,8 +231,127 @@ where
     result
 }
 
+/// Renames a damaged artefact to `<name>.quarantine` (best effort) so the
+/// next restore doesn't re-parse known-bad bytes; returns the new path when
+/// the rename succeeded.
+fn quarantine(path: &Path) -> Option<PathBuf> {
+    let mut name = path.file_name()?.to_os_string();
+    name.push(".quarantine");
+    let dest = path.with_file_name(name);
+    std::fs::rename(path, &dest).ok()?;
+    Some(dest)
+}
+
+/// Serializes `value` and writes it to `path` inside a verified frame:
+/// `stage-artefact v<N> crc32=<hex> len=<bytes>\n` + JSON envelope. The CRC
+/// is computed over the *intended* payload before the fault hook runs, so
+/// an injected partial write lands on disk with a mismatching frame — which
+/// is exactly what restore must catch.
+fn save_file_impl<T: Serialize>(
+    kind: &str,
+    value: &T,
+    path: &Path,
+    faults: Option<&dyn PersistFaults>,
+) -> io::Result<()> {
+    let mut payload = Vec::new();
+    save_impl(kind, value, &mut payload)?;
+    let header = format!(
+        "stage-artefact v{PERSIST_VERSION} crc32={:08x} len={}\n",
+        crc32(&payload),
+        payload.len()
+    );
+    if let Some(f) = faults {
+        f.before_write(path, &mut payload)?;
+    }
+    atomic_write(
+        path,
+        |out| {
+            out.write_all(header.as_bytes())?;
+            out.write_all(&payload)
+        },
+        faults,
+    )
+}
+
+/// Parses a framed artefact: header validation, CRC check, then envelope
+/// deserialization.
+fn parse_framed<T: DeserializeOwned>(kind: &str, bytes: &[u8]) -> Result<T, RestoreError> {
+    let newline = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or(RestoreError::MissingHeader)?;
+    let (header, rest) = bytes.split_at(newline);
+    let payload = rest.get(1..).unwrap_or(&[]);
+    let header = std::str::from_utf8(header).map_err(|_| RestoreError::MissingHeader)?;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some("stage-artefact") {
+        return Err(RestoreError::MissingHeader);
+    }
+    let found = parts
+        .next()
+        .and_then(|p| p.strip_prefix('v'))
+        .and_then(|p| p.parse::<u32>().ok())
+        .ok_or(RestoreError::MissingHeader)?;
+    if found != PERSIST_VERSION {
+        return Err(RestoreError::UnsupportedVersion {
+            found,
+            supported: PERSIST_VERSION,
+        });
+    }
+    let expected_crc = parts
+        .next()
+        .and_then(|p| p.strip_prefix("crc32="))
+        .and_then(|p| u32::from_str_radix(p, 16).ok())
+        .ok_or(RestoreError::MissingHeader)?;
+    let expected_len = parts
+        .next()
+        .and_then(|p| p.strip_prefix("len="))
+        .and_then(|p| p.parse::<usize>().ok())
+        .ok_or(RestoreError::MissingHeader)?;
+    if payload.len() != expected_len {
+        return Err(RestoreError::Truncated {
+            expected: expected_len,
+            actual: payload.len(),
+        });
+    }
+    let actual = crc32(payload);
+    if actual != expected_crc {
+        return Err(RestoreError::ChecksumMismatch {
+            expected: expected_crc,
+            actual,
+        });
+    }
+    load_impl(kind, payload).map_err(|e| RestoreError::Malformed {
+        detail: e.to_string(),
+    })
+}
+
+/// Reads and verifies a framed artefact. Missing files are
+/// `RestoreError::Io` (not-found, benign); any damage (no/garbled header,
+/// wrong version, truncation, checksum mismatch, malformed envelope) gets
+/// the file renamed to `*.quarantine` before the typed error returns, so a
+/// warm restart comes up cold on that shard instead of crashing — and the
+/// damaged bytes are preserved for forensics rather than re-tripping every
+/// restart.
+fn load_file_impl<T: DeserializeOwned>(
+    kind: &str,
+    path: &Path,
+    faults: Option<&dyn PersistFaults>,
+) -> Result<T, RestoreError> {
+    let mut bytes = std::fs::read(path)?;
+    if let Some(f) = faults {
+        f.after_read(path, &mut bytes);
+    }
+    let result = parse_framed(kind, &bytes);
+    if result.is_err() {
+        let _ = quarantine(path);
+    }
+    result
+}
+
 macro_rules! persistable {
-    ($ty:ty, $kind:literal, $save:ident, $load:ident, $save_file:ident, $load_file:ident) => {
+    ($ty:ty, $kind:literal, $save:ident, $load:ident, $save_file:ident, $load_file:ident,
+     $save_file_with:ident, $load_file_with:ident) => {
         /// Serializes the model to a writer (versioned JSON envelope).
         pub fn $save<W: Write>(model: &$ty, out: W) -> io::Result<()> {
             save_impl($kind, model, out)
@@ -105,15 +362,34 @@ macro_rules! persistable {
             load_impl($kind, input)
         }
 
-        /// Saves to a file path crash-safely (temp file + atomic rename;
-        /// a kill mid-write never corrupts an existing artefact).
+        /// Saves to a file path crash-safely (CRC32 frame + temp file +
+        /// atomic rename; a kill mid-write never corrupts an existing
+        /// artefact).
         pub fn $save_file(model: &$ty, path: &Path) -> io::Result<()> {
-            atomic_write(path, |out| $save(model, out))
+            save_file_impl($kind, model, path, None)
         }
 
-        /// Loads from a file path.
-        pub fn $load_file(path: &Path) -> io::Result<$ty> {
-            $load(std::io::BufReader::new(std::fs::File::open(path)?))
+        /// Loads and verifies a framed artefact from a file path; damaged
+        /// files are quarantined (see [`RestoreError`]).
+        pub fn $load_file(path: &Path) -> Result<$ty, RestoreError> {
+            load_file_impl($kind, path, None)
+        }
+
+        /// The file-save path with a fault-injection hook (chaos testing).
+        pub fn $save_file_with(
+            model: &$ty,
+            path: &Path,
+            faults: Option<&dyn PersistFaults>,
+        ) -> io::Result<()> {
+            save_file_impl($kind, model, path, faults)
+        }
+
+        /// The file-load path with a fault-injection hook (chaos testing).
+        pub fn $load_file_with(
+            path: &Path,
+            faults: Option<&dyn PersistFaults>,
+        ) -> Result<$ty, RestoreError> {
+            load_file_impl($kind, path, faults)
         }
     };
 }
@@ -124,7 +400,9 @@ persistable!(
     save_global,
     load_global,
     save_global_file,
-    load_global_file
+    load_global_file,
+    save_global_file_with,
+    load_global_file_with
 );
 persistable!(
     LocalModel,
@@ -132,7 +410,9 @@ persistable!(
     save_local,
     load_local,
     save_local_file,
-    load_local_file
+    load_local_file,
+    save_local_file_with,
+    load_local_file_with
 );
 persistable!(
     ExecTimeCache,
@@ -140,7 +420,9 @@ persistable!(
     save_cache,
     load_cache,
     save_cache_file,
-    load_cache_file
+    load_cache_file,
+    save_cache_file_with,
+    load_cache_file_with
 );
 persistable!(
     StageSnapshot,
@@ -148,7 +430,9 @@ persistable!(
     save_stage,
     load_stage,
     save_stage_file,
-    load_stage_file
+    load_stage_file,
+    save_stage_file_with,
+    load_stage_file_with
 );
 
 #[cfg(test)]
@@ -239,7 +523,7 @@ mod tests {
         // Wrong version.
         let text = String::from_utf8(buf)
             .unwrap()
-            .replace("\"version\":1", "\"version\":999");
+            .replace("\"version\":2", "\"version\":999");
         assert!(load_cache(text.as_bytes()).is_err());
     }
 
@@ -333,7 +617,7 @@ mod tests {
 
         // A save whose write step errors must leave the artefact untouched
         // and clean up its temp file.
-        let err = super::atomic_write(&path, |_w| Err(io::Error::other("simulated crash")));
+        let err = super::atomic_write(&path, |_w| Err(io::Error::other("simulated crash")), None);
         assert!(err.is_err());
         assert!(load_cache_file(&path).unwrap().contains(9));
         let tmps = std::fs::read_dir(&dir)
@@ -342,5 +626,228 @@ mod tests {
             .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
             .count();
         assert_eq!(tmps, 0, "temp file not cleaned up after failed save");
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC32 check values (zlib/PNG polynomial).
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    fn fresh_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("stage-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_cache() -> ExecTimeCache {
+        let mut cache = ExecTimeCache::new(CacheConfig::default());
+        cache.record(1, 2.0);
+        cache
+    }
+
+    fn quarantine_path(path: &Path) -> std::path::PathBuf {
+        let mut name = path.file_name().unwrap().to_os_string();
+        name.push(".quarantine");
+        path.with_file_name(name)
+    }
+
+    #[test]
+    fn truncated_file_is_typed_error_and_quarantined() {
+        let dir = fresh_dir("truncated");
+        let path = dir.join("cache.json");
+        save_cache_file(&sample_cache(), &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        let err = load_cache_file(&path).unwrap_err();
+        assert!(matches!(err, RestoreError::Truncated { .. }), "{err}");
+        assert!(!path.exists(), "damaged file must be moved aside");
+        assert!(quarantine_path(&path).exists(), "quarantine file missing");
+        // The quarantined slot is now a benign cold start.
+        assert!(load_cache_file(&path).unwrap_err().is_not_found());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flip_is_checksum_mismatch_and_quarantined() {
+        let dir = fresh_dir("bitflip");
+        let path = dir.join("cache.json");
+        save_cache_file(&sample_cache(), &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x04; // flip one payload bit
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_cache_file(&path).unwrap_err();
+        assert!(
+            matches!(err, RestoreError::ChecksumMismatch { .. }),
+            "{err}"
+        );
+        assert!(quarantine_path(&path).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_version_and_headerless_files_are_typed_and_quarantined() {
+        let dir = fresh_dir("version");
+        let path = dir.join("cache.json");
+        save_cache_file(&sample_cache(), &path).unwrap();
+        let framed = String::from_utf8(std::fs::read(&path).unwrap()).unwrap();
+        std::fs::write(
+            &path,
+            framed.replacen("stage-artefact v2", "stage-artefact v1", 1),
+        )
+        .unwrap();
+        let err = load_cache_file(&path).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RestoreError::UnsupportedVersion {
+                    found: 1,
+                    supported: 2
+                }
+            ),
+            "{err}"
+        );
+        assert!(quarantine_path(&path).exists());
+
+        // A pre-frame (v1-era) artefact: bare JSON, no header line.
+        let bare = dir.join("old.json");
+        let mut buf = Vec::new();
+        save_cache(&sample_cache(), &mut buf).unwrap();
+        std::fs::write(&bare, &buf).unwrap();
+        let err = load_cache_file(&bare).unwrap_err();
+        assert!(matches!(err, RestoreError::MissingHeader), "{err}");
+        assert!(quarantine_path(&bare).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_envelope_behind_valid_frame_is_malformed() {
+        let dir = fresh_dir("malformed");
+        let path = dir.join("cache.json");
+        // A frame whose CRC and length match garbage payload: the frame
+        // verifies, the envelope does not.
+        let payload = b"{\"not\": \"an envelope\"}";
+        let header = format!(
+            "stage-artefact v{PERSIST_VERSION} crc32={:08x} len={}\n",
+            crc32(payload),
+            payload.len()
+        );
+        let mut bytes = header.into_bytes();
+        bytes.extend_from_slice(payload);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_cache_file(&path).unwrap_err();
+        assert!(matches!(err, RestoreError::Malformed { .. }), "{err}");
+        assert!(quarantine_path(&path).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A scripted fault hook for exercising the injection points directly.
+    struct ScriptedFaults {
+        truncate_to: Option<usize>,
+        fail_write: bool,
+        fail_fsync: bool,
+        flip_read_bit: bool,
+    }
+
+    impl ScriptedFaults {
+        fn none() -> Self {
+            Self {
+                truncate_to: None,
+                fail_write: false,
+                fail_fsync: false,
+                flip_read_bit: false,
+            }
+        }
+    }
+
+    impl PersistFaults for ScriptedFaults {
+        fn before_write(&self, _path: &Path, bytes: &mut Vec<u8>) -> io::Result<()> {
+            if self.fail_write {
+                return Err(io::Error::other("scripted write failure"));
+            }
+            if let Some(n) = self.truncate_to {
+                bytes.truncate(n);
+            }
+            Ok(())
+        }
+
+        fn on_fsync(&self, _path: &Path) -> io::Result<()> {
+            if self.fail_fsync {
+                return Err(io::Error::other("scripted fsync failure"));
+            }
+            Ok(())
+        }
+
+        fn after_read(&self, _path: &Path, bytes: &mut Vec<u8>) {
+            if self.flip_read_bit {
+                if let Some(last) = bytes.last_mut() {
+                    *last ^= 0x01;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn injected_partial_write_is_caught_on_restore() {
+        let dir = fresh_dir("hook-partial");
+        let path = dir.join("cache.json");
+        let faults = ScriptedFaults {
+            truncate_to: Some(12),
+            ..ScriptedFaults::none()
+        };
+        // The save "succeeds" (the bytes hit disk and renamed into place)
+        // but the payload is short — restore must refuse it.
+        save_cache_file_with(&sample_cache(), &path, Some(&faults)).unwrap();
+        let err = load_cache_file(&path).unwrap_err();
+        assert!(matches!(err, RestoreError::Truncated { .. }), "{err}");
+        assert!(quarantine_path(&path).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_write_and_fsync_failures_preserve_old_artefact() {
+        let dir = fresh_dir("hook-fsync");
+        let path = dir.join("cache.json");
+        save_cache_file(&sample_cache(), &path).unwrap();
+        for faults in [
+            ScriptedFaults {
+                fail_write: true,
+                ..ScriptedFaults::none()
+            },
+            ScriptedFaults {
+                fail_fsync: true,
+                ..ScriptedFaults::none()
+            },
+        ] {
+            let newer = ExecTimeCache::new(CacheConfig::default());
+            assert!(save_cache_file_with(&newer, &path, Some(&faults)).is_err());
+            // The original artefact is intact and loadable.
+            assert!(load_cache_file(&path).unwrap().contains(1));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_read_bit_flip_is_checksum_mismatch() {
+        let dir = fresh_dir("hook-read");
+        let path = dir.join("cache.json");
+        save_cache_file(&sample_cache(), &path).unwrap();
+        let faults = ScriptedFaults {
+            flip_read_bit: true,
+            ..ScriptedFaults::none()
+        };
+        let err = load_cache_file_with(&path, Some(&faults)).unwrap_err();
+        assert!(
+            matches!(err, RestoreError::ChecksumMismatch { .. }),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -13,6 +13,18 @@
 //! After execution, the observed exec-time feeds the cache, and — only on a
 //! cache miss, implementing the paper's dedup-via-cache trick — the local
 //! training pool.
+//!
+//! The routing hierarchy doubles as a **fallback chain**: a
+//! [`ComponentFaults`] hook (production: none; chaos testing:
+//! `stage-chaos`) can declare the local or global tier unavailable for a
+//! given call, or a due retrain poisoned/slowed, and the predictor degrades
+//! to the next-cheaper tier instead of failing — counting every degraded
+//! answer in [`DegradedStats`] so operators (and the soak harness's fault
+//! ledger) can see exactly how often each tier was bypassed.
+//!
+//! This file is inside `stage-lint`'s panic-freedom scope: predictions are
+//! served on the request path of `stage-serve`, where a panic poisons a
+//! shard for every later request.
 
 use crate::cache::{CacheConfig, ExecTimeCache};
 use crate::global::GlobalModel;
@@ -105,6 +117,64 @@ impl RoutingStats {
     }
 }
 
+/// How an intercepted due retrain misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetrainFault {
+    /// The retrain is skipped entirely; the stale ensemble keeps serving
+    /// and the training debt stays due.
+    Poisoned,
+    /// The retrain runs but is slow (the hook models the latency itself,
+    /// e.g. by sleeping while the caller holds the shard lock).
+    Slowed,
+}
+
+/// Component-level fault oracle consulted at each point where a model tier
+/// could fail. Production passes no hook (every default answers "healthy");
+/// the chaos layer implements this on its seeded fault plan. Each method is
+/// consulted exactly once per would-be use of that tier, so a fault
+/// injector's ledger lines up one-to-one with [`DegradedStats`].
+pub trait ComponentFaults: Send + Sync {
+    /// Whether the local model is unavailable for this prediction.
+    fn local_unavailable(&self) -> bool {
+        false
+    }
+
+    /// Whether the global model is unavailable for this escalation.
+    fn global_unavailable(&self) -> bool {
+        false
+    }
+
+    /// Whether (and how) a due retrain misbehaves.
+    fn retrain_fault(&self) -> Option<RetrainFault> {
+        None
+    }
+}
+
+/// Counters for degraded-mode answers: each increment is one fault the
+/// predictor absorbed by falling back a tier instead of failing the
+/// request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradedStats {
+    /// Predictions that wanted the global model but found it unavailable
+    /// (served by the local tier or the default instead).
+    pub global_failover: u64,
+    /// Predictions (scalar) or batches that found the local model
+    /// unavailable (served by the global tier or the default instead).
+    pub local_failover: u64,
+    /// Due retrains skipped because the training was poisoned; the stale
+    /// ensemble kept serving.
+    pub retrains_poisoned: u64,
+    /// Due retrains that ran slowed (the shard served nothing meanwhile).
+    pub retrains_slowed: u64,
+}
+
+impl DegradedStats {
+    /// Total degraded events.
+    pub fn total(&self) -> u64 {
+        self.global_failover + self.local_failover + self.retrains_poisoned + self.retrains_slowed
+    }
+}
+
 /// The full serializable state of a [`StagePredictor`] minus the global
 /// model: cache, training pool, local model, routing counters, and the
 /// configuration they were built under. The global model is deliberately
@@ -124,6 +194,8 @@ pub struct StageSnapshot {
     pub local: LocalModel,
     /// Routing counters.
     pub stats: RoutingStats,
+    /// Degraded-mode counters (how often each tier was bypassed).
+    pub degraded: DegradedStats,
 }
 
 /// The hierarchical Stage predictor.
@@ -134,6 +206,8 @@ pub struct StagePredictor {
     local: LocalModel,
     global: Option<Arc<GlobalModel>>,
     stats: RoutingStats,
+    degraded: DegradedStats,
+    faults: Option<Arc<dyn ComponentFaults>>,
 }
 
 impl StagePredictor {
@@ -146,6 +220,8 @@ impl StagePredictor {
             local: LocalModel::new(config.local),
             global: None,
             stats: RoutingStats::default(),
+            degraded: DegradedStats::default(),
+            faults: None,
             config,
         }
     }
@@ -203,6 +279,7 @@ impl StagePredictor {
             pool: self.pool.clone(),
             local: self.local.clone(),
             stats: self.stats,
+            degraded: self.degraded,
         }
     }
 
@@ -218,6 +295,42 @@ impl StagePredictor {
             local: snapshot.local,
             global: None,
             stats: snapshot.stats,
+            degraded: snapshot.degraded,
+            faults: None,
+        }
+    }
+
+    /// Degraded-mode counters so far.
+    pub fn degraded_stats(&self) -> DegradedStats {
+        self.degraded
+    }
+
+    /// Installs a component-level fault oracle (chaos testing). Production
+    /// never calls this; with no hook installed every fault check is a
+    /// branch-predictable `None`.
+    pub fn set_component_faults(&mut self, faults: Arc<dyn ComponentFaults>) {
+        self.faults = Some(faults);
+    }
+
+    /// Consults the fault oracle for the local tier; counts the failover.
+    fn fault_local_unavailable(&mut self) -> bool {
+        match &self.faults {
+            Some(f) if f.local_unavailable() => {
+                self.degraded.local_failover += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Consults the fault oracle for the global tier; counts the failover.
+    fn fault_global_unavailable(&mut self) -> bool {
+        match &self.faults {
+            Some(f) if f.global_unavailable() => {
+                self.degraded.global_failover += 1;
+                true
+            }
+            _ => false,
         }
     }
 
@@ -261,36 +374,45 @@ impl StagePredictor {
         sys: &SystemContext,
     ) -> Vec<Prediction> {
         // Pass 1: extract + hash once per plan, probe the cache.
-        let mut results: Vec<Option<Prediction>> = vec![None; plans.len()];
+        let mut results: Vec<Option<Prediction>> = Vec::with_capacity(plans.len());
         let mut miss_idx: Vec<usize> = Vec::new();
         let mut miss_features: Vec<Vec<f64>> = Vec::new();
-        for (i, plan) in plans.iter().enumerate() {
+        for plan in plans {
             let mut features = plan_feature_vector(plan).0;
             let key = ExecTimeCache::key_of_features(&features);
             if let Some(secs) = self.cache.get_by_key(key) {
                 self.stats.cache += 1;
-                results[i] = Some(Prediction::point(secs, PredictionSource::Cache));
+                results.push(Some(Prediction::point(secs, PredictionSource::Cache)));
             } else {
                 if self.config.env_features {
                     features.extend_from_slice(&sys.features);
                 }
-                miss_idx.push(i);
+                miss_idx.push(results.len());
                 miss_features.push(features);
+                results.push(None);
             }
         }
-        // Pass 2: one batched local-model call covers every miss.
-        match self.local.predict_batch(&miss_features) {
+        // Pass 2: one batched local-model call covers every miss. The fault
+        // oracle is consulted once per batch that would use the local tier
+        // (an all-hit batch never touches it), keeping the ledger exact.
+        let local_preds = if miss_idx.is_empty() || self.fault_local_unavailable() {
+            None
+        } else {
+            self.local.predict_batch(&miss_features)
+        };
+        match local_preds {
             Some(local_preds) => {
                 for (&i, lp) in miss_idx.iter().zip(&local_preds) {
                     let short = lp.exec_secs < self.config.routing.short_circuit_secs;
                     let confident = lp.log_std() <= self.config.routing.confident_log_std;
-                    let p = match &self.global {
-                        Some(global) if !short && !confident => {
+                    let escalate = !short
+                        && !confident
+                        && self.global.is_some()
+                        && !self.fault_global_unavailable();
+                    let p = match (escalate, &self.global, plans.get(i)) {
+                        (true, Some(global), Some(plan)) => {
                             self.stats.global += 1;
-                            Prediction::point(
-                                global.predict(&plans[i], sys),
-                                PredictionSource::Global,
-                            )
+                            Prediction::point(global.predict(plan, sys), PredictionSource::Global)
                         }
                         _ => {
                             self.stats.local += 1;
@@ -301,27 +423,42 @@ impl StagePredictor {
                             }
                         }
                     };
-                    results[i] = Some(p);
+                    if let Some(slot) = results.get_mut(i) {
+                        *slot = Some(p);
+                    }
                 }
             }
             None => {
-                // Cold start for every miss: global when attached, default
-                // otherwise — the same branch the scalar path takes.
+                // Cold start (or local failover) for every miss: global when
+                // attached and healthy, default otherwise — the same branch
+                // the scalar path takes.
                 for &i in &miss_idx {
-                    let p = if let Some(global) = &self.global {
-                        self.stats.global += 1;
-                        Prediction::point(global.predict(&plans[i], sys), PredictionSource::Global)
-                    } else {
-                        self.stats.default += 1;
-                        Prediction::point(DEFAULT_PREDICTION_SECS, PredictionSource::Default)
+                    let use_global = self.global.is_some() && !self.fault_global_unavailable();
+                    let p = match (use_global, &self.global, plans.get(i)) {
+                        (true, Some(global), Some(plan)) => {
+                            self.stats.global += 1;
+                            Prediction::point(global.predict(plan, sys), PredictionSource::Global)
+                        }
+                        _ => {
+                            self.stats.default += 1;
+                            Prediction::point(DEFAULT_PREDICTION_SECS, PredictionSource::Default)
+                        }
                     };
-                    results[i] = Some(p);
+                    if let Some(slot) = results.get_mut(i) {
+                        *slot = Some(p);
+                    }
                 }
             }
         }
         results
             .into_iter()
-            .map(|p| p.expect("every slot filled by the hit or miss pass"))
+            .map(|p| {
+                // Every slot is filled by the hit or miss pass; the default
+                // here is unreachable but keeps this path panic-free.
+                p.unwrap_or_else(|| {
+                    Prediction::point(DEFAULT_PREDICTION_SECS, PredictionSource::Default)
+                })
+            })
             .collect()
     }
 }
@@ -334,35 +471,57 @@ impl ExecTimePredictor for StagePredictor {
             self.stats.cache += 1;
             return Prediction::point(secs, PredictionSource::Cache);
         }
-        // Stage 2: local model.
+        // Stage 2: local model (bypassed entirely when the fault oracle
+        // declares the tier down — the failover is counted in the consult).
         let features = self.local_features(plan, sys);
-        match self.local.predict(&features) {
+        let local_answer = if self.fault_local_unavailable() {
+            None
+        } else {
+            self.local.predict(&features)
+        };
+        match local_answer {
             Some(lp) => {
                 let short = lp.exec_secs < self.config.routing.short_circuit_secs;
                 let confident = lp.log_std() <= self.config.routing.confident_log_std;
-                if short || confident || self.global.is_none() {
-                    self.stats.local += 1;
-                    return Prediction {
-                        exec_secs: lp.exec_secs,
-                        log_variance: Some(lp.total_variance()),
-                        source: PredictionSource::Local,
-                    };
+                // Stage 3: long + uncertain -> global model, unless the
+                // fault oracle fails the escalation (then the local answer
+                // stands — the fallback chain runs downhill).
+                let escalate = !short
+                    && !confident
+                    && self.global.is_some()
+                    && !self.fault_global_unavailable();
+                if escalate {
+                    if let Some(global) = &self.global {
+                        self.stats.global += 1;
+                        return Prediction::point(
+                            global.predict(plan, sys),
+                            PredictionSource::Global,
+                        );
+                    }
                 }
-                // Stage 3: long + uncertain -> global model.
-                let global = self.global.as_ref().expect("checked above");
-                self.stats.global += 1;
-                Prediction::point(global.predict(plan, sys), PredictionSource::Global)
+                self.stats.local += 1;
+                Prediction {
+                    exec_secs: lp.exec_secs,
+                    log_variance: Some(lp.total_variance()),
+                    source: PredictionSource::Local,
+                }
             }
             None => {
-                // Cold start: prefer the transferable global model when
-                // available (a key Stage advantage on new instances).
-                if let Some(global) = &self.global {
-                    self.stats.global += 1;
-                    Prediction::point(global.predict(plan, sys), PredictionSource::Global)
-                } else {
-                    self.stats.default += 1;
-                    Prediction::point(DEFAULT_PREDICTION_SECS, PredictionSource::Default)
+                // Cold start (or local failover): prefer the transferable
+                // global model when available and healthy (a key Stage
+                // advantage on new instances).
+                let use_global = self.global.is_some() && !self.fault_global_unavailable();
+                if use_global {
+                    if let Some(global) = &self.global {
+                        self.stats.global += 1;
+                        return Prediction::point(
+                            global.predict(plan, sys),
+                            PredictionSource::Global,
+                        );
+                    }
                 }
+                self.stats.default += 1;
+                Prediction::point(DEFAULT_PREDICTION_SECS, PredictionSource::Default)
             }
         }
     }
@@ -376,7 +535,29 @@ impl ExecTimePredictor for StagePredictor {
         if !was_cached || !self.config.routing.dedup_via_cache {
             let features = self.local_features(plan, sys);
             self.pool.add(features, actual_secs);
-            self.local.note_observation(&self.pool);
+            // Retrain interception: the fault oracle is consulted only when
+            // this observation would actually trigger a retrain, so the
+            // injection ledger lines up one-to-one with retrain attempts.
+            let fault = if self.local.retrain_due_after_next(&self.pool) {
+                self.faults.as_ref().and_then(|f| f.retrain_fault())
+            } else {
+                None
+            };
+            match fault {
+                Some(RetrainFault::Poisoned) => {
+                    // Skip the retrain; the stale ensemble keeps serving and
+                    // the training debt stays due for the next observation.
+                    self.degraded.retrains_poisoned += 1;
+                    self.local.defer_retrain();
+                }
+                Some(RetrainFault::Slowed) => {
+                    // The hook models the latency itself (e.g. it slept
+                    // before returning); the retrain then proceeds normally.
+                    self.degraded.retrains_slowed += 1;
+                    self.local.note_observation(&self.pool);
+                }
+                None => self.local.note_observation(&self.pool),
+            }
         }
     }
 
@@ -656,5 +837,187 @@ mod tests {
         assert!(c > 0 && p > 0 && l > 0);
         assert!(s.approx_size_bytes() >= c + p + l);
         assert_eq!(s.name(), "Stage");
+    }
+
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Budgeted fault oracle: each kind fires for its next N consults.
+    #[derive(Default)]
+    struct ScriptedComponentFaults {
+        local_down: AtomicU64,
+        global_down: AtomicU64,
+        poison: AtomicU64,
+        slow: AtomicU64,
+    }
+
+    impl ScriptedComponentFaults {
+        fn take(budget: &AtomicU64) -> bool {
+            budget
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                .is_ok()
+        }
+    }
+
+    impl ComponentFaults for ScriptedComponentFaults {
+        fn local_unavailable(&self) -> bool {
+            Self::take(&self.local_down)
+        }
+        fn global_unavailable(&self) -> bool {
+            Self::take(&self.global_down)
+        }
+        fn retrain_fault(&self) -> Option<RetrainFault> {
+            if Self::take(&self.poison) {
+                Some(RetrainFault::Poisoned)
+            } else if Self::take(&self.slow) {
+                Some(RetrainFault::Slowed)
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn local_failover_degrades_to_default_then_heals() {
+        let mut s = StagePredictor::new(quick_config());
+        for i in 1..=60 {
+            let rows = i as f64 * 1e4;
+            s.observe(&plan(rows), &sys(), rows / 1e5);
+        }
+        assert!(s.local().is_trained());
+        let faults = Arc::new(ScriptedComponentFaults {
+            local_down: AtomicU64::new(1),
+            ..ScriptedComponentFaults::default()
+        });
+        s.set_component_faults(faults);
+        // Faulted call: trained local model bypassed, default answer.
+        let p = s.predict(&plan(3.33e5), &sys());
+        assert_eq!(p.source, PredictionSource::Default);
+        assert_eq!(s.degraded_stats().local_failover, 1);
+        // Budget spent: the very next call is served by the local tier.
+        let p = s.predict(&plan(3.33e5), &sys());
+        assert_eq!(p.source, PredictionSource::Local);
+        assert_eq!(s.degraded_stats().local_failover, 1);
+    }
+
+    #[test]
+    fn global_failover_degrades_to_default_then_heals() {
+        let samples: Vec<_> = (1..=40)
+            .map(|i| {
+                let rows = i as f64 * 1e4;
+                plan_to_tree_sample(&plan(rows), &sys(), rows / 1e5)
+            })
+            .collect();
+        let gcfg = GlobalModelConfig {
+            hidden: 16,
+            gcn_layers: 2,
+            dropout: 0.0,
+            epochs: 15,
+            ..GlobalModelConfig::default()
+        };
+        let global = Arc::new(GlobalModel::train(&samples, 2, &gcfg));
+        let mut s = StagePredictor::with_global(quick_config(), global);
+        let faults = Arc::new(ScriptedComponentFaults {
+            global_down: AtomicU64::new(1),
+            ..ScriptedComponentFaults::default()
+        });
+        s.set_component_faults(faults);
+        // Cold start wants the global tier; the fault degrades it to the
+        // default answer instead of an error.
+        let p = s.predict(&plan(2e5), &sys());
+        assert_eq!(p.source, PredictionSource::Default);
+        assert_eq!(s.degraded_stats().global_failover, 1);
+        assert_eq!(s.stats().global, 0);
+        // Healed: same query now reaches the global model.
+        let p = s.predict(&plan(2.5e5), &sys());
+        assert_eq!(p.source, PredictionSource::Global);
+        assert_eq!(s.degraded_stats().global_failover, 1);
+    }
+
+    #[test]
+    fn batch_local_failover_counts_once_per_batch() {
+        let mut s = StagePredictor::new(quick_config());
+        for i in 1..=60 {
+            let rows = i as f64 * 1e4;
+            s.observe(&plan(rows), &sys(), rows / 1e5);
+        }
+        assert!(s.local().is_trained());
+        s.set_component_faults(Arc::new(ScriptedComponentFaults {
+            local_down: AtomicU64::new(1),
+            ..ScriptedComponentFaults::default()
+        }));
+        let plans = vec![plan(3.33e5), plan(7.77e5)];
+        let preds = s.predict_batch(&plans, &sys());
+        for p in &preds {
+            assert_eq!(p.source, PredictionSource::Default);
+        }
+        assert_eq!(
+            s.degraded_stats().local_failover,
+            1,
+            "one consult per batch that would use the local tier"
+        );
+        // An all-hit batch must not consult the oracle at all.
+        s.set_component_faults(Arc::new(ScriptedComponentFaults {
+            local_down: AtomicU64::new(1),
+            ..ScriptedComponentFaults::default()
+        }));
+        let q = plan(1e4);
+        let hits = s.predict_batch(&[q.clone(), q], &sys());
+        for p in &hits {
+            assert_eq!(p.source, PredictionSource::Cache);
+        }
+        assert_eq!(s.degraded_stats().local_failover, 1);
+    }
+
+    #[test]
+    fn poisoned_retrain_defers_until_fault_clears() {
+        let mut s = StagePredictor::new(quick_config());
+        for i in 1..=19 {
+            s.observe(&plan(i as f64 * 1e4), &sys(), 1.0);
+        }
+        assert!(!s.local().is_trained());
+        s.set_component_faults(Arc::new(ScriptedComponentFaults {
+            poison: AtomicU64::new(1),
+            ..ScriptedComponentFaults::default()
+        }));
+        // 20th distinct observation reaches min_train_examples, but the
+        // retrain is poisoned: skipped, debt stays due.
+        s.observe(&plan(20e4), &sys(), 1.0);
+        assert!(!s.local().is_trained());
+        assert_eq!(s.degraded_stats().retrains_poisoned, 1);
+        // Fault budget spent: the next observation trains.
+        s.observe(&plan(21e4), &sys(), 1.0);
+        assert!(s.local().is_trained());
+        assert_eq!(s.degraded_stats().retrains_poisoned, 1);
+    }
+
+    #[test]
+    fn slowed_retrain_still_trains() {
+        let mut s = StagePredictor::new(quick_config());
+        for i in 1..=19 {
+            s.observe(&plan(i as f64 * 1e4), &sys(), 1.0);
+        }
+        s.set_component_faults(Arc::new(ScriptedComponentFaults {
+            slow: AtomicU64::new(1),
+            ..ScriptedComponentFaults::default()
+        }));
+        s.observe(&plan(20e4), &sys(), 1.0);
+        assert!(s.local().is_trained(), "a slowed retrain still completes");
+        assert_eq!(s.degraded_stats().retrains_slowed, 1);
+        assert_eq!(s.degraded_stats().total(), 1);
+    }
+
+    #[test]
+    fn snapshot_round_trips_degraded_counters() {
+        let mut s = StagePredictor::new(quick_config());
+        s.set_component_faults(Arc::new(ScriptedComponentFaults {
+            local_down: AtomicU64::new(2),
+            ..ScriptedComponentFaults::default()
+        }));
+        s.predict(&plan(1e5), &sys());
+        s.predict(&plan(2e5), &sys());
+        assert_eq!(s.degraded_stats().local_failover, 2);
+        let restored = StagePredictor::from_snapshot(s.snapshot());
+        assert_eq!(restored.degraded_stats(), s.degraded_stats());
+        assert_eq!(restored.stats(), s.stats());
     }
 }

@@ -64,8 +64,10 @@ impl fmt::Display for Finding {
 
 /// Per-rule file scopes, relative to the workspace root.
 ///
-/// `no-panic` covers the serve request path and the snapshot/persist layer:
-/// a panic there takes down every connection or corrupts a checkpoint.
+/// `no-panic` covers the serve request path, the snapshot/persist layer,
+/// the degradation logic in the predictor, and the fault injector itself:
+/// a panic there takes down every connection, corrupts a checkpoint, or —
+/// in the injector's case — voids the very no-panic property under test.
 const NO_PANIC_FILES: &[&str] = &[
     "crates/serve/src/server.rs",
     "crates/serve/src/queue.rs",
@@ -73,6 +75,12 @@ const NO_PANIC_FILES: &[&str] = &[
     "crates/serve/src/protocol.rs",
     "crates/serve/src/client.rs",
     "crates/core/src/persist.rs",
+    "crates/core/src/stage.rs",
+    "crates/chaos/src/lib.rs",
+    "crates/chaos/src/plan.rs",
+    "crates/chaos/src/rng.rs",
+    "crates/chaos/src/io.rs",
+    "crates/chaos/src/hooks.rs",
 ];
 
 /// `no-nondeterminism` covers every crate the fleet replay engine loads:
@@ -86,7 +94,7 @@ const DETERMINISM_DIRS: &[&str] = &[
 const DETERMINISM_FILES: &[&str] = &["crates/bench/src/replay.rs", "crates/bench/src/parallel.rs"];
 
 /// `lock-order` covers everywhere the ordered locks live or are taken.
-const LOCK_ORDER_DIRS: &[&str] = &["crates/serve/src", "crates/core/src"];
+const LOCK_ORDER_DIRS: &[&str] = &["crates/serve/src", "crates/core/src", "crates/chaos/src"];
 
 /// Lints the workspace rooted at `root`; returns findings sorted by
 /// (file, line, rule).

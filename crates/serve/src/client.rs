@@ -1,5 +1,12 @@
 //! A blocking client for the stage-serve protocol, used by the load
 //! generator, the integration tests, and the `--smoke` self-check.
+//!
+//! Robustness posture: every connection carries read and write timeouts by
+//! default (a hung server must surface as `WouldBlock`/`TimedOut`, never as
+//! a caller blocked forever), and [`ServeClient::observe_with_retry`] caps
+//! its attempts with decorrelated-jitter backoff so a persistently
+//! overloaded server produces a typed error instead of a synchronized
+//! retry storm.
 
 use crate::protocol::{read_message, write_message, Request, Response};
 use stage_plan::PhysicalPlan;
@@ -7,20 +14,71 @@ use std::io::{self, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+/// Default socket read/write timeout: generous enough for a retrain to
+/// complete on the shard ahead of the response, small enough that a wedged
+/// server is detected the same minute.
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Decorrelated-jitter backoff (AWS architecture-blog variant): each sleep
+/// is uniform in `[base, prev * 3]`, clamped to `cap`. Pure function of the
+/// previous sleep and a caller-threaded RNG state, so retry schedules are
+/// testable and two clients that collide once do not collide forever.
+pub fn decorrelated_jitter(
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+    rng_state: &mut u64,
+) -> Duration {
+    // xorshift64* — cheap, seedable, no external deps.
+    let mut x = (*rng_state).max(1);
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *rng_state = x;
+    let r = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+    let base_us = base.as_micros() as u64;
+    let hi_us = (prev.as_micros() as u64).saturating_mul(3).max(base_us + 1);
+    let span = hi_us - base_us;
+    let sleep_us = base_us + r % span.max(1);
+    Duration::from_micros(sleep_us).min(cap)
+}
+
 /// A synchronous connection to a stage-serve server: one in-flight request
 /// at a time (open several clients to pipeline).
 pub struct ServeClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Backoff state for `observe_with_retry` (seeded from the local port
+    /// so concurrent clients decorrelate without any shared RNG).
+    rng_state: u64,
 }
 
 impl ServeClient {
-    /// Connects to a running server.
+    /// Connects to a running server with the default I/O timeouts.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        Self::connect_with_timeout(addr, Some(DEFAULT_IO_TIMEOUT))
+    }
+
+    /// Connects with an explicit socket read/write timeout (`None` blocks
+    /// forever — only sensible in tests that own both ends).
+    pub fn connect_with_timeout<A: ToSocketAddrs>(
+        addr: A,
+        timeout: Option<Duration>,
+    ) -> io::Result<Self> {
         let writer = TcpStream::connect(addr)?;
         writer.set_nodelay(true).ok();
+        writer.set_read_timeout(timeout)?;
+        writer.set_write_timeout(timeout)?;
+        let rng_state = writer
+            .local_addr()
+            .map(|a| 0x9E37_79B9_7F4A_7C15 ^ u64::from(a.port()))
+            .unwrap_or(0x9E37_79B9_7F4A_7C15);
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(Self { reader, writer })
+        Ok(Self {
+            reader,
+            writer,
+            rng_state,
+        })
     }
 
     /// Sends one request and waits for its response.
@@ -80,8 +138,12 @@ impl ServeClient {
         })
     }
 
-    /// `Observe` that retries `Overloaded` answers (bounded backoff) so no
-    /// feedback is ever dropped; returns the number of retries it took.
+    /// `Observe` that retries `Overloaded` answers so no feedback is ever
+    /// silently dropped; returns the number of retries it took. Attempts
+    /// are hard-capped at `max_retries`, and sleeps follow decorrelated
+    /// jitter from the server's `retry_after_ms` hint up to one second —
+    /// many clients backing off from the same overload spread out instead
+    /// of stampeding back in lockstep.
     pub fn observe_with_retry(
         &mut self,
         instance: u32,
@@ -90,11 +152,16 @@ impl ServeClient {
         actual_secs: f64,
         max_retries: u32,
     ) -> io::Result<u32> {
+        const BACKOFF_CAP: Duration = Duration::from_secs(1);
+        let mut prev = Duration::ZERO;
         for attempt in 0..=max_retries {
             match self.observe(instance, plan, sys, actual_secs)? {
                 Response::Observed { .. } => return Ok(attempt),
                 Response::Overloaded { retry_after_ms } => {
-                    std::thread::sleep(Duration::from_millis(retry_after_ms.max(1)));
+                    let base = Duration::from_millis(retry_after_ms.max(1));
+                    prev =
+                        decorrelated_jitter(base, BACKOFF_CAP, prev.max(base), &mut self.rng_state);
+                    std::thread::sleep(prev);
                 }
                 other => return Err(io::Error::other(format!("observe rejected: {other:?}"))),
             }
@@ -118,5 +185,59 @@ impl ServeClient {
     /// `Shutdown` convenience wrapper.
     pub fn shutdown(&mut self) -> io::Result<Response> {
         self.call(&Request::Shutdown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_stays_in_envelope_and_decorrelates() {
+        let base = Duration::from_millis(2);
+        let cap = Duration::from_millis(500);
+        let mut a_state = 7u64;
+        let mut b_state = 8u64;
+        let mut a = base;
+        let mut b = base;
+        let mut diverged = false;
+        for _ in 0..100 {
+            let na = decorrelated_jitter(base, cap, a, &mut a_state);
+            let nb = decorrelated_jitter(base, cap, b, &mut b_state);
+            assert!(na >= base && na <= cap);
+            assert!(nb >= base && nb <= cap);
+            // The next sleep never exceeds 3x the previous one (pre-clamp).
+            assert!(na <= (a * 3).max(base + Duration::from_micros(1)).min(cap));
+            diverged |= na != nb;
+            a = na;
+            b = nb;
+        }
+        assert!(diverged, "different seeds must produce different schedules");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_state() {
+        let base = Duration::from_millis(1);
+        let cap = Duration::from_secs(1);
+        let mut s1 = 42u64;
+        let mut s2 = 42u64;
+        for _ in 0..50 {
+            let d1 = decorrelated_jitter(base, cap, base, &mut s1);
+            let d2 = decorrelated_jitter(base, cap, base, &mut s2);
+            assert_eq!(d1, d2);
+        }
+    }
+
+    #[test]
+    fn jitter_zero_state_is_rescued() {
+        let mut state = 0u64;
+        let d = decorrelated_jitter(
+            Duration::from_millis(1),
+            Duration::from_secs(1),
+            Duration::from_millis(1),
+            &mut state,
+        );
+        assert!(d >= Duration::from_millis(1));
+        assert_ne!(state, 0, "xorshift state must leave the zero fixpoint");
     }
 }

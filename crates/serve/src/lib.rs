@@ -15,8 +15,13 @@
 //! * [`queue`] — bounded per-worker admission queues (explicit
 //!   `Overloaded` backpressure, close-and-drain shutdown) and the token
 //!   bucket the load generator paces with.
-//! * [`server`] — the accept/dispatch/worker machinery.
-//! * [`client`] — a blocking client used by the load generator and tests.
+//! * [`server`] — the accept/dispatch/worker machinery, including the
+//!   degraded-mode response path: per-request deadlines (`TimedOut`),
+//!   per-connection read deadlines, component fallback counters, and the
+//!   optional `stage-chaos` fault plan threaded through sockets, snapshot
+//!   I/O, and model tiers.
+//! * [`client`] — a blocking client used by the load generator and tests
+//!   (socket timeouts and capped decorrelated-jitter retries by default).
 
 pub mod client;
 pub mod protocol;
@@ -27,7 +32,7 @@ pub mod server;
 pub use client::ServeClient;
 pub use protocol::{BatchPrediction, Request, Response};
 pub use queue::{BoundedQueue, PushError, TokenBucket};
-pub use registry::{Shard, ShardRegistry};
+pub use registry::{RestoreSummary, Shard, ShardRegistry};
 pub use server::{ServeConfig, Server};
 
 // Compile-time proof that the serving types crossing thread boundaries are

@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release -p stage-serve -- \
 //!     [--addr HOST:PORT] [--instances N] [--workers N] [--queue-cap N] \
-//!     [--snapshot-dir DIR] [--snapshot-secs F] [--smoke]
+//!     [--snapshot-dir DIR] [--snapshot-secs F] [--deadline-ms N] [--smoke]
 //! ```
 //!
 //! `--smoke` is the CI self-check: bind an ephemeral port, run one
@@ -50,6 +50,11 @@ fn main() -> ExitCode {
                 i += 1;
                 let secs: f64 = parse(&args, i, "--snapshot-secs");
                 config.snapshot_every = Some(Duration::from_secs_f64(secs));
+            }
+            "--deadline-ms" => {
+                i += 1;
+                let ms: u64 = parse(&args, i, "--deadline-ms");
+                config.request_deadline = Some(Duration::from_millis(ms));
             }
             "--smoke" => smoke = true,
             _ => {
@@ -137,7 +142,8 @@ fn parse<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
 fn usage() -> ! {
     eprintln!(
         "usage: stage-serve [--addr HOST:PORT] [--instances N] [--workers N] \
-         [--queue-cap N] [--snapshot-dir DIR] [--snapshot-secs F] [--smoke]"
+         [--queue-cap N] [--snapshot-dir DIR] [--snapshot-secs F] \
+         [--deadline-ms N] [--smoke]"
     );
     std::process::exit(2);
 }

@@ -8,7 +8,7 @@
 //! representation.
 
 use serde::{Deserialize, Serialize};
-use stage_core::{PredictionSource, RoutingStats};
+use stage_core::{DegradedStats, PredictionSource, RoutingStats};
 use stage_plan::PhysicalPlan;
 use std::io::{self, BufRead, Write};
 
@@ -123,6 +123,12 @@ pub enum Response {
         pool_len: u64,
         /// Whether the local model has a trained ensemble.
         local_trained: bool,
+        /// Degraded-mode counters: predictions answered by a cheaper tier
+        /// because a component was (injected or genuinely) unavailable.
+        degraded: DegradedStats,
+        /// Requests answered [`Response::TimedOut`] because they overstayed
+        /// the per-request deadline in this instance's queue.
+        timed_out: u64,
     },
     /// Answer to [`Request::Snapshot`].
     Snapshotted {
@@ -136,6 +142,15 @@ pub enum Response {
     Overloaded {
         /// Suggested client backoff in milliseconds.
         retry_after_ms: u64,
+    },
+    /// Degraded answer: the request waited in its worker queue past the
+    /// server's per-request deadline, so it was answered without being
+    /// executed — a stale prediction is worse than a fast "no answer" for
+    /// an admission controller. Observes are never timed out (feedback is
+    /// durable); only predictions degrade this way.
+    TimedOut {
+        /// How long the request had waited when the worker picked it up, µs.
+        waited_us: u64,
     },
     /// The request was malformed or referenced an unknown instance.
     Error {
@@ -271,10 +286,18 @@ mod tests {
                 cache_len: 4,
                 pool_len: 5,
                 local_trained: false,
+                degraded: DegradedStats {
+                    global_failover: 1,
+                    local_failover: 2,
+                    retrains_poisoned: 0,
+                    retrains_slowed: 1,
+                },
+                timed_out: 3,
             },
             Response::Snapshotted { instances: 2 },
             Response::ShuttingDown,
             Response::Overloaded { retry_after_ms: 5 },
+            Response::TimedOut { waited_us: 250_000 },
             Response::Error {
                 message: "unknown instance 9".into(),
             },

@@ -11,12 +11,15 @@
 //! request therefore exercises the debug-build lock-order detector on the
 //! canonical `registry → shard` nesting.
 
-use stage_core::persist;
+use stage_core::persist::{self, PersistFaults};
 use stage_core::sync::{OrderedRwLock, RANK_REGISTRY, RANK_SHARD};
-use stage_core::{ExecTimePredictor, Prediction, StageConfig, StagePredictor, SystemContext};
+use stage_core::{
+    ComponentFaults, ExecTimePredictor, Prediction, StageConfig, StagePredictor, SystemContext,
+};
 use stage_plan::PhysicalPlan;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// One instance's serving state: the predictor plus ingestion counters the
 /// bare predictor doesn't track.
@@ -77,9 +80,22 @@ impl Shard {
     }
 }
 
+/// What [`ShardRegistry::load_snapshots`] found on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RestoreSummary {
+    /// Shards warm-started from a valid artefact.
+    pub restored: u32,
+    /// Artefacts that failed validation (bad frame, checksum, version, or
+    /// envelope) and were renamed to `*.quarantine`; their shards start
+    /// cold.
+    pub quarantined: u32,
+}
+
 /// All shards of one server process, indexed by instance id.
 pub struct ShardRegistry {
     shards: OrderedRwLock<Vec<OrderedRwLock<Shard>>>,
+    /// Snapshot I/O fault hook (chaos testing; `None` in production).
+    persist_faults: Option<Arc<dyn PersistFaults>>,
 }
 
 impl ShardRegistry {
@@ -95,7 +111,27 @@ impl ShardRegistry {
             .collect();
         Self {
             shards: OrderedRwLock::new(RANK_REGISTRY, table),
+            persist_faults: None,
         }
+    }
+
+    /// Installs a component-level fault oracle on every shard's predictor
+    /// (chaos testing; production never calls this).
+    pub fn set_component_faults(&self, faults: Arc<dyn ComponentFaults>) {
+        let shards = self.shards.read();
+        for shard in shards.iter() {
+            shard
+                .write()
+                .predictor
+                .set_component_faults(Arc::clone(&faults));
+        }
+    }
+
+    /// Installs a snapshot I/O fault hook used by every later
+    /// [`ShardRegistry::save_snapshots`]/[`ShardRegistry::load_snapshots`]
+    /// (chaos testing; production never calls this).
+    pub fn set_persist_faults(&mut self, faults: Arc<dyn PersistFaults>) {
+        self.persist_faults = Some(faults);
     }
 
     /// Number of shards.
@@ -144,34 +180,46 @@ impl ShardRegistry {
         let shards = self.shards.read();
         for (id, shard) in shards.iter().enumerate() {
             let snapshot = shard.read().predictor.snapshot();
-            persist::save_stage_file(&snapshot, &Self::snapshot_path(dir, id as u32))?;
+            persist::save_stage_file_with(
+                &snapshot,
+                &Self::snapshot_path(dir, id as u32),
+                self.persist_faults.as_deref(),
+            )?;
         }
         Ok(shards.len() as u32)
     }
 
     /// Warm-starts shards from artefacts in `dir` (atomic load-on-start):
-    /// each instance with a loadable snapshot resumes exactly where the
-    /// last checkpoint left it; missing or unreadable artefacts leave the
-    /// cold predictor in place (never a partial hybrid, because
-    /// `persist::save_stage_file` writes atomically). Returns how many
-    /// shards were restored.
-    pub fn load_snapshots(&self, dir: &Path) -> u32 {
-        let mut restored = 0;
+    /// each instance with a valid snapshot resumes exactly where the last
+    /// checkpoint left it. Missing artefacts leave the cold predictor in
+    /// place; damaged ones (bad frame, checksum mismatch, unsupported
+    /// version, corrupt envelope) are quarantined by the persist layer —
+    /// renamed to `*.quarantine` for the operator — and their shards start
+    /// cold too. A restart therefore always comes up serving, never
+    /// half-restored and never crash-looping on a rotten file.
+    pub fn load_snapshots(&self, dir: &Path) -> RestoreSummary {
+        let mut summary = RestoreSummary::default();
         let shards = self.shards.read();
         for (id, shard) in shards.iter().enumerate() {
             let id = id as u32;
-            match persist::load_stage_file(&Self::snapshot_path(dir, id)) {
+            match persist::load_stage_file_with(
+                &Self::snapshot_path(dir, id),
+                self.persist_faults.as_deref(),
+            ) {
                 Ok(snapshot) => {
                     shard.write().predictor = StagePredictor::from_snapshot(snapshot);
-                    restored += 1;
+                    summary.restored += 1;
                 }
-                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) if e.is_not_found() => {}
                 Err(e) => {
-                    eprintln!("stage-serve: ignoring unreadable snapshot for instance {id}: {e}");
+                    summary.quarantined += 1;
+                    eprintln!(
+                        "stage-serve: quarantined snapshot for instance {id} ({e}); starting cold"
+                    );
                 }
             }
         }
-        restored
+        summary
     }
 }
 
@@ -221,18 +269,33 @@ mod tests {
         assert_eq!(reg.save_snapshots(&dir).unwrap(), 2);
 
         let fresh = ShardRegistry::new(2, StageConfig::default());
-        assert_eq!(fresh.load_snapshots(&dir), 2);
+        assert_eq!(
+            fresh.load_snapshots(&dir),
+            RestoreSummary {
+                restored: 2,
+                quarantined: 0
+            }
+        );
         let p = fresh
             .with_shard_write(0, |s| s.predict(&plan(5e4), &sys))
             .unwrap();
         assert_eq!(p.source, PredictionSource::Cache);
         assert!((p.exec_secs - 3.5).abs() < 1e-9);
 
-        // A corrupt artefact is skipped, not fatal (and cannot be produced
-        // by a killed checkpoint — writes are atomic — only by operators).
-        std::fs::write(ShardRegistry::snapshot_path(&dir, 1), b"garbage").unwrap();
+        // A corrupt artefact is quarantined, not fatal: its shard starts
+        // cold and the rotten file is set aside for the operator.
+        let path1 = ShardRegistry::snapshot_path(&dir, 1);
+        std::fs::write(&path1, b"garbage").unwrap();
         let partial = ShardRegistry::new(2, StageConfig::default());
-        assert_eq!(partial.load_snapshots(&dir), 1);
+        assert_eq!(
+            partial.load_snapshots(&dir),
+            RestoreSummary {
+                restored: 1,
+                quarantined: 1
+            }
+        );
+        assert!(!path1.exists(), "the damaged artefact must be moved aside");
+        assert!(path1.with_extension("json.quarantine").exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -24,12 +24,14 @@
 //! `io::Result`s. All locks are `stage_core::sync` ordered locks, so the
 //! debug-build lock-order detector runs on every request.
 
-use crate::protocol::{read_message, write_message_buffered, BatchPrediction, Request, Response};
+use crate::protocol::{write_message_buffered, BatchPrediction, Request, Response};
 use crate::queue::{BoundedQueue, PushError};
 use crate::registry::ShardRegistry;
+use stage_chaos::{ChaosStream, FaultPlan};
+use stage_core::persist::PersistFaults;
 use stage_core::sync::{self, OrderedMutex, RANK_SESSION};
-use stage_core::{StageConfig, SystemContext};
-use std::io::{self, BufReader};
+use stage_core::{ComponentFaults, StageConfig, SystemContext};
+use std::io::{self, BufRead, BufReader};
 use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -58,6 +60,20 @@ pub struct ServeConfig {
     /// Background checkpoint cadence; `None` checkpoints only on demand
     /// (`Snapshot` request) and at shutdown.
     pub snapshot_every: Option<Duration>,
+    /// Per-request deadline: a predict request that waited in its worker
+    /// queue longer than this is answered [`Response::TimedOut`] instead of
+    /// executed (a stale prediction is worse than a fast "no answer").
+    /// Observes are exempt — feedback is never dropped. `None` disables.
+    pub request_deadline: Option<Duration>,
+    /// Per-connection socket read timeout. An idle or slow client keeps
+    /// its connection (partial lines accumulate across timeouts), but once
+    /// the server is draining, a stalled client cannot pin its connection
+    /// thread past one timeout tick. `None` blocks forever.
+    pub conn_read_timeout: Option<Duration>,
+    /// Fault-injection plan (chaos testing): wraps every accepted socket in
+    /// a `ChaosStream` and hooks snapshot I/O and the model tiers.
+    /// `None` — the production value — injects nothing anywhere.
+    pub chaos: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +86,9 @@ impl Default for ServeConfig {
             stage: StageConfig::default(),
             snapshot_dir: None,
             snapshot_every: None,
+            request_deadline: None,
+            conn_read_timeout: Some(Duration::from_secs(30)),
+            chaos: None,
         }
     }
 }
@@ -91,6 +110,9 @@ struct Shared {
     local_addr: SocketAddr,
     // Wakes the background checkpointer early (for shutdown).
     checkpoint_gate: (OrderedMutex<()>, Condvar),
+    request_deadline: Option<Duration>,
+    // Requests answered `TimedOut`, per instance.
+    timed_out: Vec<AtomicU64>,
 }
 
 // Compile-time proof that everything crossing a thread boundary is safe to
@@ -106,6 +128,18 @@ const _: () = {
 impl Shared {
     fn worker_of(&self, instance: u32) -> usize {
         instance as usize % self.queues.len().max(1)
+    }
+
+    fn note_timed_out(&self, instance: u32) {
+        if let Some(c) = self.timed_out.get(instance as usize) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn timed_out_of(&self, instance: u32) -> u64 {
+        self.timed_out
+            .get(instance as usize)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
     }
 
     /// Flips the server into draining mode exactly once: queues close (the
@@ -212,6 +246,17 @@ fn unknown_instance(instance: u32, n: usize) -> Response {
     }
 }
 
+/// The shard a request targets (`None` for server-wide verbs).
+fn instance_of(request: &Request) -> Option<u32> {
+    match request {
+        Request::Predict { instance, .. }
+        | Request::PredictBatch { instance, .. }
+        | Request::Observe { instance, .. }
+        | Request::Stats { instance } => Some(*instance),
+        Request::Snapshot | Request::Shutdown => None,
+    }
+}
+
 fn invalid_config(what: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidInput, format!("serve config: {what}"))
 }
@@ -246,16 +291,28 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
 
-        let registry = ShardRegistry::new(config.n_instances, config.stage);
+        let mut registry = ShardRegistry::new(config.n_instances, config.stage);
+        // Persist faults must be installed before the warm start (restore
+        // corruption is part of the fault surface) …
+        if let Some(plan) = &config.chaos {
+            registry.set_persist_faults(Arc::clone(plan) as Arc<dyn PersistFaults>);
+        }
         if let Some(dir) = &config.snapshot_dir {
-            let restored = registry.load_snapshots(dir);
-            if restored > 0 {
+            let summary = registry.load_snapshots(dir);
+            if summary.restored > 0 || summary.quarantined > 0 {
                 eprintln!(
-                    "stage-serve: warm-started {restored}/{} instances from {}",
+                    "stage-serve: warm-started {}/{} instances from {} ({} quarantined)",
+                    summary.restored,
                     config.n_instances,
-                    dir.display()
+                    dir.display(),
+                    summary.quarantined
                 );
             }
+        }
+        // … but component faults only after it: a restored shard replaces
+        // its predictor wholesale, which would drop an earlier hook.
+        if let Some(plan) = &config.chaos {
+            registry.set_component_faults(Arc::clone(plan) as Arc<dyn ComponentFaults>);
         }
         let shared = Arc::new(Shared {
             registry,
@@ -267,6 +324,8 @@ impl Server {
             snapshot_dir: config.snapshot_dir.clone(),
             local_addr,
             checkpoint_gate: (OrderedMutex::new(RANK_SESSION, ()), Condvar::new()),
+            request_deadline: config.request_deadline,
+            timed_out: (0..config.n_instances).map(|_| AtomicU64::new(0)).collect(),
         });
 
         let mut worker_handles = Vec::with_capacity(config.n_workers);
@@ -279,7 +338,23 @@ impl Server {
                         return;
                     };
                     while let Some(job) = queue.pop() {
-                        let response = shared.run_job(job.request, job.enqueued);
+                        // Deadline check at pickup: a prediction that
+                        // overstayed its queue wait is answered `TimedOut`
+                        // without touching the shard. Observes are exempt —
+                        // feedback must land even under backlog.
+                        let waited = job.enqueued.elapsed();
+                        let expired = shared.request_deadline.is_some_and(|d| waited > d)
+                            && !matches!(job.request, Request::Observe { .. });
+                        let response = if expired {
+                            if let Some(instance) = instance_of(&job.request) {
+                                shared.note_timed_out(instance);
+                            }
+                            Response::TimedOut {
+                                waited_us: waited.as_micros() as u64,
+                            }
+                        } else {
+                            shared.run_job(job.request, job.enqueued)
+                        };
                         // The client may have disconnected; that loses
                         // only its response, not the state change.
                         let _ = job.reply.send(response);
@@ -322,6 +397,8 @@ impl Server {
             let shared = Arc::clone(&shared);
             let conn_handles = Arc::clone(&conn_handles);
             let conn_streams = Arc::clone(&conn_streams);
+            let conn_read_timeout = config.conn_read_timeout;
+            let chaos = config.chaos.clone();
             std::thread::Builder::new()
                 .name("serve-listener".to_string())
                 .spawn(move || {
@@ -333,14 +410,47 @@ impl Server {
                         // Responses are single small lines; Nagle+delayed-ACK
                         // would add ~40 ms to every round-trip.
                         stream.set_nodelay(true).ok();
+                        // The read deadline keeps a stalled client from
+                        // pinning this connection's thread once the server
+                        // starts draining.
+                        stream.set_read_timeout(conn_read_timeout).ok();
                         if let Ok(clone) = stream.try_clone() {
                             conn_streams.lock().push(clone);
                         }
                         let shared = Arc::clone(&shared);
+                        let chaos = chaos.clone();
                         match std::thread::Builder::new()
                             .name("serve-conn".to_string())
-                            .spawn(move || serve_connection(&shared, stream))
-                        {
+                            .spawn(move || {
+                                let Ok(read_half) = stream.try_clone() else {
+                                    return;
+                                };
+                                // The listener holds a drain-time clone of
+                                // this socket, so dropping our halves alone
+                                // leaves the TCP connection established;
+                                // shut it down explicitly once the loop
+                                // exits so the peer sees EOF promptly
+                                // instead of waiting out its read timeout.
+                                let raw = stream.try_clone();
+                                match chaos {
+                                    // Chaos testing: both socket halves go
+                                    // through the fault-injecting wrapper.
+                                    Some(plan) => serve_connection(
+                                        &shared,
+                                        BufReader::new(ChaosStream::new(
+                                            read_half,
+                                            Arc::clone(&plan),
+                                        )),
+                                        ChaosStream::new(stream, plan),
+                                    ),
+                                    None => {
+                                        serve_connection(&shared, BufReader::new(read_half), stream)
+                                    }
+                                }
+                                if let Ok(raw) = raw {
+                                    let _ = raw.shutdown(SockShutdown::Both);
+                                }
+                            }) {
                             Ok(handle) => conn_handles.lock().push(handle),
                             // Thread exhaustion sheds this connection (the
                             // client sees EOF and retries) instead of
@@ -371,6 +481,15 @@ impl Server {
     /// Requests routed to a full queue so far (shed load).
     pub fn overloaded_count(&self) -> u64 {
         self.shared.overloaded.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered [`Response::TimedOut`] so far, all instances.
+    pub fn timed_out_count(&self) -> u64 {
+        self.shared
+            .timed_out
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Initiates the same graceful drain a [`Request::Shutdown`] does.
@@ -411,67 +530,89 @@ impl Server {
     }
 }
 
-/// One connection's request→response loop.
-fn serve_connection(shared: &Shared, stream: TcpStream) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
+/// One connection's request→response loop. Generic over the two socket
+/// halves so chaos testing can interpose a fault-injecting wrapper; the
+/// production instantiation is a plain `BufReader<TcpStream>`/`TcpStream`.
+fn serve_connection<R: BufRead, W: io::Write>(shared: &Shared, mut reader: R, mut writer: W) {
     // One serialization buffer per connection: every response on this
     // connection reuses the same allocation instead of building a fresh
     // String per message (the old per-request hot-path allocation).
     let mut write_buf = String::new();
-    loop {
-        let request = match read_message::<Request, _>(&mut reader) {
-            Ok(Some(r)) => r,
-            Ok(None) => break, // clean EOF
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                let resp = Response::Error {
-                    message: format!("bad request: {e}"),
-                };
-                if write_message_buffered(&mut writer, &resp, &mut write_buf).is_err() {
-                    break;
+    let mut line = String::new();
+    'conn: loop {
+        line.clear();
+        // Inner read loop: a socket read timeout (or an injected stall)
+        // leaves any partial line in `line` and retries, so slow clients
+        // keep their connection — unless the server is draining, in which
+        // case a stalled client is hung up on rather than pinning this
+        // thread for the rest of the drain.
+        let n = loop {
+            match reader.read_line(&mut line) {
+                Ok(n) => break n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if shared.shutting_down.load(Ordering::SeqCst) {
+                        break 'conn;
+                    }
                 }
-                continue;
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break 'conn, // connection torn down
             }
-            Err(_) => break, // connection torn down
         };
-        let response = match request {
-            Request::Predict { instance, .. }
-            | Request::PredictBatch { instance, .. }
-            | Request::Observe { instance, .. } => dispatch_to_worker(shared, instance, request),
-            Request::Stats { instance } => shared
-                .registry
-                .with_shard_read(instance, |shard| Response::Stats {
-                    routing: shard.predictor().stats(),
-                    observes: shard.observes(),
-                    predict_batches: shard.predict_batches(),
-                    cache_len: shard.predictor().cache().len() as u64,
-                    pool_len: shard.predictor().pool().len() as u64,
-                    local_trained: shard.predictor().local().is_trained(),
-                })
-                .unwrap_or_else(|| unknown_instance(instance, shared.registry.len())),
-            Request::Snapshot => match &shared.snapshot_dir {
-                Some(dir) => match shared.registry.save_snapshots(dir) {
-                    Ok(instances) => Response::Snapshotted { instances },
-                    Err(e) => Response::Error {
-                        message: format!("checkpoint failed: {e}"),
+        if n == 0 {
+            break; // EOF (a half-received line cannot be served either way)
+        }
+        let response = match serde_json::from_str::<Request>(line.trim_end()) {
+            Ok(request) => match request {
+                Request::Predict { instance, .. }
+                | Request::PredictBatch { instance, .. }
+                | Request::Observe { instance, .. } => {
+                    dispatch_to_worker(shared, instance, request)
+                }
+                Request::Stats { instance } => shared
+                    .registry
+                    .with_shard_read(instance, |shard| Response::Stats {
+                        routing: shard.predictor().stats(),
+                        observes: shard.observes(),
+                        predict_batches: shard.predict_batches(),
+                        cache_len: shard.predictor().cache().len() as u64,
+                        pool_len: shard.predictor().pool().len() as u64,
+                        local_trained: shard.predictor().local().is_trained(),
+                        degraded: shard.predictor().degraded_stats(),
+                        timed_out: shared.timed_out_of(instance),
+                    })
+                    .unwrap_or_else(|| unknown_instance(instance, shared.registry.len())),
+                Request::Snapshot => match &shared.snapshot_dir {
+                    Some(dir) => match shared.registry.save_snapshots(dir) {
+                        Ok(instances) => Response::Snapshotted { instances },
+                        Err(e) => Response::Error {
+                            message: format!("checkpoint failed: {e}"),
+                        },
+                    },
+                    None => Response::Error {
+                        message: "no snapshot directory configured".to_string(),
                     },
                 },
-                None => Response::Error {
-                    message: "no snapshot directory configured".to_string(),
-                },
-            },
-            Request::Shutdown => {
-                let ack =
-                    write_message_buffered(&mut writer, &Response::ShuttingDown, &mut write_buf);
-                shared.begin_shutdown();
-                if ack.is_err() {
-                    // Client vanished mid-ack; the drain still proceeds.
+                Request::Shutdown => {
+                    let ack = write_message_buffered(
+                        &mut writer,
+                        &Response::ShuttingDown,
+                        &mut write_buf,
+                    );
+                    shared.begin_shutdown();
+                    if ack.is_err() {
+                        // Client vanished mid-ack; the drain still proceeds.
+                    }
+                    break;
                 }
-                break;
-            }
+            },
+            Err(e) => Response::Error {
+                message: format!("bad request: {e}"),
+            },
         };
         if write_message_buffered(&mut writer, &response, &mut write_buf).is_err() {
             break;
@@ -593,6 +734,62 @@ mod tests {
         drop(a);
         drop(b);
         server.join().unwrap();
+    }
+
+    #[test]
+    fn expired_predictions_time_out_but_observes_survive() {
+        // A zero deadline expires every queued prediction by the time a
+        // worker picks it up, so the degraded path is exercised
+        // deterministically.
+        let server = Server::start(ServeConfig {
+            request_deadline: Some(Duration::ZERO),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+        let p = client.predict(0, &plan(1e5), &[0.0, 0.0]).unwrap();
+        assert!(matches!(p, Response::TimedOut { .. }), "got {p:?}");
+        // Observes are exempt from the deadline: feedback always lands.
+        let o = client.observe(0, &plan(1e5), &[0.0, 0.0], 2.0).unwrap();
+        assert!(matches!(o, Response::Observed { .. }));
+        let s = client.stats(0).unwrap();
+        let Response::Stats {
+            timed_out,
+            observes,
+            ..
+        } = s
+        else {
+            panic!("expected Stats, got {s:?}");
+        };
+        assert_eq!(timed_out, 1);
+        assert_eq!(observes, 1);
+        assert_eq!(server.timed_out_count(), 1);
+        client.shutdown().unwrap();
+        drop(client);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn stalled_client_cannot_pin_the_drain() {
+        use std::io::Write as _;
+        let server = Server::start(ServeConfig {
+            conn_read_timeout: Some(Duration::from_millis(20)),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        // A misbehaving peer sends half a request line and then stalls
+        // forever (slow-loris). Its connection thread must not block the
+        // graceful drain below.
+        let mut stall = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        stall.write_all(br#"{"Stats":{"inst"#).unwrap();
+        // A well-behaved client still gets served, then drains the server.
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+        let p = client.predict(0, &plan(1e4), &[0.0, 0.0]).unwrap();
+        assert!(matches!(p, Response::Predicted { .. }));
+        client.shutdown().unwrap();
+        drop(client);
+        server.join().unwrap();
+        drop(stall);
     }
 
     #[test]

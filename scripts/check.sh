@@ -25,3 +25,10 @@ timeout 120 ./target/release/stage-serve --smoke
 # honestly rank batch against scalar.
 cargo build -q --release -p stage-bench --bin bench_predict_batch
 timeout 120 ./target/release/bench_predict_batch --smoke
+
+# Chaos smoke: the five-phase fault-injection soak at CI scale. Asserts
+# zero server panics, zero lost observes, and that every injected fault is
+# accounted for by a degraded-mode counter (DESIGN.md §10). The injection
+# caps quiesce every schedule, so the bound is generous, not load-bearing.
+cargo build -q --release -p stage-bench --bin chaos_soak
+timeout 300 ./target/release/chaos_soak --smoke --out /tmp/bench_chaos_smoke.json
