@@ -76,7 +76,11 @@ fn main() {
         for b in ExecTimeBucket::ALL {
             let waits: Vec<f64> = results
                 .iter()
-                .filter(|r| ExecTimeBucket::of(w.events[r.query].true_exec_secs) == b)
+                .filter(|r| {
+                    w.events
+                        .get(r.query)
+                        .is_some_and(|e| ExecTimeBucket::of(e.true_exec_secs) == b)
+                })
                 .map(|r| r.wait_secs())
                 .collect();
             if waits.is_empty() {
@@ -99,16 +103,24 @@ fn main() {
         .zip(&ra)
         .map(|(s, a)| (s.latency_secs() - a.latency_secs(), s.query))
         .collect();
-    diffs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap());
+    // `total_cmp`, not `partial_cmp(..).unwrap()`: a NaN latency diff
+    // (e.g. a degenerate run producing NaN predictions) must sort, not
+    // abort the diagnostic.
+    diffs.sort_by(|x, y| y.0.total_cmp(&x.0));
     println!("\nworst 15 queries for Stage vs AutoWLM:");
     println!("  diff(s)    exec(s)  stage-pred  auto-pred  stage-src");
     for &(d, i) in diffs.iter().take(15) {
+        let (Some(event), Some(stage_rec), Some(auto_rec)) =
+            (w.events.get(i), stage_records.get(i), auto_records.get(i))
+        else {
+            continue;
+        };
         println!(
             "  {d:>8.1} {:>9.2} {:>10.2} {:>10.2}  {:?}",
-            w.events[i].true_exec_secs,
-            stage_records[i].predicted_secs,
-            auto_records[i].predicted_secs,
-            stage_records[i].source,
+            event.true_exec_secs,
+            stage_rec.predicted_secs,
+            auto_rec.predicted_secs,
+            stage_rec.source,
         );
     }
     let gain: f64 = diffs.iter().map(|d| d.0).sum::<f64>() / diffs.len() as f64;

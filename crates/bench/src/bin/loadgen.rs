@@ -4,24 +4,32 @@
 //! instance thread replays its `stage-workload` event log (cycling when the
 //! log is shorter than the requested round count) as predict→observe
 //! round-trips, paced by a shared token bucket at the target rate. Reports
-//! sustained throughput and client-side p50/p95/p99 service latency via
-//! `stage_metrics::LogHistogram`, and verifies **zero dropped observes** —
-//! every `Overloaded` feedback answer is retried until ingested, then
-//! cross-checked against the server's own counters.
+//! sustained throughput and client-side p50/p95/p99 service latency as
+//! exact nearest-rank quantiles over the raw samples, and verifies **zero
+//! dropped observes** — every `Overloaded` feedback answer is retried
+//! until ingested, then cross-checked against the server's own counters.
+//!
+//! Latency samples time *successful attempts only*: overload backoff
+//! sleeps and refused attempts are excluded, so the percentiles measure
+//! the service rather than the client's retry schedule.
 //!
 //! ```text
 //! cargo run --release -p stage-bench --bin loadgen -- \
 //!     [--instances N] [--rounds N] [--qps F] [--seed N] [--batch N] \
-//!     [--addr HOST:PORT] [--out FILE]
+//!     [--codec binary|json] [--addr HOST:PORT] [--out FILE] [--smoke]
 //! ```
 //!
+//! `--codec` picks the wire format (default `binary`). Whichever codec
+//! drives the load, each thread also opens one client on the *other*
+//! codec and re-prices the leading rounds' plans through it: predictions
+//! are pure reads, so the two codecs must answer **bit-identically**
+//! (`f64::to_bits` plus source). Any divergence is counted in
+//! `codec_mismatches` and fails the run.
+//!
 //! `--batch N` (default 1) prices plans through the `PredictBatch` verb in
-//! groups of N instead of one `Predict` per round-trip. Batch answers are
-//! cross-checked for input-order alignment: the first batches of every
-//! driver thread are re-priced plan-by-plan through the scalar verb and
-//! each position must answer bit-identically, and the server's
-//! `predict_batches` Stats counter must match the number of batch requests
-//! each thread got served.
+//! groups of N instead of one `Predict` per round-trip, order-checked
+//! against the scalar verb on the leading batches. `--smoke` shrinks the
+//! run to CI size (400 round-trips) and keeps every correctness check.
 //!
 //! Without `--addr` the server is booted in-process on an ephemeral port
 //! (and shut down gracefully afterwards), so the default invocation is
@@ -30,8 +38,7 @@
 use serde::Serialize;
 use stage_core::{LocalModelConfig, StageConfig};
 use stage_gbdt::{EnsembleParams, NgBoostParams};
-use stage_metrics::LogHistogram;
-use stage_serve::{Response, ServeClient, ServeConfig, Server, TokenBucket};
+use stage_serve::{Codec, Response, ServeClient, ServeConfig, Server, TokenBucket};
 use stage_workload::{FleetConfig, InstanceWorkload};
 use std::process::ExitCode;
 use std::sync::Mutex;
@@ -40,19 +47,25 @@ use std::time::Instant;
 /// Retry bound for a single rejected request (~10 s at 1 ms backoff).
 const MAX_RETRIES: u32 = 10_000;
 
+/// How many leading batches per thread are re-priced through the scalar
+/// verb to prove index alignment (cheap: a few extra round-trips).
+const ORDER_CHECK_BATCHES: u64 = 2;
+
+/// How many leading round groups per thread are re-priced through the
+/// other codec to prove the two wire formats answer bit-identically.
+const CROSS_CODEC_GROUPS: u64 = 3;
+
 struct Args {
     instances: u32,
     rounds: u64,
     qps: f64,
     seed: u64,
     batch: u64,
+    codec: Codec,
     addr: Option<String>,
     out: String,
+    smoke: bool,
 }
-
-/// How many leading batches per thread are re-priced through the scalar
-/// verb to prove index alignment (cheap: a few extra round-trips).
-const ORDER_CHECK_BATCHES: u64 = 2;
 
 #[derive(Serialize)]
 struct LatencySummary {
@@ -72,11 +85,15 @@ struct SourceCounts {
 /// The `results/bench_serve.json` artefact.
 #[derive(Serialize)]
 struct ServeBenchReport {
+    /// Wire format that carried the driving load (`"binary"` or `"json"`).
+    codec: String,
     instances: u32,
     round_trips: u64,
     batch: u64,
     predict_batch_requests: u64,
     order_mismatches: u64,
+    /// Cross-codec re-predictions whose answer diverged (must be zero).
+    codec_mismatches: u64,
     target_qps: f64,
     elapsed_secs: f64,
     round_trips_per_sec: f64,
@@ -92,40 +109,52 @@ struct ServeBenchReport {
 
 /// Per-thread tallies merged after the run.
 struct ThreadResult {
-    predict_hist: LogHistogram,
-    observe_hist: LogHistogram,
+    /// Per-success round-trip times (seconds); raw, for exact quantiles.
+    predict_samples: Vec<f64>,
+    observe_samples: Vec<f64>,
     predict_retries: u64,
     observe_retries: u64,
     dropped_observes: u64,
     sources: SourceCounts,
     /// Predictions the server must have counted in its routing stats
-    /// (batched predictions plus scalar order-check re-predicts).
+    /// (batched predictions plus scalar order-check and cross-codec
+    /// re-predicts).
     expected_predicts: u64,
     /// `PredictBatch` requests served for this thread's instance.
     batch_requests: u64,
     /// Batch answers whose length or per-index values diverged from the
     /// scalar path — must be zero.
     order_mismatches: u64,
+    /// Answers that differed between the two codecs — must be zero.
+    codec_mismatches: u64,
 }
 
-fn latency_hist() -> LogHistogram {
-    // 1 µs .. 10 s, 120 log-spaced buckets.
-    LogHistogram::new(1e-6, 10.0, 120)
+/// Exact nearest-rank quantile (sorted input): the smallest sample whose
+/// cumulative rank reaches `p`. `rank = ceil(p·n)` clamped to `[1, n]` —
+/// the classic off-by-one (`(p·n) as usize`, which over-reads by one rank
+/// and makes p99 of small samples the max) is exactly what this replaces.
+fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+    sorted.get(rank - 1).copied().unwrap_or(0.0)
 }
 
-fn summarize(hist: &LogHistogram) -> LatencySummary {
-    let q = |p: f64| hist.quantile(p).unwrap_or(0.0) * 1e6;
+fn summarize(samples: &mut [f64]) -> LatencySummary {
+    samples.sort_by(|a, b| a.total_cmp(b));
     LatencySummary {
-        p50_us: q(0.50),
-        p95_us: q(0.95),
-        p99_us: q(0.99),
+        p50_us: nearest_rank(samples, 0.50) * 1e6,
+        p95_us: nearest_rank(samples, 0.95) * 1e6,
+        p99_us: nearest_rank(samples, 0.99) * 1e6,
     }
 }
 
 /// A serving-speed Stage configuration: the same trimmed ensemble the
 /// replay tests use, so retrains pause a shard for milliseconds rather
 /// than seconds while still exercising the full predict→observe→retrain
-/// path. Queue bounds and worker counts stay at server defaults — that is
+/// path. Inbox bounds and loop counts stay at server defaults — that is
 /// what the backpressure claim is about.
 fn serving_stage_config() -> StageConfig {
     StageConfig {
@@ -142,6 +171,20 @@ fn serving_stage_config() -> StageConfig {
             retrain_interval: 300,
         },
         ..StageConfig::default()
+    }
+}
+
+fn connect_codec(addr: &str, codec: Codec) -> std::io::Result<ServeClient> {
+    match codec {
+        Codec::Binary => ServeClient::connect(addr),
+        Codec::Json => ServeClient::connect_json(addr),
+    }
+}
+
+fn codec_name(codec: Codec) -> &'static str {
+    match codec {
+        Codec::Binary => "binary",
+        Codec::Json => "json",
     }
 }
 
@@ -173,39 +216,46 @@ fn main() -> ExitCode {
 
     println!(
         "loadgen: {} round-trips across {} instances against {addr} at {} rt/s target \
-         (predict batch size {})",
-        args.rounds, args.instances, args.qps, args.batch
+         (codec {}, predict batch size {})",
+        args.rounds,
+        args.instances,
+        args.qps,
+        codec_name(args.codec),
+        args.batch
     );
 
     let bucket = Mutex::new(TokenBucket::new(args.qps, (args.qps / 10.0).max(1.0)));
     let started = Instant::now();
-    let results: Vec<ThreadResult> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for instance in 0..args.instances {
-            let rounds = per_instance_rounds(args.rounds, args.instances, instance);
-            let addr = addr.as_str();
-            let bucket = &bucket;
-            let seed = args.seed;
-            let batch = args.batch;
-            handles.push(
-                scope.spawn(move || drive_instance(instance, rounds, addr, bucket, seed, batch)),
-            );
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("driver panicked"))
-            .collect()
-    });
+    let results: Vec<ThreadResult> =
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for instance in 0..args.instances {
+                let rounds = per_instance_rounds(args.rounds, args.instances, instance);
+                let addr = addr.as_str();
+                let bucket = &bucket;
+                let seed = args.seed;
+                let batch = args.batch;
+                let codec = args.codec;
+                handles.push(scope.spawn(move || {
+                    drive_instance(instance, rounds, addr, bucket, seed, batch, codec)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("driver panicked"))
+                .collect()
+        });
     let elapsed = started.elapsed().as_secs_f64();
 
     // Merge thread tallies.
-    let mut predict_hist = latency_hist();
-    let mut observe_hist = latency_hist();
+    let mut predict_samples = Vec::new();
+    let mut observe_samples = Vec::new();
     let mut predict_retries = 0;
     let mut observe_retries = 0;
     let mut dropped_observes = 0;
     let mut batch_requests = 0;
     let mut order_mismatches = 0;
+    let mut codec_mismatches = 0;
     let mut sources = SourceCounts {
         cache: 0,
         local: 0,
@@ -213,13 +263,14 @@ fn main() -> ExitCode {
         default: 0,
     };
     for r in &results {
-        predict_hist.merge(&r.predict_hist);
-        observe_hist.merge(&r.observe_hist);
+        predict_samples.extend_from_slice(&r.predict_samples);
+        observe_samples.extend_from_slice(&r.observe_samples);
         predict_retries += r.predict_retries;
         observe_retries += r.observe_retries;
         dropped_observes += r.dropped_observes;
         batch_requests += r.batch_requests;
         order_mismatches += r.order_mismatches;
+        codec_mismatches += r.codec_mismatches;
         sources.cache += r.sources.cache;
         sources.local += r.sources.local;
         sources.global += r.sources.global;
@@ -228,8 +279,9 @@ fn main() -> ExitCode {
 
     // Cross-check the server's ingestion counters: every observe the
     // clients believe was accepted must be visible server-side, every
-    // prediction (batched or scalar) must have advanced a routing counter,
-    // and the batch counter must match the batches each thread got served.
+    // prediction (batched, scalar, or cross-codec) must have advanced a
+    // routing counter, and the batch counter must match the batches each
+    // thread got served.
     let mut counter_mismatch = false;
     if let Ok(mut client) = ServeClient::connect(&addr) {
         for (idx, r) in results.iter().enumerate() {
@@ -274,17 +326,19 @@ fn main() -> ExitCode {
     }
 
     let report = ServeBenchReport {
+        codec: codec_name(args.codec).to_string(),
         instances: args.instances,
         round_trips: args.rounds,
         batch: args.batch,
         predict_batch_requests: batch_requests,
         order_mismatches,
+        codec_mismatches,
         target_qps: args.qps,
         elapsed_secs: elapsed,
         round_trips_per_sec: args.rounds as f64 / elapsed,
         requests_per_sec: 2.0 * args.rounds as f64 / elapsed,
-        predict_latency: summarize(&predict_hist),
-        observe_latency: summarize(&observe_hist),
+        predict_latency: summarize(&mut predict_samples),
+        observe_latency: summarize(&mut observe_samples),
         predict_overload_retries: predict_retries,
         observe_overload_retries: observe_retries,
         dropped_observes,
@@ -293,11 +347,12 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "loadgen: {} round-trips in {:.2}s = {:.0} rt/s ({:.0} req/s)",
+        "loadgen: {} round-trips in {:.2}s = {:.0} rt/s ({:.0} req/s) on {}",
         report.round_trips,
         report.elapsed_secs,
         report.round_trips_per_sec,
-        report.requests_per_sec
+        report.requests_per_sec,
+        report.codec,
     );
     println!(
         "loadgen: predict p50/p95/p99 = {:.0}/{:.0}/{:.0} µs, observe = {:.0}/{:.0}/{:.0} µs",
@@ -310,7 +365,7 @@ fn main() -> ExitCode {
     );
     println!(
         "loadgen: sources cache/local/global/default = {}/{}/{}/{}, \
-         overload retries predict={} observe={}, dropped observes={}",
+         overload retries predict={} observe={}, dropped observes={}, codec mismatches={}",
         report.sources.cache,
         report.sources.local,
         report.sources.global,
@@ -318,6 +373,7 @@ fn main() -> ExitCode {
         report.predict_overload_retries,
         report.observe_overload_retries,
         report.dropped_observes,
+        report.codec_mismatches,
     );
 
     if let Some(parent) = std::path::Path::new(&args.out).parent() {
@@ -337,12 +393,16 @@ fn main() -> ExitCode {
         }
     }
 
-    if dropped_observes > 0 || counter_mismatch || order_mismatches > 0 {
+    if dropped_observes > 0 || counter_mismatch || order_mismatches > 0 || codec_mismatches > 0 {
         eprintln!(
-            "loadgen: FAILED: lost feedback (dropped={dropped_observes}) or \
-             misordered batch answers (order_mismatches={order_mismatches})"
+            "loadgen: FAILED: lost feedback (dropped={dropped_observes}), \
+             misordered batch answers (order_mismatches={order_mismatches}), or \
+             codec divergence (codec_mismatches={codec_mismatches})"
         );
         return ExitCode::FAILURE;
+    }
+    if args.smoke {
+        println!("loadgen smoke OK ({})", report.codec);
     }
     ExitCode::SUCCESS
 }
@@ -357,7 +417,9 @@ fn per_instance_rounds(total: u64, instances: u32, instance: u32) -> u64 {
 /// One instance's driver: replays its workload events as paced
 /// predict→observe round-trips over its own connection. With `batch > 1`
 /// predictions travel through `PredictBatch` in groups, order-checked
-/// against the scalar verb on the leading batches.
+/// against the scalar verb on the leading batches. The leading groups are
+/// additionally re-priced through the *other* codec and must answer
+/// bit-identically.
 fn drive_instance(
     instance: u32,
     rounds: u64,
@@ -365,6 +427,7 @@ fn drive_instance(
     bucket: &Mutex<TokenBucket>,
     seed: u64,
     batch: u64,
+    codec: Codec,
 ) -> ThreadResult {
     let workload = InstanceWorkload::generate(
         &FleetConfig {
@@ -377,8 +440,8 @@ fn drive_instance(
         instance,
     );
     let mut result = ThreadResult {
-        predict_hist: latency_hist(),
-        observe_hist: latency_hist(),
+        predict_samples: Vec::new(),
+        observe_samples: Vec::new(),
         predict_retries: 0,
         observe_retries: 0,
         dropped_observes: 0,
@@ -391,8 +454,9 @@ fn drive_instance(
         expected_predicts: 0,
         batch_requests: 0,
         order_mismatches: 0,
+        codec_mismatches: 0,
     };
-    let mut client = match ServeClient::connect(addr) {
+    let mut client = match connect_codec(addr, codec) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("loadgen: instance {instance}: cannot connect: {e}");
@@ -400,8 +464,17 @@ fn drive_instance(
             return result;
         }
     };
+    // The differential witness: same server, opposite codec. Opened lazily
+    // failure-tolerant — a missing witness fails the cross-check loudly
+    // rather than silently skipping it.
+    let alt_codec = match codec {
+        Codec::Binary => Codec::Json,
+        Codec::Json => Codec::Binary,
+    };
+    let mut alt_client = connect_codec(addr, alt_codec).ok();
 
     let mut done = 0u64;
+    let mut group_idx = 0u64;
     while done < rounds {
         let group_len = batch.max(1).min(rounds - done) as usize;
         let mut events = Vec::with_capacity(group_len);
@@ -411,33 +484,79 @@ fn drive_instance(
             events.push(&workload.events[((done + k as u64) as usize) % workload.events.len()]);
         }
 
+        // Price the group on the driving codec, remembering the answers
+        // for the cross-codec comparison.
+        let mut answers: Vec<Option<(f64, stage_core::PredictionSource)>> = Vec::new();
         if batch > 1 {
-            drive_batch(
+            answers = drive_batch(
                 instance,
                 &workload,
                 &events,
                 &mut client,
                 &mut result,
-                done / batch < ORDER_CHECK_BATCHES,
+                group_idx < ORDER_CHECK_BATCHES,
             );
         } else if let Some(event) = events.first() {
             let sys = workload.spec.system_features(event.concurrency);
-            predict_scalar(instance, &event.plan, &sys, &mut client, &mut result);
+            answers.push(predict_scalar(
+                instance,
+                &event.plan,
+                &sys,
+                &mut client,
+                &mut result,
+            ));
         }
 
-        // Observe (must never drop — retried until ingested).
+        // Cross-codec differential: predictions are pure reads, so asking
+        // the same question over the other wire format must answer with
+        // the same bits and the same source.
+        if group_idx < CROSS_CODEC_GROUPS {
+            match alt_client.as_mut() {
+                Some(alt) => {
+                    for (event, main_answer) in events.iter().zip(&answers) {
+                        let Some((main_secs, main_source)) = main_answer else {
+                            continue;
+                        };
+                        let sys = workload.spec.system_features(event.concurrency);
+                        let Some((alt_secs, alt_source)) =
+                            predict_scalar(instance, &event.plan, &sys, alt, &mut result)
+                        else {
+                            result.codec_mismatches += 1;
+                            continue;
+                        };
+                        if alt_secs.to_bits() != main_secs.to_bits() || alt_source != *main_source {
+                            eprintln!(
+                                "loadgen: instance {instance}: codec divergence: \
+                                 {} answered {main_secs} ({main_source:?}), \
+                                 {} answered {alt_secs} ({alt_source:?})",
+                                codec_name(codec),
+                                codec_name(alt_codec),
+                            );
+                            result.codec_mismatches += 1;
+                        }
+                    }
+                }
+                None => {
+                    eprintln!("loadgen: instance {instance}: no cross-codec witness connection");
+                    result.codec_mismatches += 1;
+                }
+            }
+        }
+
+        // Observe (must never drop — retried until ingested). The recorded
+        // latency is the successful attempt's round trip only; backoff
+        // sleeps and refused attempts never pollute the percentiles.
         for event in &events {
             let sys = workload.spec.system_features(event.concurrency);
-            let t0 = Instant::now();
-            match client.observe_with_retry(
+            match client.observe_with_retry_timed(
                 instance,
                 &event.plan,
                 &sys,
                 event.true_exec_secs,
                 MAX_RETRIES,
             ) {
-                Ok(retries) => {
-                    result.observe_hist.record(t0.elapsed().as_secs_f64());
+                Ok((retries, served_in)) => {
+                    result.observe_samples.push(served_in.as_secs_f64());
                     result.observe_retries += u64::from(retries);
                 }
                 Err(e) => {
@@ -447,12 +566,14 @@ fn drive_instance(
             }
         }
         done += group_len as u64;
+        group_idx += 1;
     }
     result
 }
 
 /// One scalar predict with bounded retry on shed requests (they were never
-/// executed). Returns the answer when one arrived.
+/// executed). Returns the answer when one arrived. Latency is recorded per
+/// successful attempt (never the backoff sleeps).
 fn predict_scalar(
     instance: u32,
     plan: &stage_plan::PhysicalPlan,
@@ -467,7 +588,7 @@ fn predict_scalar(
             Ok(Response::Predicted {
                 exec_secs, source, ..
             }) => {
-                result.predict_hist.record(t0.elapsed().as_secs_f64());
+                result.predict_samples.push(t0.elapsed().as_secs_f64());
                 result.expected_predicts += 1;
                 match source {
                     stage_core::PredictionSource::Cache => result.sources.cache += 1,
@@ -496,7 +617,8 @@ fn predict_scalar(
 
 /// Prices one group of events through `PredictBatch` (bounded retry on
 /// shed batches) and, on `order_check` groups, re-prices every plan through
-/// the scalar verb asserting bit-identical index-aligned answers.
+/// the scalar verb asserting bit-identical index-aligned answers. Returns
+/// the per-position answers for the cross-codec comparison.
 fn drive_batch(
     instance: u32,
     workload: &InstanceWorkload,
@@ -504,7 +626,7 @@ fn drive_batch(
     client: &mut ServeClient,
     result: &mut ThreadResult,
     order_check: bool,
-) {
+) -> Vec<Option<(f64, stage_core::PredictionSource)>> {
     let plans: Vec<_> = events.iter().map(|e| e.plan.clone()).collect();
     // One system context prices the whole batch (the protocol's contract:
     // a queue-full admitted at the same instant).
@@ -517,7 +639,7 @@ fn drive_batch(
             Ok(Response::PredictionsBatch { predictions, .. }) => {
                 let per_prediction = t0.elapsed().as_secs_f64() / plans.len() as f64;
                 for _ in 0..plans.len() {
-                    result.predict_hist.record(per_prediction);
+                    result.predict_samples.push(per_prediction);
                 }
                 result.batch_requests += 1;
                 result.expected_predicts += plans.len() as u64;
@@ -528,13 +650,13 @@ fn drive_batch(
                 attempts += 1;
                 if attempts > MAX_RETRIES {
                     eprintln!("loadgen: instance {instance}: batch predict starved");
-                    return;
+                    return Vec::new();
                 }
                 std::thread::sleep(std::time::Duration::from_millis(retry_after_ms.max(1)));
             }
             other => {
                 eprintln!("loadgen: instance {instance}: batch predict failed: {other:?}");
-                return;
+                return Vec::new();
             }
         }
     };
@@ -546,7 +668,7 @@ fn drive_batch(
             plans.len()
         );
         result.order_mismatches += 1;
-        return;
+        return Vec::new();
     }
     for p in &predictions {
         match p.source {
@@ -576,6 +698,10 @@ fn drive_batch(
             }
         }
     }
+    predictions
+        .iter()
+        .map(|p| Some((p.exec_secs, p.source)))
+        .collect()
 }
 
 fn parse_args() -> Option<Args> {
@@ -586,9 +712,12 @@ fn parse_args() -> Option<Args> {
         qps: 2_000.0,
         seed: 42,
         batch: 1,
+        codec: Codec::Binary,
         addr: None,
         out: "results/bench_serve.json".to_string(),
+        smoke: false,
     };
+    let mut explicit_rounds = false;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -599,6 +728,7 @@ fn parse_args() -> Option<Args> {
             "--rounds" => {
                 i += 1;
                 args.rounds = parse_val(&argv, i, "--rounds")?;
+                explicit_rounds = true;
             }
             "--qps" => {
                 i += 1;
@@ -612,6 +742,17 @@ fn parse_args() -> Option<Args> {
                 i += 1;
                 args.batch = parse_val(&argv, i, "--batch")?;
             }
+            "--codec" => {
+                i += 1;
+                args.codec = match argv.get(i).map(|s| s.as_str()) {
+                    Some("binary") => Codec::Binary,
+                    Some("json") => Codec::Json,
+                    other => {
+                        eprintln!("loadgen: --codec must be binary or json, got {other:?}");
+                        return None;
+                    }
+                };
+            }
             "--addr" => {
                 i += 1;
                 args.addr = Some(argv.get(i)?.clone());
@@ -620,16 +761,20 @@ fn parse_args() -> Option<Args> {
                 i += 1;
                 args.out = argv.get(i)?.clone();
             }
+            "--smoke" => args.smoke = true,
             other => {
                 eprintln!("loadgen: unknown flag {other}");
                 eprintln!(
                     "usage: loadgen [--instances N] [--rounds N] [--qps F] [--seed N] \
-                     [--batch N] [--addr HOST:PORT] [--out FILE]"
+                     [--batch N] [--codec binary|json] [--addr HOST:PORT] [--out FILE] [--smoke]"
                 );
                 return None;
             }
         }
         i += 1;
+    }
+    if args.smoke && !explicit_rounds {
+        args.rounds = 400;
     }
     if args.instances == 0 || args.rounds == 0 || args.qps <= 0.0 || args.batch == 0 {
         eprintln!("loadgen: instances, rounds, qps, and batch must be positive");

@@ -11,7 +11,12 @@
 //!   then the connection dies), a clean disconnect, or a stalled write.
 //!
 //! Injected errors are ordinary `io::Error`s, so the wrapped server
-//! exercises exactly the code paths a flaky network would.
+//! exercises exactly the code paths a flaky network would. The wrapper is
+//! agnostic to the stream's blocking mode and wire format: `WouldBlock`
+//! from a non-blocking inner socket passes through untouched, so the same
+//! fault plan lands on the event-loop serving path, and a torn write tears
+//! binary frames (truncated `len|crc|payload`, caught by the CRC check)
+//! exactly as it tears JSON lines.
 
 use crate::plan::{FaultPlan, FaultSite};
 use std::io::{self, Read, Write};
@@ -32,6 +37,16 @@ impl<S> ChaosStream<S> {
     /// The wrapped stream (e.g. to reach `TcpStream` socket options).
     pub fn get_ref(&self) -> &S {
         &self.inner
+    }
+}
+
+#[cfg(unix)]
+impl<S: std::os::unix::io::AsRawFd> std::os::unix::io::AsRawFd for ChaosStream<S> {
+    /// The wrapped descriptor, so a readiness loop (`poll`) can watch a
+    /// chaos-wrapped socket like a plain one — faults fire on the
+    /// read/write calls, never on readiness itself.
+    fn as_raw_fd(&self) -> std::os::unix::io::RawFd {
+        self.inner.as_raw_fd()
     }
 }
 
@@ -149,6 +164,32 @@ mod tests {
         let n = w.write(b"done").unwrap();
         assert_eq!(n, 4);
         assert_eq!(w.get_ref(), b"01234done");
+    }
+
+    #[test]
+    fn torn_write_tears_binary_frames_detectably() {
+        // A binary wire frame (`u32 len | u32 crc32 | payload`) sent
+        // through a torn write must leave a strict prefix whose checksum
+        // can no longer validate — the peer's frame parser either waits on
+        // the missing bytes or flags the damage, never decodes garbage.
+        let payload = b"binary-frame-payload-bytes";
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&stage_core::persist::crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+
+        let plan = plan_with(FaultSite::SockWrite, SitePolicy::flat(1.0, 1));
+        let mut w = ChaosStream::new(Vec::new(), plan);
+        let err = w.write(&frame).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionAborted);
+
+        let escaped = w.get_ref();
+        assert!(escaped.len() < frame.len(), "a strict prefix escaped");
+        assert_eq!(&frame[..escaped.len()], &escaped[..]);
+        // The declared length exceeds the payload bytes that escaped, so a
+        // length-prefixed parser cannot mistake the tear for a whole frame.
+        let declared = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+        assert!(escaped.len() < 8 + declared);
     }
 
     #[test]

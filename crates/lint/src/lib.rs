@@ -74,6 +74,9 @@ const NO_PANIC_FILES: &[&str] = &[
     "crates/serve/src/registry.rs",
     "crates/serve/src/protocol.rs",
     "crates/serve/src/client.rs",
+    "crates/serve/src/wire.rs",
+    "crates/serve/src/evloop.rs",
+    "crates/bench/src/bin/debug_e2e.rs",
     "crates/core/src/persist.rs",
     "crates/core/src/stage.rs",
     "crates/chaos/src/lib.rs",

@@ -99,6 +99,11 @@ fn check_indexing(file: &SourceFile, line_no: usize, code: &str) -> Vec<Finding>
             if NON_INDEX_KEYWORDS.contains(&word) || word.chars().all(|ch| ch.is_ascii_digit()) {
                 continue;
             }
+            // A lifetime before `[` (`&'a [u8]`) is a slice type, not an
+            // index expression.
+            if code[..word_start].ends_with('\'') {
+                continue;
+            }
         }
         findings.push(Finding::new(
             RULE_NO_PANIC,

@@ -1,10 +1,13 @@
 //! Rule `protocol-exhaustive`: every `protocol::Request` variant must be
-//! (a) dispatched somewhere in `server.rs` (as `Request::<Variant>`) and
-//! (b) documented in README's verb table (as a backticked `` `Variant` ``).
-//! Adding a request verb and forgetting either half is exactly the kind of
-//! drift a lexical check catches cheaply; findings anchor at the variant's
-//! declaration line in `protocol.rs` so the fix starts from the source of
-//! truth.
+//! (a) dispatched in **every** dispatcher file — `server.rs` (execution
+//! dispatch) and `wire.rs` (the binary codec's encode/decode tables) — as
+//! `Request::<Variant>`, and (b) documented in README's verb table (as a
+//! backticked `` `Variant` ``). Adding a request verb and forgetting any
+//! half is exactly the kind of drift a lexical check catches cheaply; the
+//! dual-codec server makes this concrete: a verb the JSON path serves but
+//! the binary codec cannot frame is a protocol split. Findings anchor at
+//! the variant's declaration line in `protocol.rs` so the fix starts from
+//! the source of truth.
 
 use std::path::Path;
 
@@ -19,8 +22,9 @@ pub struct Variant {
     pub line: usize,
 }
 
-/// Runs the rule given the three inputs it cross-references.
-pub fn check(protocol: &SourceFile, server: &SourceFile, readme: &str) -> Vec<Finding> {
+/// Runs the rule given the protocol source, every dispatcher file that
+/// must handle all verbs, and the README text.
+pub fn check(protocol: &SourceFile, dispatchers: &[&SourceFile], readme: &str) -> Vec<Finding> {
     let variants = request_variants(protocol);
     let mut findings = Vec::new();
     if variants.is_empty() {
@@ -33,18 +37,20 @@ pub fn check(protocol: &SourceFile, server: &SourceFile, readme: &str) -> Vec<Fi
         return findings;
     }
     for v in &variants {
-        if !dispatches(server, &v.name) {
-            findings.push(Finding::new(
-                RULE_PROTOCOL,
-                &protocol.path,
-                v.line,
-                format!(
-                    "Request::{} is never dispatched in {} — add a match arm or remove the \
-                     variant",
-                    v.name,
-                    server.path.display()
-                ),
-            ));
+        for dispatcher in dispatchers {
+            if !dispatches(dispatcher, &v.name) {
+                findings.push(Finding::new(
+                    RULE_PROTOCOL,
+                    &protocol.path,
+                    v.line,
+                    format!(
+                        "Request::{} is never dispatched in {} — add a match arm or remove the \
+                         variant",
+                        v.name,
+                        dispatcher.path.display()
+                    ),
+                ));
+            }
         }
         if !readme.contains(&format!("`{}`", v.name)) {
             findings.push(Finding::new(
@@ -125,10 +131,10 @@ fn find_enum_request(code: &str) -> Option<usize> {
     Some(at + "Request".len())
 }
 
-/// True when `server` mentions `Request::<variant>` in code.
-fn dispatches(server: &SourceFile, variant: &str) -> bool {
+/// True when `dispatcher` mentions `Request::<variant>` in code.
+fn dispatches(dispatcher: &SourceFile, variant: &str) -> bool {
     let needle = format!("Request::{variant}");
-    server.code_lines().any(|(_, code)| {
+    dispatcher.code_lines().any(|(_, code)| {
         code.match_indices(&needle).any(|(at, _)| {
             let after = code[at + needle.len()..].chars().next();
             !after.is_some_and(|c| c.is_alphanumeric() || c == '_')
@@ -136,12 +142,15 @@ fn dispatches(server: &SourceFile, variant: &str) -> bool {
     })
 }
 
-/// Convenience for the driver: reads both sides from disk relative to the
+/// Convenience for the driver: reads all sides from disk relative to the
 /// workspace root and applies the rule; missing inputs become findings
 /// rather than I/O errors so a partial tree still lints.
 pub fn check_workspace(root: &Path) -> Vec<Finding> {
     let protocol_path = root.join("crates/serve/src/protocol.rs");
-    let server_path = root.join("crates/serve/src/server.rs");
+    let dispatcher_paths = [
+        root.join("crates/serve/src/server.rs"),
+        root.join("crates/serve/src/wire.rs"),
+    ];
     let readme_path = root.join("README.md");
     let protocol = match SourceFile::read(&protocol_path) {
         Ok(f) => f,
@@ -154,17 +163,20 @@ pub fn check_workspace(root: &Path) -> Vec<Finding> {
             )]
         }
     };
-    let server = match SourceFile::read(&server_path) {
-        Ok(f) => f,
-        Err(err) => {
-            return vec![Finding::new(
-                RULE_PROTOCOL,
-                &server_path,
-                1,
-                format!("cannot read server source: {err}"),
-            )]
+    let mut dispatchers = Vec::new();
+    for path in &dispatcher_paths {
+        match SourceFile::read(path) {
+            Ok(f) => dispatchers.push(f),
+            Err(err) => {
+                return vec![Finding::new(
+                    RULE_PROTOCOL,
+                    path,
+                    1,
+                    format!("cannot read dispatcher source: {err}"),
+                )]
+            }
         }
-    };
+    }
     let readme = match std::fs::read_to_string(&readme_path) {
         Ok(t) => t,
         Err(err) => {
@@ -176,5 +188,6 @@ pub fn check_workspace(root: &Path) -> Vec<Finding> {
             )]
         }
     };
-    check(&protocol, &server, &readme)
+    let dispatcher_refs: Vec<&SourceFile> = dispatchers.iter().collect();
+    check(&protocol, &dispatcher_refs, &readme)
 }

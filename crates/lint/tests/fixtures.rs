@@ -92,13 +92,17 @@ fn protocol_violation_fixture_lines() {
     let dir = fixture("protocol");
     let protocol = SourceFile::read(&dir.join("protocol.rs")).expect("fixture readable");
     let server = SourceFile::read(&dir.join("server.rs")).expect("fixture readable");
+    let wire = SourceFile::read(&dir.join("wire.rs")).expect("fixture readable");
     let readme = std::fs::read_to_string(dir.join("README.md")).expect("fixture readable");
-    let findings = rules::protocol::check(&protocol, &server, &readme);
-    // Ping (line 6) is both undispatched and undocumented.
-    assert_eq!(lines_of(&findings, "protocol-exhaustive"), vec![6, 6]);
+    let findings = rules::protocol::check(&protocol, &[&server, &wire], &readme);
+    // Ping (line 6) is undispatched in both dispatchers and undocumented.
+    assert_eq!(lines_of(&findings, "protocol-exhaustive"), vec![6, 6, 6]);
     assert!(findings
         .iter()
-        .any(|f| f.message.contains("never dispatched")));
+        .any(|f| f.message.contains("never dispatched") && f.message.contains("server.rs")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("never dispatched") && f.message.contains("wire.rs")));
     assert!(findings
         .iter()
         .any(|f| f.message.contains("missing from the README")));
@@ -110,8 +114,9 @@ fn protocol_clean_fixture_is_silent() {
     let dir = fixture("protocol_clean");
     let protocol = SourceFile::read(&dir.join("protocol.rs")).expect("fixture readable");
     let server = SourceFile::read(&dir.join("server.rs")).expect("fixture readable");
+    let wire = SourceFile::read(&dir.join("wire.rs")).expect("fixture readable");
     let readme = std::fs::read_to_string(dir.join("README.md")).expect("fixture readable");
-    let findings = rules::protocol::check(&protocol, &server, &readme);
+    let findings = rules::protocol::check(&protocol, &[&server, &wire], &readme);
     assert!(findings.is_empty(), "clean fixture flagged: {findings:#?}");
 }
 

@@ -17,6 +17,16 @@ fn safe(xs: &[u64], r: Result<u64, String>) -> u64 {
     a + b + c
 }
 
+/// A named-lifetime slice type (`&'a [u8]`) is a type position, not an
+/// index expression.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+}
+
+fn head<'a>(c: &Cursor<'a>) -> Option<&'a [u8]> {
+    c.bytes.get(..1)
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -1,0 +1,10 @@
+// Fixture: binary codec whose dispatch tables also forgot Ping.
+
+fn encode(req: &Request, out: &mut Vec<u8>) {
+    match req {
+        Request::Predict { instance } => encode_predict(*instance, out),
+        Request::Observe { instance, actual_secs } => encode_observe(*instance, *actual_secs, out),
+        Request::Shutdown => out.push(9),
+        _ => {}
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: binary codec dispatch tables covering every verb.
+
+fn encode(req: &Request, out: &mut Vec<u8>) {
+    match req {
+        Request::Predict { instance } => encode_predict(*instance, out),
+        Request::Observe { instance, actual_secs } => encode_observe(*instance, *actual_secs, out),
+        Request::Shutdown => out.push(9),
+    }
+}

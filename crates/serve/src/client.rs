@@ -1,6 +1,13 @@
 //! A blocking client for the stage-serve protocol, used by the load
 //! generator, the integration tests, and the `--smoke` self-check.
 //!
+//! The client speaks either wire codec. [`ServeClient::connect`] opens the
+//! binary codec (the hot-path default): it sends the [`crate::wire`] magic
+//! preamble at connect and pipelines the first request behind it, deferring
+//! the ack read until just before the first response — codec negotiation
+//! costs zero extra round trips. [`ServeClient::connect_json`] keeps the
+//! newline-JSON codec for debuggability and as the old clients' path.
+//!
 //! Robustness posture: every connection carries read and write timeouts by
 //! default (a hung server must surface as `WouldBlock`/`TimedOut`, never as
 //! a caller blocked forever), and [`ServeClient::observe_with_retry`] caps
@@ -9,15 +16,27 @@
 //! retry storm.
 
 use crate::protocol::{read_message, write_message, Request, Response};
+use crate::wire::{self, HANDSHAKE};
 use stage_plan::PhysicalPlan;
-use std::io::{self, BufReader};
+use std::io::{self, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default socket read/write timeout: generous enough for a retrain to
 /// complete on the shard ahead of the response, small enough that a wedged
 /// server is detected the same minute.
 pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Which wire format a [`ServeClient`] connection speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Codec {
+    /// Newline-delimited JSON: human-readable, `netcat`-able, the format
+    /// every pre-binary client speaks.
+    Json,
+    /// Length-prefixed CRC-checked binary frames ([`crate::wire`]): the
+    /// hot-path default.
+    Binary,
+}
 
 /// Decorrelated-jitter backoff (AWS architecture-blog variant): each sleep
 /// is uniform in `[base, prev * 3]`, clamped to `cap`. Pure function of the
@@ -48,24 +67,52 @@ pub fn decorrelated_jitter(
 pub struct ServeClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    codec: Codec,
+    /// Binary handshake sent but its echo not yet consumed (the ack is
+    /// read lazily, just before the first response).
+    awaiting_ack: bool,
+    /// Request-encode scratch (binary codec).
+    enc_buf: Vec<u8>,
+    /// Frame-assembly scratch (binary codec): header + payload leave in
+    /// one `write_all`.
+    frame_buf: Vec<u8>,
+    /// Response-payload scratch (binary codec).
+    payload_in: Vec<u8>,
     /// Backoff state for `observe_with_retry` (seeded from the local port
     /// so concurrent clients decorrelate without any shared RNG).
     rng_state: u64,
 }
 
 impl ServeClient {
-    /// Connects to a running server with the default I/O timeouts.
+    /// Connects to a running server with the default I/O timeouts on the
+    /// binary codec.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
         Self::connect_with_timeout(addr, Some(DEFAULT_IO_TIMEOUT))
     }
 
-    /// Connects with an explicit socket read/write timeout (`None` blocks
-    /// forever — only sensible in tests that own both ends).
+    /// Connects on the newline-JSON codec (default I/O timeouts) — the
+    /// debuggable wire format, and what pre-binary clients speak.
+    pub fn connect_json<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        Self::connect_with_codec(addr, Some(DEFAULT_IO_TIMEOUT), Codec::Json)
+    }
+
+    /// Connects on the binary codec with an explicit socket read/write
+    /// timeout (`None` blocks forever — only sensible in tests that own
+    /// both ends).
     pub fn connect_with_timeout<A: ToSocketAddrs>(
         addr: A,
         timeout: Option<Duration>,
     ) -> io::Result<Self> {
-        let writer = TcpStream::connect(addr)?;
+        Self::connect_with_codec(addr, timeout, Codec::Binary)
+    }
+
+    /// Connects with explicit timeout and codec.
+    pub fn connect_with_codec<A: ToSocketAddrs>(
+        addr: A,
+        timeout: Option<Duration>,
+        codec: Codec,
+    ) -> io::Result<Self> {
+        let mut writer = TcpStream::connect(addr)?;
         writer.set_nodelay(true).ok();
         writer.set_read_timeout(timeout)?;
         writer.set_write_timeout(timeout)?;
@@ -74,22 +121,61 @@ impl ServeClient {
             .map(|a| 0x9E37_79B9_7F4A_7C15 ^ u64::from(a.port()))
             .unwrap_or(0x9E37_79B9_7F4A_7C15);
         let reader = BufReader::new(writer.try_clone()?);
+        let awaiting_ack = codec == Codec::Binary;
+        if awaiting_ack {
+            // Open with the magic preamble; the server's echo is consumed
+            // lazily before the first response read, so negotiation adds
+            // no round trip.
+            writer.write_all(&HANDSHAKE)?;
+        }
         Ok(Self {
             reader,
             writer,
+            codec,
+            awaiting_ack,
+            enc_buf: Vec::new(),
+            frame_buf: Vec::new(),
+            payload_in: Vec::new(),
             rng_state,
         })
     }
 
+    /// The codec this connection negotiated.
+    pub fn codec(&self) -> Codec {
+        self.codec
+    }
+
     /// Sends one request and waits for its response.
     pub fn call(&mut self, request: &Request) -> io::Result<Response> {
-        write_message(&mut self.writer, request)?;
-        read_message(&mut self.reader)?.ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection mid-request",
-            )
-        })
+        match self.codec {
+            Codec::Json => {
+                write_message(&mut self.writer, request)?;
+                read_message(&mut self.reader)?.ok_or_else(unexpected_eof)
+            }
+            Codec::Binary => {
+                self.enc_buf.clear();
+                wire::encode_request(request, &mut self.enc_buf);
+                self.frame_buf.clear();
+                wire::frame_into(&mut self.frame_buf, &self.enc_buf)?;
+                self.writer.write_all(&self.frame_buf)?;
+                self.writer.flush()?;
+                if self.awaiting_ack {
+                    let mut ack = [0u8; 4];
+                    self.reader.read_exact(&mut ack)?;
+                    if ack != HANDSHAKE {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "server did not ack the binary handshake",
+                        ));
+                    }
+                    self.awaiting_ack = false;
+                }
+                if !wire::read_frame(&mut self.reader, &mut self.payload_in)? {
+                    return Err(unexpected_eof());
+                }
+                wire::decode_response(&self.payload_in)
+            }
+        }
     }
 
     /// `Predict` convenience wrapper.
@@ -152,11 +238,28 @@ impl ServeClient {
         actual_secs: f64,
         max_retries: u32,
     ) -> io::Result<u32> {
+        self.observe_with_retry_timed(instance, plan, sys, actual_secs, max_retries)
+            .map(|(retries, _)| retries)
+    }
+
+    /// [`ServeClient::observe_with_retry`], additionally reporting how long
+    /// the *successful* attempt's round trip took. Backoff sleeps and the
+    /// refused attempts are excluded, so latency percentiles built from
+    /// this number measure the service, not the client's retry schedule.
+    pub fn observe_with_retry_timed(
+        &mut self,
+        instance: u32,
+        plan: &PhysicalPlan,
+        sys: &[f64],
+        actual_secs: f64,
+        max_retries: u32,
+    ) -> io::Result<(u32, Duration)> {
         const BACKOFF_CAP: Duration = Duration::from_secs(1);
         let mut prev = Duration::ZERO;
         for attempt in 0..=max_retries {
+            let t0 = Instant::now();
             match self.observe(instance, plan, sys, actual_secs)? {
-                Response::Observed { .. } => return Ok(attempt),
+                Response::Observed { .. } => return Ok((attempt, t0.elapsed())),
                 Response::Overloaded { retry_after_ms } => {
                     let base = Duration::from_millis(retry_after_ms.max(1));
                     prev =
@@ -186,6 +289,13 @@ impl ServeClient {
     pub fn shutdown(&mut self) -> io::Result<Response> {
         self.call(&Request::Shutdown)
     }
+}
+
+fn unexpected_eof() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::UnexpectedEof,
+        "server closed the connection mid-request",
+    )
 }
 
 #[cfg(test)]

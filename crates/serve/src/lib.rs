@@ -4,42 +4,54 @@
 //! in Redshift it runs inside the database, answering per-query latency
 //! predictions for AutoWLM's admission decisions and learning from every
 //! observed execution (paper §1, §5). This crate is that deployment shape
-//! for the reproduction: a std-only (no async runtime) multi-threaded TCP
-//! server speaking newline-delimited JSON, hosting one warm
-//! [`stage_core::StagePredictor`] per simulated instance.
+//! for the reproduction: a std-only (no async runtime) TCP server built on
+//! a small `poll(2)` event loop, speaking a length-prefixed binary frame
+//! codec (with newline-JSON negotiated per connection for debuggability
+//! and old clients), hosting one warm [`stage_core::StagePredictor`] per
+//! simulated instance.
 //!
-//! * [`protocol`] — the six-verb wire protocol (`Predict`, `PredictBatch`,
-//!   `Observe`, `Stats`, `Snapshot`, `Shutdown`) and its line framing.
+//! * [`protocol`] — the six-verb protocol types (`Predict`,
+//!   `PredictBatch`, `Observe`, `Stats`, `Snapshot`, `Shutdown`) and the
+//!   newline-JSON framing.
+//! * [`wire`] — the binary codec: `len | crc32 | payload` frames (the
+//!   snapshot artefact-frame CRC reused on the wire), magic-byte
+//!   handshake, and bit-exact `f64` encoding.
+//! * [`evloop`] — `poll(2)` + self-pipe waker primitives for the event
+//!   loops.
 //! * [`registry`] — the sharded `RwLock` predictor registry with
 //!   crash-safe checkpointing and atomic warm restart.
-//! * [`queue`] — bounded per-worker admission queues (explicit
-//!   `Overloaded` backpressure, close-and-drain shutdown) and the token
-//!   bucket the load generator paces with.
-//! * [`server`] — the accept/dispatch/worker machinery, including the
-//!   degraded-mode response path: per-request deadlines (`TimedOut`),
-//!   per-connection read deadlines, component fallback counters, and the
-//!   optional `stage-chaos` fault plan threaded through sockets, snapshot
-//!   I/O, and model tiers.
-//! * [`client`] — a blocking client used by the load generator and tests
-//!   (socket timeouts and capped decorrelated-jitter retries by default).
+//! * [`queue`] — bounded queues (explicit `Overloaded` backpressure,
+//!   close-and-drain shutdown; the accept→loop hand-off inboxes) and the
+//!   token bucket the load generator paces with.
+//! * [`server`] — the accept thread + per-core event-loop shards,
+//!   including the degraded-mode response path: per-request deadlines
+//!   (`TimedOut`), mid-message stall reaping, per-connection write-buffer
+//!   shedding, component fallback counters, and the optional
+//!   `stage-chaos` fault plan threaded through sockets, snapshot I/O, and
+//!   model tiers.
+//! * [`client`] — a blocking dual-codec client used by the load generator
+//!   and tests (socket timeouts and capped decorrelated-jitter retries by
+//!   default).
 
 pub mod client;
+pub mod evloop;
 pub mod protocol;
 pub mod queue;
 pub mod registry;
 pub mod server;
+pub mod wire;
 
-pub use client::ServeClient;
+pub use client::{Codec, ServeClient};
 pub use protocol::{BatchPrediction, Request, Response};
 pub use queue::{BoundedQueue, PushError, TokenBucket};
 pub use registry::{RestoreSummary, Shard, ShardRegistry};
 pub use server::{ServeConfig, Server};
 
 // Compile-time proof that the serving types crossing thread boundaries are
-// safe to share: the registry is read by workers, connection threads, and
-// the snapshot checkpointer at once; queues are produced into by many
-// connection threads and drained by one worker each. (`Shared` and `Job`,
-// the private counterparts, carry the same assertions in `server.rs`.)
+// safe to share: the registry is read by event loops and the snapshot
+// checkpointer at once; inbox queues are produced into by the accept
+// thread and drained by one loop each. (`Shared`, `Sock`, and `Conn`, the
+// private counterparts, carry the same assertions in `server.rs`.)
 const _: () = {
     const fn assert_send<T: Send>() {}
     const fn assert_send_sync<T: Send + Sync>() {}

@@ -2,13 +2,14 @@
 //!
 //! ```text
 //! cargo run --release -p stage-serve -- \
-//!     [--addr HOST:PORT] [--instances N] [--workers N] [--queue-cap N] \
+//!     [--addr HOST:PORT] [--instances N] [--loops N] [--queue-cap N] \
 //!     [--snapshot-dir DIR] [--snapshot-secs F] [--deadline-ms N] [--smoke]
 //! ```
 //!
 //! `--smoke` is the CI self-check: bind an ephemeral port, run one
-//! predict→observe→predict round-trip against ourselves, shut down
-//! cleanly, and print `serve smoke OK`.
+//! predict→observe→predict round-trip against ourselves **on each codec**
+//! (binary frames and newline-JSON), assert the two codecs' predictions
+//! agree bit-for-bit, shut down cleanly, and print `serve smoke OK`.
 
 use stage_serve::{Response, ServeClient, ServeConfig, Server};
 use std::path::PathBuf;
@@ -33,9 +34,10 @@ fn main() -> ExitCode {
                 i += 1;
                 config.n_instances = parse(&args, i, "--instances");
             }
-            "--workers" => {
+            // `--workers` is the pre-event-loop spelling, kept as an alias.
+            "--loops" | "--workers" => {
                 i += 1;
-                config.n_workers = parse(&args, i, "--workers");
+                config.n_loops = parse(&args, i, "--loops");
             }
             "--queue-cap" => {
                 i += 1;
@@ -85,39 +87,45 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// One full round-trip against an in-process server, suitable for CI.
+/// One full round-trip against an in-process server per codec, suitable
+/// for CI. Instance 0 is exercised over binary frames, instance 1 over
+/// newline-JSON, and a final cross-codec read of instance 0 must agree
+/// with the binary answer bit-for-bit.
 fn run_smoke(config: ServeConfig) -> ExitCode {
     use stage_plan::{PlanBuilder, S3Format};
     let result = (|| -> std::io::Result<()> {
         let server = Server::start(config)?;
-        let mut client = ServeClient::connect(server.local_addr())?;
         let plan = PlanBuilder::select()
             .scan("smoke", S3Format::Local, 1e5, 64.0)
             .hash_aggregate(0.01)
             .finish();
         let sys = [0.0, 0.0];
 
-        let p = client.predict(0, &plan, &sys)?;
-        let Response::Predicted { .. } = p else {
+        let mut bin = ServeClient::connect(server.local_addr())?;
+        let mut json = ServeClient::connect_json(server.local_addr())?;
+
+        let bin_cached = round_trip(&mut bin, 0, &plan, &sys, "binary")?;
+        round_trip(&mut json, 1, &plan, &sys, "json")?;
+
+        // Cross-codec agreement: the JSON client re-asks the question the
+        // binary client warmed; both answers came off the same shard, so
+        // any difference is codec skew.
+        let p = json.predict(0, &plan, &sys)?;
+        let Response::Predicted { exec_secs, .. } = p else {
             return Err(std::io::Error::other(format!("bad predict reply: {p:?}")));
         };
-        client.observe(0, &plan, &sys, 2.5)?;
-        let p2 = client.predict(0, &plan, &sys)?;
-        let Response::Predicted {
-            exec_secs, source, ..
-        } = p2
-        else {
-            return Err(std::io::Error::other(format!("bad predict reply: {p2:?}")));
-        };
-        if source != stage_core::PredictionSource::Cache || (exec_secs - 2.5).abs() > 1e-9 {
+        if exec_secs.to_bits() != bin_cached.to_bits() {
             return Err(std::io::Error::other(format!(
-                "observe did not reach the cache: {source:?} {exec_secs}"
+                "codec mismatch: binary {} vs json {exec_secs}",
+                bin_cached
             )));
         }
-        let Response::ShuttingDown = client.shutdown()? else {
+
+        let Response::ShuttingDown = bin.shutdown()? else {
             return Err(std::io::Error::other("bad shutdown reply"));
         };
-        drop(client);
+        drop(bin);
+        drop(json);
         server.join()
     })();
     match result {
@@ -132,6 +140,39 @@ fn run_smoke(config: ServeConfig) -> ExitCode {
     }
 }
 
+/// predict → observe → predict-must-hit-cache on one instance; returns the
+/// cached prediction.
+fn round_trip(
+    client: &mut ServeClient,
+    instance: u32,
+    plan: &stage_plan::PhysicalPlan,
+    sys: &[f64],
+    codec: &str,
+) -> std::io::Result<f64> {
+    let p = client.predict(instance, plan, sys)?;
+    let Response::Predicted { .. } = p else {
+        return Err(std::io::Error::other(format!(
+            "bad predict reply ({codec}): {p:?}"
+        )));
+    };
+    client.observe(instance, plan, sys, 2.5)?;
+    let p2 = client.predict(instance, plan, sys)?;
+    let Response::Predicted {
+        exec_secs, source, ..
+    } = p2
+    else {
+        return Err(std::io::Error::other(format!(
+            "bad predict reply ({codec}): {p2:?}"
+        )));
+    };
+    if source != stage_core::PredictionSource::Cache || (exec_secs - 2.5).abs() > 1e-9 {
+        return Err(std::io::Error::other(format!(
+            "observe did not reach the cache ({codec}): {source:?} {exec_secs}"
+        )));
+    }
+    Ok(exec_secs)
+}
+
 fn parse<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
     args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
         eprintln!("invalid value for {flag}");
@@ -141,7 +182,7 @@ fn parse<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: stage-serve [--addr HOST:PORT] [--instances N] [--workers N] \
+        "usage: stage-serve [--addr HOST:PORT] [--instances N] [--loops N] \
          [--queue-cap N] [--snapshot-dir DIR] [--snapshot-secs F] \
          [--deadline-ms N] [--smoke]"
     );

@@ -91,6 +91,13 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Dequeues without blocking. Returns `None` when the queue is empty
+    /// (open or closed) — event-loop shards drain their inbox with this
+    /// after a waker poke instead of parking a thread in [`Self::pop`].
+    pub fn try_pop(&self) -> Option<T> {
+        self.queue.lock().items.pop_front()
+    }
+
     /// Closes the queue: producers are refused from now on, consumers
     /// drain the backlog and then see `None`.
     pub fn close(&self) {
@@ -195,6 +202,16 @@ mod tests {
         // Popping frees a slot.
         assert_eq!(q.pop(), Some(1));
         q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn try_pop_never_blocks() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_pop(), None);
+        q.try_push(7).unwrap();
+        assert_eq!(q.try_pop(), Some(7));
+        q.close();
+        assert_eq!(q.try_pop(), None, "closed and empty is just None");
     }
 
     #[test]

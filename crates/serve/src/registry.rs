@@ -27,6 +27,7 @@ pub struct Shard {
     predictor: StagePredictor,
     observes: u64,
     predict_batches: u64,
+    timed_out: u64,
 }
 
 impl Shard {
@@ -35,6 +36,7 @@ impl Shard {
             predictor,
             observes: 0,
             predict_batches: 0,
+            timed_out: 0,
         }
     }
 
@@ -72,6 +74,19 @@ impl Shard {
     /// routing counters but do reset this per-process counter).
     pub fn observes(&self) -> u64 {
         self.observes
+    }
+
+    /// Records a request that expired before dispatch. Living on the shard
+    /// (rather than in a parallel server-side array) means the counter's
+    /// index space *is* the registry's — an instance id that passes
+    /// admission can never silently drop its count.
+    pub fn note_timed_out(&mut self) {
+        self.timed_out += 1;
+    }
+
+    /// Requests that timed out before this shard could serve them.
+    pub fn timed_out(&self) -> u64 {
+        self.timed_out
     }
 
     /// The wrapped predictor (read access for stats/snapshots).

@@ -1,22 +1,44 @@
-//! The serving loop: TCP accept → per-connection reader threads → bounded
-//! per-worker queues → shard workers → newline-delimited JSON responses.
+//! The serving loop: TCP accept → per-core event-loop shards → readiness
+//! driven read/decode/dispatch/write state machines → shard registry.
 //!
 //! ```text
-//!            ┌──────────────┐  try_push   ┌─────────────┐ shard write lock
-//! client ──► │ conn thread  │ ──────────► │ worker 0..W │ ──────────► shard
-//!            │ (parse line) │ ◄────────── │ (drain on   │             registry
-//!            └──────────────┘  mpsc reply │  shutdown)  │
-//!                  │ full queue?          └─────────────┘
-//!                  └─► Overloaded (backpressure, request NOT executed)
+//!            ┌───────────────┐ inbox+wake ┌──────────────────┐ shard write lock
+//! client ──► │ accept thread │ ─────────► │ event loop 0..L  │ ─────────► shard
+//!            │ (round-robin) │            │ poll(2) over all │            registry
+//!            └───────────────┘            │ conns; decode →  │
+//!                  │ inbox full?          │ dispatch inline →│
+//!                  └─► shed (drop conn)   │ buffered writes  │
+//!                                         └──────────────────┘
 //! ```
 //!
-//! Requests for one instance always land on the same worker
-//! (`instance % n_workers`), so a client's predict→observe order is
-//! preserved per instance. A full worker queue is answered with
-//! [`Response::Overloaded`] immediately — the server never builds an
-//! unbounded invisible backlog. `Shutdown` closes every queue; workers
-//! finish the backlog (graceful drain), a final checkpoint runs, and
-//! [`Server::join`] returns.
+//! Connections are non-blocking sockets owned by one of a handful of event
+//! loops; a loop `poll(2)`s every socket it owns plus a waker pipe, so one
+//! box holds tens of thousands of idle WLM connections at the cost of a
+//! few file descriptors per loop iteration — not a stack and a parked
+//! thread per connection, which is what the old thread-per-socket model
+//! burned.
+//!
+//! Each connection speaks one of two codecs, negotiated by its first
+//! bytes: the [`crate::wire`] magic preamble selects length-prefixed
+//! CRC-checked binary frames, anything else (JSON starts `{` or `"`) is
+//! served newline-delimited JSON exactly as before. Verbs execute inline
+//! on the loop thread under the target shard's lock — on the small hosts
+//! this repo benches on, a handoff to a worker pool costs more than the
+//! verb itself (PR 4 measured the same effect for parsing).
+//!
+//! Backpressure is per connection now: a peer that stops reading while
+//! pipelining requests grows its own write buffer, and past a bound its
+//! shard verbs are answered [`Response::Overloaded`] until the backlog
+//! drains. A full accept inbox sheds the new connection instead. Unknown
+//! instances are rejected *before* any dispatch — the old
+//! `instance % n_workers` routing silently aliased out-of-range ids onto
+//! a valid worker and dropped their timed-out counts; the counter now
+//! lives on the shard itself so its index space is the registry's.
+//!
+//! `Shutdown` flips the drain flag: shard verbs answer `ShuttingDown`
+//! (Stats/Snapshot still serve), the accept loop exits, and
+//! [`Server::join`] terminates the loops — each flushes pending replies
+//! best-effort, then the final checkpoint runs.
 //!
 //! This file is inside `stage-lint`'s panic-freedom scope: the request
 //! path must never `unwrap`/`expect`/`panic!` — malformed input, unknown
@@ -24,20 +46,33 @@
 //! `io::Result`s. All locks are `stage_core::sync` ordered locks, so the
 //! debug-build lock-order detector runs on every request.
 
+use crate::evloop::{poll_fds, PollFd, Waker, POLLIN, POLLOUT};
 use crate::protocol::{write_message_buffered, BatchPrediction, Request, Response};
-use crate::queue::{BoundedQueue, PushError};
+use crate::queue::BoundedQueue;
 use crate::registry::ShardRegistry;
+use crate::wire::{self, Unframed, HANDSHAKE, MAX_FRAME_LEN};
 use stage_chaos::{ChaosStream, FaultPlan};
 use stage_core::persist::PersistFaults;
 use stage_core::sync::{self, OrderedMutex, RANK_SESSION};
 use stage_core::{ComponentFaults, StageConfig, SystemContext};
-use std::io::{self, BufRead, BufReader};
+use std::io::{self, Read, Write};
 use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar};
+use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Per-connection write-buffer bound: once a pipelining peer that is not
+/// reading its replies has this many unsent bytes buffered, its shard
+/// verbs are answered `Overloaded` until the backlog drains.
+const WBUF_SHED_LIMIT: usize = 1 << 20;
+
+/// Per-readiness read budget: one connection hands the loop back after
+/// this many bytes so a firehose peer cannot starve its loop-mates
+/// (level-triggered polling re-signals whatever is left).
+const READ_BUDGET: usize = 256 * 1024;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -47,10 +82,11 @@ pub struct ServeConfig {
     pub addr: String,
     /// Number of instance shards to host (instance ids `0..n`).
     pub n_instances: u32,
-    /// Worker threads executing predict/observe jobs.
-    pub n_workers: usize,
-    /// Bound of each worker's request queue; a full queue answers
-    /// `Overloaded` instead of queueing further.
+    /// Event-loop shards; each owns a subset of the connections
+    /// (round-robin at accept) and executes their verbs inline.
+    pub n_loops: usize,
+    /// Bound of each loop's hand-off inbox from the accept thread; a full
+    /// inbox sheds the new connection rather than queueing it invisibly.
     pub queue_capacity: usize,
     /// Per-instance predictor configuration.
     pub stage: StageConfig,
@@ -60,15 +96,16 @@ pub struct ServeConfig {
     /// Background checkpoint cadence; `None` checkpoints only on demand
     /// (`Snapshot` request) and at shutdown.
     pub snapshot_every: Option<Duration>,
-    /// Per-request deadline: a predict request that waited in its worker
-    /// queue longer than this is answered [`Response::TimedOut`] instead of
-    /// executed (a stale prediction is worse than a fast "no answer").
-    /// Observes are exempt — feedback is never dropped. `None` disables.
+    /// Per-request deadline: a predict request that waited longer than
+    /// this between arriving on the socket and dispatching is answered
+    /// [`Response::TimedOut`] instead of executed (a stale prediction is
+    /// worse than a fast "no answer"). Observes are exempt — feedback is
+    /// never dropped. `None` disables.
     pub request_deadline: Option<Duration>,
-    /// Per-connection socket read timeout. An idle or slow client keeps
-    /// its connection (partial lines accumulate across timeouts), but once
-    /// the server is draining, a stalled client cannot pin its connection
-    /// thread past one timeout tick. `None` blocks forever.
+    /// Mid-message stall bound: a connection holding an unfinished request
+    /// (partial line, partial frame, partial handshake) with no progress
+    /// for this long is hung up on (slow-loris defense). Idle connections
+    /// between requests are kept indefinitely. `None` disables.
     pub conn_read_timeout: Option<Duration>,
     /// Fault-injection plan (chaos testing): wraps every accepted socket in
     /// a `ChaosStream` and hooks snapshot I/O and the model tiers.
@@ -81,7 +118,7 @@ impl Default for ServeConfig {
         Self {
             addr: "127.0.0.1:0".to_string(),
             n_instances: 2,
-            n_workers: 4,
+            n_loops: 2,
             queue_capacity: 1024,
             stage: StageConfig::default(),
             snapshot_dir: None,
@@ -93,150 +130,148 @@ impl Default for ServeConfig {
     }
 }
 
-/// A predict/observe job queued for a worker.
-struct Job {
-    request: Request,
-    enqueued: Instant,
-    reply: mpsc::Sender<Response>,
+/// An accepted socket, optionally wrapped in the chaos fault injector.
+/// Both variants are non-blocking; the wrapper passes `WouldBlock`
+/// through untouched, so injected faults land on the event-loop path
+/// exactly as they did on the thread-per-socket path.
+enum Sock {
+    Plain(TcpStream),
+    Chaos(ChaosStream<TcpStream>),
+}
+
+impl Sock {
+    fn tcp(&self) -> &TcpStream {
+        match self {
+            Sock::Plain(s) => s,
+            Sock::Chaos(c) => c.get_ref(),
+        }
+    }
+
+    fn fd(&self) -> RawFd {
+        self.tcp().as_raw_fd()
+    }
+}
+
+impl Read for Sock {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Sock::Plain(s) => s.read(buf),
+            Sock::Chaos(c) => c.read(buf),
+        }
+    }
+}
+
+impl Write for Sock {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Sock::Plain(s) => s.write(buf),
+            Sock::Chaos(c) => c.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Sock::Plain(s) => s.flush(),
+            Sock::Chaos(c) => c.flush(),
+        }
+    }
+}
+
+/// Which wire format a connection speaks (decided by its first bytes).
+enum CodecState {
+    /// Nothing received yet; the first byte picks the codec.
+    Negotiating,
+    /// Newline-delimited JSON (debuggability, old clients).
+    Json,
+    /// Length-prefixed CRC-checked binary frames ([`crate::wire`]).
+    Binary,
+}
+
+/// One connection's state machine.
+struct Conn {
+    sock: Sock,
+    fd: RawFd,
+    codec: CodecState,
+    /// Bytes read but not yet parsed into a complete message.
+    rbuf: Vec<u8>,
+    /// Encoded replies not yet written to the socket.
+    wbuf: Vec<u8>,
+    /// How much of `wbuf` is already written.
+    wpos: usize,
+    /// Close once `wbuf` drains (EOF seen, Shutdown acked, or framing
+    /// desync).
+    closing: bool,
+    /// Remove from the loop now.
+    dead: bool,
+    /// Last time a byte arrived (drives the mid-message stall reaper).
+    last_progress: Instant,
+}
+
+impl Conn {
+    fn new(sock: Sock) -> Self {
+        let fd = sock.fd();
+        Self {
+            sock,
+            fd,
+            codec: CodecState::Negotiating,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            closing: false,
+            dead: false,
+            last_progress: Instant::now(),
+        }
+    }
+
+    fn wants_write(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+}
+
+/// One event loop's handle shared with the accept thread.
+struct LoopShard {
+    inbox: BoundedQueue<Sock>,
+    waker: Waker,
 }
 
 /// State shared by every server thread.
 struct Shared {
     registry: ShardRegistry,
-    queues: Vec<BoundedQueue<Job>>,
     shutting_down: AtomicBool,
+    /// Set by [`Server::join`]: loops flush and exit.
+    terminate: AtomicBool,
     overloaded: AtomicU64,
     snapshot_dir: Option<PathBuf>,
     local_addr: SocketAddr,
     // Wakes the background checkpointer early (for shutdown).
     checkpoint_gate: (OrderedMutex<()>, Condvar),
     request_deadline: Option<Duration>,
-    // Requests answered `TimedOut`, per instance.
-    timed_out: Vec<AtomicU64>,
 }
 
 // Compile-time proof that everything crossing a thread boundary is safe to
-// do so: `Shared` is cloned into the listener, workers, and checkpointer;
-// `Job`s travel through the worker queues.
+// do so: `Shared` is cloned into the accept loop, event loops, and
+// checkpointer; `Sock`s travel through the loop inboxes.
 const _: () = {
     const fn assert_send<T: Send>() {}
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Shared>();
-    assert_send::<Job>();
+    assert_send_sync::<LoopShard>();
+    assert_send::<Sock>();
+    assert_send::<Conn>();
 };
 
 impl Shared {
-    fn worker_of(&self, instance: u32) -> usize {
-        instance as usize % self.queues.len().max(1)
-    }
-
-    fn note_timed_out(&self, instance: u32) {
-        if let Some(c) = self.timed_out.get(instance as usize) {
-            c.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-
-    fn timed_out_of(&self, instance: u32) -> u64 {
-        self.timed_out
-            .get(instance as usize)
-            .map_or(0, |c| c.load(Ordering::Relaxed))
-    }
-
-    /// Flips the server into draining mode exactly once: queues close (the
-    /// backlog still drains), and the accept loop is woken so it can exit.
+    /// Flips the server into draining mode exactly once: shard verbs start
+    /// answering `ShuttingDown`, and the accept loop is woken so it can
+    /// exit. The event loops keep running (serving Stats/Snapshot and the
+    /// drain answers) until [`Server::join`] terminates them.
     fn begin_shutdown(&self) {
         if self.shutting_down.swap(true, Ordering::SeqCst) {
             return;
         }
-        for q in &self.queues {
-            q.close();
-        }
         self.checkpoint_gate.1.notify_all();
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.local_addr);
-    }
-
-    /// Executes one dequeued job against its shard.
-    fn run_job(&self, request: Request, enqueued: Instant) -> Response {
-        match request {
-            Request::Predict {
-                instance,
-                plan,
-                sys,
-            } => {
-                let sys = SystemContext { features: sys };
-                self.registry
-                    .with_shard_write(instance, |shard| {
-                        let p = shard.predict(&plan, &sys);
-                        let (interval_lo, interval_hi) = match p.confidence_interval(1.96) {
-                            Some((lo, hi)) => (Some(lo), Some(hi)),
-                            None => (None, None),
-                        };
-                        Response::Predicted {
-                            exec_secs: p.exec_secs,
-                            interval_lo,
-                            interval_hi,
-                            source: p.source,
-                            latency_us: enqueued.elapsed().as_micros() as u64,
-                        }
-                    })
-                    .unwrap_or_else(|| unknown_instance(instance, self.registry.len()))
-            }
-            Request::PredictBatch {
-                instance,
-                plans,
-                sys,
-            } => {
-                let sys = SystemContext { features: sys };
-                self.registry
-                    .with_shard_write(instance, |shard| {
-                        // One lock acquisition prices the whole batch, so
-                        // queueing/locking overhead amortises across it.
-                        let predictions = shard
-                            .predict_batch(&plans, &sys)
-                            .into_iter()
-                            .map(|p| {
-                                let (interval_lo, interval_hi) = match p.confidence_interval(1.96) {
-                                    Some((lo, hi)) => (Some(lo), Some(hi)),
-                                    None => (None, None),
-                                };
-                                BatchPrediction {
-                                    exec_secs: p.exec_secs,
-                                    interval_lo,
-                                    interval_hi,
-                                    source: p.source,
-                                }
-                            })
-                            .collect();
-                        Response::PredictionsBatch {
-                            predictions,
-                            latency_us: enqueued.elapsed().as_micros() as u64,
-                        }
-                    })
-                    .unwrap_or_else(|| unknown_instance(instance, self.registry.len()))
-            }
-            Request::Observe {
-                instance,
-                plan,
-                sys,
-                actual_secs,
-            } => {
-                let sys = SystemContext { features: sys };
-                self.registry
-                    .with_shard_write(instance, |shard| {
-                        shard.observe(&plan, &sys, actual_secs);
-                        Response::Observed {
-                            latency_us: enqueued.elapsed().as_micros() as u64,
-                        }
-                    })
-                    .unwrap_or_else(|| unknown_instance(instance, self.registry.len()))
-            }
-            // Stats/Snapshot/Shutdown are handled inline by connection
-            // threads and never enqueued.
-            _ => Response::Error {
-                message: "internal: non-shard request routed to worker".to_string(),
-            },
-        }
     }
 }
 
@@ -246,19 +281,485 @@ fn unknown_instance(instance: u32, n: usize) -> Response {
     }
 }
 
-/// The shard a request targets (`None` for server-wide verbs).
-fn instance_of(request: &Request) -> Option<u32> {
+fn invalid_config(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidInput, format!("serve config: {what}"))
+}
+
+/// Executes one shard verb (Predict / PredictBatch / Observe) inline.
+/// Admission order matters: unknown instances are rejected before
+/// anything else (no aliasing onto a live shard), then the drain flag,
+/// then the deadline — only a request that passed all three touches the
+/// shard.
+fn serve_shard_verb(shared: &Shared, request: Request, arrived: Instant) -> Response {
+    let (instance, deadline_exempt) = match &request {
+        Request::Predict { instance, .. } | Request::PredictBatch { instance, .. } => {
+            (*instance, false)
+        }
+        // Observes are exempt from the deadline: feedback must land even
+        // under backlog.
+        Request::Observe { instance, .. } => (*instance, true),
+        _ => {
+            return Response::Error {
+                message: "internal: non-shard request routed to shard path".to_string(),
+            }
+        }
+    };
+    if !shared.registry.contains(instance) {
+        return unknown_instance(instance, shared.registry.len());
+    }
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return Response::ShuttingDown;
+    }
+    if !deadline_exempt {
+        if let Some(d) = shared.request_deadline {
+            // `arrived` is stamped at read-readiness, before decode, so
+            // the wait is the socket-to-dispatch time.
+            let waited = arrived.elapsed();
+            if waited > d {
+                shared
+                    .registry
+                    .with_shard_write(instance, |s| s.note_timed_out());
+                return Response::TimedOut {
+                    waited_us: waited.as_micros() as u64,
+                };
+            }
+        }
+    }
     match request {
-        Request::Predict { instance, .. }
-        | Request::PredictBatch { instance, .. }
-        | Request::Observe { instance, .. }
-        | Request::Stats { instance } => Some(*instance),
-        Request::Snapshot | Request::Shutdown => None,
+        Request::Predict {
+            instance,
+            plan,
+            sys,
+        } => {
+            let sys = SystemContext { features: sys };
+            shared
+                .registry
+                .with_shard_write(instance, |shard| {
+                    let p = shard.predict(&plan, &sys);
+                    let (interval_lo, interval_hi) = match p.confidence_interval(1.96) {
+                        Some((lo, hi)) => (Some(lo), Some(hi)),
+                        None => (None, None),
+                    };
+                    Response::Predicted {
+                        exec_secs: p.exec_secs,
+                        interval_lo,
+                        interval_hi,
+                        source: p.source,
+                        latency_us: arrived.elapsed().as_micros() as u64,
+                    }
+                })
+                .unwrap_or_else(|| unknown_instance(instance, shared.registry.len()))
+        }
+        Request::PredictBatch {
+            instance,
+            plans,
+            sys,
+        } => {
+            let sys = SystemContext { features: sys };
+            shared
+                .registry
+                .with_shard_write(instance, |shard| {
+                    // One lock acquisition prices the whole batch, so
+                    // locking overhead amortises across it.
+                    let predictions = shard
+                        .predict_batch(&plans, &sys)
+                        .into_iter()
+                        .map(|p| {
+                            let (interval_lo, interval_hi) = match p.confidence_interval(1.96) {
+                                Some((lo, hi)) => (Some(lo), Some(hi)),
+                                None => (None, None),
+                            };
+                            BatchPrediction {
+                                exec_secs: p.exec_secs,
+                                interval_lo,
+                                interval_hi,
+                                source: p.source,
+                            }
+                        })
+                        .collect();
+                    Response::PredictionsBatch {
+                        predictions,
+                        latency_us: arrived.elapsed().as_micros() as u64,
+                    }
+                })
+                .unwrap_or_else(|| unknown_instance(instance, shared.registry.len()))
+        }
+        Request::Observe {
+            instance,
+            plan,
+            sys,
+            actual_secs,
+        } => {
+            let sys = SystemContext { features: sys };
+            shared
+                .registry
+                .with_shard_write(instance, |shard| {
+                    shard.observe(&plan, &sys, actual_secs);
+                    Response::Observed {
+                        latency_us: arrived.elapsed().as_micros() as u64,
+                    }
+                })
+                .unwrap_or_else(|| unknown_instance(instance, shared.registry.len()))
+        }
+        _ => Response::Error {
+            message: "internal: non-shard request routed to shard path".to_string(),
+        },
     }
 }
 
-fn invalid_config(what: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidInput, format!("serve config: {what}"))
+/// Dispatches one decoded request. Returns the reply and whether the
+/// connection should close after the reply flushes.
+fn serve_request(
+    shared: &Shared,
+    request: Request,
+    arrived: Instant,
+    wbuf_backlog: usize,
+) -> (Response, bool) {
+    match request {
+        Request::Predict { .. } | Request::PredictBatch { .. } | Request::Observe { .. } => {
+            // Backpressure: a peer pipelining requests without reading its
+            // replies is shed before its verb executes — the wait moves to
+            // the client where it belongs.
+            if wbuf_backlog > WBUF_SHED_LIMIT {
+                shared.overloaded.fetch_add(1, Ordering::Relaxed);
+                return (Response::Overloaded { retry_after_ms: 1 }, false);
+            }
+            (serve_shard_verb(shared, request, arrived), false)
+        }
+        Request::Stats { instance } => (
+            shared
+                .registry
+                .with_shard_read(instance, |shard| Response::Stats {
+                    routing: shard.predictor().stats(),
+                    observes: shard.observes(),
+                    predict_batches: shard.predict_batches(),
+                    cache_len: shard.predictor().cache().len() as u64,
+                    pool_len: shard.predictor().pool().len() as u64,
+                    local_trained: shard.predictor().local().is_trained(),
+                    degraded: shard.predictor().degraded_stats(),
+                    timed_out: shard.timed_out(),
+                })
+                .unwrap_or_else(|| unknown_instance(instance, shared.registry.len())),
+            false,
+        ),
+        Request::Snapshot => (
+            match &shared.snapshot_dir {
+                Some(dir) => match shared.registry.save_snapshots(dir) {
+                    Ok(instances) => Response::Snapshotted { instances },
+                    Err(e) => Response::Error {
+                        message: format!("checkpoint failed: {e}"),
+                    },
+                },
+                None => Response::Error {
+                    message: "no snapshot directory configured".to_string(),
+                },
+            },
+            false,
+        ),
+        Request::Shutdown => {
+            shared.begin_shutdown();
+            (Response::ShuttingDown, true)
+        }
+    }
+}
+
+/// Encodes `response` onto the connection's write buffer in its codec.
+fn push_response(
+    conn: &mut Conn,
+    response: &Response,
+    json_buf: &mut String,
+    bin_buf: &mut Vec<u8>,
+) {
+    match conn.codec {
+        CodecState::Json | CodecState::Negotiating => {
+            if write_message_buffered(&mut conn.wbuf, response, json_buf).is_err() {
+                conn.dead = true;
+            }
+        }
+        CodecState::Binary => {
+            bin_buf.clear();
+            wire::encode_response(response, bin_buf);
+            if wire::frame_into(&mut conn.wbuf, bin_buf).is_err() {
+                conn.dead = true;
+            }
+        }
+    }
+}
+
+/// Parses and dispatches every complete message buffered on `conn`.
+fn process_input(
+    shared: &Shared,
+    conn: &mut Conn,
+    arrived: Instant,
+    json_buf: &mut String,
+    bin_buf: &mut Vec<u8>,
+) {
+    loop {
+        if conn.dead || conn.closing {
+            return;
+        }
+        match conn.codec {
+            CodecState::Negotiating => {
+                let Some(&first) = conn.rbuf.first() else {
+                    return;
+                };
+                if HANDSHAKE.first() == Some(&first) {
+                    let Some(preamble) = conn.rbuf.get(..HANDSHAKE.len()) else {
+                        return; // partial handshake; wait for more bytes
+                    };
+                    if preamble == HANDSHAKE {
+                        // Echo the preamble as the ack, then speak frames.
+                        conn.wbuf.extend_from_slice(&HANDSHAKE);
+                        conn.rbuf.drain(..HANDSHAKE.len());
+                        conn.codec = CodecState::Binary;
+                    } else {
+                        // Right magic, wrong version (or corrupt preamble):
+                        // no compatible codec to fall back to.
+                        conn.dead = true;
+                        return;
+                    }
+                } else {
+                    // JSON requests start with '{' or '"'; anything that
+                    // isn't the magic byte is served as newline-JSON, which
+                    // will answer garbage with a parse error as before.
+                    conn.codec = CodecState::Json;
+                }
+            }
+            CodecState::Json => {
+                let Some(nl) = conn.rbuf.iter().position(|&b| b == b'\n') else {
+                    if conn.rbuf.len() > MAX_FRAME_LEN as usize {
+                        // A "line" longer than any legal frame is abuse,
+                        // not a request.
+                        let r = Response::Error {
+                            message: "request line exceeds maximum length".to_string(),
+                        };
+                        push_response(conn, &r, json_buf, bin_buf);
+                        conn.closing = true;
+                    }
+                    return;
+                };
+                let parsed = conn
+                    .rbuf
+                    .get(..nl)
+                    .and_then(|line| std::str::from_utf8(line).ok())
+                    .map(|line| serde_json::from_str::<Request>(line.trim_end()));
+                conn.rbuf.drain(..nl + 1);
+                match parsed {
+                    Some(Ok(request)) => {
+                        let backlog = conn.wbuf.len() - conn.wpos;
+                        let (response, close) = serve_request(shared, request, arrived, backlog);
+                        push_response(conn, &response, json_buf, bin_buf);
+                        if close {
+                            conn.closing = true;
+                        }
+                    }
+                    Some(Err(e)) => {
+                        let r = Response::Error {
+                            message: format!("bad request: {e}"),
+                        };
+                        push_response(conn, &r, json_buf, bin_buf);
+                    }
+                    None => {
+                        let r = Response::Error {
+                            message: "bad request: not UTF-8".to_string(),
+                        };
+                        push_response(conn, &r, json_buf, bin_buf);
+                    }
+                }
+            }
+            CodecState::Binary => {
+                let (consumed, decoded) = match wire::try_unframe(&conn.rbuf) {
+                    Ok(Unframed::NeedMore) => return,
+                    Ok(Unframed::Frame { consumed, payload }) => {
+                        (consumed, wire::decode_request(payload))
+                    }
+                    Err(e) => {
+                        // Oversized header or CRC mismatch: the stream is
+                        // desynchronised and — unlike newline-JSON — there
+                        // is no boundary to resync on. Answer and hang up.
+                        let r = Response::Error {
+                            message: format!("bad frame: {e}"),
+                        };
+                        push_response(conn, &r, json_buf, bin_buf);
+                        conn.closing = true;
+                        return;
+                    }
+                };
+                conn.rbuf.drain(..consumed);
+                match decoded {
+                    Ok(request) => {
+                        let backlog = conn.wbuf.len() - conn.wpos;
+                        let (response, close) = serve_request(shared, request, arrived, backlog);
+                        push_response(conn, &response, json_buf, bin_buf);
+                        if close {
+                            conn.closing = true;
+                        }
+                    }
+                    // The frame boundary was intact (CRC passed), so a
+                    // decode error is answerable without losing sync.
+                    Err(e) => {
+                        let r = Response::Error {
+                            message: format!("bad request: {e}"),
+                        };
+                        push_response(conn, &r, json_buf, bin_buf);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Writes as much pending output as the socket accepts right now.
+fn flush_writes(conn: &mut Conn) {
+    while conn.wpos < conn.wbuf.len() {
+        let Some(chunk) = conn.wbuf.get(conn.wpos..) else {
+            break;
+        };
+        match conn.sock.write(chunk) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+    if conn.wpos >= conn.wbuf.len() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+        if conn.closing {
+            conn.dead = true;
+        }
+    } else if conn.wpos > 64 * 1024 {
+        // Reclaim the written prefix so a long-lived slow reader doesn't
+        // hold its history forever.
+        conn.wbuf.drain(..conn.wpos);
+        conn.wpos = 0;
+    }
+}
+
+/// Reads whatever the socket has (up to the fairness budget), then parses,
+/// dispatches, and flushes.
+fn handle_readable(shared: &Shared, conn: &mut Conn, json_buf: &mut String, bin_buf: &mut Vec<u8>) {
+    let arrived = Instant::now();
+    let mut tmp = [0u8; 16 * 1024];
+    let mut budget = READ_BUDGET;
+    loop {
+        match conn.sock.read(&mut tmp) {
+            Ok(0) => {
+                // EOF: serve whatever complete messages are buffered, then
+                // close after the replies flush.
+                conn.closing = true;
+                break;
+            }
+            Ok(n) => {
+                if let Some(chunk) = tmp.get(..n) {
+                    conn.rbuf.extend_from_slice(chunk);
+                }
+                conn.last_progress = arrived;
+                budget = budget.saturating_sub(n);
+                if budget == 0 {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+    process_input(shared, conn, arrived, json_buf, bin_buf);
+    flush_writes(conn);
+}
+
+/// Best-effort flush of pending replies at loop exit, then close. The
+/// sockets flip back to blocking with a short write timeout so a dead peer
+/// cannot wedge the drain.
+fn final_flush(conns: &mut Vec<Conn>) {
+    for conn in conns.iter_mut() {
+        if conn.wants_write() {
+            let _ = conn.sock.tcp().set_nonblocking(false);
+            let _ = conn
+                .sock
+                .tcp()
+                .set_write_timeout(Some(Duration::from_millis(250)));
+            if let Some(rest) = conn.wbuf.get(conn.wpos..) {
+                let owned = rest.to_vec();
+                let _ = conn.sock.write_all(&owned);
+            }
+        }
+        let _ = conn.sock.tcp().shutdown(SockShutdown::Both);
+    }
+    conns.clear();
+}
+
+/// One event loop: adopt inbox connections, poll, serve readiness.
+fn run_loop(shared: &Arc<Shared>, lshard: &Arc<LoopShard>, conn_read_timeout: Option<Duration>) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut pollfds: Vec<PollFd> = Vec::new();
+    let mut json_buf = String::new();
+    let mut bin_buf = Vec::new();
+    let poll_ms = conn_read_timeout.map_or(500, |t| {
+        i32::try_from(t.as_millis() / 2)
+            .unwrap_or(500)
+            .clamp(5, 500)
+    });
+    loop {
+        if shared.terminate.load(Ordering::SeqCst) {
+            final_flush(&mut conns);
+            return;
+        }
+        while let Some(sock) = lshard.inbox.try_pop() {
+            conns.push(Conn::new(sock));
+        }
+
+        pollfds.clear();
+        pollfds.push(PollFd::new(lshard.waker.read_fd(), POLLIN));
+        for conn in &conns {
+            let mut events = POLLIN;
+            if conn.wants_write() {
+                events |= POLLOUT;
+            }
+            pollfds.push(PollFd::new(conn.fd, events));
+        }
+        if poll_fds(&mut pollfds, poll_ms).is_err() {
+            // EINVAL/ENOMEM from poll: back off rather than spin.
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        if pollfds.first().is_some_and(|f| f.ready(POLLIN)) {
+            lshard.waker.drain();
+        }
+        for (i, conn) in conns.iter_mut().enumerate() {
+            let Some(pfd) = pollfds.get(i + 1) else {
+                continue;
+            };
+            if pfd.ready(POLLIN) || pfd.failed() {
+                // POLLHUP/POLLERR land here too: the read returns the
+                // buffered bytes, then EOF or the error, in order.
+                handle_readable(shared, conn, &mut json_buf, &mut bin_buf);
+            } else if pfd.ready(POLLOUT) {
+                flush_writes(conn);
+            }
+        }
+        if let Some(timeout) = conn_read_timeout {
+            for conn in conns.iter_mut() {
+                // Mid-message only: an idle connection between requests
+                // stays for as long as the client wants it.
+                if !conn.rbuf.is_empty() && conn.last_progress.elapsed() > timeout {
+                    conn.dead = true;
+                }
+            }
+        }
+        conns.retain(|c| !c.dead);
+    }
 }
 
 /// A running server; dropping the handle does **not** stop it — send a
@@ -266,21 +767,20 @@ fn invalid_config(what: &str) -> io::Error {
 /// [`Server::join`].
 pub struct Server {
     shared: Arc<Shared>,
-    listener_handle: JoinHandle<()>,
-    worker_handles: Vec<JoinHandle<()>>,
+    accept_handle: JoinHandle<()>,
+    loop_handles: Vec<JoinHandle<()>>,
+    loop_shards: Vec<Arc<LoopShard>>,
     checkpoint_handle: Option<JoinHandle<()>>,
-    conn_handles: Arc<OrderedMutex<Vec<JoinHandle<()>>>>,
-    conn_streams: Arc<OrderedMutex<Vec<TcpStream>>>,
 }
 
 impl Server {
     /// Binds, warm-starts from the snapshot directory when one is
-    /// configured, and spawns the accept loop, workers, and (optionally)
-    /// the background checkpointer. Invalid configuration and failed
-    /// spawns are `Err`s, never panics.
+    /// configured, and spawns the accept loop, event loops, and
+    /// (optionally) the background checkpointer. Invalid configuration and
+    /// failed spawns are `Err`s, never panics.
     pub fn start(config: ServeConfig) -> io::Result<Self> {
-        if config.n_workers == 0 {
-            return Err(invalid_config("need at least one worker"));
+        if config.n_loops == 0 {
+            return Err(invalid_config("need at least one event loop"));
         }
         if config.n_instances == 0 {
             return Err(invalid_config("need at least one instance"));
@@ -316,51 +816,30 @@ impl Server {
         }
         let shared = Arc::new(Shared {
             registry,
-            queues: (0..config.n_workers)
-                .map(|_| BoundedQueue::new(config.queue_capacity))
-                .collect(),
             shutting_down: AtomicBool::new(false),
+            terminate: AtomicBool::new(false),
             overloaded: AtomicU64::new(0),
             snapshot_dir: config.snapshot_dir.clone(),
             local_addr,
             checkpoint_gate: (OrderedMutex::new(RANK_SESSION, ()), Condvar::new()),
             request_deadline: config.request_deadline,
-            timed_out: (0..config.n_instances).map(|_| AtomicU64::new(0)).collect(),
         });
 
-        let mut worker_handles = Vec::with_capacity(config.n_workers);
-        for w in 0..config.n_workers {
+        let mut loop_shards = Vec::with_capacity(config.n_loops);
+        let mut loop_handles = Vec::with_capacity(config.n_loops);
+        for l in 0..config.n_loops {
+            let lshard = Arc::new(LoopShard {
+                inbox: BoundedQueue::new(config.queue_capacity),
+                waker: Waker::new()?,
+            });
             let shared = Arc::clone(&shared);
+            let lshard2 = Arc::clone(&lshard);
+            let conn_read_timeout = config.conn_read_timeout;
             let handle = std::thread::Builder::new()
-                .name(format!("serve-worker-{w}"))
-                .spawn(move || {
-                    let Some(queue) = shared.queues.get(w) else {
-                        return;
-                    };
-                    while let Some(job) = queue.pop() {
-                        // Deadline check at pickup: a prediction that
-                        // overstayed its queue wait is answered `TimedOut`
-                        // without touching the shard. Observes are exempt —
-                        // feedback must land even under backlog.
-                        let waited = job.enqueued.elapsed();
-                        let expired = shared.request_deadline.is_some_and(|d| waited > d)
-                            && !matches!(job.request, Request::Observe { .. });
-                        let response = if expired {
-                            if let Some(instance) = instance_of(&job.request) {
-                                shared.note_timed_out(instance);
-                            }
-                            Response::TimedOut {
-                                waited_us: waited.as_micros() as u64,
-                            }
-                        } else {
-                            shared.run_job(job.request, job.enqueued)
-                        };
-                        // The client may have disconnected; that loses
-                        // only its response, not the state change.
-                        let _ = job.reply.send(response);
-                    }
-                })?;
-            worker_handles.push(handle);
+                .name(format!("serve-loop-{l}"))
+                .spawn(move || run_loop(&shared, &lshard2, conn_read_timeout))?;
+            loop_shards.push(lshard);
+            loop_handles.push(handle);
         }
 
         let checkpoint_handle = match (&config.snapshot_dir, config.snapshot_every) {
@@ -391,72 +870,40 @@ impl Server {
             _ => None,
         };
 
-        let conn_handles = Arc::new(OrderedMutex::new(RANK_SESSION, Vec::new()));
-        let conn_streams = Arc::new(OrderedMutex::new(RANK_SESSION, Vec::new()));
-        let listener_handle = {
+        let accept_handle = {
             let shared = Arc::clone(&shared);
-            let conn_handles = Arc::clone(&conn_handles);
-            let conn_streams = Arc::clone(&conn_streams);
-            let conn_read_timeout = config.conn_read_timeout;
+            let loop_shards: Vec<Arc<LoopShard>> = loop_shards.iter().map(Arc::clone).collect();
             let chaos = config.chaos.clone();
             std::thread::Builder::new()
-                .name("serve-listener".to_string())
+                .name("serve-accept".to_string())
                 .spawn(move || {
+                    let mut next = 0usize;
                     for stream in listener.incoming() {
                         if shared.shutting_down.load(Ordering::SeqCst) {
                             break;
                         }
                         let Ok(stream) = stream else { continue };
-                        // Responses are single small lines; Nagle+delayed-ACK
-                        // would add ~40 ms to every round-trip.
+                        // Replies are small; Nagle+delayed-ACK would add
+                        // ~40 ms to every round-trip.
                         stream.set_nodelay(true).ok();
-                        // The read deadline keeps a stalled client from
-                        // pinning this connection's thread once the server
-                        // starts draining.
-                        stream.set_read_timeout(conn_read_timeout).ok();
-                        if let Ok(clone) = stream.try_clone() {
-                            conn_streams.lock().push(clone);
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
                         }
-                        let shared = Arc::clone(&shared);
-                        let chaos = chaos.clone();
-                        match std::thread::Builder::new()
-                            .name("serve-conn".to_string())
-                            .spawn(move || {
-                                let Ok(read_half) = stream.try_clone() else {
-                                    return;
-                                };
-                                // The listener holds a drain-time clone of
-                                // this socket, so dropping our halves alone
-                                // leaves the TCP connection established;
-                                // shut it down explicitly once the loop
-                                // exits so the peer sees EOF promptly
-                                // instead of waiting out its read timeout.
-                                let raw = stream.try_clone();
-                                match chaos {
-                                    // Chaos testing: both socket halves go
-                                    // through the fault-injecting wrapper.
-                                    Some(plan) => serve_connection(
-                                        &shared,
-                                        BufReader::new(ChaosStream::new(
-                                            read_half,
-                                            Arc::clone(&plan),
-                                        )),
-                                        ChaosStream::new(stream, plan),
-                                    ),
-                                    None => {
-                                        serve_connection(&shared, BufReader::new(read_half), stream)
-                                    }
-                                }
-                                if let Ok(raw) = raw {
-                                    let _ = raw.shutdown(SockShutdown::Both);
-                                }
-                            }) {
-                            Ok(handle) => conn_handles.lock().push(handle),
-                            // Thread exhaustion sheds this connection (the
-                            // client sees EOF and retries) instead of
-                            // killing the listener.
-                            Err(e) => {
-                                eprintln!("stage-serve: cannot spawn connection thread: {e}");
+                        let sock = match &chaos {
+                            Some(plan) => Sock::Chaos(ChaosStream::new(stream, Arc::clone(plan))),
+                            None => Sock::Plain(stream),
+                        };
+                        let Some(lshard) = loop_shards.get(next % loop_shards.len().max(1)) else {
+                            continue;
+                        };
+                        next = next.wrapping_add(1);
+                        match lshard.inbox.try_push(sock) {
+                            Ok(()) => lshard.waker.wake(),
+                            // Inbox full (or closed): shed the connection —
+                            // the dropped socket is an EOF to the client,
+                            // which retries, and the shed is counted.
+                            Err(_) => {
+                                shared.overloaded.fetch_add(1, Ordering::Relaxed);
                             }
                         }
                     }
@@ -465,11 +912,10 @@ impl Server {
 
         Ok(Self {
             shared,
-            listener_handle,
-            worker_handles,
+            accept_handle,
+            loop_handles,
+            loop_shards,
             checkpoint_handle,
-            conn_handles,
-            conn_streams,
         })
     }
 
@@ -478,17 +924,16 @@ impl Server {
         self.shared.local_addr
     }
 
-    /// Requests routed to a full queue so far (shed load).
+    /// Requests (or whole connections) shed for overload so far.
     pub fn overloaded_count(&self) -> u64 {
         self.shared.overloaded.load(Ordering::Relaxed)
     }
 
     /// Requests answered [`Response::TimedOut`] so far, all instances.
     pub fn timed_out_count(&self) -> u64 {
-        self.shared
-            .timed_out
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
+        let n = self.shared.registry.len() as u32;
+        (0..n)
+            .filter_map(|id| self.shared.registry.with_shard_read(id, |s| s.timed_out()))
             .sum()
     }
 
@@ -501,157 +946,28 @@ impl Server {
     /// the final checkpoint. Call after `shutdown` / a client `Shutdown`.
     /// A serving thread that panicked surfaces as an `Err` here.
     pub fn join(self) -> io::Result<()> {
-        self.listener_handle
+        self.accept_handle
             .join()
-            .map_err(|_| io::Error::other("listener thread panicked"))?;
-        for h in self.worker_handles {
+            .map_err(|_| io::Error::other("accept thread panicked"))?;
+        // The accept loop is down; now the event loops flush and exit.
+        self.shared.terminate.store(true, Ordering::SeqCst);
+        for lshard in &self.loop_shards {
+            lshard.waker.wake();
+        }
+        for h in self.loop_handles {
             h.join()
-                .map_err(|_| io::Error::other("worker thread panicked"))?;
+                .map_err(|_| io::Error::other("event loop thread panicked"))?;
         }
         if let Some(h) = self.checkpoint_handle {
             h.join()
                 .map_err(|_| io::Error::other("checkpointer thread panicked"))?;
         }
-        // Every queued job is now executed and answered; persist the final
-        // state so a restart resumes warm.
+        // Every in-flight request is now answered (or its connection
+        // closed); persist the final state so a restart resumes warm.
         if let Some(dir) = &self.shared.snapshot_dir {
             self.shared.registry.save_snapshots(dir)?;
         }
-        // Unblock connection threads still parked in read_line.
-        for s in self.conn_streams.lock().drain(..) {
-            let _ = s.shutdown(SockShutdown::Both);
-        }
-        let handles: Vec<_> = self.conn_handles.lock().drain(..).collect();
-        for h in handles {
-            h.join()
-                .map_err(|_| io::Error::other("connection thread panicked"))?;
-        }
         Ok(())
-    }
-}
-
-/// One connection's request→response loop. Generic over the two socket
-/// halves so chaos testing can interpose a fault-injecting wrapper; the
-/// production instantiation is a plain `BufReader<TcpStream>`/`TcpStream`.
-fn serve_connection<R: BufRead, W: io::Write>(shared: &Shared, mut reader: R, mut writer: W) {
-    // One serialization buffer per connection: every response on this
-    // connection reuses the same allocation instead of building a fresh
-    // String per message (the old per-request hot-path allocation).
-    let mut write_buf = String::new();
-    let mut line = String::new();
-    'conn: loop {
-        line.clear();
-        // Inner read loop: a socket read timeout (or an injected stall)
-        // leaves any partial line in `line` and retries, so slow clients
-        // keep their connection — unless the server is draining, in which
-        // case a stalled client is hung up on rather than pinning this
-        // thread for the rest of the drain.
-        let n = loop {
-            match reader.read_line(&mut line) {
-                Ok(n) => break n,
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    if shared.shutting_down.load(Ordering::SeqCst) {
-                        break 'conn;
-                    }
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(_) => break 'conn, // connection torn down
-            }
-        };
-        if n == 0 {
-            break; // EOF (a half-received line cannot be served either way)
-        }
-        let response = match serde_json::from_str::<Request>(line.trim_end()) {
-            Ok(request) => match request {
-                Request::Predict { instance, .. }
-                | Request::PredictBatch { instance, .. }
-                | Request::Observe { instance, .. } => {
-                    dispatch_to_worker(shared, instance, request)
-                }
-                Request::Stats { instance } => shared
-                    .registry
-                    .with_shard_read(instance, |shard| Response::Stats {
-                        routing: shard.predictor().stats(),
-                        observes: shard.observes(),
-                        predict_batches: shard.predict_batches(),
-                        cache_len: shard.predictor().cache().len() as u64,
-                        pool_len: shard.predictor().pool().len() as u64,
-                        local_trained: shard.predictor().local().is_trained(),
-                        degraded: shard.predictor().degraded_stats(),
-                        timed_out: shared.timed_out_of(instance),
-                    })
-                    .unwrap_or_else(|| unknown_instance(instance, shared.registry.len())),
-                Request::Snapshot => match &shared.snapshot_dir {
-                    Some(dir) => match shared.registry.save_snapshots(dir) {
-                        Ok(instances) => Response::Snapshotted { instances },
-                        Err(e) => Response::Error {
-                            message: format!("checkpoint failed: {e}"),
-                        },
-                    },
-                    None => Response::Error {
-                        message: "no snapshot directory configured".to_string(),
-                    },
-                },
-                Request::Shutdown => {
-                    let ack = write_message_buffered(
-                        &mut writer,
-                        &Response::ShuttingDown,
-                        &mut write_buf,
-                    );
-                    shared.begin_shutdown();
-                    if ack.is_err() {
-                        // Client vanished mid-ack; the drain still proceeds.
-                    }
-                    break;
-                }
-            },
-            Err(e) => Response::Error {
-                message: format!("bad request: {e}"),
-            },
-        };
-        if write_message_buffered(&mut writer, &response, &mut write_buf).is_err() {
-            break;
-        }
-    }
-}
-
-/// Routes a predict/observe request through the target worker's bounded
-/// queue and waits for its answer.
-fn dispatch_to_worker(shared: &Shared, instance: u32, request: Request) -> Response {
-    if !shared.registry.contains(instance) {
-        return unknown_instance(instance, shared.registry.len());
-    }
-    let Some(queue) = shared.queues.get(shared.worker_of(instance)) else {
-        // Unreachable: worker_of is modulo the queue count, but a protocol
-        // error beats an index panic on the request path.
-        return Response::Error {
-            message: "internal: no worker queue for instance".to_string(),
-        };
-    };
-    let (reply_tx, reply_rx) = mpsc::channel();
-    let job = Job {
-        request,
-        enqueued: Instant::now(),
-        reply: reply_tx,
-    };
-    match queue.try_push(job) {
-        Ok(()) => match reply_rx.recv() {
-            Ok(response) => response,
-            // Unreachable in practice: workers answer every drained job.
-            Err(_) => Response::Error {
-                message: "worker dropped request".to_string(),
-            },
-        },
-        Err(PushError::Full) => {
-            shared.overloaded.fetch_add(1, Ordering::Relaxed);
-            Response::Overloaded { retry_after_ms: 1 }
-        }
-        Err(PushError::Closed) => Response::ShuttingDown,
     }
 }
 
@@ -712,6 +1028,42 @@ mod tests {
     }
 
     #[test]
+    fn json_and_binary_clients_share_one_server_and_agree() {
+        let server = Server::start(ServeConfig::default()).unwrap();
+        let mut json = ServeClient::connect_json(server.local_addr()).unwrap();
+        let mut bin = ServeClient::connect(server.local_addr()).unwrap();
+
+        // Same warm state, same question, answered over each codec: the
+        // replies must agree bit-for-bit on the prediction.
+        let o = json.observe(0, &plan(2e5), &[0.0, 0.0], 3.25).unwrap();
+        assert!(matches!(o, Response::Observed { .. }));
+        let pj = json.predict(0, &plan(2e5), &[0.0, 0.0]).unwrap();
+        let pb = bin.predict(0, &plan(2e5), &[0.0, 0.0]).unwrap();
+        let (
+            Response::Predicted {
+                exec_secs: a,
+                source: sa,
+                ..
+            },
+            Response::Predicted {
+                exec_secs: b,
+                source: sb,
+                ..
+            },
+        ) = (&pj, &pb)
+        else {
+            panic!("expected Predicted twice, got {pj:?} / {pb:?}");
+        };
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(sa, sb);
+
+        assert!(matches!(bin.shutdown().unwrap(), Response::ShuttingDown));
+        drop(bin);
+        drop(json);
+        server.join().unwrap();
+    }
+
+    #[test]
     fn snapshot_without_dir_is_an_error() {
         let server = Server::start(ServeConfig::default()).unwrap();
         let mut client = ServeClient::connect(server.local_addr()).unwrap();
@@ -737,10 +1089,46 @@ mod tests {
     }
 
     #[test]
+    fn unknown_instances_are_rejected_not_aliased() {
+        // The old `instance % n_workers` routing would alias instance 7
+        // onto a live worker; the answer must be an explicit rejection
+        // regardless of how it relates to the loop/shard counts.
+        let server = Server::start(ServeConfig {
+            n_instances: 2,
+            n_loops: 2,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+        for bogus in [2u32, 4, 7, u32::MAX] {
+            let p = client.predict(bogus, &plan(1e4), &[0.0, 0.0]).unwrap();
+            let Response::Error { message } = p else {
+                panic!("instance {bogus} must be rejected, got {p:?}");
+            };
+            assert!(message.contains("unknown instance"), "{message}");
+            let o = client.observe(bogus, &plan(1e4), &[0.0, 0.0], 1.0).unwrap();
+            assert!(matches!(o, Response::Error { .. }));
+        }
+        // The rejections touched no shard state.
+        let s = client.stats(0).unwrap();
+        let Response::Stats {
+            routing, observes, ..
+        } = s
+        else {
+            panic!("expected Stats, got {s:?}");
+        };
+        assert_eq!(routing.total(), 0);
+        assert_eq!(observes, 0);
+        client.shutdown().unwrap();
+        drop(client);
+        server.join().unwrap();
+    }
+
+    #[test]
     fn expired_predictions_time_out_but_observes_survive() {
-        // A zero deadline expires every queued prediction by the time a
-        // worker picks it up, so the degraded path is exercised
-        // deterministically.
+        // A zero deadline expires every prediction by dispatch time (the
+        // arrival stamp is taken at read-readiness, strictly before
+        // decode), so the degraded path is exercised deterministically.
         let server = Server::start(ServeConfig {
             request_deadline: Some(Duration::ZERO),
             ..ServeConfig::default()
@@ -778,8 +1166,8 @@ mod tests {
         })
         .unwrap();
         // A misbehaving peer sends half a request line and then stalls
-        // forever (slow-loris). Its connection thread must not block the
-        // graceful drain below.
+        // forever (slow-loris). The mid-message reaper hangs up on it;
+        // either way it must not block the graceful drain below.
         let mut stall = std::net::TcpStream::connect(server.local_addr()).unwrap();
         stall.write_all(br#"{"Stats":{"inst"#).unwrap();
         // A well-behaved client still gets served, then drains the server.
@@ -796,7 +1184,7 @@ mod tests {
     fn degenerate_configs_are_errors_not_panics() {
         for broken in [
             ServeConfig {
-                n_workers: 0,
+                n_loops: 0,
                 ..ServeConfig::default()
             },
             ServeConfig {

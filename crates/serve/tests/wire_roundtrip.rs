@@ -1,0 +1,332 @@
+//! Property tests for the binary wire codec: any well-formed message —
+//! including hostile float bit patterns and deep, ragged plan trees — must
+//! survive encode→decode bit-exactly, and the JSON and binary codecs must
+//! agree on every value either can carry.
+//!
+//! Equality is checked by re-encoding the decoded message and comparing
+//! bytes: the codec is canonical (one encoding per value), so byte equality
+//! is value equality — and it sidesteps `f64: PartialEq` being useless for
+//! NaN payloads, which the wire must nonetheless preserve.
+//!
+//! The workspace's proptest shim has no combinator for enums or recursive
+//! types, so the message strategies below implement `Strategy` directly,
+//! drawing structure from the deterministic per-test RNG.
+
+use proptest::prelude::*;
+use rand::RngCore as _;
+use stage_core::{DegradedStats, PredictionSource, RoutingStats};
+use stage_plan::{OperatorKind, PhysicalPlan, PlanNode, QueryType, S3Format};
+use stage_serve::wire::{
+    decode_request, decode_response, encode_request, encode_response, frame_into, try_unframe,
+    Unframed,
+};
+use stage_serve::{BatchPrediction, Request, Response};
+
+const QUERY_TYPES: [QueryType; 5] = [
+    QueryType::Select,
+    QueryType::Insert,
+    QueryType::Update,
+    QueryType::Delete,
+    QueryType::Other,
+];
+
+const S3_FORMATS: [S3Format; 4] = [
+    S3Format::Parquet,
+    S3Format::OpenCsv,
+    S3Format::Text,
+    S3Format::Local,
+];
+
+const SOURCES: [PredictionSource; 4] = [
+    PredictionSource::Cache,
+    PredictionSource::Local,
+    PredictionSource::Global,
+    PredictionSource::Default,
+];
+
+/// Which float population a message draws from.
+#[derive(Clone, Copy)]
+enum Floats {
+    /// Any f64 bit pattern: NaN payloads, infinities, subnormals, -0.0.
+    AnyBits,
+    /// Finite values only — the subset JSON can carry (no NaN/inf).
+    JsonSafe,
+}
+
+impl Floats {
+    fn draw(self, rng: &mut StdRng) -> f64 {
+        match self {
+            Floats::AnyBits => f64::from_bits(rng.next_u64()),
+            Floats::JsonSafe => rng.gen_range(-1e12f64..1e12),
+        }
+    }
+}
+
+/// A plan tree with any operator, arbitrary float estimates, optional
+/// table metadata, and random arity — depth-bounded well under the
+/// codec's `MAX_PLAN_DEPTH`.
+fn draw_node(rng: &mut StdRng, floats: Floats, depth: usize) -> PlanNode {
+    let mut node = PlanNode::leaf(
+        OperatorKind::ALL[rng.gen_range(0..OperatorKind::COUNT)],
+        floats.draw(rng),
+        floats.draw(rng),
+        floats.draw(rng),
+    );
+    if rng.gen_range(0u32..2) == 0 {
+        node.s3_format = Some(S3_FORMATS[rng.gen_range(0..S3_FORMATS.len())]);
+        node.table_rows = Some(floats.draw(rng));
+    }
+    if depth < 4 {
+        let n_children = rng.gen_range(0usize..3);
+        for _ in 0..n_children {
+            node.children.push(draw_node(rng, floats, depth + 1));
+        }
+    }
+    node
+}
+
+fn draw_plan(rng: &mut StdRng, floats: Floats) -> PhysicalPlan {
+    PhysicalPlan::new(
+        QUERY_TYPES[rng.gen_range(0..QUERY_TYPES.len())],
+        draw_node(rng, floats, 0),
+    )
+}
+
+fn draw_sys(rng: &mut StdRng, floats: Floats) -> Vec<f64> {
+    let n = rng.gen_range(0usize..6);
+    (0..n).map(|_| floats.draw(rng)).collect()
+}
+
+/// Strategy over every `Request` variant.
+#[derive(Clone, Copy)]
+struct ArbRequest(Floats);
+
+impl Strategy for ArbRequest {
+    type Value = Request;
+    fn generate(&self, rng: &mut StdRng) -> Request {
+        let floats = self.0;
+        match rng.gen_range(0u32..6) {
+            0 => Request::Predict {
+                instance: rng.next_u64() as u32,
+                plan: draw_plan(rng, floats),
+                sys: draw_sys(rng, floats),
+            },
+            1 => Request::PredictBatch {
+                instance: rng.next_u64() as u32,
+                plans: (0..rng.gen_range(0usize..4))
+                    .map(|_| draw_plan(rng, floats))
+                    .collect(),
+                sys: draw_sys(rng, floats),
+            },
+            2 => Request::Observe {
+                instance: rng.next_u64() as u32,
+                plan: draw_plan(rng, floats),
+                sys: draw_sys(rng, floats),
+                actual_secs: floats.draw(rng),
+            },
+            3 => Request::Stats {
+                instance: rng.next_u64() as u32,
+            },
+            4 => Request::Snapshot,
+            _ => Request::Shutdown,
+        }
+    }
+}
+
+fn draw_opt_f64(rng: &mut StdRng, floats: Floats) -> Option<f64> {
+    if rng.gen_range(0u32..2) == 0 {
+        Some(floats.draw(rng))
+    } else {
+        None
+    }
+}
+
+fn draw_prediction(rng: &mut StdRng, floats: Floats) -> BatchPrediction {
+    BatchPrediction {
+        exec_secs: floats.draw(rng),
+        interval_lo: draw_opt_f64(rng, floats),
+        interval_hi: draw_opt_f64(rng, floats),
+        source: SOURCES[rng.gen_range(0..SOURCES.len())],
+    }
+}
+
+/// Strategy over every `Response` variant.
+#[derive(Clone, Copy)]
+struct ArbResponse(Floats);
+
+impl Strategy for ArbResponse {
+    type Value = Response;
+    fn generate(&self, rng: &mut StdRng) -> Response {
+        let floats = self.0;
+        match rng.gen_range(0u32..9) {
+            0 => {
+                let p = draw_prediction(rng, floats);
+                Response::Predicted {
+                    exec_secs: p.exec_secs,
+                    interval_lo: p.interval_lo,
+                    interval_hi: p.interval_hi,
+                    source: p.source,
+                    latency_us: rng.next_u64(),
+                }
+            }
+            1 => Response::PredictionsBatch {
+                predictions: (0..rng.gen_range(0usize..5))
+                    .map(|_| draw_prediction(rng, floats))
+                    .collect(),
+                latency_us: rng.next_u64(),
+            },
+            2 => Response::Observed {
+                latency_us: rng.next_u64(),
+            },
+            3 => Response::Stats {
+                routing: RoutingStats {
+                    cache: rng.next_u64(),
+                    local: rng.next_u64(),
+                    global: rng.next_u64(),
+                    default: rng.next_u64(),
+                },
+                observes: rng.next_u64(),
+                predict_batches: rng.next_u64(),
+                cache_len: rng.next_u64(),
+                pool_len: rng.next_u64(),
+                local_trained: rng.gen_range(0u32..2) == 0,
+                degraded: DegradedStats {
+                    global_failover: rng.next_u64(),
+                    local_failover: rng.next_u64(),
+                    retrains_poisoned: rng.next_u64(),
+                    retrains_slowed: rng.next_u64(),
+                },
+                timed_out: rng.next_u64(),
+            },
+            4 => Response::Snapshotted {
+                instances: rng.next_u64() as u32,
+            },
+            5 => Response::ShuttingDown,
+            6 => Response::Overloaded {
+                retry_after_ms: rng.next_u64(),
+            },
+            7 => Response::TimedOut {
+                waited_us: rng.next_u64(),
+            },
+            _ => Response::Error {
+                message: (0..rng.gen_range(0usize..64))
+                    .map(|_| char::from(rng.gen_range(32u8..127)))
+                    .collect(),
+            },
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_request_survives_the_binary_codec_bit_exactly(req in ArbRequest(Floats::AnyBits)) {
+        let mut encoded = Vec::new();
+        encode_request(&req, &mut encoded);
+        let decoded = match decode_request(&encoded) {
+            Ok(d) => d,
+            Err(e) => {
+                prop_assert!(false, "well-formed request failed to decode: {e} ({req:?})");
+                unreachable!()
+            }
+        };
+        let mut re_encoded = Vec::new();
+        encode_request(&decoded, &mut re_encoded);
+        prop_assert_eq!(encoded, re_encoded);
+    }
+
+    #[test]
+    fn any_response_survives_the_binary_codec_bit_exactly(resp in ArbResponse(Floats::AnyBits)) {
+        let mut encoded = Vec::new();
+        encode_response(&resp, &mut encoded);
+        let decoded = match decode_response(&encoded) {
+            Ok(d) => d,
+            Err(e) => {
+                prop_assert!(false, "well-formed response failed to decode: {e} ({resp:?})");
+                unreachable!()
+            }
+        };
+        let mut re_encoded = Vec::new();
+        encode_response(&decoded, &mut re_encoded);
+        prop_assert_eq!(encoded, re_encoded);
+    }
+
+    #[test]
+    fn any_request_survives_framing_and_a_one_bit_flip_is_caught(
+        req in ArbRequest(Floats::AnyBits),
+        pick in 0u64..u64::MAX,
+    ) {
+        let mut payload = Vec::new();
+        encode_request(&req, &mut payload);
+        let mut frame = Vec::new();
+        prop_assert!(frame_into(&mut frame, &payload).is_ok());
+
+        // The whole frame decodes back to the same bytes.
+        match try_unframe(&frame) {
+            Ok(Unframed::Frame { consumed, payload: got }) => {
+                prop_assert_eq!(consumed, frame.len());
+                prop_assert_eq!(got, payload.as_slice());
+            }
+            other => prop_assert!(false, "whole frame must unframe, got {other:?}"),
+        }
+        // Any strict prefix asks for more bytes rather than mis-decoding.
+        let cut = (pick as usize) % frame.len();
+        prop_assert!(matches!(try_unframe(&frame[..cut]), Ok(Unframed::NeedMore)));
+
+        // A single flipped payload bit cannot slip through the CRC.
+        let header = 8;
+        let mut damaged = frame.clone();
+        let bit = (pick as usize) % ((damaged.len() - header) * 8);
+        damaged[header + bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(try_unframe(&damaged).is_err(), "flipped payload bit must fail the CRC");
+    }
+
+    // The two codecs agree on every value JSON can carry: a message routed
+    // through its JSON form must re-encode to the same canonical binary
+    // bytes as the original.
+    #[test]
+    fn json_and_binary_codecs_agree_on_json_safe_requests(req in ArbRequest(Floats::JsonSafe)) {
+        let json = serde_json::to_string(&req).expect("finite floats serialize");
+        let via_json: Request = serde_json::from_str(&json).expect("own JSON must parse");
+
+        let mut direct = Vec::new();
+        encode_request(&req, &mut direct);
+        let mut through_json = Vec::new();
+        encode_request(&via_json, &mut through_json);
+        prop_assert_eq!(direct, through_json);
+    }
+
+    #[test]
+    fn json_and_binary_codecs_agree_on_json_safe_responses(resp in ArbResponse(Floats::JsonSafe)) {
+        let json = serde_json::to_string(&resp).expect("finite floats serialize");
+        let via_json: Response = serde_json::from_str(&json).expect("own JSON must parse");
+
+        let mut direct = Vec::new();
+        encode_response(&resp, &mut direct);
+        let mut through_json = Vec::new();
+        encode_response(&via_json, &mut through_json);
+        prop_assert_eq!(direct, through_json);
+    }
+
+    // Arbitrary bytes presented as a payload never panic the decoder, and
+    // truncating a valid payload anywhere errors rather than inventing
+    // fields.
+    #[test]
+    fn garbage_and_truncation_error_cleanly(
+        junk in proptest::collection::vec(0u8..=255, 0..256),
+        req in ArbRequest(Floats::AnyBits),
+        pick in 0u64..u64::MAX,
+    ) {
+        let _ = decode_request(&junk);
+        let _ = decode_response(&junk);
+
+        let mut payload = Vec::new();
+        encode_request(&req, &mut payload);
+        let cut = (pick as usize) % payload.len();
+        prop_assert!(
+            decode_request(&payload[..cut]).is_err(),
+            "truncated payload must not decode"
+        );
+    }
+}

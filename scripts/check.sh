@@ -26,6 +26,14 @@ timeout 120 ./target/release/stage-serve --smoke
 cargo build -q --release -p stage-bench --bin bench_predict_batch
 timeout 120 ./target/release/bench_predict_batch --smoke
 
+# Loadgen smoke on BOTH wire codecs: CI-sized round-trip runs that also
+# cross-check the other codec answers bit-identically and reconcile the
+# server's counters against the client's ledger. Throughput is not
+# asserted here — only correctness.
+cargo build -q --release -p stage-bench --bin loadgen
+timeout 120 ./target/release/loadgen --smoke --codec binary --out /tmp/bench_serve_smoke_binary.json
+timeout 120 ./target/release/loadgen --smoke --codec json --out /tmp/bench_serve_smoke_json.json
+
 # Chaos smoke: the five-phase fault-injection soak at CI scale. Asserts
 # zero server panics, zero lost observes, and that every injected fault is
 # accounted for by a degraded-mode counter (DESIGN.md §10). The injection

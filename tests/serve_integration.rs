@@ -350,6 +350,129 @@ fn predict_batch_preserves_order_and_counts() {
     server.join().unwrap();
 }
 
+/// Replays the same observe stream into a server over `connect` (binary)
+/// vs `connect_json`, then prices the same probe plans on both: every
+/// answer must agree bit-for-bit — the codec is transport, not semantics.
+#[test]
+fn json_and_binary_codecs_answer_bit_identically() {
+    let plans: Vec<PhysicalPlan> = (0..30).map(|r| plan("diff", 1e4 + r as f64)).collect();
+    let probe = plan("diff-unseen", 9e6);
+    let sys = [0.5, 1.0];
+
+    let mut answers: Vec<Vec<(u64, PredictionSource)>> = Vec::new();
+    for use_json in [false, true] {
+        let server = Server::start(ServeConfig::default()).unwrap();
+        let mut client = if use_json {
+            ServeClient::connect_json(server.local_addr()).unwrap()
+        } else {
+            ServeClient::connect(server.local_addr()).unwrap()
+        };
+        for (r, p) in plans.iter().enumerate() {
+            let Response::Observed { .. } = client.observe(0, p, &sys, 0.5 + r as f64).unwrap()
+            else {
+                panic!("observe failed");
+            };
+        }
+        let mut got = Vec::new();
+        for p in plans.iter().chain(std::iter::once(&probe)) {
+            let Response::Predicted {
+                exec_secs, source, ..
+            } = client.predict(0, p, &sys).unwrap()
+            else {
+                panic!("predict failed");
+            };
+            got.push((exec_secs.to_bits(), source));
+        }
+        answers.push(got);
+        client.shutdown().unwrap();
+        drop(client);
+        server.join().unwrap();
+    }
+    assert_eq!(
+        answers[0], answers[1],
+        "binary and JSON codecs must answer bit-identically"
+    );
+}
+
+/// The same differential under socket faults: torn frames, disconnects,
+/// and stalls land on *both* codecs (the same deterministic fault plan),
+/// clients reconnect and resend at-least-once, and the surviving state
+/// must still answer bit-identically across codecs.
+#[test]
+fn codecs_agree_bit_for_bit_even_under_torn_frames() {
+    use stage_chaos::{FaultPlan, FaultPlanConfig, FaultSite, SitePolicy};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let plans: Vec<PhysicalPlan> = (0..25)
+        .map(|r| plan("diff-chaos", 2e4 + r as f64))
+        .collect();
+    let sys = [0.0, 0.0];
+
+    let mut answers: Vec<Vec<(u64, PredictionSource)>> = Vec::new();
+    for use_json in [false, true] {
+        // Same seed for both runs: the fault schedule is identical, so the
+        // binary path eats torn frames exactly where the JSON path eats
+        // torn lines.
+        let chaos = Arc::new(FaultPlan::new(
+            FaultPlanConfig::new(23)
+                .stall(Duration::from_millis(1))
+                .site(FaultSite::SockRead, SitePolicy::flat(0.3, 8))
+                .site(FaultSite::SockWrite, SitePolicy::flat(0.3, 8)),
+        ));
+        let server = Server::start(ServeConfig {
+            chaos: Some(Arc::clone(&chaos)),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        let connect = |use_json: bool| {
+            if use_json {
+                ServeClient::connect_json(addr)
+            } else {
+                ServeClient::connect(addr)
+            }
+        };
+        let mut client = connect(use_json).unwrap();
+        for (r, p) in plans.iter().enumerate() {
+            // At-least-once: on any I/O error (possibly a torn frame killing
+            // the connection), reconnect and resend; the cache dedups.
+            loop {
+                match client.observe(0, p, &sys, 1.0 + r as f64) {
+                    Ok(Response::Observed { .. }) => break,
+                    Ok(Response::Overloaded { .. }) => continue,
+                    Ok(other) => panic!("observe rejected: {other:?}"),
+                    Err(_) => client = connect(use_json).unwrap(),
+                }
+            }
+        }
+        assert!(
+            chaos.injected_total() > 0,
+            "the fault plan never fired — the test is vacuous"
+        );
+        chaos.disarm();
+
+        let mut got = Vec::new();
+        for p in &plans {
+            let Response::Predicted {
+                exec_secs, source, ..
+            } = client.predict(0, p, &sys).unwrap()
+            else {
+                panic!("predict failed");
+            };
+            got.push((exec_secs.to_bits(), source));
+        }
+        answers.push(got);
+        client.shutdown().unwrap();
+        drop(client);
+        server.join().unwrap();
+    }
+    assert_eq!(
+        answers[0], answers[1],
+        "codecs diverged after identical fault schedules"
+    );
+}
+
 #[test]
 fn unknown_instance_is_an_error_not_a_crash() {
     let server = Server::start(ServeConfig::default()).unwrap();
