@@ -1,0 +1,464 @@
+//! Artefact-store benchmark: serde (framed JSON) vs mmap (stage-store)
+//! shard restore, and full vs dirty-section checkpoint cost.
+//!
+//! Builds one warm `StagePredictor` (trained local ensemble, populated
+//! exec-time cache and pool), snapshots it, then measures two things the
+//! store format exists for:
+//!
+//! 1. **Cold-start restore** at fleet sizes 1, 8, and 64 shards: total
+//!    wall time to bring every shard back to serving (decode + first
+//!    prediction), JSON envelope vs memory-mapped section table.
+//! 2. **Checkpoint cost**: rewriting the whole artefact every tick
+//!    (`save_stage_store`) vs rewriting only the sections whose bytes
+//!    changed (`save_stage_store_dirty`) while the shard absorbs cache
+//!    traffic between ticks.
+//!
+//! Before timing anything it proves the two restore paths agree: the
+//! store-restored replica must answer every probe **bit-identically**
+//! (`f64::to_bits`) to the serde-restored replica, with equal routing
+//! counters.
+//!
+//! ```text
+//! cargo run --release -p stage-bench --bin bench_store -- \
+//!     [--warmup N] [--reps N] [--writes N] [--seed N] [--out FILE] [--smoke]
+//! ```
+//!
+//! `--smoke` is the CI hook: correctness cross-check only (no timing
+//! claims from shared CI cores) printing `bench_store smoke OK`.
+//!
+//! The artefact lands in `results/bench_store.json`.
+
+use serde::Serialize;
+use stage_core::persist;
+use stage_core::predictor::{ExecTimePredictor, SystemContext};
+use stage_core::stage::{StageConfig, StagePredictor, StageSnapshot};
+use stage_core::storefmt::{load_stage_store, save_stage_store, save_stage_store_dirty};
+use stage_core::{LocalModelConfig, StoreCheckpoint};
+use stage_gbdt::{EnsembleParams, NgBoostParams};
+use stage_plan::{PlanBuilder, S3Format};
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+const SHARD_COUNTS: [usize; 3] = [1, 8, 64];
+
+struct Args {
+    warmup: usize,
+    reps: usize,
+    writes: usize,
+    seed: u64,
+    out: String,
+    smoke: bool,
+}
+
+/// One fleet size's cold-start measurement (mean over `--reps` sweeps).
+#[derive(Serialize)]
+struct RestorePoint {
+    shards: usize,
+    serde_total_ms: f64,
+    mmap_total_ms: f64,
+    serde_per_shard_ms: f64,
+    mmap_per_shard_ms: f64,
+    /// serde_total_ms / mmap_total_ms; > 1.0 means the mapped restore
+    /// brought the fleet up faster.
+    mmap_speedup: f64,
+}
+
+/// Full-rewrite vs dirty-section checkpoint cost over `--writes` ticks.
+#[derive(Serialize)]
+struct CheckpointReport {
+    writes: usize,
+    full_per_write_ms: f64,
+    dirty_per_write_ms: f64,
+    /// dirty_per_write_ms / full_per_write_ms; < 1.0 means skipping clean
+    /// sections made the periodic checkpoint cheaper.
+    dirty_vs_full_ratio: f64,
+    /// Mean number of sections rewritten per dirty checkpoint.
+    dirty_sections_per_write: f64,
+    /// How each dirty tick resolved: section-granular rewrite, fallback
+    /// to a full rewrite (layout changed), or nothing to do.
+    dirty_outcome_sections: usize,
+    dirty_outcome_full: usize,
+    dirty_outcome_clean: usize,
+}
+
+/// The `results/bench_store.json` artefact.
+#[derive(Serialize)]
+struct StoreBenchReport {
+    warmup_observes: usize,
+    probe_plans: usize,
+    serde_artefact_bytes: u64,
+    store_artefact_bytes: u64,
+    restore_reps: usize,
+    restore: Vec<RestorePoint>,
+    checkpoint: CheckpointReport,
+    /// Convenience copy of the headline number: fleet cold-start speedup
+    /// at 64 shards.
+    mmap_speedup_at_64: f64,
+}
+
+/// A serving-shaped ensemble sized so the artefact carries a realistic
+/// flattened-tree payload (the section the store format maps instead of
+/// parsing): 6 members x 60 estimators trained once on 100 examples.
+fn serving_stage_config(seed: u64) -> StageConfig {
+    StageConfig {
+        local: LocalModelConfig {
+            ensemble: EnsembleParams {
+                n_members: 6,
+                member: NgBoostParams {
+                    n_estimators: 60,
+                    ..NgBoostParams::default()
+                },
+                seed,
+            },
+            min_train_examples: 100,
+            retrain_interval: 10_000,
+        },
+        ..StageConfig::default()
+    }
+}
+
+fn plan(rows: f64) -> stage_plan::PhysicalPlan {
+    PlanBuilder::select()
+        .scan("t", S3Format::Local, rows, 64.0)
+        .hash_aggregate(0.01)
+        .finish()
+}
+
+/// Drives a predictor through enough traffic that every persisted tier is
+/// non-trivial: trained ensemble, warm cache entries, populated pool.
+fn warm_predictor(args: &Args) -> StagePredictor {
+    let mut s = StagePredictor::new(serving_stage_config(args.seed));
+    s.set_instance_salt(args.seed ^ 0x5354_4f52);
+    let sys = SystemContext::empty(2);
+    for i in 1..=args.warmup {
+        let rows = if i % 4 == 0 { 5e4 } else { i as f64 * 1e4 };
+        let q = plan(rows);
+        s.predict(&q, &sys);
+        s.observe(&q, &sys, (i % 7) as f64 * 0.35 + 0.05);
+    }
+    s
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Some(a) => a,
+        None => return ExitCode::from(2),
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench_store: FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let dir = std::env::temp_dir().join(format!("stage-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let result = run_in(args, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn run_in(args: &Args, dir: &Path) -> Result<(), String> {
+    let warm = warm_predictor(args);
+    let snap = warm.snapshot();
+
+    // Seed artefacts: one of each format, then fleet copies for the
+    // restore sweep (identical bytes — restore cost does not depend on
+    // which shard's history is inside).
+    let serde_seed = dir.join("seed.json");
+    let store_seed = dir.join("seed.store");
+    persist::save_stage_file(&snap, &serde_seed).map_err(|e| format!("serde save: {e}"))?;
+    save_stage_store(&snap, &store_seed, None).map_err(|e| format!("store save: {e}"))?;
+    let serde_bytes = file_len(&serde_seed)?;
+    let store_bytes = file_len(&store_seed)?;
+
+    // Correctness gate: the two restore paths must produce replicas that
+    // answer bit-identically and carry identical routing counters.
+    let mut via_serde = StagePredictor::from_snapshot(
+        persist::load_stage_file(&serde_seed).map_err(|e| format!("serde restore: {e:?}"))?,
+    );
+    let mut via_store = StagePredictor::from_snapshot(
+        load_stage_store(&store_seed, None).map_err(|e| format!("store restore: {e:?}"))?,
+    );
+    let sys = SystemContext::empty(2);
+    let probes: Vec<_> = (1..=24)
+        .map(|i| plan((i % 17 + 1) as f64 * 7.3e3))
+        .collect();
+    for (k, q) in probes.iter().enumerate() {
+        let pa = via_serde.predict(q, &sys);
+        let pb = via_store.predict(q, &sys);
+        if pa.exec_secs.to_bits() != pb.exec_secs.to_bits()
+            || pa.log_variance.map(f64::to_bits) != pb.log_variance.map(f64::to_bits)
+            || pa.source != pb.source
+        {
+            return Err(format!(
+                "probe {k} diverged between restore paths: serde {} ({:?}) vs store {} ({:?})",
+                pa.exec_secs, pa.source, pb.exec_secs, pb.source
+            ));
+        }
+    }
+    if via_serde.stats() != via_store.stats() {
+        return Err("routing counters diverged between restore paths".to_string());
+    }
+    println!(
+        "bench_store: correctness OK — {} probes bit-identical across serde and store restore",
+        probes.len()
+    );
+
+    if args.smoke {
+        println!("bench_store smoke OK");
+        return Ok(());
+    }
+
+    // Cold-start sweep: restore a whole fleet of shards from disk and
+    // answer one prediction per shard (the "first query after restart").
+    let probe = plan(9.7e3);
+    let mut restore = Vec::with_capacity(SHARD_COUNTS.len());
+    for &shards in &SHARD_COUNTS {
+        let serde_paths = fleet_copies(&serde_seed, dir, "shard", "json", shards)?;
+        let store_paths = fleet_copies(&store_seed, dir, "shard", "store", shards)?;
+        let mut serde_total = Duration::ZERO;
+        let mut mmap_total = Duration::ZERO;
+        for _ in 0..args.reps {
+            serde_total += time_fleet_restore(&serde_paths, &probe, &sys, |p| {
+                persist::load_stage_file(p).map_err(|e| format!("serde restore: {e:?}"))
+            })?;
+            mmap_total += time_fleet_restore(&store_paths, &probe, &sys, |p| {
+                load_stage_store(p, None).map_err(|e| format!("store restore: {e:?}"))
+            })?;
+        }
+        let serde_ms = serde_total.as_secs_f64() * 1e3 / args.reps as f64;
+        let mmap_ms = mmap_total.as_secs_f64() * 1e3 / args.reps as f64;
+        let point = RestorePoint {
+            shards,
+            serde_total_ms: serde_ms,
+            mmap_total_ms: mmap_ms,
+            serde_per_shard_ms: serde_ms / shards as f64,
+            mmap_per_shard_ms: mmap_ms / shards as f64,
+            mmap_speedup: serde_ms / mmap_ms,
+        };
+        println!(
+            "bench_store: {:>2} shards: serde {:>8.2} ms, mmap {:>7.2} ms — {:.1}x faster",
+            point.shards, point.serde_total_ms, point.mmap_total_ms, point.mmap_speedup
+        );
+        restore.push(point);
+    }
+
+    let checkpoint = bench_checkpoints(args, dir)?;
+    println!(
+        "bench_store: checkpoint: full {:.3} ms/write, dirty {:.3} ms/write ({:.2}x, {:.1} sections/write)",
+        checkpoint.full_per_write_ms,
+        checkpoint.dirty_per_write_ms,
+        checkpoint.dirty_vs_full_ratio,
+        checkpoint.dirty_sections_per_write
+    );
+
+    let speedup_at_64 = restore
+        .iter()
+        .find(|p| p.shards == 64)
+        .map(|p| p.mmap_speedup)
+        .unwrap_or(f64::NAN);
+    let report = StoreBenchReport {
+        warmup_observes: args.warmup,
+        probe_plans: probes.len(),
+        serde_artefact_bytes: serde_bytes,
+        store_artefact_bytes: store_bytes,
+        restore_reps: args.reps,
+        restore,
+        checkpoint,
+        mmap_speedup_at_64: speedup_at_64,
+    };
+
+    if let Some(parent) = Path::new(&args.out).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let file =
+        std::fs::File::create(&args.out).map_err(|e| format!("cannot create {}: {e}", args.out))?;
+    serde_json::to_writer_pretty(file, &report)
+        .map_err(|e| format!("cannot write {}: {e}", args.out))?;
+    println!("bench_store: wrote {}", args.out);
+    Ok(())
+}
+
+/// Times bringing every shard in `paths` back to a ready predictor
+/// (decode the artefact + rebuild the in-memory state). Each restored
+/// shard then answers one sanity prediction off the clock — proof it is
+/// actually serviceable, without letting the (format-independent)
+/// inference cost dilute the restore comparison.
+fn time_fleet_restore(
+    paths: &[PathBuf],
+    probe: &stage_plan::PhysicalPlan,
+    sys: &SystemContext,
+    load: impl Fn(&Path) -> Result<StageSnapshot, String>,
+) -> Result<Duration, String> {
+    let started = Instant::now();
+    let mut fleet = Vec::with_capacity(paths.len());
+    for path in paths {
+        fleet.push(StagePredictor::from_snapshot(load(path)?));
+    }
+    let elapsed = started.elapsed();
+    for shard in &mut fleet {
+        let p = black_box(shard.predict(probe, sys));
+        if !p.exec_secs.is_finite() {
+            return Err("restored shard answered a non-finite prediction".to_string());
+        }
+    }
+    Ok(elapsed)
+}
+
+/// Checkpoint cost: the same trickle of cache traffic between ticks, once
+/// with full rewrites and once with dirty-section rewrites. Only the save
+/// call itself is on the clock.
+fn bench_checkpoints(args: &Args, dir: &Path) -> Result<CheckpointReport, String> {
+    let sys = SystemContext::empty(2);
+    let full_path = dir.join("ckpt_full.store");
+    let dirty_path = dir.join("ckpt_dirty.store");
+
+    let mut shard = warm_predictor(args);
+    save_stage_store(&shard.snapshot(), &full_path, None)
+        .map_err(|e| format!("full checkpoint seed: {e}"))?;
+    let mut full_time = Duration::ZERO;
+    for tick in 0..args.writes {
+        tick_traffic(&mut shard, &sys, tick);
+        let snap = shard.snapshot();
+        let started = Instant::now();
+        save_stage_store(&snap, &full_path, None)
+            .map_err(|e| format!("full checkpoint {tick}: {e}"))?;
+        full_time += started.elapsed();
+    }
+
+    let mut shard = warm_predictor(args);
+    save_stage_store(&shard.snapshot(), &dirty_path, None)
+        .map_err(|e| format!("dirty checkpoint seed: {e}"))?;
+    let mut dirty_time = Duration::ZERO;
+    let (mut sections, mut full, mut clean, mut rewritten) = (0usize, 0usize, 0usize, 0usize);
+    for tick in 0..args.writes {
+        tick_traffic(&mut shard, &sys, tick);
+        let snap = shard.snapshot();
+        let started = Instant::now();
+        let outcome = save_stage_store_dirty(&snap, &dirty_path)
+            .map_err(|e| format!("dirty checkpoint {tick}: {e}"))?;
+        dirty_time += started.elapsed();
+        match outcome {
+            StoreCheckpoint::Sections { dirty } => {
+                sections += 1;
+                rewritten += dirty;
+            }
+            StoreCheckpoint::Full => full += 1,
+            StoreCheckpoint::Clean => clean += 1,
+        }
+    }
+
+    let full_ms = full_time.as_secs_f64() * 1e3 / args.writes as f64;
+    let dirty_ms = dirty_time.as_secs_f64() * 1e3 / args.writes as f64;
+    Ok(CheckpointReport {
+        writes: args.writes,
+        full_per_write_ms: full_ms,
+        dirty_per_write_ms: dirty_ms,
+        dirty_vs_full_ratio: dirty_ms / full_ms,
+        dirty_sections_per_write: rewritten as f64 / sections.max(1) as f64,
+        dirty_outcome_sections: sections,
+        dirty_outcome_full: full,
+        dirty_outcome_clean: clean,
+    })
+}
+
+/// The between-tick mutation: one cache-visible observation on a repeated
+/// plan shape, so the cache and stats sections change while the trained
+/// ensemble stays clean (retrain_interval is far away).
+fn tick_traffic(shard: &mut StagePredictor, sys: &SystemContext, tick: usize) {
+    let q = plan((tick % 13 + 1) as f64 * 3.1e3);
+    shard.predict(&q, sys);
+    shard.observe(&q, sys, (tick % 5) as f64 * 0.21 + 0.07);
+}
+
+fn fleet_copies(
+    seed: &Path,
+    dir: &Path,
+    stem: &str,
+    ext: &str,
+    n: usize,
+) -> Result<Vec<PathBuf>, String> {
+    let mut paths = Vec::with_capacity(n);
+    for i in 0..n {
+        let path = dir.join(format!("{stem}_{i}.{ext}"));
+        std::fs::copy(seed, &path)
+            .map_err(|e| format!("cannot copy artefact to {}: {e}", path.display()))?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+fn file_len(path: &Path) -> Result<u64, String> {
+    std::fs::metadata(path)
+        .map(|m| m.len())
+        .map_err(|e| format!("cannot stat {}: {e}", path.display()))
+}
+
+fn parse_args() -> Option<Args> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        warmup: 320,
+        reps: 5,
+        writes: 200,
+        seed: 42,
+        out: "results/bench_store.json".to_string(),
+        smoke: false,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--warmup" => {
+                i += 1;
+                args.warmup = parse_val(&argv, i, "--warmup")?;
+            }
+            "--reps" => {
+                i += 1;
+                args.reps = parse_val(&argv, i, "--reps")?;
+            }
+            "--writes" => {
+                i += 1;
+                args.writes = parse_val(&argv, i, "--writes")?;
+            }
+            "--seed" => {
+                i += 1;
+                args.seed = parse_val(&argv, i, "--seed")?;
+            }
+            "--out" => {
+                i += 1;
+                args.out = argv.get(i)?.clone();
+            }
+            "--smoke" => args.smoke = true,
+            other => {
+                eprintln!("bench_store: unknown flag {other}");
+                eprintln!(
+                    "usage: bench_store [--warmup N] [--reps N] [--writes N] [--seed N] \
+                     [--out FILE] [--smoke]"
+                );
+                return None;
+            }
+        }
+        i += 1;
+    }
+    if args.warmup < 30 || args.reps == 0 || args.writes == 0 {
+        eprintln!("bench_store: need --warmup >= 30, --reps >= 1, --writes >= 1");
+        return None;
+    }
+    Some(args)
+}
+
+fn parse_val<T: std::str::FromStr>(argv: &[String], i: usize, flag: &str) -> Option<T> {
+    match argv.get(i).and_then(|s| s.parse().ok()) {
+        Some(v) => Some(v),
+        None => {
+            eprintln!("bench_store: invalid value for {flag}");
+            None
+        }
+    }
+}

@@ -82,6 +82,9 @@ struct PhaseReport {
     snapshot_errors: u64,
     snapshots_ok: u64,
     quarantined_files: u64,
+    /// Restore phase only: shards that came up cold (zero restored routing
+    /// counters) because their artefact was quarantined.
+    cold_started: u64,
     degraded: DegradedStats,
     /// Injections this phase could not map to a degraded-mode counter.
     unaccounted_faults: u64,
@@ -313,6 +316,30 @@ fn run_phase(
     let addr = server.local_addr().to_string();
     let started = Instant::now();
 
+    // Restore phase: balance the cold-start books *before* traffic muddies
+    // them. The persist phase left real routing counters in every
+    // artefact's STATS section, so a shard whose restored routing total is
+    // zero can only be one whose artefact was corrupted and quarantined —
+    // warm survivors carry their history across the restart.
+    let mut cold_started = 0u64;
+    if phase == Phase::Restore {
+        let mut client = ServeClient::connect(&addr)?;
+        for instance in 0..args.instances {
+            match client.stats(instance)? {
+                Response::Stats { routing, .. } => {
+                    if routing.total() == 0 {
+                        cold_started += 1;
+                    }
+                }
+                other => {
+                    return Err(std::io::Error::other(format!(
+                        "pre-traffic stats({instance}) answered {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
     // Drive the traffic: one at-least-once client per instance.
     let results: Vec<DriverResult> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
@@ -443,7 +470,12 @@ fn run_phase(
             unaccounted += hard_errors.abs_diff(snapshot_errors);
         }
         Phase::Restore => {
-            unaccounted += ledger(FaultSite::PersistRestore).abs_diff(quarantined_files);
+            let flips = ledger(FaultSite::PersistRestore);
+            unaccounted += flips.abs_diff(quarantined_files);
+            // Corrupted sections must quarantine *and* cold-start: every
+            // injected flip produced exactly one shard that restarted with
+            // empty state, and every untouched artefact warm-started.
+            unaccounted += flips.abs_diff(cold_started);
         }
     }
 
@@ -476,6 +508,7 @@ fn run_phase(
         snapshot_errors,
         snapshots_ok,
         quarantined_files,
+        cold_started,
         degraded,
         unaccounted_faults: unaccounted,
         faults: plan

@@ -253,6 +253,184 @@ impl ExecTimeCache {
         std::mem::size_of::<Self>() + self.entries.len() * (8 + std::mem::size_of::<Entry>())
     }
 
+    /// The configuration this cache was built with (store restore needs it
+    /// to reassemble the enclosing [`crate::stage::StageConfig`]).
+    pub(crate) fn store_config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Encodes the cache into an artefact-store section: config scalars,
+    /// lifetime counters, then the entries as structure-of-arrays sorted by
+    /// key (the sort makes encoding deterministic across `HashMap`
+    /// iteration orders, so an unchanged cache produces byte-identical
+    /// sections and dirty-section checkpoints can skip it).
+    pub(crate) fn store_encode(&self, w: &mut stage_store::SectionWriter) {
+        w.put_u64(self.config.capacity as u64);
+        w.put_f64(self.config.alpha);
+        match self.config.mode {
+            CacheMode::AlphaBlend => {
+                w.put_u32(0);
+                w.put_f64(0.0);
+                w.put_f64(0.0);
+            }
+            CacheMode::Holt {
+                level_alpha,
+                trend_beta,
+            } => {
+                w.put_u32(1);
+                w.put_f64(level_alpha);
+                w.put_f64(trend_beta);
+            }
+        }
+        w.put_u64(self.update_seq);
+        w.put_u64(self.hits);
+        w.put_u64(self.misses);
+        let mut keys: Vec<u64> = self.entries.keys().copied().collect();
+        keys.sort_unstable();
+        let entry = |k: &u64| self.entries.get(k);
+        w.put_u64_slice(&keys);
+        w.put_u64_slice(
+            &keys
+                .iter()
+                .filter_map(entry)
+                .map(|e| e.stats.count())
+                .collect::<Vec<_>>(),
+        );
+        w.put_f64_slice(
+            &keys
+                .iter()
+                .filter_map(entry)
+                .map(|e| e.stats.mean())
+                .collect::<Vec<_>>(),
+        );
+        w.put_f64_slice(
+            &keys
+                .iter()
+                .filter_map(entry)
+                .map(|e| e.stats.m2())
+                .collect::<Vec<_>>(),
+        );
+        w.put_f64_slice(
+            &keys
+                .iter()
+                .filter_map(entry)
+                .map(|e| e.last_secs)
+                .collect::<Vec<_>>(),
+        );
+        w.put_u64_slice(
+            &keys
+                .iter()
+                .filter_map(entry)
+                .map(|e| e.last_update)
+                .collect::<Vec<_>>(),
+        );
+        w.put_f64_slice(
+            &keys
+                .iter()
+                .filter_map(entry)
+                .map(|e| e.holt_level)
+                .collect::<Vec<_>>(),
+        );
+        w.put_f64_slice(
+            &keys
+                .iter()
+                .filter_map(entry)
+                .map(|e| e.holt_trend)
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    /// Decodes a cache from an artefact-store section. All config values
+    /// are re-validated (the constructor's assertions must never fire on
+    /// hostile bytes — bad values become typed errors) and the SoA arrays
+    /// must agree on length.
+    pub(crate) fn store_decode(
+        r: &mut stage_store::SectionReader<'_>,
+    ) -> Result<Self, stage_store::StoreError> {
+        let malformed = |d: &str| stage_store::StoreError::Malformed { detail: d.into() };
+        let capacity = usize::try_from(r.u64()?).map_err(|_| malformed("cache capacity"))?;
+        let alpha = r.f64()?;
+        let mode = match r.u32()? {
+            0 => {
+                let _ = (r.f64()?, r.f64()?);
+                CacheMode::AlphaBlend
+            }
+            1 => CacheMode::Holt {
+                level_alpha: r.f64()?,
+                trend_beta: r.f64()?,
+            },
+            t => return Err(malformed(&format!("unknown cache mode tag {t}"))),
+        };
+        if capacity == 0 || !(0.0..=1.0).contains(&alpha) {
+            return Err(malformed("cache config out of range"));
+        }
+        if let CacheMode::Holt {
+            level_alpha,
+            trend_beta,
+        } = mode
+        {
+            if !(0.0..=1.0).contains(&level_alpha) || !(0.0..=1.0).contains(&trend_beta) {
+                return Err(malformed("Holt factors out of range"));
+            }
+        }
+        let update_seq = r.u64()?;
+        let hits = r.u64()?;
+        let misses = r.u64()?;
+        let keys = r.u64_vec()?;
+        let counts = r.u64_vec()?;
+        let means = r.f64_vec()?;
+        let m2s = r.f64_vec()?;
+        let lasts = r.f64_vec()?;
+        let last_updates = r.u64_vec()?;
+        let holt_levels = r.f64_vec()?;
+        let holt_trends = r.f64_vec()?;
+        let n = keys.len();
+        if [
+            counts.len(),
+            means.len(),
+            m2s.len(),
+            lasts.len(),
+            last_updates.len(),
+            holt_levels.len(),
+            holt_trends.len(),
+        ]
+        .iter()
+        .any(|&l| l != n)
+        {
+            return Err(malformed("cache SoA arrays disagree on length"));
+        }
+        if n > capacity {
+            return Err(malformed("cache holds more entries than its capacity"));
+        }
+        let mut entries = HashMap::with_capacity(n);
+        for i in 0..n {
+            let prev = entries.insert(
+                keys[i],
+                Entry {
+                    stats: Welford::from_parts(counts[i], means[i], m2s[i]),
+                    last_secs: lasts[i],
+                    last_update: last_updates[i],
+                    holt_level: holt_levels[i],
+                    holt_trend: holt_trends[i],
+                },
+            );
+            if prev.is_some() {
+                return Err(malformed("duplicate cache key"));
+            }
+        }
+        Ok(Self {
+            config: CacheConfig {
+                capacity,
+                alpha,
+                mode,
+            },
+            entries,
+            update_seq,
+            hits,
+            misses,
+        })
+    }
+
     /// Evicts the entry with the smallest `last_update`. Linear scan —
     /// at the paper's capacity (2 000) this is microseconds and happens at
     /// most once per insert.

@@ -33,6 +33,7 @@ pub mod persist;
 pub mod pool;
 pub mod predictor;
 pub mod stage;
+pub mod storefmt;
 pub mod sync;
 
 pub use autowlm::{AutoWlmConfig, AutoWlmPredictor};
@@ -48,6 +49,10 @@ pub use predictor::{
 pub use stage::{
     ComponentFaults, DegradedStats, RetrainFault, RoutingConfig, RoutingStats, StageConfig,
     StagePredictor, StageSnapshot,
+};
+pub use storefmt::{
+    load_global_store, load_stage_store, save_global_store, save_stage_store,
+    save_stage_store_dirty, store_generation, StoreCheckpoint,
 };
 pub use sync::{LockRank, OrderedMutex, OrderedRwLock};
 

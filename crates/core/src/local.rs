@@ -216,6 +216,208 @@ impl LocalModel {
                 .map(BayesianEnsemble::approx_size_bytes)
                 .unwrap_or(0)
     }
+
+    /// The configuration this model was built with (store restore needs it
+    /// to reassemble the enclosing [`crate::stage::StageConfig`]).
+    pub(crate) fn store_config(&self) -> LocalModelConfig {
+        self.config
+    }
+
+    /// Encodes the local model into an artefact-store section: the full
+    /// retrain policy (so a restored shard keeps the same cadence), then
+    /// every ensemble member as scalar head state plus both tree heads in
+    /// the flat five-array layout. Everything is written via `to_bits`
+    /// images, so restored predictions are bit-identical.
+    pub(crate) fn store_encode(&self, w: &mut stage_store::SectionWriter) {
+        encode_ensemble_params(w, &self.config.ensemble);
+        w.put_u64(self.config.min_train_examples as u64);
+        w.put_u64(self.config.retrain_interval as u64);
+        w.put_u64(self.observations_since_train as u64);
+        w.put_u64(self.trainings);
+        w.put_u64(self.instance_salt);
+        match &self.ensemble {
+            None => w.put_bool(false),
+            Some(e) => {
+                w.put_bool(true);
+                w.put_u64(e.n_members() as u64);
+                for m in e.members() {
+                    let (base_mu, base_log_var, learning_rate, log_var_range, n_cols) =
+                        m.scalar_parts();
+                    w.put_f64(base_mu);
+                    w.put_f64(base_log_var);
+                    w.put_f64(learning_rate);
+                    w.put_f64(log_var_range.0);
+                    w.put_f64(log_var_range.1);
+                    w.put_u64(n_cols as u64);
+                    for head in [m.mu_trees(), m.var_trees()] {
+                        w.put_u64(head.len() as u64);
+                        for tree in head {
+                            let (feature, threshold, left, right, gain) = tree.to_flat_parts();
+                            w.put_u32_slice(&feature);
+                            w.put_f64_slice(&threshold);
+                            w.put_u32_slice(&left);
+                            w.put_u32_slice(&right);
+                            w.put_f64_slice(&gain);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decodes a local model from an artefact-store section; malformed
+    /// trees (bad child links) and inconsistent heads are typed errors.
+    pub(crate) fn store_decode(
+        r: &mut stage_store::SectionReader<'_>,
+    ) -> Result<Self, stage_store::StoreError> {
+        let malformed = |d: &str| stage_store::StoreError::Malformed { detail: d.into() };
+        let ensemble_params = decode_ensemble_params(r)?;
+        let min_train_examples =
+            usize::try_from(r.u64()?).map_err(|_| malformed("min_train_examples"))?;
+        let retrain_interval =
+            usize::try_from(r.u64()?).map_err(|_| malformed("retrain_interval"))?;
+        let observations_since_train =
+            usize::try_from(r.u64()?).map_err(|_| malformed("observations_since_train"))?;
+        let trainings = r.u64()?;
+        let instance_salt = r.u64()?;
+        let ensemble = if r.bool()? {
+            let n_members = usize::try_from(r.u64()?).map_err(|_| malformed("member count"))?;
+            // A member needs at least its six scalar fields (48 bytes) plus
+            // two head counts; reject hostile counts before allocating.
+            if n_members.saturating_mul(64) > r.remaining() + 64 {
+                return Err(malformed("member count overruns section"));
+            }
+            let mut members = Vec::with_capacity(n_members);
+            for _ in 0..n_members {
+                let base_mu = r.f64()?;
+                let base_log_var = r.f64()?;
+                let learning_rate = r.f64()?;
+                let log_var_range = (r.f64()?, r.f64()?);
+                let n_cols = usize::try_from(r.u64()?).map_err(|_| malformed("n_cols"))?;
+                let mut heads = Vec::with_capacity(2);
+                for _ in 0..2 {
+                    let n_trees = usize::try_from(r.u64()?).map_err(|_| malformed("tree count"))?;
+                    if n_trees.saturating_mul(40) > r.remaining() + 40 {
+                        return Err(malformed("tree count overruns section"));
+                    }
+                    let mut trees = Vec::with_capacity(n_trees);
+                    for _ in 0..n_trees {
+                        let feature = r.u32_vec()?;
+                        let threshold = r.f64_vec()?;
+                        let left = r.u32_vec()?;
+                        let right = r.u32_vec()?;
+                        let gain = r.f64_vec()?;
+                        let tree = stage_gbdt::Tree::from_flat_parts(
+                            &feature, &threshold, &left, &right, &gain,
+                        )
+                        .ok_or_else(|| malformed("tree arrays are structurally invalid"))?;
+                        trees.push(tree);
+                    }
+                    heads.push(trees);
+                }
+                let var_trees = heads.pop().unwrap_or_default();
+                let mu_trees = heads.pop().unwrap_or_default();
+                let member = stage_gbdt::NgBoost::from_parts(
+                    base_mu,
+                    base_log_var,
+                    learning_rate,
+                    log_var_range,
+                    n_cols,
+                    mu_trees,
+                    var_trees,
+                )
+                .ok_or_else(|| malformed("member heads disagree on length"))?;
+                members.push(member);
+            }
+            Some(
+                BayesianEnsemble::from_members(members)
+                    .ok_or_else(|| malformed("trained flag set but zero members"))?,
+            )
+        } else {
+            None
+        };
+        Ok(Self {
+            config: LocalModelConfig {
+                ensemble: ensemble_params,
+                min_train_examples,
+                retrain_interval,
+            },
+            ensemble,
+            observations_since_train,
+            trainings,
+            instance_salt,
+        })
+    }
+}
+
+/// Writes every ensemble hyper-parameter (member NGBoost + tree params
+/// included) so a restored model retrains exactly as the original would.
+fn encode_ensemble_params(w: &mut stage_store::SectionWriter, p: &EnsembleParams) {
+    w.put_u64(p.n_members as u64);
+    w.put_u64(p.seed);
+    let m = &p.member;
+    w.put_u64(m.n_estimators as u64);
+    w.put_f64(m.learning_rate);
+    w.put_f64(m.subsample);
+    w.put_f64(m.colsample);
+    w.put_u64(m.early_stopping_rounds as u64);
+    w.put_f64(m.validation_fraction);
+    w.put_u64(m.n_bins as u64);
+    w.put_f64(m.log_var_range.0);
+    w.put_f64(m.log_var_range.1);
+    w.put_u64(m.seed);
+    let t = &m.tree;
+    w.put_u64(t.max_depth as u64);
+    w.put_f64(t.lambda);
+    w.put_f64(t.min_child_weight);
+    w.put_u64(t.min_samples_leaf as u64);
+    w.put_f64(t.min_gain);
+}
+
+fn decode_ensemble_params(
+    r: &mut stage_store::SectionReader<'_>,
+) -> Result<EnsembleParams, stage_store::StoreError> {
+    let malformed = |d: &str| stage_store::StoreError::Malformed { detail: d.into() };
+    let to_usize =
+        |v: u64| usize::try_from(v).map_err(|_| malformed("ensemble param overflows usize"));
+    let n_members = to_usize(r.u64()?)?;
+    let seed = r.u64()?;
+    let n_estimators = to_usize(r.u64()?)?;
+    let learning_rate = r.f64()?;
+    let subsample = r.f64()?;
+    let colsample = r.f64()?;
+    let early_stopping_rounds = to_usize(r.u64()?)?;
+    let validation_fraction = r.f64()?;
+    let n_bins = to_usize(r.u64()?)?;
+    let log_var_range = (r.f64()?, r.f64()?);
+    let member_seed = r.u64()?;
+    let max_depth = to_usize(r.u64()?)?;
+    let lambda = r.f64()?;
+    let min_child_weight = r.f64()?;
+    let min_samples_leaf = to_usize(r.u64()?)?;
+    let min_gain = r.f64()?;
+    Ok(EnsembleParams {
+        n_members,
+        member: NgBoostParams {
+            n_estimators,
+            learning_rate,
+            tree: stage_gbdt::TreeParams {
+                max_depth,
+                lambda,
+                min_child_weight,
+                min_samples_leaf,
+                min_gain,
+            },
+            subsample,
+            colsample,
+            early_stopping_rounds,
+            validation_fraction,
+            n_bins,
+            log_var_range,
+            seed: member_seed,
+        },
+        seed,
+    })
 }
 
 #[cfg(test)]

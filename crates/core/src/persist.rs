@@ -138,19 +138,12 @@ impl From<io::Error> for RestoreError {
     }
 }
 
-/// CRC32 (IEEE 802.3 polynomial, the zlib/PNG variant) of `bytes`.
-/// Bitwise — snapshot artefacts are small enough that a lookup table is
-/// not worth the code.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &b in bytes {
-        crc ^= u32::from(b);
-        for _ in 0..8 {
-            crc = (crc >> 1) ^ (0xEDB8_8320 & 0u32.wrapping_sub(crc & 1));
-        }
-    }
-    !crc
-}
+/// CRC32 (IEEE 802.3 polynomial, the zlib/PNG variant). The implementation
+/// lives in `stage-store` (table-driven, shared with the artefact store's
+/// section checksums); the wire protocol and artefact frames keep importing
+/// it through this path. Bit-identical to the bitwise version this module
+/// shipped through PR 6 (pinned by tests in both crates).
+pub use stage_store::crc32;
 
 #[derive(Serialize, Deserialize)]
 struct Envelope<T> {
@@ -209,7 +202,11 @@ fn tmp_sibling(path: &Path) -> PathBuf {
 /// — never a truncated hybrid (the failure mode of writing in place).
 /// An injected fsync failure (`faults`) aborts before the rename, exactly
 /// like a real one.
-fn atomic_write<F>(path: &Path, write: F, faults: Option<&dyn PersistFaults>) -> io::Result<()>
+pub(crate) fn atomic_write<F>(
+    path: &Path,
+    write: F,
+    faults: Option<&dyn PersistFaults>,
+) -> io::Result<()>
 where
     F: FnOnce(&mut io::BufWriter<std::fs::File>) -> io::Result<()>,
 {
@@ -234,7 +231,7 @@ where
 /// Renames a damaged artefact to `<name>.quarantine` (best effort) so the
 /// next restore doesn't re-parse known-bad bytes; returns the new path when
 /// the rename succeeded.
-fn quarantine(path: &Path) -> Option<PathBuf> {
+pub(crate) fn quarantine(path: &Path) -> Option<PathBuf> {
     let mut name = path.file_name()?.to_os_string();
     name.push(".quarantine");
     let dest = path.with_file_name(name);

@@ -164,6 +164,90 @@ impl TrainingPool {
         Some(ds)
     }
 
+    /// Encodes the pool into an artefact-store section: config, lifetime
+    /// counter, then each bucket's FIFO in order (front to back), so the
+    /// restored pool evicts in exactly the same sequence.
+    pub(crate) fn store_encode(&self, w: &mut stage_store::SectionWriter) {
+        for cap in self.config.bucket_capacity {
+            w.put_u64(cap as u64);
+        }
+        w.put_bool(self.config.bucketing);
+        w.put_u64(self.total_added);
+        w.put_u64(self.buckets.len() as u64);
+        for bucket in &self.buckets {
+            w.put_u64(bucket.len() as u64);
+            for ex in bucket {
+                w.put_f64_slice(&ex.features);
+                w.put_f64(ex.log_target);
+            }
+        }
+    }
+
+    /// Decodes a pool from an artefact-store section; structural problems
+    /// (wrong bucket count, over-cap buckets) are typed errors.
+    pub(crate) fn store_decode(
+        r: &mut stage_store::SectionReader<'_>,
+    ) -> Result<Self, stage_store::StoreError> {
+        let malformed = |d: String| stage_store::StoreError::Malformed { detail: d };
+        let mut bucket_capacity = [0usize; N_BUCKETS];
+        for cap in &mut bucket_capacity {
+            *cap = usize::try_from(r.u64()?)
+                .map_err(|_| malformed("pool bucket cap overflows".into()))?;
+        }
+        let bucketing = r.bool()?;
+        let total_added = r.u64()?;
+        let n_buckets = r.u64()?;
+        if n_buckets != N_BUCKETS as u64 {
+            return Err(malformed(format!(
+                "pool has {n_buckets} buckets, expected {N_BUCKETS}"
+            )));
+        }
+        let config = PoolConfig {
+            bucket_capacity,
+            bucketing,
+        };
+        let summed_cap: usize = bucket_capacity.iter().sum::<usize>().max(1);
+        let mut buckets = Vec::with_capacity(N_BUCKETS);
+        for (b, &bucket_cap) in bucket_capacity.iter().enumerate() {
+            let len = usize::try_from(r.u64()?)
+                .map_err(|_| malformed("pool bucket length overflows".into()))?;
+            let cap = if bucketing {
+                bucket_cap.max(1)
+            } else {
+                summed_cap
+            };
+            if len > cap {
+                return Err(malformed(format!(
+                    "pool bucket {b} holds {len} > cap {cap}"
+                )));
+            }
+            // Each example is at least 16 encoded bytes (feature count +
+            // target); a hostile length over that bound must not allocate.
+            if len.saturating_mul(16) > r.remaining() {
+                return Err(malformed(format!(
+                    "pool bucket {b} length {len} overruns section"
+                )));
+            }
+            let mut bucket = VecDeque::with_capacity(len);
+            for _ in 0..len {
+                let features = r.f64_vec()?;
+                let log_target = r.f64()?;
+                bucket.push_back(Example {
+                    features,
+                    log_target,
+                });
+            }
+            buckets.push(bucket);
+        }
+        let pool = Self {
+            config,
+            buckets,
+            total_added,
+        };
+        pool.debug_check_caps();
+        Ok(pool)
+    }
+
     /// Approximate resident size in bytes.
     pub fn approx_size_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
@@ -173,6 +257,12 @@ impl TrainingPool {
                 .flatten()
                 .map(|e| e.features.len() * 8 + 16)
                 .sum::<usize>()
+    }
+
+    /// The configuration this pool was built with (store restore needs it
+    /// to reassemble the enclosing [`crate::stage::StageConfig`]).
+    pub(crate) fn store_config(&self) -> PoolConfig {
+        self.config
     }
 }
 

@@ -1,0 +1,336 @@
+//! The artefact-store persistence path must be a drop-in replacement for
+//! the serde path: a snapshot written as a store file and mapped back must
+//! answer every prediction **bit-identically** to the same snapshot pushed
+//! through the JSON envelope — the serving layer routes on exact
+//! thresholds, so even 1-ulp drift would route requests differently after
+//! a warm restart. The hostile-input half of this file proves restore
+//! never panics and never silently half-loads: truncation at every section
+//! boundary, single-bit flips across the whole file, and wrong
+//! magic/version all surface as typed [`RestoreError`]s and quarantine the
+//! file.
+
+use proptest::prelude::*;
+use stage_core::persist::{load_stage, save_stage, RestoreError};
+use stage_core::predictor::{ExecTimePredictor, SystemContext};
+use stage_core::stage::{StageConfig, StagePredictor, StageSnapshot};
+use stage_core::storefmt::{
+    load_stage_store, save_stage_store, save_stage_store_dirty, StoreCheckpoint,
+};
+use stage_core::{CacheConfig, LocalModelConfig, PoolConfig};
+use stage_gbdt::{EnsembleParams, NgBoostParams};
+use stage_plan::{PlanBuilder, S3Format};
+use std::path::{Path, PathBuf};
+
+fn plan(rows: f64) -> stage_plan::PhysicalPlan {
+    PlanBuilder::select()
+        .scan("t", S3Format::Local, rows, 64.0)
+        .hash_aggregate(0.01)
+        .finish()
+}
+
+/// A config small enough that retraining inside a property test is cheap
+/// but real: a trained 2-member ensemble, a populated cache and pool.
+fn small_config(seed: u64) -> StageConfig {
+    StageConfig {
+        cache: CacheConfig::default(),
+        pool: PoolConfig::default(),
+        local: LocalModelConfig {
+            ensemble: EnsembleParams {
+                n_members: 2,
+                member: NgBoostParams {
+                    n_estimators: 8,
+                    ..NgBoostParams::default()
+                },
+                seed,
+            },
+            min_train_examples: 20,
+            retrain_interval: 25,
+        },
+        ..StageConfig::default()
+    }
+}
+
+/// Drives a predictor through enough traffic to populate all three tiers,
+/// returning it with a trained ensemble, warm cache, and non-empty pool.
+fn warm_predictor(seed: u64, n_obs: usize) -> StagePredictor {
+    let mut s = StagePredictor::new(small_config(seed));
+    s.set_instance_salt(seed ^ 0x5741_524d);
+    let sys = SystemContext::empty(2);
+    for i in 1..=n_obs {
+        // Mostly unique plans (so the de-duplicated pool actually grows
+        // past `min_train_examples` and the ensemble trains), with every
+        // fourth a repeat to exercise warm cache entries.
+        let rows = if i % 4 == 0 { 5e4 } else { i as f64 * 1e4 };
+        let q = plan(rows);
+        s.predict(&q, &sys);
+        s.observe(&q, &sys, (i % 7) as f64 * 0.35 + 0.05);
+    }
+    s
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("stage-storefmt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn quarantine_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap().to_os_string();
+    name.push(".quarantine");
+    path.with_file_name(name)
+}
+
+/// Runs the same probe sequence on both predictors and asserts every
+/// prediction matches bit-for-bit (exec time, variance, source).
+fn assert_bit_identical(a: &mut StagePredictor, b: &mut StagePredictor, tag: &str) {
+    let sys = SystemContext::empty(2);
+    for i in 1..=24 {
+        let q = plan((i % 17 + 1) as f64 * 7.3e3);
+        let pa = a.predict(&q, &sys);
+        let pb = b.predict(&q, &sys);
+        assert_eq!(
+            pa.exec_secs.to_bits(),
+            pb.exec_secs.to_bits(),
+            "{tag}: probe {i} exec_secs diverged"
+        );
+        assert_eq!(
+            pa.log_variance.map(f64::to_bits),
+            pb.log_variance.map(f64::to_bits),
+            "{tag}: probe {i} variance diverged"
+        );
+        assert_eq!(pa.source, pb.source, "{tag}: probe {i} source diverged");
+    }
+    assert_eq!(a.stats(), b.stats(), "{tag}: routing counters diverged");
+}
+
+fn store_round_trip(snap: &StageSnapshot, dir: &Path) -> StageSnapshot {
+    let path = dir.join("snapshot.store");
+    save_stage_store(snap, &path, None).unwrap();
+    load_stage_store(&path, None).unwrap()
+}
+
+fn serde_round_trip(snap: &StageSnapshot) -> StageSnapshot {
+    let mut buf = Vec::new();
+    save_stage(snap, &mut buf).unwrap();
+    load_stage(buf.as_slice()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// store-file restore == serde restore == the original, bit for bit,
+    /// across randomly seeded trained predictors.
+    #[test]
+    fn store_restore_bit_identical_to_serde(seed in 0u64..500, n_obs in 25usize..60) {
+        let dir = fresh_dir(&format!("prop-{seed}-{n_obs}"));
+        let original = warm_predictor(seed, n_obs);
+        let snap = original.snapshot();
+        // The scenario must exercise a real trained ensemble, not just the
+        // cache tier.
+        prop_assert!(snap.local.is_trained(), "warm-up never trained the ensemble");
+
+        let mut via_store = StagePredictor::from_snapshot(store_round_trip(&snap, &dir));
+        let mut via_serde = StagePredictor::from_snapshot(serde_round_trip(&snap));
+        assert_bit_identical(&mut via_serde, &mut via_store, "store vs serde");
+
+        // Both restored predictors keep learning identically (same retrain
+        // cadence, same seeds) — restore is not a frozen copy.
+        let sys = SystemContext::empty(2);
+        for i in 1..=30 {
+            let q = plan((i % 9 + 1) as f64 * 2.1e4);
+            via_serde.observe(&q, &sys, i as f64 * 0.2);
+            via_store.observe(&q, &sys, i as f64 * 0.2);
+        }
+        assert_bit_identical(&mut via_serde, &mut via_store, "post-restore learning");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Truncating the file at (and one byte before) every section boundary is
+/// a typed error — never a panic, never an `Ok` with missing state — and
+/// quarantines the file.
+#[test]
+fn truncation_at_every_section_boundary_is_typed_and_quarantined() {
+    let dir = fresh_dir("truncate");
+    let path = dir.join("snapshot.store");
+    let snap = warm_predictor(3, 40).snapshot();
+    save_stage_store(&snap, &path, None).unwrap();
+    let full = std::fs::read(&path).unwrap();
+
+    // Boundaries: mid-header, end of header, each table entry, each
+    // section's start/end, and one byte short of the full file.
+    let sections = stage_core::storefmt::snapshot_sections(&snap);
+    let mut cuts = vec![0, 7, 35, stage_store::HEADER_LEN];
+    for i in 0..=sections.len() {
+        cuts.push(stage_store::HEADER_LEN + i * stage_store::ENTRY_LEN);
+    }
+    let view = stage_store::StoreView::parse(&full).unwrap();
+    for id in view.section_ids() {
+        let sec = view.section(id).unwrap();
+        let offset = sec.as_ptr() as usize - full.as_ptr() as usize;
+        cuts.extend([offset, offset + sec.len(), offset + sec.len() - 1]);
+    }
+    cuts.push(full.len() - 1);
+    cuts.retain(|&c| c < full.len());
+    cuts.sort_unstable();
+    cuts.dedup();
+
+    for cut in cuts {
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let err = load_stage_store(&path, None).unwrap_err();
+        assert!(
+            !matches!(err, RestoreError::Io(_)),
+            "cut at {cut}: expected damage, got io error {err}"
+        );
+        assert!(!path.exists(), "cut at {cut}: damaged file left in place");
+        let q = quarantine_path(&path);
+        assert!(q.exists(), "cut at {cut}: no quarantine file");
+        let _ = std::fs::remove_file(&q);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Single-bit flips across the file (sampled stride) are always caught by
+/// a CRC (or structural check) — restore never returns `Ok` on a damaged
+/// image and never panics.
+#[test]
+fn bit_flips_never_restore_silently() {
+    let dir = fresh_dir("bitflip");
+    let path = dir.join("snapshot.store");
+    let snap = warm_predictor(4, 35).snapshot();
+    save_stage_store(&snap, &path, None).unwrap();
+    let full = std::fs::read(&path).unwrap();
+
+    let stride = (full.len() / 97).max(1);
+    for byte in (0..full.len()).step_by(stride) {
+        let mut damaged = full.clone();
+        damaged[byte] ^= 1 << (byte % 8);
+        std::fs::write(&path, &damaged).unwrap();
+        let err = load_stage_store(&path, None).unwrap_err();
+        assert!(
+            !matches!(err, RestoreError::Io(_)),
+            "flip at {byte}: expected damage, got io error {err}"
+        );
+        let _ = std::fs::remove_file(quarantine_path(&path));
+        let _ = std::fs::remove_file(&path);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Wrong magic and an unsupported version (with a *valid* header CRC, so
+/// only the version check can object) are their own typed errors.
+#[test]
+fn wrong_magic_and_version_are_typed() {
+    let dir = fresh_dir("magic");
+    let path = dir.join("snapshot.store");
+    let snap = warm_predictor(5, 30).snapshot();
+
+    save_stage_store(&snap, &path, None).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[0] = b'X';
+    std::fs::write(&path, &bytes).unwrap();
+    let err = load_stage_store(&path, None).unwrap_err();
+    assert!(matches!(err, RestoreError::MissingHeader), "{err}");
+    assert!(quarantine_path(&path).exists());
+    let _ = std::fs::remove_file(quarantine_path(&path));
+
+    save_stage_store(&snap, &path, None).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+    let fixed_crc = stage_store::crc32(&bytes[..36]);
+    bytes[36..40].copy_from_slice(&fixed_crc.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+    let err = load_stage_store(&path, None).unwrap_err();
+    assert!(
+        matches!(err, RestoreError::UnsupportedVersion { found: 99, .. }),
+        "{err}"
+    );
+    assert!(quarantine_path(&path).exists());
+
+    // A missing file stays a benign cold start (no quarantine).
+    let gone = dir.join("never-written.store");
+    assert!(load_stage_store(&gone, None).unwrap_err().is_not_found());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Dirty-section checkpoints: an unchanged snapshot writes nothing, a
+/// small change rewrites only the touched sections, and the updated file
+/// restores to the new state.
+#[test]
+fn dirty_checkpoint_skips_clean_sections() {
+    let dir = fresh_dir("dirty");
+    let path = dir.join("snapshot.store");
+    let mut s = warm_predictor(6, 40);
+    let snap = s.snapshot();
+
+    // First checkpoint: no file yet, full write.
+    assert_eq!(
+        save_stage_store_dirty(&snap, &path).unwrap(),
+        StoreCheckpoint::Full
+    );
+    // Identical snapshot: byte-identical sections, nothing written.
+    assert_eq!(
+        save_stage_store_dirty(&snap, &path).unwrap(),
+        StoreCheckpoint::Clean
+    );
+
+    // A little more traffic dirties cache/pool/stats but not the encoded
+    // local model (no retrain boundary crossed) or config.
+    let sys = SystemContext::empty(2);
+    s.predict(&plan(3.3e4), &sys);
+    s.observe(&plan(3.3e4), &sys, 0.4);
+    let snap2 = s.snapshot();
+    match save_stage_store_dirty(&snap2, &path).unwrap() {
+        StoreCheckpoint::Sections { dirty } => {
+            assert!(
+                (1..5).contains(&dirty),
+                "expected a partial rewrite, got {dirty} dirty sections"
+            );
+        }
+        other => panic!("expected a section-granular update, got {other:?}"),
+    }
+
+    // The in-place-updated file restores to the *new* snapshot.
+    let mut restored = StagePredictor::from_snapshot(load_stage_store(&path, None).unwrap());
+    let mut reference = StagePredictor::from_snapshot(snap2);
+    assert_bit_identical(&mut reference, &mut restored, "after dirty update");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The global-model store file round-trips the model bit-exactly and
+/// carries the caller's generation stamp, readable from the header alone.
+#[test]
+fn global_store_round_trip_and_generation_poll() {
+    use stage_core::global::{plan_to_tree_sample, GlobalModel, GlobalModelConfig};
+    use stage_core::storefmt::{load_global_store, save_global_store, store_generation};
+
+    let dir = fresh_dir("global");
+    let path = dir.join("global.store");
+    let sys = SystemContext::empty(2);
+    let samples: Vec<_> = (1..=25)
+        .map(|i| plan_to_tree_sample(&plan(i as f64 * 1e4), &sys, i as f64 * 0.2))
+        .collect();
+    let cfg = GlobalModelConfig {
+        hidden: 8,
+        gcn_layers: 1,
+        epochs: 3,
+        ..GlobalModelConfig::default()
+    };
+    let model = GlobalModel::train(&samples, 2, &cfg);
+
+    save_global_store(&model, &path, 7, None).unwrap();
+    assert_eq!(store_generation(&path).unwrap(), 7);
+    let (restored, generation) = load_global_store(&path, None).unwrap();
+    assert_eq!(generation, 7);
+    let probe = plan(3.3e5);
+    assert_eq!(
+        model.predict(&probe, &sys).to_bits(),
+        restored.predict(&probe, &sys).to_bits()
+    );
+
+    // A newer artefact bumps the polled generation.
+    save_global_store(&model, &path, 8, None).unwrap();
+    assert_eq!(store_generation(&path).unwrap(), 8);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -147,6 +147,21 @@ impl BayesianEnsemble {
         self.members.len()
     }
 
+    /// The trained members, in training order.
+    pub fn members(&self) -> &[NgBoost] {
+        &self.members
+    }
+
+    /// Reassembles an ensemble from restored members (the artefact-store
+    /// decode path); `None` on an empty member list, mirroring `fit`.
+    pub fn from_members(members: Vec<NgBoost>) -> Option<Self> {
+        if members.is_empty() {
+            None
+        } else {
+            Some(Self { members })
+        }
+    }
+
     /// Mean of the members' gain-based feature importances (normalized).
     pub fn feature_importance(&self) -> Vec<f64> {
         let mut acc: Vec<f64> = Vec::new();

@@ -67,13 +67,136 @@ impl FlatTree {
         flat
     }
 
+    /// Rebuilds a flat tree from its four arrays (the artefact-store decode
+    /// path). Returns `None` on malformed input: mismatched lengths, zero
+    /// nodes, a leaf with nonzero children, or a split child index that is
+    /// out of bounds or not strictly greater than its parent — the same
+    /// invariant `Tree::from_flat_parts` enforces, and what makes the
+    /// unguarded traversal in [`FlatTree::predict`] terminate.
+    pub fn from_arrays(
+        feature: Vec<u32>,
+        threshold: Vec<f64>,
+        left: Vec<u32>,
+        right: Vec<u32>,
+    ) -> Option<Self> {
+        let n = feature.len();
+        if n == 0 || threshold.len() != n || left.len() != n || right.len() != n {
+            return None;
+        }
+        for i in 0..n {
+            if feature[i] == LEAF {
+                if left[i] != 0 || right[i] != 0 {
+                    return None;
+                }
+            } else {
+                let (l, r) = (left[i] as usize, right[i] as usize);
+                if l <= i || r <= i || l >= n || r >= n {
+                    return None;
+                }
+            }
+        }
+        Some(Self {
+            feature,
+            threshold,
+            left,
+            right,
+        })
+    }
+
     /// Number of nodes.
     pub fn n_nodes(&self) -> usize {
         self.feature.len()
     }
 
+    /// The per-node split feature array ([`u32::MAX`] tags leaves).
+    pub fn features(&self) -> &[u32] {
+        &self.feature
+    }
+
+    /// The per-node threshold array (leaf weight for leaf-tagged nodes).
+    pub fn thresholds(&self) -> &[f64] {
+        &self.threshold
+    }
+
+    /// The per-node left child array.
+    pub fn lefts(&self) -> &[u32] {
+        &self.left
+    }
+
+    /// The per-node right child array.
+    pub fn rights(&self) -> &[u32] {
+        &self.right
+    }
+
+    /// A borrowed view over this tree's arrays.
+    pub fn view(&self) -> FlatTreeView<'_> {
+        FlatTreeView {
+            feature: &self.feature,
+            threshold: &self.threshold,
+            left: &self.left,
+            right: &self.right,
+        }
+    }
+
     /// Predicts the leaf weight for one row — same comparisons on the same
     /// bits as `Tree::predict`, just against the flat arrays.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        self.view().predict(row)
+    }
+}
+
+/// A borrowed flat tree: the same four parallel arrays as [`FlatTree`], but
+/// referencing memory owned elsewhere — typically primitive slices read in
+/// place from a memory-mapped `stage-store` section, so a shard can serve
+/// predictions without ever copying the model out of the page cache.
+#[derive(Debug, Clone, Copy)]
+pub struct FlatTreeView<'a> {
+    feature: &'a [u32],
+    threshold: &'a [f64],
+    left: &'a [u32],
+    right: &'a [u32],
+}
+
+impl<'a> FlatTreeView<'a> {
+    /// Builds a view over borrowed arrays with the same validation as
+    /// [`FlatTree::from_arrays`]; `None` on malformed input.
+    pub fn new(
+        feature: &'a [u32],
+        threshold: &'a [f64],
+        left: &'a [u32],
+        right: &'a [u32],
+    ) -> Option<Self> {
+        let n = feature.len();
+        if n == 0 || threshold.len() != n || left.len() != n || right.len() != n {
+            return None;
+        }
+        for i in 0..n {
+            if feature[i] == LEAF {
+                if left[i] != 0 || right[i] != 0 {
+                    return None;
+                }
+            } else {
+                let (l, r) = (left[i] as usize, right[i] as usize);
+                if l <= i || r <= i || l >= n || r >= n {
+                    return None;
+                }
+            }
+        }
+        Some(Self {
+            feature,
+            threshold,
+            left,
+            right,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// Predicts the leaf weight for one row — the shared traversal kernel
+    /// behind both the owned and the borrowed layout.
     pub fn predict(&self, row: &[f64]) -> f64 {
         let mut i = 0usize;
         loop {
@@ -104,9 +227,26 @@ impl FlatForest {
         }
     }
 
+    /// Assembles a forest from already-flat trees (the store decode path).
+    pub fn from_flat_trees(trees: Vec<FlatTree>) -> Self {
+        Self { trees }
+    }
+
     /// Number of trees.
     pub fn n_trees(&self) -> usize {
         self.trees.len()
+    }
+
+    /// The flat trees, in boosting order.
+    pub fn trees(&self) -> &[FlatTree] {
+        &self.trees
+    }
+
+    /// A borrowed view over the whole forest.
+    pub fn view(&self) -> FlatForestView<'_> {
+        FlatForestView {
+            trees: self.trees.iter().map(FlatTree::view).collect(),
+        }
     }
 
     /// Writes tree `t`'s raw leaf weight for every row into `out[..rows.len()]`.
@@ -124,6 +264,53 @@ impl FlatForest {
 
     /// Unweighted sum of all trees per row (tree-major), for callers without
     /// per-tree accumulation needs.
+    pub fn predict_batch<R: AsRef<[f64]>>(&self, rows: &[R]) -> Vec<f64> {
+        let mut acc = vec![0.0; rows.len()];
+        let mut tmp = vec![0.0; rows.len()];
+        for t in 0..self.trees.len() {
+            self.predict_tree_into(t, rows, &mut tmp);
+            for (a, v) in acc.iter_mut().zip(&tmp) {
+                *a += *v;
+            }
+        }
+        acc
+    }
+}
+
+/// A borrowed forest of [`FlatTreeView`]s with the same tree-major batch
+/// kernel as [`FlatForest`] — the zero-copy twin used when the arrays live
+/// in a memory-mapped artefact-store section rather than on the heap.
+#[derive(Debug, Clone)]
+pub struct FlatForestView<'a> {
+    trees: Vec<FlatTreeView<'a>>,
+}
+
+impl<'a> FlatForestView<'a> {
+    /// Assembles a view forest from per-tree views, preserving order.
+    pub fn from_views(trees: Vec<FlatTreeView<'a>>) -> Self {
+        Self { trees }
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Writes tree `t`'s raw leaf weight for every row into
+    /// `out[..rows.len()]` — same kernel as
+    /// [`FlatForest::predict_tree_into`].
+    ///
+    /// # Panics
+    /// Panics if `t` is out of range or `out` is shorter than `rows`.
+    pub fn predict_tree_into<R: AsRef<[f64]>>(&self, t: usize, rows: &[R], out: &mut [f64]) {
+        let tree = &self.trees[t];
+        for (row, slot) in rows.iter().zip(out.iter_mut()) {
+            *slot = tree.predict(row.as_ref());
+        }
+    }
+
+    /// Unweighted sum of all trees per row (tree-major) — bit-identical to
+    /// [`FlatForest::predict_batch`] over the same arrays.
     pub fn predict_batch<R: AsRef<[f64]>>(&self, rows: &[R]) -> Vec<f64> {
         let mut acc = vec![0.0; rows.len()];
         let mut tmp = vec![0.0; rows.len()];
@@ -231,6 +418,51 @@ mod tests {
             let want: f64 = trees.iter().map(|t| t.predict(row)).sum();
             assert_eq!(*got, want);
         }
+    }
+
+    #[test]
+    fn view_matches_owned_bit_for_bit() {
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+        let targets: Vec<f64> = (0..60).map(|i| (i % 13) as f64).collect();
+        let data = Dataset::from_rows(&rows, &targets);
+        let trees = vec![fit_on_targets(&data), Tree::constant(-1.0)];
+        let forest = FlatForest::from_trees(&trees);
+        let view = forest.view();
+        assert_eq!(view.n_trees(), forest.n_trees());
+        let owned = forest.predict_batch(&rows);
+        let borrowed = view.predict_batch(&rows);
+        for (a, b) in owned.iter().zip(&borrowed) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn from_arrays_round_trip_and_rejection() {
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let targets: Vec<f64> = (0..40).map(|i| (i % 5) as f64).collect();
+        let data = Dataset::from_rows(&rows, &targets);
+        let tree = fit_on_targets(&data);
+        let flat = FlatTree::from_tree(&tree);
+        let rebuilt = FlatTree::from_arrays(
+            flat.features().to_vec(),
+            flat.thresholds().to_vec(),
+            flat.lefts().to_vec(),
+            flat.rights().to_vec(),
+        )
+        .unwrap();
+        for row in &rows {
+            assert_eq!(rebuilt.predict(row).to_bits(), flat.predict(row).to_bits());
+        }
+        // Hostile arrays: backward child edge would loop forever if accepted.
+        assert!(FlatTree::from_arrays(
+            vec![0, 0, LEAF],
+            vec![1.0, 1.0, 2.0],
+            vec![1, 0, 0],
+            vec![2, 2, 0],
+        )
+        .is_none());
+        assert!(FlatTree::from_arrays(vec![], vec![], vec![], vec![]).is_none());
+        assert!(FlatTreeView::new(&[LEAF], &[1.0], &[3], &[0]).is_none());
     }
 
     #[test]

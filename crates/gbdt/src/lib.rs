@@ -40,7 +40,7 @@ pub mod tree;
 
 pub use dataset::{BinnedDataset, Binner, Dataset};
 pub use ensemble::{BayesianEnsemble, EnsembleParams, EnsemblePrediction};
-pub use flat::{FlatForest, FlatTree};
+pub use flat::{FlatForest, FlatForestView, FlatTree, FlatTreeView};
 pub use gbm::{Gbm, GbmParams};
 pub use mixed::{MixedEnsemble, MixedEnsembleParams};
 pub use ngboost::{NgBoost, NgBoostParams};

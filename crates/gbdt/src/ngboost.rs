@@ -287,6 +287,63 @@ impl NgBoost {
         imp
     }
 
+    /// Scalar head state `(base_mu, base_log_var, learning_rate,
+    /// log_var_range, n_cols)` for the artefact store.
+    pub fn scalar_parts(&self) -> (f64, f64, f64, (f64, f64), usize) {
+        (
+            self.base_mu,
+            self.base_log_var,
+            self.learning_rate,
+            self.log_var_range,
+            self.n_cols,
+        )
+    }
+
+    /// The μ-head trees, in boosting order.
+    pub fn mu_trees(&self) -> &[Tree] {
+        &self.mu_trees
+    }
+
+    /// The s-head (log-variance) trees, in boosting order.
+    pub fn var_trees(&self) -> &[Tree] {
+        &self.var_trees
+    }
+
+    /// Reassembles a model from [`NgBoost::scalar_parts`] plus both tree
+    /// heads (the artefact-store decode path). Returns `None` when the
+    /// heads have different lengths — `fit` always truncates them together,
+    /// so a mismatch means the artefact is corrupt. The flat twin is
+    /// rebuilt eagerly so batched prediction never re-derives state after a
+    /// restore.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        base_mu: f64,
+        base_log_var: f64,
+        learning_rate: f64,
+        log_var_range: (f64, f64),
+        n_cols: usize,
+        mu_trees: Vec<Tree>,
+        var_trees: Vec<Tree>,
+    ) -> Option<Self> {
+        if mu_trees.len() != var_trees.len() {
+            return None;
+        }
+        let flat = Lazy::filled(FlatHeads {
+            mu: FlatForest::from_trees(&mu_trees),
+            var: FlatForest::from_trees(&var_trees),
+        });
+        Some(Self {
+            base_mu,
+            base_log_var,
+            learning_rate,
+            log_var_range,
+            mu_trees,
+            var_trees,
+            n_cols,
+            flat,
+        })
+    }
+
     /// Rough in-memory size in bytes.
     pub fn approx_size_bytes(&self) -> usize {
         std::mem::size_of::<Self>()

@@ -14,6 +14,10 @@
 use crate::dataset::{BinnedDataset, Binner, Dataset};
 use serde::{Deserialize, Serialize};
 
+/// The five parallel arrays of [`Tree::to_flat_parts`]:
+/// `(feature, threshold, left, right, gain)`.
+pub type FlatParts = (Vec<u32>, Vec<f64>, Vec<u32>, Vec<u32>, Vec<f64>);
+
 /// Tree-growing hyper-parameters.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct TreeParams {
@@ -140,6 +144,89 @@ impl Tree {
                 } => visit(Some(*feature), *threshold, *left, *right),
             }
         }
+    }
+
+    /// Exports the arena as five parallel arrays for the artefact store:
+    /// `(feature, threshold, left, right, gain)`. Leaves use the
+    /// [`crate::flat`] convention — `feature = u32::MAX`, leaf weight in the
+    /// threshold slot, zero children — plus zero gain. The inverse is
+    /// [`Tree::from_flat_parts`]; a round trip is bit-exact.
+    pub fn to_flat_parts(&self) -> FlatParts {
+        let n = self.nodes.len();
+        let mut feature = Vec::with_capacity(n);
+        let mut threshold = Vec::with_capacity(n);
+        let mut left = Vec::with_capacity(n);
+        let mut right = Vec::with_capacity(n);
+        let mut gain = Vec::with_capacity(n);
+        for node in &self.nodes {
+            match node {
+                Node::Leaf { weight } => {
+                    feature.push(u32::MAX);
+                    threshold.push(*weight);
+                    left.push(0);
+                    right.push(0);
+                    gain.push(0.0);
+                }
+                Node::Split {
+                    feature: f,
+                    threshold: t,
+                    gain: g,
+                    left: l,
+                    right: r,
+                } => {
+                    feature.push(*f);
+                    threshold.push(*t);
+                    left.push(*l);
+                    right.push(*r);
+                    gain.push(*g);
+                }
+            }
+        }
+        (feature, threshold, left, right, gain)
+    }
+
+    /// Rebuilds a tree from [`Tree::to_flat_parts`] arrays. Returns `None`
+    /// on malformed input — mismatched lengths, zero nodes, or a split
+    /// child index that is out of bounds or not strictly greater than its
+    /// parent (the arena is built depth-first, so children always follow
+    /// their parent; enforcing that makes `predict`'s unguarded traversal
+    /// provably terminating on restored trees).
+    pub fn from_flat_parts(
+        feature: &[u32],
+        threshold: &[f64],
+        left: &[u32],
+        right: &[u32],
+        gain: &[f64],
+    ) -> Option<Self> {
+        let n = feature.len();
+        if n == 0 || threshold.len() != n || left.len() != n || right.len() != n || gain.len() != n
+        {
+            return None;
+        }
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            if feature[i] == u32::MAX {
+                if left[i] != 0 || right[i] != 0 {
+                    return None;
+                }
+                nodes.push(Node::Leaf {
+                    weight: threshold[i],
+                });
+            } else {
+                let (l, r) = (left[i] as usize, right[i] as usize);
+                if l <= i || r <= i || l >= n || r >= n {
+                    return None;
+                }
+                nodes.push(Node::Split {
+                    feature: feature[i],
+                    threshold: threshold[i],
+                    gain: gain[i],
+                    left: left[i],
+                    right: right[i],
+                });
+            }
+        }
+        Some(Tree { nodes })
     }
 
     /// Predicts the leaf weight for a raw (unbinned) feature row.
@@ -455,6 +542,52 @@ mod tests {
         assert!(tree.predict(&[80.0, 80.0]) > 4.0);
         assert!(tree.predict(&[80.0, 10.0]) < 1.0);
         assert!(tree.predict(&[10.0, 80.0]) < 1.0);
+    }
+
+    #[test]
+    fn flat_parts_round_trip_is_bit_exact() {
+        let data = step_data();
+        let tree = fit_on_targets(&data, &TreeParams::default());
+        let (f, t, l, r, g) = tree.to_flat_parts();
+        let back = Tree::from_flat_parts(&f, &t, &l, &r, &g).unwrap();
+        assert_eq!(back.n_nodes(), tree.n_nodes());
+        assert_eq!(back.n_leaves(), tree.n_leaves());
+        for x in [0.0, 10.0, 49.0, 50.0, 51.0, 99.0] {
+            assert_eq!(
+                back.predict(&[x]).to_bits(),
+                tree.predict(&[x]).to_bits(),
+                "x={x}"
+            );
+        }
+        let mut imp_a = vec![0.0; 1];
+        let mut imp_b = vec![0.0; 1];
+        tree.accumulate_importance(&mut imp_a);
+        back.accumulate_importance(&mut imp_b);
+        assert_eq!(imp_a[0].to_bits(), imp_b[0].to_bits());
+    }
+
+    #[test]
+    fn from_flat_parts_rejects_malformed() {
+        // Length mismatch.
+        assert!(Tree::from_flat_parts(&[u32::MAX], &[1.0, 2.0], &[0], &[0], &[0.0]).is_none());
+        // Zero nodes.
+        assert!(Tree::from_flat_parts(&[], &[], &[], &[], &[]).is_none());
+        // Split child out of bounds.
+        assert!(
+            Tree::from_flat_parts(&[0, u32::MAX], &[1.0, 2.0], &[1, 0], &[9, 0], &[0.5, 0.0])
+                .is_none()
+        );
+        // Split child pointing backwards (cycle).
+        assert!(Tree::from_flat_parts(
+            &[0, 0, u32::MAX],
+            &[1.0, 1.0, 2.0],
+            &[1, 0, 0],
+            &[2, 2, 0],
+            &[0.5, 0.5, 0.0]
+        )
+        .is_none());
+        // Leaf with nonzero children.
+        assert!(Tree::from_flat_parts(&[u32::MAX], &[1.0], &[1], &[0], &[0.0]).is_none());
     }
 
     proptest! {

@@ -1,5 +1,5 @@
 //! stage-lint: a std-only static-analysis pass over this workspace's own
-//! sources, enforcing the four invariants the serving path depends on:
+//! sources, enforcing the five invariants the serving path depends on:
 //!
 //! | rule id               | invariant                                       |
 //! |-----------------------|-------------------------------------------------|
@@ -7,6 +7,7 @@
 //! | `no-nondeterminism`   | replay-deterministic crates read no clock/entropy |
 //! | `lock-order`          | nested guards follow registry → shard → queue   |
 //! | `protocol-exhaustive` | every Request verb is dispatched and documented |
+//! | `unsafe-seam`         | every `unsafe` on a hardened path is justified  |
 //!
 //! Findings can be suppressed (except malformed-pragma findings) with a
 //! `// lint:allow(<rule>): <reason>` comment on the offending line or the
@@ -21,7 +22,7 @@ use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use rules::{RULE_DETERMINISM, RULE_LOCK_ORDER, RULE_NO_PANIC, RULE_PRAGMA};
+use rules::{RULE_DETERMINISM, RULE_LOCK_ORDER, RULE_NO_PANIC, RULE_PRAGMA, RULE_UNSAFE};
 use source::SourceFile;
 
 /// One diagnostic.
@@ -64,10 +65,13 @@ impl fmt::Display for Finding {
 
 /// Per-rule file scopes, relative to the workspace root.
 ///
-/// `no-panic` covers the serve request path, the snapshot/persist layer,
-/// the degradation logic in the predictor, and the fault injector itself:
-/// a panic there takes down every connection, corrupts a checkpoint, or —
-/// in the injector's case — voids the very no-panic property under test.
+/// `no-panic` covers the serve request path, the snapshot/persist layer
+/// (including the artefact store and its mmap FFI, which parse hostile
+/// bytes on the restore path), the degradation logic in the predictor, and
+/// the fault injector itself: a panic there takes down every connection,
+/// corrupts a checkpoint, or — in the injector's case — voids the very
+/// no-panic property under test. The same files carry the `unsafe-seam`
+/// rule.
 const NO_PANIC_FILES: &[&str] = &[
     "crates/serve/src/server.rs",
     "crates/serve/src/queue.rs",
@@ -79,6 +83,10 @@ const NO_PANIC_FILES: &[&str] = &[
     "crates/bench/src/bin/debug_e2e.rs",
     "crates/core/src/persist.rs",
     "crates/core/src/stage.rs",
+    "crates/core/src/storefmt.rs",
+    "crates/store/src/lib.rs",
+    "crates/store/src/format.rs",
+    "crates/store/src/mmap.rs",
     "crates/chaos/src/lib.rs",
     "crates/chaos/src/plan.rs",
     "crates/chaos/src/rng.rs",
@@ -104,8 +112,13 @@ const LOCK_ORDER_DIRS: &[&str] = &["crates/serve/src", "crates/core/src", "crate
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     // Work out which rules apply to which files, then lex each file once.
     let mut plan: BTreeMap<PathBuf, Vec<&'static str>> = BTreeMap::new();
+    // The hardened files carry both the panic-freedom rule and the
+    // unsafe-justification rule: an FFI seam that panics and an unsafe
+    // block without a reviewable argument are the same class of hazard.
     for rel in NO_PANIC_FILES {
-        plan.entry(root.join(rel)).or_default().push(RULE_NO_PANIC);
+        let entry = plan.entry(root.join(rel)).or_default();
+        entry.push(RULE_NO_PANIC);
+        entry.push(RULE_UNSAFE);
     }
     for dir in DETERMINISM_DIRS {
         for file in rust_files(&root.join(dir))? {
@@ -131,6 +144,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
                 RULE_NO_PANIC => rules::no_panic::check(&file),
                 RULE_DETERMINISM => rules::determinism::check(&file),
                 RULE_LOCK_ORDER => rules::lock_order::check(&file),
+                RULE_UNSAFE => rules::unsafe_seam::check(&file),
                 _ => Vec::new(),
             };
             findings.extend(raw.into_iter().filter(|f| !file.allowed(f.rule, f.line)));

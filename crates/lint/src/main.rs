@@ -67,7 +67,7 @@ fn main() -> ExitCode {
         eprintln!("stage-lint: report written to {}", out_path.display());
     }
     if findings.is_empty() {
-        eprintln!("stage-lint: workspace clean (4 rules)");
+        eprintln!("stage-lint: workspace clean (5 rules)");
         ExitCode::SUCCESS
     } else {
         eprintln!("stage-lint: {} finding(s)", findings.len());

@@ -1,4 +1,4 @@
-//! The four workspace invariant rules. Each rule is a pure function from
+//! The five workspace invariant rules. Each rule is a pure function from
 //! lexed source to raw findings; pragma suppression and malformed-pragma
 //! reporting are applied uniformly by the driver in `lib.rs`.
 
@@ -6,6 +6,7 @@ pub mod determinism;
 pub mod lock_order;
 pub mod no_panic;
 pub mod protocol;
+pub mod unsafe_seam;
 
 /// Stable rule identifiers (used in findings, pragmas, and the JSON
 /// report).
@@ -16,6 +17,8 @@ pub const RULE_DETERMINISM: &str = "no-nondeterminism";
 pub const RULE_LOCK_ORDER: &str = "lock-order";
 /// See [`protocol`].
 pub const RULE_PROTOCOL: &str = "protocol-exhaustive";
+/// See [`unsafe_seam`].
+pub const RULE_UNSAFE: &str = "unsafe-seam";
 /// Malformed `lint:allow` pragmas (never suppressible).
 pub const RULE_PRAGMA: &str = "pragma";
 

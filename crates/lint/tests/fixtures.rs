@@ -88,6 +88,23 @@ fn lock_order_clean_fixture_is_silent() {
 }
 
 #[test]
+fn unsafe_seam_violation_fixture_lines() {
+    let findings = run(rules::unsafe_seam::check, "unsafe_seam_violation.rs");
+    assert_eq!(
+        lines_of(&findings, "unsafe-seam"),
+        vec![4, 8],
+        "unjustified unsafe block and unsafe fn: {findings:#?}"
+    );
+    assert!(findings[0].message.contains("lint:allow(unsafe-seam)"));
+}
+
+#[test]
+fn unsafe_seam_clean_fixture_is_silent() {
+    let findings = run(rules::unsafe_seam::check, "unsafe_seam_clean.rs");
+    assert!(findings.is_empty(), "clean fixture flagged: {findings:#?}");
+}
+
+#[test]
 fn protocol_violation_fixture_lines() {
     let dir = fixture("protocol");
     let protocol = SourceFile::read(&dir.join("protocol.rs")).expect("fixture readable");

@@ -1,0 +1,17 @@
+//! Fixture: justified seams and prose mentions of the keyword stay silent.
+
+/// Talking about unsafe code in a doc comment is not a seam.
+pub fn describe() -> &'static str {
+    "the word unsafe inside a string is not a seam either"
+}
+
+pub fn read_len(ptr: *const u8, len: usize) -> usize {
+    // lint:allow(unsafe-seam): caller guarantees ptr is valid for len bytes
+    let s = unsafe { core::slice::from_raw_parts(ptr, len) };
+    s.len()
+}
+
+pub fn read_len_trailing(ptr: *const u8, len: usize) -> usize {
+    let s = unsafe { core::slice::from_raw_parts(ptr, len) }; // lint:allow(unsafe-seam): same contract as read_len
+    s.len()
+}

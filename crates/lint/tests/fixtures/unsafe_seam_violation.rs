@@ -1,0 +1,10 @@
+//! Fixture: `unsafe` on a hardened path without a justification pragma.
+
+pub fn read_len(ptr: *const u8, len: usize) -> usize {
+    let s = unsafe { core::slice::from_raw_parts(ptr, len) };
+    s.len()
+}
+
+pub unsafe fn unchecked_add(a: usize, b: usize) -> usize {
+    a.wrapping_add(b)
+}

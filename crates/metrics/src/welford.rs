@@ -53,9 +53,23 @@ impl Welford {
         self.m2 += delta * delta2;
     }
 
+    /// Reconstructs an accumulator from its raw state `(count, mean, m2)` —
+    /// the artefact-store decode path. The fields are restored bit-for-bit;
+    /// no re-derivation happens, so a round trip through
+    /// [`Welford::m2`]/[`Welford::from_parts`] is exact.
+    pub fn from_parts(count: u64, mean: f64, m2: f64) -> Self {
+        Self { count, mean, m2 }
+    }
+
     /// Number of observations so far.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Raw sum of squared deviations (the `m2` state), for exact
+    /// serialization alongside [`Welford::count`] and [`Welford::mean`].
+    pub fn m2(&self) -> f64 {
+        self.m2
     }
 
     /// Running mean; `0.0` when empty.

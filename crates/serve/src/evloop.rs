@@ -70,6 +70,7 @@ pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
         // SAFETY: `fds` is a live, exclusively borrowed slice of
         // `#[repr(C)]` pollfd-layout structs; the pointer and length
         // describe exactly that allocation for the duration of the call.
+        // lint:allow(unsafe-seam): poll FFI over an exclusively borrowed repr(C) slice
         let rc = unsafe {
             poll(
                 fds.as_mut_ptr(),

@@ -3,7 +3,8 @@
 //! ```text
 //! cargo run --release -p stage-serve -- \
 //!     [--addr HOST:PORT] [--instances N] [--loops N] [--queue-cap N] \
-//!     [--snapshot-dir DIR] [--snapshot-secs F] [--deadline-ms N] [--smoke]
+//!     [--snapshot-dir DIR] [--snapshot-secs F] [--global-model PATH] \
+//!     [--deadline-ms N] [--smoke]
 //! ```
 //!
 //! `--smoke` is the CI self-check: bind an ephemeral port, run one
@@ -57,6 +58,11 @@ fn main() -> ExitCode {
                 i += 1;
                 let ms: u64 = parse(&args, i, "--deadline-ms");
                 config.request_deadline = Some(Duration::from_millis(ms));
+            }
+            "--global-model" => {
+                i += 1;
+                config.global_model_path =
+                    Some(args.get(i).map(PathBuf::from).unwrap_or_else(|| usage()));
             }
             "--smoke" => smoke = true,
             _ => {
@@ -184,7 +190,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: stage-serve [--addr HOST:PORT] [--instances N] [--loops N] \
          [--queue-cap N] [--snapshot-dir DIR] [--snapshot-secs F] \
-         [--deadline-ms N] [--smoke]"
+         [--global-model PATH] [--deadline-ms N] [--smoke]"
     );
     std::process::exit(2);
 }

@@ -129,6 +129,10 @@ pub enum Response {
         /// Requests answered [`Response::TimedOut`] because they overstayed
         /// the per-request deadline in this instance's queue.
         timed_out: u64,
+        /// Checkpoint passes that skipped this instance because its
+        /// artefact was already current (no state change since the last
+        /// checkpoint, or byte-identical sections).
+        snapshots_skipped: u64,
     },
     /// Answer to [`Request::Snapshot`].
     Snapshotted {
@@ -293,6 +297,7 @@ mod tests {
                     retrains_slowed: 1,
                 },
                 timed_out: 3,
+                snapshots_skipped: 4,
             },
             Response::Snapshotted { instances: 2 },
             Response::ShuttingDown,

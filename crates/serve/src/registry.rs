@@ -11,7 +11,9 @@
 //! request therefore exercises the debug-build lock-order detector on the
 //! canonical `registry → shard` nesting.
 
-use stage_core::persist::{self, PersistFaults};
+use stage_core::global::GlobalModel;
+use stage_core::persist::{self, PersistFaults, RestoreError};
+use stage_core::storefmt::{self, StoreCheckpoint};
 use stage_core::sync::{OrderedRwLock, RANK_REGISTRY, RANK_SHARD};
 use stage_core::{
     ComponentFaults, ExecTimePredictor, Prediction, StageConfig, StagePredictor, SystemContext,
@@ -28,6 +30,18 @@ pub struct Shard {
     observes: u64,
     predict_batches: u64,
     timed_out: u64,
+    /// Content revision: bumped by every verb that mutates snapshot state
+    /// (predictions advance routing counters and cache statistics, so they
+    /// count too). The checkpointer compares it against
+    /// `last_saved_revision` to skip shards whose artefact is already
+    /// current without even encoding a snapshot.
+    revision: u64,
+    /// The revision the newest on-disk artefact was taken at; `None` until
+    /// the first checkpoint of this process.
+    last_saved_revision: Option<u64>,
+    /// Checkpoint passes that skipped this shard because nothing changed
+    /// (revision match or byte-identical sections).
+    snapshots_skipped: u64,
 }
 
 impl Shard {
@@ -37,11 +51,15 @@ impl Shard {
             observes: 0,
             predict_batches: 0,
             timed_out: 0,
+            revision: 0,
+            last_saved_revision: None,
+            snapshots_skipped: 0,
         }
     }
 
     /// Serves one prediction.
     pub fn predict(&mut self, plan: &PhysicalPlan, sys: &SystemContext) -> Prediction {
+        self.revision += 1;
         self.predictor.predict(plan, sys)
     }
 
@@ -55,6 +73,7 @@ impl Shard {
         sys: &SystemContext,
     ) -> Vec<Prediction> {
         self.predict_batches += 1;
+        self.revision += 1;
         self.predictor.predict_batch(plans, sys)
     }
 
@@ -68,6 +87,7 @@ impl Shard {
     pub fn observe(&mut self, plan: &PhysicalPlan, sys: &SystemContext, actual_secs: f64) {
         self.predictor.observe(plan, sys, actual_secs);
         self.observes += 1;
+        self.revision += 1;
     }
 
     /// Observations ingested since start (snapshot restores do not reset
@@ -92,6 +112,29 @@ impl Shard {
     /// The wrapped predictor (read access for stats/snapshots).
     pub fn predictor(&self) -> &StagePredictor {
         &self.predictor
+    }
+
+    /// Checkpoint passes that skipped this shard because its artefact was
+    /// already current.
+    pub fn snapshots_skipped(&self) -> u64 {
+        self.snapshots_skipped
+    }
+}
+
+/// What [`ShardRegistry::save_snapshots`] actually wrote.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SaveSummary {
+    /// Shards whose artefact was (re)written — fully or section-granular.
+    pub written: u32,
+    /// Clean shards skipped: their revision matched the last checkpoint,
+    /// or every encoded section byte-matched the file.
+    pub skipped: u32,
+}
+
+impl SaveSummary {
+    /// Shards covered by the checkpoint (written or verified current).
+    pub fn instances(&self) -> u32 {
+        self.written + self.skipped
     }
 }
 
@@ -182,45 +225,96 @@ impl ShardRegistry {
         Some(result)
     }
 
-    /// Snapshot path of instance `id` under `dir`.
+    /// Snapshot path of instance `id` under `dir` (the mappable
+    /// `stage-store` artefact).
     pub fn snapshot_path(dir: &Path, id: u32) -> PathBuf {
+        dir.join(format!("instance_{id}.store"))
+    }
+
+    /// The pre-store JSON artefact path (read-only fallback so a server
+    /// upgraded across the format change still warm-starts; never written
+    /// anymore).
+    pub fn legacy_snapshot_path(dir: &Path, id: u32) -> PathBuf {
         dir.join(format!("instance_{id}.json"))
     }
 
-    /// Checkpoints every shard to `dir` (one crash-safe artefact per
-    /// instance). Takes each shard's read lock briefly; serving continues
-    /// on other shards meanwhile. Returns the number written.
-    pub fn save_snapshots(&self, dir: &Path) -> io::Result<u32> {
+    /// Checkpoints every shard to `dir` (one crash-safe store artefact per
+    /// instance). Shards whose content revision hasn't moved since their
+    /// last checkpoint are skipped without even encoding a snapshot; the
+    /// rest go through the section-granular updater, which rewrites only
+    /// dirty sections (and recognises byte-identical snapshots as another
+    /// kind of skip). Snapshot encoding runs under the shard read lock;
+    /// file I/O runs with no shard lock held, so serving continues.
+    pub fn save_snapshots(&self, dir: &Path) -> io::Result<SaveSummary> {
         std::fs::create_dir_all(dir)?;
+        let mut summary = SaveSummary::default();
         let shards = self.shards.read();
         for (id, shard) in shards.iter().enumerate() {
-            let snapshot = shard.read().predictor.snapshot();
-            persist::save_stage_file_with(
-                &snapshot,
-                &Self::snapshot_path(dir, id as u32),
-                self.persist_faults.as_deref(),
-            )?;
+            let path = Self::snapshot_path(dir, id as u32);
+            let (revision, snapshot) = {
+                let guard = shard.read();
+                // The skip trusts that the last write reached disk intact,
+                // which injected faults deliberately violate (a torn write
+                // succeeds silently): under chaos every pass rewrites, so
+                // the disarmed final checkpoint heals damaged artefacts.
+                if self.persist_faults.is_none()
+                    && guard.last_saved_revision == Some(guard.revision)
+                    && path.exists()
+                {
+                    drop(guard);
+                    shard.write().snapshots_skipped += 1;
+                    summary.skipped += 1;
+                    continue;
+                }
+                (guard.revision, guard.predictor.snapshot())
+            };
+            // Under injected faults every checkpoint takes the full-write
+            // path: the fault hooks (partial write, fsync failure) live on
+            // the crash-safe rewrite, which is exactly the surface chaos
+            // wants to exercise. Production uses the in-place updater.
+            let outcome = match self.persist_faults.as_deref() {
+                Some(faults) => {
+                    storefmt::save_stage_store(&snapshot, &path, Some(faults))?;
+                    StoreCheckpoint::Full
+                }
+                None => storefmt::save_stage_store_dirty(&snapshot, &path)?,
+            };
+            let mut guard = shard.write();
+            guard.last_saved_revision = Some(revision);
+            if outcome == StoreCheckpoint::Clean {
+                guard.snapshots_skipped += 1;
+                summary.skipped += 1;
+            } else {
+                summary.written += 1;
+            }
         }
-        Ok(shards.len() as u32)
+        Ok(summary)
     }
 
     /// Warm-starts shards from artefacts in `dir` (atomic load-on-start):
     /// each instance with a valid snapshot resumes exactly where the last
-    /// checkpoint left it. Missing artefacts leave the cold predictor in
-    /// place; damaged ones (bad frame, checksum mismatch, unsupported
-    /// version, corrupt envelope) are quarantined by the persist layer —
-    /// renamed to `*.quarantine` for the operator — and their shards start
-    /// cold too. A restart therefore always comes up serving, never
-    /// half-restored and never crash-looping on a rotten file.
+    /// checkpoint left it. Store artefacts are preferred (mapped and
+    /// decoded in place); an instance with no store file falls back to the
+    /// legacy JSON artefact. Missing artefacts leave the cold predictor in
+    /// place; damaged ones (bad magic, checksum mismatch, unsupported
+    /// version, malformed section/envelope) are quarantined — renamed to
+    /// `*.quarantine` for the operator — and their shards start cold too.
+    /// A restart therefore always comes up serving, never half-restored
+    /// and never crash-looping on a rotten file.
     pub fn load_snapshots(&self, dir: &Path) -> RestoreSummary {
         let mut summary = RestoreSummary::default();
         let shards = self.shards.read();
         for (id, shard) in shards.iter().enumerate() {
             let id = id as u32;
-            match persist::load_stage_file_with(
-                &Self::snapshot_path(dir, id),
-                self.persist_faults.as_deref(),
-            ) {
+            let faults = self.persist_faults.as_deref();
+            let restored = match storefmt::load_stage_store(&Self::snapshot_path(dir, id), faults) {
+                Ok(snapshot) => Ok(snapshot),
+                Err(e) if e.is_not_found() => {
+                    persist::load_stage_file_with(&Self::legacy_snapshot_path(dir, id), faults)
+                }
+                Err(e) => Err(e),
+            };
+            match restored {
                 Ok(snapshot) => {
                     shard.write().predictor = StagePredictor::from_snapshot(snapshot);
                     summary.restored += 1;
@@ -235,6 +329,28 @@ impl ShardRegistry {
             }
         }
         summary
+    }
+
+    /// Installs `model` as the shared global (fleet-trained) model of every
+    /// shard. One `Arc` backs all shards — the registry-entry mechanism for
+    /// fleet-wide model hot-swap: the artefact is parsed once and mapped
+    /// into every instance's routing, not copied per shard.
+    pub fn set_global(&self, model: Arc<GlobalModel>) {
+        let shards = self.shards.read();
+        for shard in shards.iter() {
+            shard.write().predictor.set_global(Arc::clone(&model));
+        }
+    }
+
+    /// Loads the shared global model from a store file written by
+    /// [`stage_core::storefmt::save_global_store`] and installs it on every
+    /// shard; returns the artefact's generation stamp (what the
+    /// hot-swap poll compares against). Damage quarantines the file.
+    pub fn load_global_store(&self, path: &Path) -> Result<u64, RestoreError> {
+        let (model, generation) =
+            storefmt::load_global_store(path, self.persist_faults.as_deref())?;
+        self.set_global(Arc::new(model));
+        Ok(generation)
     }
 }
 
@@ -281,7 +397,13 @@ mod tests {
         let reg = ShardRegistry::new(2, StageConfig::default());
         reg.with_shard_write(0, |s| s.observe(&plan(5e4), &sys, 3.5))
             .unwrap();
-        assert_eq!(reg.save_snapshots(&dir).unwrap(), 2);
+        assert_eq!(
+            reg.save_snapshots(&dir).unwrap(),
+            SaveSummary {
+                written: 2,
+                skipped: 0
+            }
+        );
 
         let fresh = ShardRegistry::new(2, StageConfig::default());
         assert_eq!(
@@ -310,7 +432,85 @@ mod tests {
             }
         );
         assert!(!path1.exists(), "the damaged artefact must be moved aside");
-        assert!(path1.with_extension("json.quarantine").exists());
+        assert!(path1.with_extension("store.quarantine").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clean_shards_are_skipped_and_counted() {
+        let dir = std::env::temp_dir().join("stage-serve-registry-skip-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let sys = SystemContext::empty(2);
+        let reg = ShardRegistry::new(2, StageConfig::default());
+        reg.with_shard_write(0, |s| s.observe(&plan(1e4), &sys, 1.0))
+            .unwrap();
+        // First pass writes both shards (nothing on disk yet).
+        assert_eq!(
+            reg.save_snapshots(&dir).unwrap(),
+            SaveSummary {
+                written: 2,
+                skipped: 0
+            }
+        );
+        // Nothing changed: both shards skip, and each shard counts it.
+        assert_eq!(
+            reg.save_snapshots(&dir).unwrap(),
+            SaveSummary {
+                written: 0,
+                skipped: 2
+            }
+        );
+        assert_eq!(
+            reg.with_shard_read(0, |s| s.snapshots_skipped()).unwrap(),
+            1
+        );
+        // Touch shard 1 only: one write, one skip.
+        reg.with_shard_write(1, |s| s.observe(&plan(2e4), &sys, 2.0))
+            .unwrap();
+        assert_eq!(
+            reg.save_snapshots(&dir).unwrap(),
+            SaveSummary {
+                written: 1,
+                skipped: 1
+            }
+        );
+        assert_eq!(
+            reg.with_shard_read(0, |s| s.snapshots_skipped()).unwrap(),
+            2
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_json_artefacts_still_warm_start() {
+        let dir = std::env::temp_dir().join("stage-serve-registry-legacy-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let sys = SystemContext::empty(2);
+        // A pre-store-format checkpoint: a framed JSON artefact at the old
+        // path, no store file.
+        let mut p = stage_core::StagePredictor::new(StageConfig::default());
+        p.observe(&plan(7e4), &sys, 4.5);
+        persist::save_stage_file_with(
+            &p.snapshot(),
+            &ShardRegistry::legacy_snapshot_path(&dir, 0),
+            None,
+        )
+        .unwrap();
+
+        let reg = ShardRegistry::new(1, StageConfig::default());
+        assert_eq!(
+            reg.load_snapshots(&dir),
+            RestoreSummary {
+                restored: 1,
+                quarantined: 0
+            }
+        );
+        let got = reg
+            .with_shard_write(0, |s| s.predict(&plan(7e4), &sys))
+            .unwrap();
+        assert_eq!(got.source, PredictionSource::Cache);
+        assert!((got.exec_secs - 4.5).abs() < 1e-9);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

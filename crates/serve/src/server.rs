@@ -96,6 +96,12 @@ pub struct ServeConfig {
     /// Background checkpoint cadence; `None` checkpoints only on demand
     /// (`Snapshot` request) and at shutdown.
     pub snapshot_every: Option<Duration>,
+    /// Read-only global-model artefact (`stage-store` format, written by
+    /// fleet training): mapped at start and shared by every shard through
+    /// one `Arc`, then polled for generation bumps so a fleet-wide GCN
+    /// hot-swap lands without restarting the server. `None` — the default —
+    /// serves whatever global model `stage` configured (usually none).
+    pub global_model_path: Option<PathBuf>,
     /// Per-request deadline: a predict request that waited longer than
     /// this between arriving on the socket and dispatching is answered
     /// [`Response::TimedOut`] instead of executed (a stale prediction is
@@ -123,6 +129,7 @@ impl Default for ServeConfig {
             stage: StageConfig::default(),
             snapshot_dir: None,
             snapshot_every: None,
+            global_model_path: None,
             request_deadline: None,
             conn_read_timeout: Some(Duration::from_secs(30)),
             chaos: None,
@@ -242,6 +249,12 @@ struct Shared {
     terminate: AtomicBool,
     overloaded: AtomicU64,
     snapshot_dir: Option<PathBuf>,
+    /// Shared global-model artefact to map and watch (`None` disables).
+    global_model_path: Option<PathBuf>,
+    /// Generation of the currently installed global model; `u64::MAX` is
+    /// the sentinel for "none installed yet". Written by the checkpointer
+    /// thread on a hot-swap, read by tests and the next poll.
+    global_generation: AtomicU64,
     local_addr: SocketAddr,
     // Wakes the background checkpointer early (for shutdown).
     checkpoint_gate: (OrderedMutex<()>, Condvar),
@@ -272,6 +285,41 @@ impl Shared {
         self.checkpoint_gate.1.notify_all();
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.local_addr);
+    }
+
+    /// Checks the global-model artefact for a generation bump and
+    /// hot-swaps it onto every shard when one landed. Cheap when nothing
+    /// changed: a 64-byte header read, no mapping, no lock. Damage is
+    /// logged and the previous model keeps serving — a half-written
+    /// artefact must never take down a running fleet.
+    fn poll_global_model(&self) {
+        let Some(path) = &self.global_model_path else {
+            return;
+        };
+        let installed = self.global_generation.load(Ordering::SeqCst);
+        match stage_core::store_generation(path) {
+            Ok(gen) if installed == u64::MAX || gen > installed => {
+                match self.registry.load_global_store(path) {
+                    Ok(loaded) => {
+                        self.global_generation.store(loaded, Ordering::SeqCst);
+                        eprintln!(
+                            "stage-serve: installed global model generation {loaded} from {}",
+                            path.display()
+                        );
+                    }
+                    Err(e) => eprintln!(
+                        "stage-serve: global model reload failed ({e}); keeping generation {}",
+                        installed
+                    ),
+                }
+            }
+            Ok(_) => {}
+            Err(e) if e.is_not_found() => {}
+            Err(e) => eprintln!(
+                "stage-serve: global model header unreadable ({e}); keeping generation {}",
+                installed
+            ),
+        }
     }
 }
 
@@ -438,6 +486,7 @@ fn serve_request(
                     local_trained: shard.predictor().local().is_trained(),
                     degraded: shard.predictor().degraded_stats(),
                     timed_out: shard.timed_out(),
+                    snapshots_skipped: shard.snapshots_skipped(),
                 })
                 .unwrap_or_else(|| unknown_instance(instance, shared.registry.len())),
             false,
@@ -445,7 +494,12 @@ fn serve_request(
         Request::Snapshot => (
             match &shared.snapshot_dir {
                 Some(dir) => match shared.registry.save_snapshots(dir) {
-                    Ok(instances) => Response::Snapshotted { instances },
+                    // Skipped shards still count as checkpointed: their
+                    // artefact on disk is current, which is what the caller
+                    // asked for.
+                    Ok(summary) => Response::Snapshotted {
+                        instances: summary.instances(),
+                    },
                     Err(e) => Response::Error {
                         message: format!("checkpoint failed: {e}"),
                     },
@@ -820,10 +874,16 @@ impl Server {
             terminate: AtomicBool::new(false),
             overloaded: AtomicU64::new(0),
             snapshot_dir: config.snapshot_dir.clone(),
+            global_model_path: config.global_model_path.clone(),
+            global_generation: AtomicU64::new(u64::MAX),
             local_addr,
             checkpoint_gate: (OrderedMutex::new(RANK_SESSION, ()), Condvar::new()),
             request_deadline: config.request_deadline,
         });
+        // Map the shared global-model artefact before serving starts so the
+        // first request already routes through it (a missing file is fine —
+        // fleet training may not have published one yet).
+        shared.poll_global_model();
 
         let mut loop_shards = Vec::with_capacity(config.n_loops);
         let mut loop_handles = Vec::with_capacity(config.n_loops);
@@ -842,32 +902,47 @@ impl Server {
             loop_handles.push(handle);
         }
 
-        let checkpoint_handle = match (&config.snapshot_dir, config.snapshot_every) {
-            (Some(dir), Some(every)) => {
-                let shared = Arc::clone(&shared);
-                let dir = dir.clone();
-                Some(
-                    std::thread::Builder::new()
-                        .name("serve-checkpointer".to_string())
-                        .spawn(move || loop {
-                            let (gate, cv) = &shared.checkpoint_gate;
-                            let guard = gate.lock();
-                            // The returned guard is dropped immediately so
-                            // no session-rank lock is held while the
-                            // checkpoint takes registry/shard locks below.
-                            let _ = sync::wait_timeout(cv, guard, every);
-                            if shared.shutting_down.load(Ordering::SeqCst) {
-                                // The final checkpoint runs in `join` after
-                                // the drain completes.
-                                return;
-                            }
-                            if let Err(e) = shared.registry.save_snapshots(&dir) {
+        // One background thread drives both periodic duties: dirty-section
+        // checkpoints of the shards (when a cadence is configured) and the
+        // global-model generation poll (when an artefact path is
+        // configured). Either alone is enough to spawn it.
+        let snapshot_cadence = match (&config.snapshot_dir, config.snapshot_every) {
+            (Some(dir), Some(every)) => Some((dir.clone(), every)),
+            _ => None,
+        };
+        let checkpoint_handle = if snapshot_cadence.is_some() || shared.global_model_path.is_some()
+        {
+            let shared = Arc::clone(&shared);
+            // The generation poll is a 64-byte header read; a sub-second
+            // cadence keeps hot-swap latency low without measurable cost.
+            let tick = snapshot_cadence
+                .as_ref()
+                .map_or(Duration::from_millis(200), |(_, every)| *every);
+            Some(
+                std::thread::Builder::new()
+                    .name("serve-checkpointer".to_string())
+                    .spawn(move || loop {
+                        let (gate, cv) = &shared.checkpoint_gate;
+                        let guard = gate.lock();
+                        // The returned guard is dropped immediately so
+                        // no session-rank lock is held while the
+                        // checkpoint takes registry/shard locks below.
+                        let _ = sync::wait_timeout(cv, guard, tick);
+                        if shared.shutting_down.load(Ordering::SeqCst) {
+                            // The final checkpoint runs in `join` after
+                            // the drain completes.
+                            return;
+                        }
+                        shared.poll_global_model();
+                        if let Some((dir, _)) = &snapshot_cadence {
+                            if let Err(e) = shared.registry.save_snapshots(dir) {
                                 eprintln!("stage-serve: background checkpoint failed: {e}");
                             }
-                        })?,
-                )
-            }
-            _ => None,
+                        }
+                    })?,
+            )
+        } else {
+            None
         };
 
         let accept_handle = {
@@ -927,6 +1002,15 @@ impl Server {
     /// Requests (or whole connections) shed for overload so far.
     pub fn overloaded_count(&self) -> u64 {
         self.shared.overloaded.load(Ordering::Relaxed)
+    }
+
+    /// Generation of the installed shared global model, `None` until the
+    /// first artefact is mapped.
+    pub fn global_generation(&self) -> Option<u64> {
+        match self.shared.global_generation.load(Ordering::SeqCst) {
+            u64::MAX => None,
+            gen => Some(gen),
+        }
     }
 
     /// Requests answered [`Response::TimedOut`] so far, all instances.
@@ -1178,6 +1262,52 @@ mod tests {
         drop(client);
         server.join().unwrap();
         drop(stall);
+    }
+
+    #[test]
+    fn global_model_maps_at_start_and_hot_swaps_on_generation_bump() {
+        use stage_core::global::{plan_to_tree_sample, GlobalModel, GlobalModelConfig};
+        use stage_core::SystemContext;
+
+        let dir =
+            std::env::temp_dir().join(format!("stage-serve-global-swap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("global.store");
+
+        let sys = SystemContext::empty(2);
+        let samples: Vec<_> = (1..=25)
+            .map(|i| plan_to_tree_sample(&plan(i as f64 * 1e4), &sys, i as f64 * 0.2))
+            .collect();
+        let cfg = GlobalModelConfig {
+            hidden: 8,
+            gcn_layers: 1,
+            epochs: 3,
+            ..GlobalModelConfig::default()
+        };
+        let model = GlobalModel::train(&samples, 2, &cfg);
+        stage_core::save_global_store(&model, &path, 1, None).unwrap();
+
+        let server = Server::start(ServeConfig {
+            global_model_path: Some(path.clone()),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        // The artefact was mapped before serving started.
+        assert_eq!(server.global_generation(), Some(1));
+
+        // Fleet training publishes a newer generation; the background poll
+        // must install it without a restart.
+        stage_core::save_global_store(&model, &path, 2, None).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.global_generation() != Some(2) {
+            assert!(Instant::now() < deadline, "hot-swap never landed");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+
+        server.shutdown();
+        server.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

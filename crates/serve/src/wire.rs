@@ -502,6 +502,7 @@ pub fn encode_response(response: &Response, out: &mut Vec<u8>) {
             local_trained,
             degraded,
             timed_out,
+            snapshots_skipped,
         } => {
             put_u8(out, RESP_STATS);
             put_u64(out, routing.cache);
@@ -518,6 +519,7 @@ pub fn encode_response(response: &Response, out: &mut Vec<u8>) {
             put_u64(out, degraded.retrains_poisoned);
             put_u64(out, degraded.retrains_slowed);
             put_u64(out, *timed_out);
+            put_u64(out, *snapshots_skipped);
         }
         Response::Snapshotted { instances } => {
             put_u8(out, RESP_SNAPSHOTTED);
@@ -584,6 +586,7 @@ pub fn decode_response(payload: &[u8]) -> io::Result<Response> {
                 retrains_slowed: cur.u64()?,
             },
             timed_out: cur.u64()?,
+            snapshots_skipped: cur.u64()?,
         },
         RESP_SNAPSHOTTED => Response::Snapshotted {
             instances: cur.u32()?,
@@ -787,6 +790,7 @@ mod tests {
                     retrains_slowed: 1,
                 },
                 timed_out: 3,
+                snapshots_skipped: 9,
             },
             Response::Snapshotted { instances: 2 },
             Response::ShuttingDown,

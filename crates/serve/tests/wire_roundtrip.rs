@@ -197,6 +197,7 @@ impl Strategy for ArbResponse {
                     retrains_slowed: rng.next_u64(),
                 },
                 timed_out: rng.next_u64(),
+                snapshots_skipped: rng.next_u64(),
             },
             4 => Response::Snapshotted {
                 instances: rng.next_u64() as u32,

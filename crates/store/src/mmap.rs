@@ -1,0 +1,201 @@
+//! Minimal `mmap(2)` / `msync(2)` / `munmap(2)` FFI — the same thin-seam
+//! style as `stage-serve`'s `poll(2)`: `#[repr(C)]`-free (the calls take
+//! only scalars and pointers), every unsafe block preceded by the exact
+//! invariants that make it sound, and errors surfaced as `io::Error`.
+//!
+//! This file is inside `stage-lint`'s panic-freedom scope, and its unsafe
+//! blocks carry mandatory `unsafe-seam` allow pragmas — the lint requires
+//! a stated reason wherever the workspace crosses the FFI boundary.
+
+use std::fs::File;
+use std::io;
+use std::os::unix::io::AsRawFd;
+
+const PROT_READ: core::ffi::c_int = 0x1;
+const PROT_WRITE: core::ffi::c_int = 0x2;
+const MAP_SHARED: core::ffi::c_int = 0x01;
+const MS_SYNC: core::ffi::c_int = 0x4;
+
+extern "C" {
+    fn mmap(
+        addr: *mut core::ffi::c_void,
+        len: usize,
+        prot: core::ffi::c_int,
+        flags: core::ffi::c_int,
+        fd: core::ffi::c_int,
+        offset: i64,
+    ) -> *mut core::ffi::c_void;
+    fn munmap(addr: *mut core::ffi::c_void, len: usize) -> core::ffi::c_int;
+    fn msync(addr: *mut core::ffi::c_void, len: usize, flags: core::ffi::c_int)
+        -> core::ffi::c_int;
+}
+
+/// A shared file mapping. Read-only by default; a writable mapping
+/// (`MAP_SHARED` + `PROT_WRITE`) carries its edits back to the file, with
+/// [`Mapping::sync`] as the durability barrier. The mapping is unmapped on
+/// drop.
+pub struct Mapping {
+    ptr: *mut u8,
+    len: usize,
+    writable: bool,
+}
+
+// SAFETY: the mapping is an exclusive handle to a fixed memory range; all
+// aliasing is mediated by `&self`/`&mut self` borrows exactly as for a
+// `Box<[u8]>`.
+// lint:allow(unsafe-seam): Send/Sync for a uniquely-owned mapped range, same contract as Box<[u8]>
+unsafe impl Send for Mapping {}
+// lint:allow(unsafe-seam): shared reads of a mapped range are as safe as &[u8]
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// Maps `len` bytes of `file` from offset 0. `len` must be non-zero
+    /// (a zero-length `mmap` is `EINVAL` by spec) and no longer than the
+    /// file: mapped pages past EOF fault on access, so the caller
+    /// (`format::MappedStore`) always passes the stat'd file length.
+    pub fn map(file: &File, len: usize, writable: bool) -> io::Result<Mapping> {
+        if len == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "cannot map an empty file",
+            ));
+        }
+        let prot = if writable {
+            PROT_READ | PROT_WRITE
+        } else {
+            PROT_READ
+        };
+        // SAFETY: fd is a live descriptor borrowed for the duration of the
+        // call; addr = null lets the kernel pick the placement; the result
+        // is checked against MAP_FAILED before use.
+        // lint:allow(unsafe-seam): mmap FFI call; null hint + live fd + result checked below
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                prot,
+                MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mapping {
+            ptr: ptr.cast(),
+            len,
+            writable,
+        })
+    }
+
+    /// The mapped bytes.
+    pub fn bytes(&self) -> &[u8] {
+        // SAFETY: ptr/len describe the live mapping established in `map`
+        // and not unmapped until drop; the borrow ties the slice to &self.
+        // lint:allow(unsafe-seam): reborrow of the owned mapping as a slice
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Mutable access to the mapped bytes (writable mappings only).
+    pub fn bytes_mut(&mut self) -> io::Result<&mut [u8]> {
+        if !self.writable {
+            return Err(io::Error::new(
+                io::ErrorKind::PermissionDenied,
+                "mapping is read-only",
+            ));
+        }
+        // SAFETY: ptr/len describe the live writable mapping; &mut self
+        // guarantees exclusivity for the lifetime of the slice.
+        // lint:allow(unsafe-seam): exclusive reborrow of the owned writable mapping
+        Ok(unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) })
+    }
+
+    /// Synchronously flushes the whole mapping to the file (`MS_SYNC`) —
+    /// the write barrier of the dirty-section checkpoint protocol.
+    pub fn sync(&self) -> io::Result<()> {
+        // SAFETY: ptr is the page-aligned base the kernel returned from
+        // mmap and len is the mapped length, exactly what msync expects.
+        // lint:allow(unsafe-seam): msync FFI over the whole live mapping
+        let rc = unsafe { msync(self.ptr.cast(), self.len, MS_SYNC) };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Mapped length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty (never true for a successfully built
+    /// mapping; kept for slice-like API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        // SAFETY: ptr/len are the exact range mmap returned; after munmap
+        // nothing dereferences ptr (self is being dropped).
+        // lint:allow(unsafe-seam): munmap of the owned range on drop
+        let _ = unsafe { munmap(self.ptr.cast(), self.len) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("stage-store-mmap-{}-{name}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        f.sync_all().unwrap();
+        path
+    }
+
+    #[test]
+    fn read_only_mapping_sees_file_bytes() {
+        let path = tmp("ro", b"hello mapping");
+        let file = File::open(&path).unwrap();
+        let m = Mapping::map(&file, 13, false).unwrap();
+        assert_eq!(m.bytes(), b"hello mapping");
+        assert_eq!(m.len(), 13);
+        assert!(!m.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn writable_mapping_carries_edits_to_the_file() {
+        let path = tmp("rw", b"aaaaaaaa");
+        let file = File::options().read(true).write(true).open(&path).unwrap();
+        let mut m = Mapping::map(&file, 8, true).unwrap();
+        m.bytes_mut().unwrap()[0..4].copy_from_slice(b"zzzz");
+        m.sync().unwrap();
+        drop(m);
+        assert_eq!(std::fs::read(&path).unwrap(), b"zzzzaaaa");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn read_only_mapping_refuses_mut_access() {
+        let path = tmp("refuse", b"bytes");
+        let file = File::open(&path).unwrap();
+        let mut m = Mapping::map(&file, 5, false).unwrap();
+        assert!(m.bytes_mut().is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_mapping_is_refused() {
+        let path = tmp("empty", b"");
+        let file = File::open(&path).unwrap();
+        assert!(Mapping::map(&file, 0, false).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -34,6 +34,13 @@ cargo build -q --release -p stage-bench --bin loadgen
 timeout 120 ./target/release/loadgen --smoke --codec binary --out /tmp/bench_serve_smoke_binary.json
 timeout 120 ./target/release/loadgen --smoke --codec json --out /tmp/bench_serve_smoke_json.json
 
+# Artefact-store smoke: the serde and mmap restore paths must produce
+# replicas that answer every probe bit-identically (f64::to_bits) with
+# equal routing counters. Timing claims live in the full bench run, not
+# here.
+cargo build -q --release -p stage-bench --bin bench_store
+timeout 120 ./target/release/bench_store --smoke
+
 # Chaos smoke: the five-phase fault-injection soak at CI scale. Asserts
 # zero server panics, zero lost observes, and that every injected fault is
 # accounted for by a degraded-mode counter (DESIGN.md §10). The injection

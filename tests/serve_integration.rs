@@ -150,18 +150,18 @@ fn kill9_mid_checkpoint_leaves_restart_clean() {
     // Simulate a kill -9 mid-checkpoint: the crash-safe writer stages into
     // a temp sibling and renames last, so a kill leaves (a) the previous
     // good artefact untouched and (b) a truncated `*.tmp` sibling behind.
-    let good = std::fs::read(snapshots.0.join("instance_0.json")).unwrap();
+    let good = std::fs::read(snapshots.0.join("instance_0.store")).unwrap();
     std::fs::write(
-        snapshots.0.join("instance_0.json.99999.0.tmp"),
+        snapshots.0.join("instance_0.store.99999.0.tmp"),
         &good[..good.len() / 3],
     )
     .unwrap();
     // Harsher variant on instance 1: the artefact itself was truncated
     // in place (e.g. filesystem damage, not our writer). Restore must
     // quarantine it and come up cold — never crash, never half-load.
-    let other = std::fs::read(snapshots.0.join("instance_1.json")).unwrap();
+    let other = std::fs::read(snapshots.0.join("instance_1.store")).unwrap();
     std::fs::write(
-        snapshots.0.join("instance_1.json"),
+        snapshots.0.join("instance_1.store"),
         &other[..other.len() / 2],
     )
     .unwrap();
@@ -187,7 +187,7 @@ fn kill9_mid_checkpoint_leaves_restart_clean() {
         "damaged shard starts cold"
     );
     assert!(
-        snapshots.0.join("instance_1.json.quarantine").exists(),
+        snapshots.0.join("instance_1.store.quarantine").exists(),
         "truncated artefact must be quarantined"
     );
     client.shutdown().unwrap();
