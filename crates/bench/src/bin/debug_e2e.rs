@@ -61,8 +61,13 @@ fn main() {
     );
 
     let sim = Simulation::new(ctx.config.wlm);
+    // The WLM simulator is an offline tool whose asserts are its error
+    // reporting; this debug harness consciously accepts that contract.
+    // lint:allow(no-panic): offline simulator contract, inputs sorted by construction
     let rs = sim.run(&stage_q);
+    // lint:allow(no-panic): offline simulator contract, inputs sorted by construction
     let ra = sim.run(&auto_q);
+    // lint:allow(no-panic): offline simulator contract, inputs sorted by construction
     let ro = sim.run(&opt_q);
 
     for (name, results) in [("Stage", &rs), ("AutoWLM", &ra), ("Optimal", &ro)] {

@@ -60,6 +60,7 @@ impl<S: Read> Read for ChaosStream<S> {
             Some(_) => {
                 // Slow-loris: stall, then trickle at most one byte so the
                 // peer's message crawls in.
+                // lint:allow(no-blocking-in-evloop): the stall is the injected fault — chaos runs opt into it
                 std::thread::sleep(self.plan.stall());
                 if buf.is_empty() {
                     return self.inner.read(buf);
@@ -95,6 +96,7 @@ impl<S: Write> Write for ChaosStream<S> {
                     "chaos: injected write disconnect",
                 )),
                 _ => {
+                    // lint:allow(no-blocking-in-evloop): the stall is the injected fault — chaos runs opt into it
                     std::thread::sleep(self.plan.stall());
                     self.inner.write(buf)
                 }

@@ -83,7 +83,9 @@ impl ExecTimeCache {
     /// # Panics
     /// Panics if `capacity == 0` or `alpha ∉ [0, 1]`.
     pub fn new(config: CacheConfig) -> Self {
+        // lint:allow(no-panic): startup-time config validation — callers pass static configs; failing fast here never reaches the request path
         assert!(config.capacity > 0, "cache capacity must be positive");
+        // lint:allow(no-panic): startup-time config validation, as above
         assert!(
             (0.0..=1.0).contains(&config.alpha),
             "alpha must be in [0, 1]"
@@ -93,6 +95,7 @@ impl ExecTimeCache {
             trend_beta,
         } = config.mode
         {
+            // lint:allow(no-panic): startup-time config validation, as above
             assert!(
                 (0.0..=1.0).contains(&level_alpha) && (0.0..=1.0).contains(&trend_beta),
                 "Holt smoothing factors must be in [0, 1]"

@@ -200,22 +200,25 @@ impl GlobalModel {
     }
 
     /// Predicts exec-time in seconds for a plan under a system context
-    /// (calibrated and clamped to the training label range).
-    ///
-    /// # Panics
-    /// Panics if the context width differs from training.
+    /// (calibrated and clamped to the training label range). A context
+    /// width differing from training asserts in debug builds and is
+    /// padded/truncated in release.
     pub fn predict(&self, plan: &PhysicalPlan, sys: &SystemContext) -> f64 {
         from_log_space(self.predict_log(plan, sys))
     }
 
     /// Calibrated log-space prediction.
     pub fn predict_log(&self, plan: &PhysicalPlan, sys: &SystemContext) -> f64 {
-        let sample = plan_to_tree_sample(plan, sys, 0.0);
-        assert_eq!(
+        let mut sample = plan_to_tree_sample(plan, sys, 0.0);
+        // Width skew between the context and the trained model is a
+        // deployment bug: debug builds assert, release builds pad/truncate
+        // to the trained width and keep serving.
+        debug_assert_eq!(
             sample.sys_feats.len(),
             self.sys_dim,
             "system-feature width mismatch"
         );
+        sample.sys_feats.resize(self.sys_dim, 0.0);
         let (a, b) = self.calibration;
         let raw = self.gcn.predict(&sample);
         (a * raw + b).clamp(self.target_range.0, self.target_range.1)

@@ -77,6 +77,7 @@ fn track_acquire(rank: LockRank) {
         HELD.with(|held| {
             let mut held = held.borrow_mut();
             if let Some(worst) = held.iter().max_by_key(|r| r.rank) {
+                // lint:allow(no-panic): this panic IS the debug-only lock-order enforcement; release builds skip the whole branch
                 assert!(
                     worst.rank <= rank.rank,
                     "lock order violation: acquiring \"{}\" (rank {}) while holding \"{}\" \

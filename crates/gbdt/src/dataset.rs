@@ -39,11 +39,15 @@ impl Dataset {
 
     /// Appends one row.
     ///
-    /// # Panics
-    /// Panics if `row.len() != n_cols`.
+    /// Debug builds assert that `row.len() == n_cols`; release builds
+    /// truncate or zero-pad the row so a width drift degrades training
+    /// quality instead of aborting a serving retrain.
     pub fn push(&mut self, row: &[f64], target: f64) {
-        assert_eq!(row.len(), self.n_cols, "feature dimension mismatch");
-        self.features.extend_from_slice(row);
+        debug_assert_eq!(row.len(), self.n_cols, "feature dimension mismatch");
+        let take = row.len().min(self.n_cols);
+        self.features.extend_from_slice(&row[..take]);
+        self.features
+            .resize(self.features.len() + (self.n_cols - take), 0.0);
         self.targets.push(target);
     }
 
@@ -105,10 +109,12 @@ impl Binner {
     /// # Panics
     /// Panics if `n_bins < 2` or `n_bins > 256`, or the dataset is empty.
     pub fn fit(data: &Dataset, n_bins: usize) -> Self {
+        // lint:allow(no-panic): startup-config validation — n_bins comes from a static GbdtConfig, never from data
         assert!(
             (2..=Self::MAX_BINS).contains(&n_bins),
             "n_bins must be in 2..=256"
         );
+        // lint:allow(no-panic): retrain callers gate on a non-empty pool (to_dataset returns None when empty)
         assert!(!data.is_empty(), "cannot bin an empty dataset");
         let n = data.n_rows();
         let mut cuts = Vec::with_capacity(data.n_cols());
@@ -117,7 +123,10 @@ impl Binner {
             for (r, slot) in col.iter_mut().enumerate() {
                 *slot = data.row(r)[c];
             }
-            col.sort_by(|a, b| a.partial_cmp(b).expect("NaN feature value"));
+            // `total_cmp`, not `partial_cmp(..).expect(..)`: a NaN feature
+            // sorts last and lands in the top bin instead of aborting a
+            // serving-path retrain.
+            col.sort_by(f64::total_cmp);
             let mut feature_cuts = Vec::new();
             for k in 1..n_bins {
                 let pos = k * n / n_bins;
@@ -155,6 +164,7 @@ impl Binner {
 
     /// Bins an entire dataset into a [`BinnedDataset`].
     pub fn transform(&self, data: &Dataset) -> BinnedDataset {
+        // lint:allow(no-panic): train-pipeline invariant — the binner is always fit on the dataset it transforms
         assert_eq!(data.n_cols(), self.n_features());
         let n = data.n_rows();
         let mut bins = vec![0u8; n * self.n_features()];

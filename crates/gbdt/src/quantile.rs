@@ -106,7 +106,7 @@ impl QuantileGbm {
 
         // Initialize at the empirical train quantile.
         let mut train_targets: Vec<f64> = train_idx.iter().map(|&i| data.target(i)).collect();
-        train_targets.sort_by(|a, b| a.partial_cmp(b).expect("NaN target"));
+        train_targets.sort_by(f64::total_cmp);
         let pos = ((train_targets.len() - 1) as f64 * q) as usize;
         let base = train_targets[pos];
 
@@ -240,7 +240,7 @@ impl QuantileBand {
             self.mid.predict(row),
             self.hi.predict(row),
         ];
-        v.sort_by(|a, b| a.partial_cmp(b).expect("finite predictions"));
+        v.sort_by(f64::total_cmp);
         (v[0], v[1], v[2])
     }
 

@@ -83,7 +83,9 @@ impl Tree {
         columns: &[usize],
         params: &TreeParams,
     ) -> Self {
+        // lint:allow(no-panic): train-pipeline invariant — gradient and hessian vectors are built in lockstep by the booster
         assert_eq!(grads.len(), hess.len());
+        // lint:allow(no-panic): fit is gated on a non-empty dataset upstream (to_dataset returns None when empty)
         assert!(!indices.is_empty(), "cannot fit a tree on zero rows");
         let _ = data; // kept in the signature for API symmetry with predict paths
         let mut tree = Tree { nodes: Vec::new() };

@@ -1,0 +1,463 @@
+//! Per-file parse cache keyed by content hash, so a warm `stage-lint`
+//! run never re-lexes or re-parses an unchanged file — it deserializes
+//! the [`FileSummary`] (which carries the direct lexical findings and
+//! pragmas too) and goes straight to the whole-workspace passes.
+//!
+//! - Location: `<root>/target/stage-lint-cache/<fnv64(rel \0 content)>.sum`
+//!   (under `target/` so `cargo clean` clears it and it never gets
+//!   committed).
+//! - Format: a versioned line-oriented text encoding (see `serialize`).
+//!   Identifier-ish fields are space-separated; free-text fields (finding
+//!   messages, site descriptions) go last on their line with `\\` / `\n`
+//!   escaping.
+//! - Tolerance: any parse failure — truncation, version bump, hand
+//!   editing — returns `None` and the caller re-parses from source and
+//!   rewrites the entry. Writes are best-effort; a read-only `target/`
+//!   just means a permanently cold cache, never an error.
+
+use std::path::{Path, PathBuf};
+
+use crate::parser::{AcquireSite, CallSite, FileSummary, FnDef, PragmaRec, Site, TaintEvent};
+
+/// Format version: bump when the [`FileSummary`] encoding changes so
+/// stale entries miss instead of mis-parsing.
+const MAGIC: &str = "stage-lint-cache v2";
+
+/// FNV-1a 64-bit: tiny, std-only, and plenty for cache keying (a
+/// collision merely serves a stale summary for one lint run).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A handle on the cache directory. A disabled cache misses every load
+/// and drops every store, so cold-path timing can be measured honestly.
+pub struct Cache {
+    dir: Option<PathBuf>,
+}
+
+impl Cache {
+    /// Cache under `root/target/stage-lint-cache`.
+    pub fn new(root: &Path) -> Self {
+        Self {
+            dir: Some(root.join("target").join("stage-lint-cache")),
+        }
+    }
+
+    /// A cache that never hits (for `--no-cache` and cold benchmarks).
+    pub fn disabled() -> Self {
+        Self { dir: None }
+    }
+
+    fn entry(&self, rel: &str, content: &str) -> Option<PathBuf> {
+        let dir = self.dir.as_ref()?;
+        let mut key = Vec::with_capacity(rel.len() + 1 + content.len());
+        key.extend_from_slice(rel.as_bytes());
+        key.push(0);
+        key.extend_from_slice(content.as_bytes());
+        Some(dir.join(format!("{:016x}.sum", fnv1a64(&key))))
+    }
+
+    /// Loads the summary for `rel` at exactly this `content`, if cached.
+    pub fn load(&self, rel: &str, content: &str) -> Option<FileSummary> {
+        let path = self.entry(rel, content)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        let sum = deserialize(&text)?;
+        // Belt and braces against a key collision across renamed files.
+        if sum.rel != rel {
+            return None;
+        }
+        Some(sum)
+    }
+
+    /// Stores `sum`; failures are silently ignored (best-effort cache).
+    pub fn store(&self, rel: &str, content: &str, sum: &FileSummary) {
+        let Some(path) = self.entry(rel, content) else {
+            return;
+        };
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let _ = std::fs::write(path, serialize(sum));
+    }
+
+    /// Removes every cached entry (used by `--bench` for the cold run).
+    pub fn clear(&self) {
+        if let Some(dir) = &self.dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+fn esc(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => {}
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// `-` stands in for an empty identifier field (so the line always splits
+/// into the same number of columns).
+fn opt(s: &str) -> &str {
+    if s.is_empty() {
+        "-"
+    } else {
+        s
+    }
+}
+
+fn unopt(s: &str) -> String {
+    if s == "-" {
+        String::new()
+    } else {
+        s.to_string()
+    }
+}
+
+fn words(list: &[String]) -> String {
+    list.join(" ")
+}
+
+fn unwords(s: &str) -> Vec<String> {
+    s.split_whitespace().map(str::to_string).collect()
+}
+
+/// Encodes a summary. Record tags are one per line; each `fn` record owns
+/// every `call` / `panic` / `block` / `acq` / `t*` record until the next
+/// `fn`.
+pub fn serialize(sum: &FileSummary) -> String {
+    let mut out = String::new();
+    out.push_str(MAGIC);
+    out.push('\n');
+    out.push_str("rel ");
+    esc(&mut out, &sum.rel);
+    out.push_str("\nstem ");
+    esc(&mut out, &sum.stem);
+    out.push('\n');
+    if !sum.malformed.is_empty() {
+        out.push_str("malformed");
+        for l in &sum.malformed {
+            out.push_str(&format!(" {l}"));
+        }
+        out.push('\n');
+    }
+    if !sum.visible.is_empty() {
+        out.push_str("vis");
+        for v in &sum.visible {
+            out.push(' ');
+            out.push_str(v);
+        }
+        out.push('\n');
+    }
+    for p in &sum.pragmas {
+        out.push_str(&format!(
+            "pragma {} {} {}\n",
+            p.line,
+            u8::from(p.code_free),
+            p.rule
+        ));
+    }
+    for (rule, line, msg) in &sum.direct {
+        out.push_str(&format!("direct {rule} {line} "));
+        esc(&mut out, msg);
+        out.push('\n');
+    }
+    for f in &sum.fns {
+        out.push_str(&format!(
+            "fn {} {} {} {} {} {} {} {} {}\n",
+            f.name,
+            opt(&f.container),
+            u8::from(f.has_self),
+            f.argc,
+            f.start,
+            f.end,
+            u8::from(f.in_test),
+            u8::from(f.reads_raw),
+            f.guards
+        ));
+        for c in &f.calls {
+            out.push_str(&format!(
+                "call {} {} {} {} {} {} {} {}\n",
+                c.line,
+                c.name,
+                opt(&c.qual),
+                u8::from(c.method),
+                c.argc,
+                c.held_rank,
+                c.held_line,
+                opt(&c.held_lock)
+            ));
+        }
+        for s in &f.panics {
+            out.push_str(&format!("panic {} ", s.line));
+            esc(&mut out, &s.what);
+            out.push('\n');
+        }
+        for s in &f.blocking {
+            out.push_str(&format!("block {} ", s.line));
+            esc(&mut out, &s.what);
+            out.push('\n');
+        }
+        for a in &f.acquires {
+            out.push_str(&format!("acq {} {} {}\n", a.rank, a.line, a.lock));
+        }
+        for ev in &f.taint {
+            match ev {
+                TaintEvent::Let {
+                    line,
+                    vars,
+                    rhs_vars,
+                    rhs_calls,
+                } => out.push_str(&format!(
+                    "tlet {line}|{}|{}|{}\n",
+                    words(vars),
+                    words(rhs_vars),
+                    words(rhs_calls)
+                )),
+                TaintEvent::Guard { line, vars } => {
+                    out.push_str(&format!("tguard {line}|{}\n", words(vars)));
+                }
+                TaintEvent::Alloc {
+                    line,
+                    kind,
+                    vars,
+                    calls,
+                } => {
+                    out.push_str(&format!("talloc {line}|{}|{}|", words(vars), words(calls)));
+                    esc(&mut out, kind);
+                    out.push('\n');
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a summary; `None` on any malformation.
+pub fn deserialize(text: &str) -> Option<FileSummary> {
+    let mut lines = text.lines();
+    if lines.next()? != MAGIC {
+        return None;
+    }
+    let mut sum = FileSummary::default();
+    let mut cur: Option<FnDef> = None;
+    for line in lines {
+        let (tag, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match tag {
+            "rel" => sum.rel = unesc(rest),
+            "stem" => sum.stem = unesc(rest),
+            "malformed" => {
+                for w in rest.split_whitespace() {
+                    sum.malformed.push(w.parse().ok()?);
+                }
+            }
+            "vis" => {
+                sum.visible
+                    .extend(rest.split_whitespace().map(str::to_string));
+            }
+            "pragma" => {
+                let mut it = rest.splitn(3, ' ');
+                sum.pragmas.push(PragmaRec {
+                    line: it.next()?.parse().ok()?,
+                    code_free: it.next()? == "1",
+                    rule: it.next()?.to_string(),
+                });
+            }
+            "direct" => {
+                let mut it = rest.splitn(3, ' ');
+                let rule = it.next()?.to_string();
+                let at = it.next()?.parse().ok()?;
+                sum.direct.push((rule, at, unesc(it.next().unwrap_or(""))));
+            }
+            "fn" => {
+                if let Some(done) = cur.take() {
+                    sum.fns.push(done);
+                }
+                let w: Vec<&str> = rest.split(' ').collect();
+                if w.len() != 9 {
+                    return None;
+                }
+                cur = Some(FnDef {
+                    name: w[0].to_string(),
+                    container: unopt(w[1]),
+                    has_self: w[2] == "1",
+                    argc: w[3].parse().ok()?,
+                    start: w[4].parse().ok()?,
+                    end: w[5].parse().ok()?,
+                    in_test: w[6] == "1",
+                    reads_raw: w[7] == "1",
+                    guards: w[8].parse().ok()?,
+                    ..FnDef::default()
+                });
+            }
+            "call" => {
+                let w: Vec<&str> = rest.split(' ').collect();
+                if w.len() != 8 {
+                    return None;
+                }
+                cur.as_mut()?.calls.push(CallSite {
+                    line: w[0].parse().ok()?,
+                    name: w[1].to_string(),
+                    qual: unopt(w[2]),
+                    method: w[3] == "1",
+                    argc: w[4].parse().ok()?,
+                    held_rank: w[5].parse().ok()?,
+                    held_line: w[6].parse().ok()?,
+                    held_lock: unopt(w[7]),
+                });
+            }
+            "panic" | "block" => {
+                let (at, what) = rest.split_once(' ').unwrap_or((rest, ""));
+                let site = Site {
+                    line: at.parse().ok()?,
+                    what: unesc(what),
+                };
+                let def = cur.as_mut()?;
+                if tag == "panic" {
+                    def.panics.push(site);
+                } else {
+                    def.blocking.push(site);
+                }
+            }
+            "acq" => {
+                let w: Vec<&str> = rest.split(' ').collect();
+                if w.len() != 3 {
+                    return None;
+                }
+                cur.as_mut()?.acquires.push(AcquireSite {
+                    rank: w[0].parse().ok()?,
+                    line: w[1].parse().ok()?,
+                    lock: w[2].to_string(),
+                });
+            }
+            "tlet" => {
+                let w: Vec<&str> = rest.split('|').collect();
+                if w.len() != 4 {
+                    return None;
+                }
+                cur.as_mut()?.taint.push(TaintEvent::Let {
+                    line: w[0].parse().ok()?,
+                    vars: unwords(w[1]),
+                    rhs_vars: unwords(w[2]),
+                    rhs_calls: unwords(w[3]),
+                });
+            }
+            "tguard" => {
+                let w: Vec<&str> = rest.split('|').collect();
+                if w.len() != 2 {
+                    return None;
+                }
+                cur.as_mut()?.taint.push(TaintEvent::Guard {
+                    line: w[0].parse().ok()?,
+                    vars: unwords(w[1]),
+                });
+            }
+            "talloc" => {
+                let w: Vec<&str> = rest.split('|').collect();
+                if w.len() != 4 {
+                    return None;
+                }
+                cur.as_mut()?.taint.push(TaintEvent::Alloc {
+                    line: w[0].parse().ok()?,
+                    vars: unwords(w[1]),
+                    calls: unwords(w[2]),
+                    kind: unesc(w[3]),
+                });
+            }
+            "" => {}
+            _ => return None,
+        }
+    }
+    if let Some(done) = cur.take() {
+        sum.fns.push(done);
+    }
+    Some(sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::summarize;
+    use crate::source::SourceFile;
+    use std::path::Path;
+
+    fn roundtrip(src: &str) {
+        let file = SourceFile::parse(Path::new("m.rs"), src);
+        let sum = summarize(&file, "crates/x/src/m.rs");
+        let enc = serialize(&sum);
+        let dec = deserialize(&enc).expect("well-formed encoding");
+        assert_eq!(sum, dec);
+    }
+
+    #[test]
+    fn summary_roundtrips_exactly() {
+        roundtrip(
+            "impl Cur {\n\
+                 fn u32(&mut self) -> u32 { u32::from_le_bytes(b) }\n\
+                 fn read(&mut self) -> Vec<u8> {\n\
+                     let n = self.u32() as usize;\n\
+                     if n > self.rem { return Vec::new(); }\n\
+                     let mut v = Vec::with_capacity(n);\n\
+                     let g = self.queue.lock();\n\
+                     helper(n);\n\
+                     x.unwrap(); // lint:allow(no-panic): justified \"quote\\\\\"\n\
+                     thread::sleep(d);\n\
+                     v\n\
+                 }\n\
+             }\n\
+             // lint:allow(bogus-rule)\n",
+        );
+    }
+
+    #[test]
+    fn tampered_or_truncated_entries_miss() {
+        let file = SourceFile::parse(Path::new("m.rs"), "fn f() { g(); }\n");
+        let sum = summarize(&file, "m.rs");
+        let enc = serialize(&sum);
+        assert_eq!(deserialize("garbage"), None);
+        assert_eq!(deserialize(&enc[..enc.len() / 2]), None);
+        let wrong_version = enc.replacen("v2", "v1", 1);
+        assert_eq!(deserialize(&wrong_version), None);
+    }
+
+    #[test]
+    fn cache_store_load_cycle_hits_and_content_change_misses() {
+        let tmp =
+            std::env::temp_dir().join(format!("stage-lint-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&tmp);
+        let cache = Cache::new(&tmp);
+        let src = "fn f() { g(1); }\n";
+        let file = SourceFile::parse(Path::new("m.rs"), src);
+        let sum = summarize(&file, "crates/x/src/m.rs");
+        assert!(cache.load("crates/x/src/m.rs", src).is_none());
+        cache.store("crates/x/src/m.rs", src, &sum);
+        assert_eq!(cache.load("crates/x/src/m.rs", src), Some(sum));
+        assert!(cache.load("crates/x/src/m.rs", "fn f() {}\n").is_none());
+        assert!(cache.load("crates/y/src/m.rs", src).is_none());
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
+}

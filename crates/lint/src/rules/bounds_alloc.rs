@@ -1,0 +1,103 @@
+//! Rule `bounds-before-alloc`: in the binary decoders (`wire.rs`,
+//! `storefmt.rs`, and `stage-store`), any allocation whose size comes
+//! from wire/store bytes — `Vec::with_capacity`, `vec![..; n]`,
+//! `reserve`, `resize` — must be dominated by a bounds check against the
+//! remaining input. A 4-byte length field must never be able to demand a
+//! 4 GiB allocation.
+//!
+//! Taint model (DESIGN.md §14):
+//! - *sources*: `from_le_bytes`-family decodes, and calls to workspace
+//!   fns classified as **producers** (they return raw-derived data with
+//!   no bounds check — `Cur::u32`, `get_u32`, ...);
+//! - *sanitizers*: workspace fns that derive from raw bytes **and**
+//!   bounds-check before returning (`Cur::count`,
+//!   `SectionReader::checked_count`), plus the `min`/`clamp` clamps;
+//! - *propagation*: `let` bindings carry taint from rhs vars/calls;
+//! - *clearing*: an `if` condition containing a comparison clears every
+//!   identifier it mentions (optimistic: the guard is assumed to be the
+//!   bounds check), as does rebinding from a clean rhs or a sanitizer
+//!   call.
+//!
+//! The replay is per-function over the parser's ordered taint events;
+//! taint does not flow through function parameters or struct fields
+//! (documented unsoundness — the decoder idiom this workspace enforces
+//! keeps read-and-check in one function, which is exactly what this rule
+//! pins in place).
+
+use std::collections::HashSet;
+use std::path::Path;
+
+use crate::graph::Graph;
+use crate::parser::{TaintEvent, RAW_DECODE};
+use crate::rules::RULE_BOUNDS;
+use crate::Finding;
+
+/// Clamping calls accepted as sanitizers without workspace analysis.
+const BUILTIN_SANITIZERS: &[&str] = &["min", "clamp"];
+
+/// Runs the rule over every fn in the scoped files.
+pub fn check_graph(g: &Graph<'_>, scoped: &HashSet<usize>) -> Vec<Finding> {
+    let producers = g.producer_names();
+    let sanitizers = g.sanitizer_names();
+    let is_source = |name: &str| RAW_DECODE.contains(&name) || producers.contains(name);
+    let is_sane = |name: &str| BUILTIN_SANITIZERS.contains(&name) || sanitizers.contains(name);
+
+    let mut findings = Vec::new();
+    for fid in 0..g.fns.len() {
+        let fi = g.file_of(fid);
+        if !scoped.contains(&fi) {
+            continue;
+        }
+        let sum = &g.files[fi];
+        let mut tainted: HashSet<&str> = HashSet::new();
+        for ev in &g.def(fid).taint {
+            match ev {
+                TaintEvent::Let {
+                    vars,
+                    rhs_vars,
+                    rhs_calls,
+                    ..
+                } => {
+                    let rhs_tainted = rhs_vars.iter().any(|v| tainted.contains(v.as_str()))
+                        || rhs_calls.iter().any(|c| is_source(c));
+                    let rhs_sanitized = rhs_calls.iter().any(|c| is_sane(c));
+                    if rhs_tainted && !rhs_sanitized {
+                        tainted.extend(vars.iter().map(|v| v.as_str()));
+                    } else {
+                        for v in vars {
+                            tainted.remove(v.as_str());
+                        }
+                    }
+                }
+                TaintEvent::Guard { vars, .. } => {
+                    for v in vars {
+                        tainted.remove(v.as_str());
+                    }
+                }
+                TaintEvent::Alloc {
+                    line,
+                    kind,
+                    vars,
+                    calls,
+                } => {
+                    let arg_tainted = vars.iter().any(|v| tainted.contains(v.as_str()))
+                        || calls.iter().any(|c| is_source(c));
+                    let arg_sanitized = calls.iter().any(|c| is_sane(c));
+                    if arg_tainted && !arg_sanitized && !sum.allowed(RULE_BOUNDS, *line) {
+                        findings.push(Finding::new(
+                            RULE_BOUNDS,
+                            Path::new(&sum.rel),
+                            *line,
+                            format!(
+                                "{kind} size is tainted by wire/store bytes with no dominating \
+                                 bounds check — validate against the remaining input (e.g. \
+                                 `count()` / `checked_count()`) before allocating"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    findings
+}

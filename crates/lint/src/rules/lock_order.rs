@@ -112,6 +112,84 @@ pub fn check(file: &SourceFile) -> Vec<Finding> {
     findings
 }
 
+/// Per-line worst held lock: line → `(rank, lock name, acquisition line)`.
+pub type HeldByLine = std::collections::HashMap<usize, (u8, String, usize)>;
+
+/// Replays the guard-tracking walk over non-test lines `[start, end]`
+/// (a single fn body) with fresh state, returning the direct acquisitions
+/// and, per line, the worst (highest-ranked) lock held at any point while
+/// that line executes — including guards acquired earlier on the same
+/// line, which over-approximates in the safe direction for call sites.
+pub fn replay_held(
+    file: &SourceFile,
+    start: usize,
+    end: usize,
+) -> (Vec<crate::parser::AcquireSite>, HeldByLine) {
+    let mut acquires = Vec::new();
+    let mut held_map = std::collections::HashMap::new();
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth: i64 = 0;
+    for (line_no, code) in file.code_lines() {
+        if line_no < start || line_no > end {
+            continue;
+        }
+        for dropped in explicit_drops(code) {
+            held.retain(|h| h.binding.as_deref() != Some(dropped.as_str()));
+        }
+        let let_binding = let_binding_of(code);
+        let mut worst_this_line: Option<(u8, String, usize)> = None;
+        let mut note = |held: &[Held]| {
+            if let Some(h) = held.iter().max_by_key(|h| h.rank) {
+                if worst_this_line.as_ref().is_none_or(|(r, _, _)| h.rank > *r) {
+                    worst_this_line = Some((h.rank, h.lock_name.to_string(), h.line));
+                }
+            }
+        };
+        note(&held);
+        let mut i = 0;
+        let bytes = code.as_bytes();
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    held.retain(|h| h.depth <= depth);
+                }
+                b'.' => {
+                    if let Some((_method, rest)) = acquisition_at(code, i) {
+                        if let Some((lock_name, rank)) = classify_receiver(code, i) {
+                            acquires.push(crate::parser::AcquireSite {
+                                rank,
+                                lock: lock_name.to_string(),
+                                line: line_no,
+                            });
+                            if let Some(binding) = &let_binding {
+                                held.push(Held {
+                                    depth,
+                                    rank,
+                                    lock_name,
+                                    binding: Some(binding.clone()),
+                                    line: line_no,
+                                });
+                                note(&held);
+                            }
+                        }
+                        i += rest;
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        note(&held);
+        if let Some(w) = worst_this_line {
+            held_map.insert(line_no, w);
+        }
+    }
+    (acquires, held_map)
+}
+
 /// If a `.lock()` / `.read()` / `.write()` call starts at the `.` at byte
 /// `at`, returns the method name and how many bytes to skip.
 fn acquisition_at(code: &str, at: usize) -> Option<(&'static str, usize)> {
@@ -198,6 +276,70 @@ fn let_binding_of(code: &str) -> Option<String> {
         return None;
     }
     Some((*name).to_string())
+}
+
+/// The interprocedural half of the rule: a call made while a guard is
+/// held, into a fn that (transitively) acquires a *lower*-ranked lock, is
+/// an ordering violation the lexical pass cannot see — the acquisition
+/// happens in another function, possibly another crate. Reported at the
+/// call site with the acquisition path.
+pub fn interprocedural(
+    g: &crate::graph::Graph<'_>,
+    scoped: &std::collections::HashSet<usize>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for fid in 0..g.fns.len() {
+        let fi = g.file_of(fid);
+        if !scoped.contains(&fi) {
+            continue;
+        }
+        let sum = &g.files[fi];
+        for call in &g.def(fid).calls {
+            if call.held_rank < 0 {
+                continue;
+            }
+            let held = call.held_rank as u8;
+            let best = g
+                .resolve(fi, call)
+                .iter()
+                .filter_map(|&c| g.min_rank(c).map(|r| (r.rank, c)))
+                .filter(|&(rank, _)| rank < held)
+                .min_by_key(|&(rank, c)| (rank, g.def(c).name.clone(), c));
+            let Some((rank, callee)) = best else {
+                continue;
+            };
+            if !seen.insert((fid, call.line, callee)) {
+                continue;
+            }
+            if sum.allowed(RULE_LOCK_ORDER, call.line) {
+                continue;
+            }
+            let path = g.describe(callee, |f| {
+                g.min_rank(f).map(|r| crate::graph::Reach {
+                    via: r.via,
+                    file: r.file,
+                    line: r.line,
+                    what: format!("{} (rank {})", r.lock, r.rank),
+                    depth: 0,
+                })
+            });
+            findings.push(Finding::new(
+                RULE_LOCK_ORDER,
+                std::path::Path::new(&sum.rel),
+                call.line,
+                format!(
+                    "calling `{}` while \"{}\" (rank {}) from line {} is held; the callee \
+                     acquires rank {rank}: {path}; declared order is {ORDER}",
+                    g.def(callee).name,
+                    call.held_lock,
+                    call.held_rank,
+                    call.held_line
+                ),
+            ));
+        }
+    }
+    findings
 }
 
 /// Names passed to `drop(...)` on this line.

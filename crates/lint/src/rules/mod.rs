@@ -1,9 +1,14 @@
-//! The five workspace invariant rules. Each rule is a pure function from
-//! lexed source to raw findings; pragma suppression and malformed-pragma
-//! reporting are applied uniformly by the driver in `lib.rs`.
+//! The workspace invariant rules. The lexical rules are pure functions
+//! from lexed source to raw findings; the interprocedural rules
+//! (`transitive` passes here plus [`bounds_alloc`] and [`no_blocking`])
+//! run over the whole-workspace call graph built in [`crate::graph`].
+//! Pragma suppression and malformed-pragma reporting are applied
+//! uniformly by the driver in `lib.rs`.
 
+pub mod bounds_alloc;
 pub mod determinism;
 pub mod lock_order;
+pub mod no_blocking;
 pub mod no_panic;
 pub mod protocol;
 pub mod unsafe_seam;
@@ -19,6 +24,10 @@ pub const RULE_LOCK_ORDER: &str = "lock-order";
 pub const RULE_PROTOCOL: &str = "protocol-exhaustive";
 /// See [`unsafe_seam`].
 pub const RULE_UNSAFE: &str = "unsafe-seam";
+/// See [`bounds_alloc`].
+pub const RULE_BOUNDS: &str = "bounds-before-alloc";
+/// See [`no_blocking`].
+pub const RULE_BLOCKING: &str = "no-blocking-in-evloop";
 /// Malformed `lint:allow` pragmas (never suppressible).
 pub const RULE_PRAGMA: &str = "pragma";
 

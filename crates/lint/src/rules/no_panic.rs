@@ -7,6 +7,8 @@
 //! Genuinely unreachable cases stay allowed via
 //! `// lint:allow(no-panic): reason`.
 
+use std::path::Path;
+
 use crate::rules::{idents, next_nonspace, prev_nonspace, RULE_NO_PANIC};
 use crate::source::SourceFile;
 use crate::Finding;
@@ -34,6 +36,36 @@ const NON_INDEX_KEYWORDS: &[&str] = &[
     "where", "for", "while", "loop", "use", "const", "static", "type", "enum", "struct", "fn",
     "trait", "impl", "dyn", "pub", "mod", "unsafe", "yield",
 ];
+
+/// Explicit panic constructs (panicking methods and macros — *not*
+/// indexing) on non-test lines within `[start, end]`, as `(line, what)`.
+/// This is what the transitive pass propagates across the call graph:
+/// unguarded indexing stays a direct per-file check because at a distance
+/// it is overwhelmingly guarded by construction and would drown the
+/// signal (DESIGN.md §14).
+pub fn explicit_panics(file: &SourceFile, start: usize, end: usize) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (line_no, code) in file.code_lines() {
+        if line_no < start || line_no > end {
+            continue;
+        }
+        for (at, word) in idents(code) {
+            if PANICKING_METHODS.contains(&word)
+                && prev_nonspace(code, at).is_some_and(|(_, c)| c == '.')
+                && next_nonspace(code, at + word.len()) == Some('(')
+            {
+                out.push((line_no, format!(".{word}()")));
+            }
+            if PANICKING_MACROS.contains(&word)
+                && next_nonspace(code, at + word.len()) == Some('!')
+                && prev_nonspace(code, at).is_none_or(|(_, c)| !is_ident_char(c) && c != '!')
+            {
+                out.push((line_no, format!("{word}!")));
+            }
+        }
+    }
+    out
+}
 
 /// Runs the rule over one file.
 pub fn check(file: &SourceFile) -> Vec<Finding> {
@@ -92,10 +124,17 @@ fn check_indexing(file: &SourceFile, line_no: usize, code: &str) -> Vec<Finding>
         }
         if is_ident_char(prev) {
             // Reject keyword prefixes (`let [a, b]`, `for x in [..]`).
-            let word_start = code[..=pat]
-                .rfind(|ch: char| !is_ident_char(ch))
-                .map_or(0, |p| p + 1);
-            let word = &code[word_start..=pat];
+            // Walk chars, not bytes: `prev` (or the char before the word)
+            // can be multi-byte, and byte arithmetic would slice
+            // mid-character.
+            let wend = pat + prev.len_utf8();
+            let word_start = code[..wend]
+                .char_indices()
+                .rev()
+                .take_while(|&(_, ch)| is_ident_char(ch))
+                .last()
+                .map_or(wend, |(i, _)| i);
+            let word = &code[word_start..wend];
             if NON_INDEX_KEYWORDS.contains(&word) || word.chars().all(|ch| ch.is_ascii_digit()) {
                 continue;
             }
@@ -118,4 +157,54 @@ fn check_indexing(file: &SourceFile, line_no: usize, code: &str) -> Vec<Finding>
 
 fn is_ident_char(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
+}
+
+/// The interprocedural half of the rule: a call site in a scoped file
+/// whose callee — resolved through the workspace call graph — can reach
+/// an explicit panic construct is a finding at the call site, with the
+/// shortest panic path printed.
+///
+/// Calls into fns defined in *other scoped files* are skipped: those fns'
+/// panics are findings at their own sites (directly, or at their own
+/// call-boundary), so re-reporting every caller would only duplicate the
+/// signal. The pass therefore fires exactly at the boundary where a
+/// scoped path escapes into unscoped code.
+pub fn transitive(
+    g: &crate::graph::Graph<'_>,
+    scoped: &std::collections::HashSet<usize>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for fid in 0..g.fns.len() {
+        let fi = g.file_of(fid);
+        if !scoped.contains(&fi) {
+            continue;
+        }
+        let sum = &g.files[fi];
+        for call in &g.def(fid).calls {
+            let best = g
+                .resolve(fi, call)
+                .iter()
+                .filter(|&&c| !scoped.contains(&g.file_of(c)))
+                .filter_map(|&c| g.panic_reach(c).map(|r| (r.depth, c)))
+                .min_by_key(|&(depth, c)| (depth, g.def(c).name.clone(), c));
+            let Some((_, callee)) = best else {
+                continue;
+            };
+            if !seen.insert((fid, call.line, callee)) {
+                continue;
+            }
+            if sum.allowed(RULE_NO_PANIC, call.line) {
+                continue;
+            }
+            let path = g.describe(callee, |f| g.panic_reach(f).cloned());
+            findings.push(Finding::new(
+                RULE_NO_PANIC,
+                Path::new(&sum.rel),
+                call.line,
+                format!("call into `{}` can panic: {path}", g.def(callee).name),
+            ));
+        }
+    }
+    findings
 }

@@ -160,3 +160,106 @@ fn merged_workspace_is_clean() {
         "the merged tree must lint clean: {findings:#?}"
     );
 }
+
+/// Summarizes one fixture file under a synthetic workspace-relative path.
+fn summarize_fixture(name: &str, rel: &str) -> stage_lint::parser::FileSummary {
+    let file = SourceFile::read(&fixture(name)).expect("fixture readable");
+    stage_lint::parser::summarize(&file, rel)
+}
+
+#[test]
+fn transitive_no_panic_fires_two_hops_and_two_files_away() {
+    let sums = vec![
+        summarize_fixture("transitive_no_panic/entry.rs", "fx/entry.rs"),
+        summarize_fixture("transitive_no_panic/mid.rs", "fx/mid.rs"),
+        summarize_fixture("transitive_no_panic/util.rs", "fx/util.rs"),
+    ];
+    let g = stage_lint::graph::Graph::build(&sums);
+    let scoped = std::collections::HashSet::from([0usize]);
+    let findings = rules::no_panic::transitive(&g, &scoped);
+    assert_eq!(
+        findings.len(),
+        1,
+        "exactly one boundary finding: {findings:#?}"
+    );
+    let f = &findings[0];
+    assert_eq!(f.rule, "no-panic");
+    assert_eq!(f.file, Path::new("fx/entry.rs"));
+    assert_eq!(f.line, 6, "anchors at the scoped call site");
+    assert!(
+        f.message.contains("widen") && f.message.contains("force"),
+        "prints the panic path: {}",
+        f.message
+    );
+    assert!(
+        f.message.contains("fx/util.rs:5"),
+        "names the panic site file:line: {}",
+        f.message
+    );
+}
+
+#[test]
+fn bounds_alloc_violation_fixture_lines() {
+    let sums = vec![summarize_fixture("bounds_alloc_violation.rs", "fx/wire.rs")];
+    let g = stage_lint::graph::Graph::build(&sums);
+    let scoped = std::collections::HashSet::from([0usize]);
+    let findings = rules::bounds_alloc::check_graph(&g, &scoped);
+    assert_eq!(
+        findings.len(),
+        1,
+        "exactly one tainted alloc: {findings:#?}"
+    );
+    let f = &findings[0];
+    assert_eq!(f.rule, "bounds-before-alloc");
+    assert_eq!(f.file, Path::new("fx/wire.rs"));
+    assert_eq!(f.line, 7, "anchors at the allocation");
+    assert!(
+        f.message.contains("tainted"),
+        "explains the taint: {}",
+        f.message
+    );
+}
+
+#[test]
+fn bounds_alloc_clean_fixture_is_silent() {
+    let sums = vec![summarize_fixture("bounds_alloc_clean.rs", "fx/wire.rs")];
+    let g = stage_lint::graph::Graph::build(&sums);
+    let scoped = std::collections::HashSet::from([0usize]);
+    let findings = rules::bounds_alloc::check_graph(&g, &scoped);
+    assert!(findings.is_empty(), "clean fixture flagged: {findings:#?}");
+}
+
+#[test]
+fn no_blocking_violation_fixture_lines() {
+    let sums = vec![
+        summarize_fixture("no_blocking_violation/evloop.rs", "fx/evloop.rs"),
+        summarize_fixture("no_blocking_violation/worker.rs", "fx/worker.rs"),
+    ];
+    let g = stage_lint::graph::Graph::build(&sums);
+    let findings = rules::no_blocking::check_graph(&g);
+    assert_eq!(
+        findings.len(),
+        1,
+        "exactly one blocking call: {findings:#?}"
+    );
+    let f = &findings[0];
+    assert_eq!(f.rule, "no-blocking-in-evloop");
+    assert_eq!(f.file, Path::new("fx/evloop.rs"));
+    assert_eq!(f.line, 8, "anchors at the event loop's call site");
+    assert!(
+        f.message.contains("drain") && f.message.contains("fx/worker.rs:5"),
+        "prints the blocking path: {}",
+        f.message
+    );
+}
+
+#[test]
+fn no_blocking_clean_fixture_is_silent() {
+    let sums = vec![
+        summarize_fixture("no_blocking_clean/evloop.rs", "fx/evloop.rs"),
+        summarize_fixture("no_blocking_clean/worker.rs", "fx/worker.rs"),
+    ];
+    let g = stage_lint::graph::Graph::build(&sums);
+    let findings = rules::no_blocking::check_graph(&g);
+    assert!(findings.is_empty(), "clean fixture flagged: {findings:#?}");
+}

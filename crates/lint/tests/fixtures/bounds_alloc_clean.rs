@@ -1,0 +1,18 @@
+//! bounds-before-alloc fixture, clean: both sanctioned shapes — a
+//! dominating guard against the remaining input, and a `min` clamp.
+
+/// Guard shape: the allocation is dominated by an explicit bounds check.
+pub fn decode_guarded(buf: &[u8], rem: usize) -> Vec<u8> {
+    let n = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if n > rem {
+        return Vec::new();
+    }
+    Vec::with_capacity(n)
+}
+
+/// Sanitizer shape: the length is clamped before allocating.
+pub fn decode_clamped(buf: &[u8], cap: usize) -> Vec<u8> {
+    let n = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    let m = n.min(cap);
+    Vec::with_capacity(m)
+}

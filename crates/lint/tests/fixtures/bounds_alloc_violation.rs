@@ -1,0 +1,10 @@
+//! bounds-before-alloc fixture: a wire-tainted length reaches an
+//! allocation with no dominating bounds check.
+
+/// Decodes a length-prefixed payload without validating the length.
+pub fn decode(buf: &[u8]) -> Vec<u8> {
+    let n = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    let mut v = Vec::with_capacity(n);
+    v.clear();
+    v
+}

@@ -1,0 +1,10 @@
+//! no-blocking-in-evloop fixture, clean: same event-loop shape, but the
+//! worker's subtree never blocks.
+
+/// Event-loop driver with a non-blocking callee tree.
+pub fn run(fds: &mut Vec<u32>) {
+    loop {
+        poll_fds(fds);
+        worker::drain(fds);
+    }
+}

@@ -1,0 +1,6 @@
+//! no-blocking-in-evloop fixture, clean worker: drains without blocking.
+
+/// Drains synchronously — no sleeps, waits, or joins anywhere below.
+pub fn drain(fds: &mut Vec<u32>) {
+    fds.clear();
+}

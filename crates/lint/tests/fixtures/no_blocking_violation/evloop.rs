@@ -1,0 +1,10 @@
+//! no-blocking-in-evloop fixture: the poll loop's transitive callee
+//! sleeps. The driver is detected structurally by its `poll_fds` call.
+
+/// Event-loop driver: every callee's subtree must be non-blocking.
+pub fn run(fds: &mut Vec<u32>) {
+    loop {
+        poll_fds(fds);
+        worker::drain(fds);
+    }
+}

@@ -1,0 +1,7 @@
+//! no-blocking-in-evloop fixture: the worker that blocks.
+
+/// Drains with a sleep — illegal anywhere in the event loop's call tree.
+pub fn drain(fds: &mut Vec<u32>) {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    fds.clear();
+}

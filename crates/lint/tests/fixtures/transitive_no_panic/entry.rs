@@ -1,0 +1,7 @@
+//! Transitive no-panic fixture, scoped file: the panic is two hops and
+//! two files away (`mid::widen` → `util::force` → `.unwrap()`).
+
+/// Scoped entry: the lint must anchor its finding at the call below.
+pub fn handle_request(x: Option<u64>) -> u64 {
+    mid::widen(x) + 1
+}

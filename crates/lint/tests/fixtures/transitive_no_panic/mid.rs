@@ -1,0 +1,6 @@
+//! Transitive no-panic fixture, middle hop: panic-free itself.
+
+/// Forwards to the deepest helper.
+pub fn widen(x: Option<u64>) -> u64 {
+    util::force(x)
+}

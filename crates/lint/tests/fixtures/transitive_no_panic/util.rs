@@ -1,0 +1,6 @@
+//! Transitive no-panic fixture, deepest hop: the actual panic site.
+
+/// Unwraps — the panic the lint must surface back at the scoped entry.
+pub fn force(x: Option<u64>) -> u64 {
+    x.unwrap()
+}

@@ -230,16 +230,18 @@ impl PlanGcn {
         for conv in &self.convs {
             let mut next: Vec<Option<Var>> = vec![None; n];
             for &v in &order {
-                let hv = h[v].expect("topo order covers v");
+                // The topo order covers every node and children precede
+                // parents by construction ([`TreeSample::validate`]); if a
+                // malformed sample slips through anyway, skip the node and
+                // aggregate the embedded children we do have rather than
+                // panicking inside a prediction path.
+                let Some(hv) = h[v] else { continue };
                 let w_self = g.param(&self.store, conv.w_self);
                 let self_term = g.matmul(hv, w_self);
-                let combined = if sample.children[v].is_empty() {
+                let kids: Vec<Var> = sample.children[v].iter().filter_map(|&c| h[c]).collect();
+                let combined = if kids.is_empty() {
                     self_term
                 } else {
-                    let kids: Vec<Var> = sample.children[v]
-                        .iter()
-                        .map(|&c| h[c].expect("children precede parents"))
-                        .collect();
                     let stacked = g.stack_rows(&kids);
                     let agg = g.mean_rows(stacked);
                     let w_child = g.param(&self.store, conv.w_child);
@@ -254,8 +256,14 @@ impl PlanGcn {
             h = next;
         }
 
-        // 3. Readout: root ⊕ system features → head.
-        let root_h = h[sample.root].expect("root embedded");
+        // 3. Readout: root ⊕ system features → head. A missing root
+        // embedding (out-of-range root on a malformed sample) reads out
+        // from a zero vector instead of panicking.
+        let root_h = h
+            .get(sample.root)
+            .copied()
+            .flatten()
+            .unwrap_or_else(|| g.input(Matrix::row_vector(&vec![0.0; self.config.hidden])));
         let sys = g.input(Matrix::row_vector(&sample.sys_feats));
         let cat = g.concat_cols(root_h, sys);
         self.head.forward(g, &self.store, cat, training, rng)

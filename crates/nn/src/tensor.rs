@@ -38,6 +38,7 @@ impl Matrix {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        // lint:allow(no-panic): tape shape contract — a violation is a model-construction bug, never input-dependent
         assert_eq!(data.len(), rows * cols, "shape/data mismatch");
         Self { rows, cols, data }
     }
@@ -97,6 +98,7 @@ impl Matrix {
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        // lint:allow(no-panic): tape shape contract — a violation is a model-construction bug, never input-dependent
         assert_eq!(
             self.cols, other.rows,
             "matmul {}x{} · {}x{}",
@@ -124,12 +126,11 @@ impl Matrix {
         Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
     }
 
-    /// Elementwise sum into self.
-    ///
-    /// # Panics
-    /// Panics on shape mismatch.
+    /// Elementwise sum into self. A shape mismatch is a programmer error:
+    /// debug builds assert, release builds sum the overlapping prefix
+    /// (degrade, don't take the serving path down).
     pub fn add_assign(&mut self, other: &Matrix) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        debug_assert_eq!((self.rows, self.cols), (other.rows, other.cols));
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }

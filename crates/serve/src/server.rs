@@ -785,6 +785,7 @@ fn run_loop(shared: &Arc<Shared>, lshard: &Arc<LoopShard>, conn_read_timeout: Op
         }
         if poll_fds(&mut pollfds, poll_ms).is_err() {
             // EINVAL/ENOMEM from poll: back off rather than spin.
+            // lint:allow(no-blocking-in-evloop): bounded 1ms backoff on a failing poll — the loop is already not serving
             std::thread::sleep(Duration::from_millis(1));
             continue;
         }

@@ -245,7 +245,7 @@ impl InstanceWorkload {
                 }
             }
         }
-        arrivals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        arrivals.sort_by(|a, b| a.0.total_cmp(&b.0));
         arrivals.truncate(config.max_events_per_instance);
 
         // Replay with daily statistics refresh.
@@ -432,7 +432,7 @@ mod tests {
             .iter()
             .flat_map(|i| i.events.iter().map(|e| e.true_exec_secs))
             .collect();
-        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        all.sort_by(f64::total_cmp);
         assert!(
             all.len() > 500,
             "need a meaningful sample, got {}",

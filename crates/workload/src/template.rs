@@ -123,7 +123,9 @@ impl Schedule {
                 }
             }
         }
-        out.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        // `total_cmp`, not `partial_cmp(..).expect(..)`: a degenerate rate
+        // producing NaN must not abort arrival generation mid-serve.
+        out.sort_by(f64::total_cmp);
         out
     }
 }
@@ -398,13 +400,13 @@ impl Template {
         let mut scanned_rows = Vec::with_capacity(plan.node_count());
         for (i, node) in plan.iter_preorder().enumerate() {
             let err = self.card_log_errors.get(i).copied().unwrap_or(0.0).exp();
-            true_rows.push((node.est_rows * err * drift).max(1.0));
+            let out_rows = (node.est_rows * err * drift).max(1.0);
+            true_rows.push(out_rows);
             // Scans read a template-specific fraction of the (drifted)
             // table, never less than what they output.
             let scanned = match (node.op.is_base_table_scan(), node.table_rows) {
                 (true, Some(stats_table_rows)) => {
-                    (stats_table_rows * drift * self.scan_read_fraction)
-                        .max(*true_rows.last().expect("just pushed"))
+                    (stats_table_rows * drift * self.scan_read_fraction).max(out_rows)
                 }
                 _ => 0.0,
             };

@@ -8,8 +8,28 @@ cargo fmt --check
 cargo clippy --workspace -- -D warnings
 
 # Workspace invariants (panic-freedom, determinism, lock order, protocol
-# exhaustiveness) — cheap, so it runs before the test suite.
-cargo run -q -p stage-lint -- --workspace
+# exhaustiveness, tainted-allocation bounds, event-loop liveness) — cheap,
+# so it runs before the test suite. Gated against the committed baseline:
+# only NEW findings fail the run, so a finding backlog can be burned down
+# incrementally without masking regressions. The --json report is written
+# to a scratch path and diffed; the committed results/lint_report.json is
+# only ever updated deliberately.
+cargo build -q --release -p stage-lint
+./target/release/stage-lint --workspace --baseline results/lint_report.json \
+    --json --root .
+git diff --quiet -- results/lint_report.json || {
+    echo "check.sh: stage-lint --json changed results/lint_report.json —" \
+         "inspect and commit the new report (or fix the findings)" >&2
+    exit 1
+}
+
+# Parse-cache smoke: a cold pass (cache purged) and a warm pass must agree
+# on finding counts, and the warm pass must beat 2x the recorded lexical
+# baseline — both asserted by --bench itself (exit 1 on divergence).
+# Timing lands in results/bench_lint.json; only the invariant is gated
+# here, not the absolute numbers.
+./target/release/stage-lint --workspace --bench --root .
+git checkout -q -- results/bench_lint.json 2>/dev/null || true
 
 cargo test -q --workspace
 

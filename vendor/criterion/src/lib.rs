@@ -242,7 +242,11 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         let full = format!("{}/{}", self.name, id.into().id);
         let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
         self.criterion.run_one(full, sample_size, f);

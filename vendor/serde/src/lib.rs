@@ -210,7 +210,9 @@ pub mod de {
 pub fn expect_object<'v>(v: &'v Value, ty: &str) -> Result<&'v [(String, Value)], Error> {
     match v {
         Value::Object(entries) => Ok(entries),
-        other => Err(Error::custom(format!("expected object for {ty}, got {other:?}"))),
+        other => Err(Error::custom(format!(
+            "expected object for {ty}, got {other:?}"
+        ))),
     }
 }
 
@@ -226,11 +228,7 @@ pub fn expect_array<'v>(v: &'v Value, ty: &str, n: usize) -> Result<&'v [Value],
 
 /// Looks up and deserializes a field; missing fields read as `Null` (so
 /// `Option` fields default to `None`, as with upstream serde).
-pub fn de_field<T: Deserialize>(
-    obj: &[(String, Value)],
-    name: &str,
-    ty: &str,
-) -> Result<T, Error> {
+pub fn de_field<T: Deserialize>(obj: &[(String, Value)], name: &str, ty: &str) -> Result<T, Error> {
     let v = obj
         .iter()
         .find(|(k, _)| k == name)

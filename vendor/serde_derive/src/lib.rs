@@ -40,13 +40,17 @@ struct Variant {
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let input = parse(input);
-    gen_serialize(&input).parse().expect("serde_derive generated invalid Rust")
+    gen_serialize(&input)
+        .parse()
+        .expect("serde_derive generated invalid Rust")
 }
 
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let input = parse(input);
-    gen_deserialize(&input).parse().expect("serde_derive generated invalid Rust")
+    gen_deserialize(&input)
+        .parse()
+        .expect("serde_derive generated invalid Rust")
 }
 
 // ---------------------------------------------------------------------------
@@ -130,7 +134,11 @@ fn parse(input: TokenStream) -> Input {
         other => panic!("serde_derive: cannot derive for {other} {name}"),
     };
 
-    Input { name, generics, data }
+    Input {
+        name,
+        generics,
+        data,
+    }
 }
 
 /// Parses `field: Type, ...` capturing field names. Skips attributes and
@@ -266,9 +274,7 @@ fn gen_serialize(input: &Input) -> String {
     let (generics, ty) = impl_header(input, "serde::Serialize");
     let body = match &input.data {
         Data::Struct(fields) => {
-            let mut s = String::from(
-                "let mut __o: Vec<(String, serde::Value)> = Vec::new();\n",
-            );
+            let mut s = String::from("let mut __o: Vec<(String, serde::Value)> = Vec::new();\n");
             for f in fields {
                 s.push_str(&format!(
                     "__o.push((String::from(\"{f}\"), serde::Serialize::to_value(&self.{f})));\n"

@@ -49,7 +49,10 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
 }
 
 /// Serializes compact JSON into a writer.
-pub fn to_writer<W: io::Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<(), Error> {
+pub fn to_writer<W: io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
     let text = to_string(value)?;
     writer
         .write_all(text.as_bytes())
@@ -602,7 +605,15 @@ mod tests {
 
     #[test]
     fn float_round_trip_exact() {
-        for &x in &[0.1f64, 1.0 / 3.0, 6.02e23, 5.0, -0.0, 1e-300, 123456789.123456789] {
+        for &x in &[
+            0.1f64,
+            1.0 / 3.0,
+            6.02e23,
+            5.0,
+            -0.0,
+            1e-300,
+            123456789.123456789,
+        ] {
             let text = to_string(&x).unwrap();
             let back: f64 = from_str(&text).unwrap();
             assert_eq!(x.to_bits(), back.to_bits(), "{x} -> {text} -> {back}");
