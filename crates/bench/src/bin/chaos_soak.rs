@@ -1,8 +1,8 @@
 //! Chaos soak: replays loadgen-style traffic against `stage-serve` under an
 //! escalating, seed-deterministic fault schedule and balances the books.
 //!
-//! Five phases, each against a fresh server (the last two share a snapshot
-//! directory to exercise warm restart under disk faults):
+//! Six phases, each against a fresh server (persist/restore share a
+//! snapshot directory to exercise warm restart under disk faults):
 //!
 //! 1. `baseline` — no faults; establishes the healthy envelope.
 //! 2. `socket` — torn frames, mid-message disconnects, slow-loris stalls
@@ -17,6 +17,12 @@
 //! 5. `restore` — bit-flip corruption on warm restart; every injected
 //!    flip quarantines exactly one artefact and the server comes up
 //!    serving (cold where quarantined).
+//! 6. `step_change` — the `WorkloadShift` site fires exactly once in the
+//!    load driver, multiplying every true execution time from then on;
+//!    every shard's drift sentinel must latch within the detection budget,
+//!    the health loop must force an out-of-band retrain that recovers the
+//!    error, and the served calibrated intervals must keep their target
+//!    coverage through the whole episode.
 //!
 //! Hard assertions across the run: zero server panics (every `join` is
 //! `Ok`), zero lost observes (at-least-once delivery confirmed per plan and
@@ -88,6 +94,21 @@ struct PhaseReport {
     degraded: DegradedStats,
     /// Injections this phase could not map to a degraded-mode counter.
     unaccounted_faults: u64,
+    /// Step-change phase only (zero elsewhere): drift detections across
+    /// all shards.
+    drift_detections: u64,
+    /// Step-change phase only: forced out-of-band retrains across shards.
+    forced_retrains: u64,
+    /// Step-change phase only: post-shift observes per shard before every
+    /// sentinel had latched (upper bound; driven in chunks).
+    detection_latency_rounds: u64,
+    /// Step-change phase only: mean |log error| between shift and retrain.
+    post_shift_log_err: f64,
+    /// Step-change phase only: mean |log error| in the recovery tail.
+    recovery_log_err: f64,
+    /// Step-change phase only: client-measured interval coverage over the
+    /// recovery tail.
+    recovery_coverage: f64,
     faults: Vec<SiteLedger>,
 }
 
@@ -175,6 +196,7 @@ fn main() -> ExitCode {
         Phase::Model,
         Phase::Persist,
         Phase::Restore,
+        Phase::StepChange,
     ] {
         match run_phase(phase, &args, &snap_dir) {
             Ok(report) => {
@@ -235,7 +257,7 @@ fn main() -> ExitCode {
     let failed = report.server_panics > 0
         || report.lost_observes > 0
         || report.total_unaccounted > 0
-        || report.phases.len() != 5
+        || report.phases.len() != 6
         || report.total_injected == 0;
     if failed {
         eprintln!(
@@ -262,7 +284,29 @@ enum Phase {
     Model,
     Persist,
     Restore,
+    StepChange,
 }
+
+/// How much the step-change phase multiplies true execution times once the
+/// `WorkloadShift` site fires. Sized against the workload generator's
+/// noise: the noisiest smoke instance has a steady residual spread of
+/// ~1.2 in `ln(1+secs)` space, so the shift must land well past one
+/// spread (`ln 30 ≈ 3.4`) for detection to be a property of the step and
+/// not of the seed.
+const SHIFT_FACTOR: f64 = 30.0;
+
+/// Steady (pre-shift) rounds per instance in the step-change phase: enough
+/// for the local ensemble to train (20 examples) *and* the drift baseline
+/// to warm past its `min_samples` gate.
+const STEADY_ROUNDS: u64 = 80;
+
+/// Post-shift driving is chunked so detection can be polled between
+/// chunks; the product is the detection budget in observes per shard.
+const DETECT_CHUNK: u64 = 20;
+const DETECT_CHUNKS_MAX: u64 = 12;
+
+/// Recovery rounds per instance after the forced retrain landed.
+const RECOVERY_ROUNDS: u64 = 80;
 
 /// Builds the escalating fault plan for one phase. Caps scale with the
 /// smoke flag so CI stays fast while the full soak injects real volume.
@@ -295,6 +339,14 @@ fn phase_plan(phase: Phase, args: &Args) -> Option<Arc<FaultPlan>> {
             FaultSite::PersistRestore,
             SitePolicy::flat(1.0, u64::from(args.instances.saturating_sub(1).max(1))),
         ),
+        // The shift is a world-fault, decided once per driven round: quiet
+        // through the steady window, then exactly one injection (p = 1,
+        // cap = 1) at round STEADY_ROUNDS — seed-independent on purpose so
+        // the ledger is exact.
+        Phase::StepChange => cfg.site(
+            FaultSite::WorkloadShift,
+            SitePolicy::ramped(1.0, STEADY_ROUNDS, 0.0, 1),
+        ),
     };
     Some(Arc::new(FaultPlan::new(cfg)))
 }
@@ -304,6 +356,9 @@ fn run_phase(
     args: &Args,
     snap_dir: &std::path::Path,
 ) -> std::io::Result<PhaseReport> {
+    if phase == Phase::StepChange {
+        return run_step_change(args);
+    }
     let plan = phase_plan(phase, args);
     let uses_snapshots = matches!(phase, Phase::Persist | Phase::Restore);
     let server = Server::start(ServeConfig {
@@ -477,6 +532,8 @@ fn run_phase(
             // empty state, and every untouched artefact warm-started.
             unaccounted += flips.abs_diff(cold_started);
         }
+        // Dispatched to run_step_change at the top of this function.
+        Phase::StepChange => {}
     }
 
     let expected_confirmed = args.rounds * u64::from(args.instances);
@@ -495,6 +552,7 @@ fn run_phase(
             Phase::Model => "model",
             Phase::Persist => "persist",
             Phase::Restore => "restore",
+            Phase::StepChange => "step_change",
         },
         rounds: args.rounds,
         elapsed_secs: started.elapsed().as_secs_f64(),
@@ -511,6 +569,12 @@ fn run_phase(
         cold_started,
         degraded,
         unaccounted_faults: unaccounted,
+        drift_detections: 0,
+        forced_retrains: 0,
+        detection_latency_rounds: 0,
+        post_shift_log_err: 0.0,
+        recovery_log_err: 0.0,
+        recovery_coverage: 0.0,
         faults: plan
             .map(|p| {
                 p.stats()
@@ -524,6 +588,336 @@ fn run_phase(
                     .collect()
             })
             .unwrap_or_default(),
+    })
+}
+
+/// Outcome of one lockstep round across all instances.
+struct RoundOutcome {
+    /// Per-prediction |log1p(pred) − log1p(actual)|.
+    log_errs: Vec<f64>,
+    /// Calibrated intervals that contained the actual.
+    covered: u64,
+    /// Predictions that carried a calibrated interval at all.
+    measured: u64,
+}
+
+/// Per-shard drift counters swept over the Stats verb.
+struct DriftSweep {
+    shards_detected: u32,
+    shards_retrained: u32,
+    detections: u64,
+    forced: u64,
+    observes: u64,
+}
+
+/// One lockstep round: predict + observe every instance once at the
+/// current shift multiplier. Any fault here is a real failure — the phase
+/// runs without socket/model/persist chaos, so errors are not retried.
+fn step_round(
+    client: &mut ServeClient,
+    workloads: &[InstanceWorkload],
+    round: u64,
+    mult: f64,
+    totals: &mut DriverResult,
+) -> std::io::Result<RoundOutcome> {
+    let mut out = RoundOutcome {
+        log_errs: Vec::with_capacity(workloads.len()),
+        covered: 0,
+        measured: 0,
+    };
+    for (i, workload) in workloads.iter().enumerate() {
+        let instance = i as u32;
+        let event = &workload.events[(round as usize) % workload.events.len()];
+        let sys = workload.spec.system_features(event.concurrency);
+        let actual = event.true_exec_secs * mult;
+        match client.predict(instance, &event.plan, &sys)? {
+            Response::Predicted {
+                exec_secs,
+                interval_lo,
+                interval_hi,
+                ..
+            } => {
+                out.log_errs
+                    .push((exec_secs.max(0.0).ln_1p() - actual.max(0.0).ln_1p()).abs());
+                if let (Some(lo), Some(hi)) = (interval_lo, interval_hi) {
+                    out.measured += 1;
+                    if (lo..=hi).contains(&actual) {
+                        out.covered += 1;
+                    }
+                }
+            }
+            other => {
+                return Err(std::io::Error::other(format!(
+                    "predict({instance}) answered {other:?}"
+                )))
+            }
+        }
+        match client.observe(instance, &event.plan, &sys, actual)? {
+            Response::Observed { .. } => totals.confirmed += 1,
+            other => {
+                return Err(std::io::Error::other(format!(
+                    "observe({instance}) answered {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Sweeps drift counters across every shard via the Stats verb.
+fn drift_sweep(client: &mut ServeClient, instances: u32) -> std::io::Result<DriftSweep> {
+    let mut out = DriftSweep {
+        shards_detected: 0,
+        shards_retrained: 0,
+        detections: 0,
+        forced: 0,
+        observes: 0,
+    };
+    for instance in 0..instances {
+        match client.stats(instance)? {
+            Response::Stats {
+                observes,
+                drift_detections,
+                forced_retrains,
+                ..
+            } => {
+                out.observes += observes;
+                out.detections += drift_detections;
+                out.forced += forced_retrains;
+                if drift_detections > 0 {
+                    out.shards_detected += 1;
+                }
+                if forced_retrains > 0 {
+                    out.shards_retrained += 1;
+                }
+            }
+            other => {
+                return Err(std::io::Error::other(format!(
+                    "stats({instance}) answered {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The step-change phase: steady traffic, then a driver-side workload
+/// shift (`SHIFT_FACTOR`× every true execution time); the server must
+/// notice (drift sentinel latches on every shard within the detection
+/// budget), recover (the health loop forces an out-of-band retrain that
+/// pulls the log error back down), and keep honest uncertainty (client-
+/// measured interval coverage in the recovery tail stays within two
+/// points of the nominal 90%).
+fn run_step_change(args: &Args) -> std::io::Result<PhaseReport> {
+    let plan = phase_plan(Phase::StepChange, args)
+        .ok_or_else(|| std::io::Error::other("step-change phase must have a plan"))?;
+    // No server-side chaos: the fault is in the world, not the machinery.
+    // The plan lives driver-side so the injection ledger still balances.
+    let server = Server::start(ServeConfig {
+        n_instances: args.instances,
+        stage: soak_stage_config(),
+        ..ServeConfig::default()
+    })?;
+    let addr = server.local_addr().to_string();
+    let started = Instant::now();
+
+    // Unlike the fault phases, this one must never wrap its event stream:
+    // a repeated plan answers from the cache (no variance, no interval),
+    // which would blind the coverage measurement. A multi-day trace keeps
+    // every round on a fresh plan for the worst-case round budget.
+    let budget = STEADY_ROUNDS + DETECT_CHUNK * DETECT_CHUNKS_MAX + RECOVERY_ROUNDS;
+    let workloads: Vec<InstanceWorkload> = (0..args.instances)
+        .map(|instance| {
+            InstanceWorkload::generate(
+                &FleetConfig {
+                    n_instances: 64,
+                    duration_days: 30.0,
+                    seed: args.seed,
+                    max_events_per_instance: 4_000,
+                    ..FleetConfig::tiny()
+                },
+                instance,
+            )
+        })
+        .collect();
+    if let Some(short) = workloads.iter().find(|w| (w.events.len() as u64) < budget) {
+        return Err(std::io::Error::other(format!(
+            "workload too short for the step-change budget: {} events < {budget} rounds",
+            short.events.len()
+        )));
+    }
+
+    let mut client = ServeClient::connect(&addr)?;
+    let mut totals = DriverResult::default();
+    let mut mult = 1.0f64;
+    let mut round = 0u64;
+
+    // Stage A: steady traffic. The sentinel must stay quiet — a false
+    // positive here would mean spurious forced retrains in production.
+    for _ in 0..STEADY_ROUNDS {
+        if plan.decide(FaultSite::WorkloadShift).is_some() {
+            mult = SHIFT_FACTOR;
+        }
+        step_round(&mut client, &workloads, round, mult, &mut totals)?;
+        round += 1;
+    }
+    if mult != 1.0 {
+        return Err(std::io::Error::other(
+            "workload shift fired inside the steady window",
+        ));
+    }
+    let steady = drift_sweep(&mut client, args.instances)?;
+    if steady.detections > 0 {
+        return Err(std::io::Error::other(format!(
+            "sentinel false-positived on steady workload: {} detections",
+            steady.detections
+        )));
+    }
+
+    // Stage B: the shift lands on the first round here (call ordinal ==
+    // STEADY_ROUNDS). Drive in chunks, polling until every shard's
+    // sentinel has latched or the detection budget is spent.
+    let mut post_shift_errs: Vec<f64> = Vec::new();
+    let mut detection_rounds = 0u64;
+    let mut detected = false;
+    for _ in 0..DETECT_CHUNKS_MAX {
+        for _ in 0..DETECT_CHUNK {
+            if plan.decide(FaultSite::WorkloadShift).is_some() {
+                mult = SHIFT_FACTOR;
+            }
+            let out = step_round(&mut client, &workloads, round, mult, &mut totals)?;
+            post_shift_errs.extend(out.log_errs);
+            round += 1;
+            detection_rounds += 1;
+        }
+        if drift_sweep(&mut client, args.instances)?.shards_detected == args.instances {
+            detected = true;
+            break;
+        }
+    }
+    if mult != SHIFT_FACTOR {
+        return Err(std::io::Error::other("workload shift never fired"));
+    }
+    if !detected {
+        return Err(std::io::Error::other(format!(
+            "drift sentinel missed the step change within {detection_rounds} post-shift rounds"
+        )));
+    }
+
+    // Stage C: the health loop (200ms tick without a snapshot cadence)
+    // must force an out-of-band retrain on every drifted shard.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let sweep = drift_sweep(&mut client, args.instances)?;
+        if sweep.shards_retrained == args.instances {
+            break;
+        }
+        if Instant::now() > deadline {
+            return Err(std::io::Error::other(format!(
+                "health loop forced retrains on only {}/{} shards within 30s",
+                sweep.shards_retrained, args.instances
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Stage D: recovery tail. The retrained model must pull the error
+    // back down and the recalibrated intervals must keep coverage.
+    let mut tail_errs: Vec<f64> = Vec::new();
+    let mut covered = 0u64;
+    let mut measured = 0u64;
+    for _ in 0..RECOVERY_ROUNDS {
+        if plan.decide(FaultSite::WorkloadShift).is_some() {
+            mult = SHIFT_FACTOR;
+        }
+        let out = step_round(&mut client, &workloads, round, mult, &mut totals)?;
+        tail_errs.extend(out.log_errs);
+        covered += out.covered;
+        measured += out.measured;
+        round += 1;
+    }
+
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    let post_shift_log_err = mean(&post_shift_errs);
+    let recovery_log_err = mean(&tail_errs);
+    if measured == 0 {
+        return Err(std::io::Error::other(
+            "no calibrated intervals served in the recovery tail",
+        ));
+    }
+    let recovery_coverage = covered as f64 / measured as f64;
+    if recovery_log_err >= post_shift_log_err {
+        return Err(std::io::Error::other(format!(
+            "forced retrain did not recover the error: post-shift log err \
+             {post_shift_log_err:.3} vs recovery {recovery_log_err:.3}"
+        )));
+    }
+    if recovery_coverage < 0.88 {
+        return Err(std::io::Error::other(format!(
+            "recovery interval coverage {recovery_coverage:.3} fell below nominal − 2pts (0.88)"
+        )));
+    }
+
+    let sweep = drift_sweep(&mut client, args.instances)?;
+    let Response::ShuttingDown = client.shutdown()? else {
+        return Err(std::io::Error::other("bad shutdown reply"));
+    };
+    drop(client);
+    // A panicked serving or health thread surfaces here.
+    server.join()?;
+
+    // Exact ledger: only the world-fault site is armed and it must have
+    // injected exactly once.
+    let unaccounted = plan.injected_total().abs_diff(1);
+
+    let expected = round * u64::from(args.instances);
+    let lost = expected.saturating_sub(totals.confirmed);
+    if sweep.observes < totals.confirmed {
+        return Err(std::io::Error::other(format!(
+            "server counted {} observes but the driver confirmed {}",
+            sweep.observes, totals.confirmed
+        )));
+    }
+
+    Ok(PhaseReport {
+        name: "step_change",
+        rounds: round,
+        elapsed_secs: started.elapsed().as_secs_f64(),
+        observes_confirmed: totals.confirmed,
+        observes_server: sweep.observes,
+        lost_observes: lost,
+        io_errors: totals.io_errors,
+        reconnects: totals.reconnects,
+        overload_retries: totals.overload_retries,
+        timed_out_answers: totals.timed_out_answers,
+        snapshot_errors: 0,
+        snapshots_ok: 0,
+        quarantined_files: 0,
+        cold_started: 0,
+        degraded: DegradedStats::default(),
+        unaccounted_faults: unaccounted,
+        drift_detections: sweep.detections,
+        forced_retrains: sweep.forced,
+        detection_latency_rounds: detection_rounds,
+        post_shift_log_err,
+        recovery_log_err,
+        recovery_coverage,
+        faults: plan
+            .stats()
+            .into_iter()
+            .filter(|s| s.calls > 0 || s.injected > 0)
+            .map(|s| SiteLedger {
+                site: s.site.name(),
+                calls: s.calls,
+                injected: s.injected,
+            })
+            .collect(),
     })
 }
 

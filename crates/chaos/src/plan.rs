@@ -36,10 +36,17 @@ pub enum FaultSite {
     LocalRetrain,
     /// The global model refuses to answer an escalated prediction.
     GlobalPredict,
+    /// A workload step-change: the driver multiplies true execution times
+    /// from this decision on, so every model trained before it is suddenly
+    /// miscalibrated. Unlike the other sites this one lives in the load
+    /// driver rather than the server — the fault is in the *world*, and
+    /// the system under test must notice (drift detection) and recover
+    /// (forced retrain).
+    WorkloadShift,
 }
 
 /// Number of distinct fault sites.
-pub const SITE_COUNT: usize = 8;
+pub const SITE_COUNT: usize = 9;
 
 impl FaultSite {
     /// Every site, in index order.
@@ -52,6 +59,7 @@ impl FaultSite {
         FaultSite::LocalPredict,
         FaultSite::LocalRetrain,
         FaultSite::GlobalPredict,
+        FaultSite::WorkloadShift,
     ];
 
     fn index(self) -> usize {
@@ -64,6 +72,7 @@ impl FaultSite {
             FaultSite::LocalPredict => 5,
             FaultSite::LocalRetrain => 6,
             FaultSite::GlobalPredict => 7,
+            FaultSite::WorkloadShift => 8,
         }
     }
 
@@ -78,6 +87,7 @@ impl FaultSite {
             FaultSite::LocalPredict => "local_predict",
             FaultSite::LocalRetrain => "local_retrain",
             FaultSite::GlobalPredict => "global_predict",
+            FaultSite::WorkloadShift => "workload_shift",
         }
     }
 }

@@ -1,0 +1,706 @@
+//! Per-shard drift sentinel: windowed residual tracking, Page-Hinkley
+//! step-change detection, and online conformal calibration of prediction
+//! intervals (paper §5.3's step-change scenario; PAPERS.md "Uncertainty
+//! Aware Query Execution Time Prediction" for the calibration argument).
+//!
+//! Every observation the local model can score produces a log-space
+//! residual `r = ln(1+actual) − μ`. Three things consume the stream:
+//!
+//! 1. a **windowed residual tracker** — a bounded ring of recent signed
+//!    residuals summarised on demand through [`stage_metrics::Welford`]
+//!    (mean bias + spread of the current window, reported by `bench_drift`
+//!    and the chaos soak);
+//! 2. a **Page-Hinkley-style one-sided CUSUM detector** over `|r|`: a
+//!    [`stage_metrics::Welford`] baseline of the absolute residuals seen
+//!    since the last retrain supplies a running mean `x̄` and spread `s`,
+//!    and the statistic `S = max(0, S + min((|r| − x̄)/s, clip) − k)`
+//!    accumulates only when residuals exceed the baseline by more than `k`
+//!    spreads, with each sample's contribution winsorized at `clip` so a
+//!    lone heavy-tail query can never fire the detector by itself. A step
+//!    change inflates residuals, `S` climbs past `λ` within a handful of
+//!    queries, and the detector latches until a retrain resets it.
+//!    Normalizing by the baseline spread makes `k`/`λ` unit-free — the
+//!    same thresholds work for a tight production model and a rough
+//!    freshly-trained one. The state is a pure function of the observed
+//!    residual sequence — no clocks, no randomness — so replays detect on
+//!    exactly the same query;
+//! 3. an **online conformal calibrator**: a bounded ring of normalized
+//!    scores `z = |r| / σ`. The served interval uses the empirical
+//!    `target_coverage`-quantile of recent scores instead of a
+//!    normal-theory constant, so if the ensemble's σ is over- or
+//!    under-confident the interval width self-corrects within one window.
+//!
+//! Intervals are additionally widened by `degraded_widen` while any
+//! [`crate::stage::DegradedStats`] tier is active (a degraded answer was
+//! counted within the last `degraded_hold` interval requests): a shard
+//! serving off its fallback chain knows less than its σ claims.
+//!
+//! The whole sentinel persists: as a `calibration` field inside the serde
+//! snapshot (legacy artefacts without the field restore to a cold
+//! sentinel) and as the CALIBRATION section of the stage-store layout
+//! (`crate::storefmt`), so a warm restart keeps its calibration instead of
+//! serving uncalibrated intervals until the window refills.
+//!
+//! This module sits under `StagePredictor::observe`, which is on the
+//! serve request path — everything here is panic-free by construction.
+
+use serde::{Deserialize, Serialize};
+use stage_metrics::quantile::quantile;
+use stage_metrics::{interval_coverage, Welford};
+use stage_store::{SectionReader, SectionWriter, StoreError};
+
+/// Tuning for the detector, the calibrator, and the widening policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// CUSUM slack `k`, in baseline-spread units: per-sample tolerance
+    /// subtracted from the normalized exceedance, so ordinary noise never
+    /// accumulates.
+    pub cusum_k: f64,
+    /// CUSUM threshold `λ`, in baseline-spread units: the detector fires
+    /// when the accumulated exceedance climbs past it.
+    pub cusum_lambda: f64,
+    /// Winsorization cap on a single sample's normalized exceedance
+    /// (before `k` is subtracted). One heavy-tail outlier query must not
+    /// fire the detector on its own: with the cap at `c`, crossing `λ`
+    /// needs at least `λ / (c − k)` net-elevated samples, so a detection
+    /// always testifies to a *sustained* shift.
+    pub cusum_clip: f64,
+    /// Floor on the baseline spread (in `ln(1+secs)` space) so a
+    /// near-perfect model doesn't fire on microscopic noise.
+    pub min_spread: f64,
+    /// Residuals the detector must see before it may fire (warm-up).
+    pub min_samples: u64,
+    /// Ring-buffer capacity for both the residual window and the
+    /// conformal score window.
+    pub window: u32,
+    /// Nominal coverage the calibrated interval targets (e.g. `0.9`).
+    pub target_coverage: f64,
+    /// z-multiplier served before `min_scores` conformal scores exist
+    /// (normal-theory fallback).
+    pub fallback_z: f64,
+    /// Conformal scores required before the empirical quantile replaces
+    /// [`DriftConfig::fallback_z`].
+    pub min_scores: u32,
+    /// Interval-width multiplier while a degraded tier is active.
+    pub degraded_widen: f64,
+    /// How many interval requests a single degraded event keeps the
+    /// widening active for.
+    pub degraded_hold: u32,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            cusum_k: 1.0,
+            cusum_lambda: 6.0,
+            // λ/(clip−k) = 4: at least four net-elevated samples to fire.
+            cusum_clip: 2.5,
+            min_spread: 0.02,
+            min_samples: 30,
+            window: 256,
+            target_coverage: 0.9,
+            // Normal-theory two-sided 90% multiplier.
+            fallback_z: 1.645,
+            min_scores: 20,
+            degraded_widen: 1.5,
+            degraded_hold: 64,
+        }
+    }
+}
+
+/// σ below this is treated as "no usable uncertainty": the residual still
+/// feeds the detector, but no conformal score is formed (dividing by a
+/// degenerate σ would poison the quantile with infinities).
+const MIN_SIGMA: f64 = 1e-9;
+
+/// Floor for the served z-multiplier so a freak run of tiny scores can
+/// never collapse intervals to a point.
+const MIN_Z: f64 = 1e-3;
+
+/// Per-shard drift + calibration state. Pure data: every transition is a
+/// deterministic function of the residuals pushed in, which keeps the
+/// sentinel inside stage-lint's `no-nondeterminism` scope and makes chaos
+/// runs replayable.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DriftSentinel {
+    config: DriftConfig,
+    // Detector state: Welford baseline over |residual| since the last
+    // reset, plus the one-sided CUSUM statistic.
+    baseline: Welford,
+    cusum: f64,
+    /// Latched on detection; cleared by [`DriftSentinel::reset_after_retrain`].
+    triggered: bool,
+    detections: u64,
+    forced_retrains: u64,
+    // Windowed signed residuals (ring buffer; `residual_next` is the slot
+    // the next push overwrites once the ring is full).
+    residuals: Vec<f64>,
+    residual_next: u32,
+    // Conformal scores z = |r|/σ (same ring discipline).
+    scores: Vec<f64>,
+    score_next: u32,
+    // Online coverage accounting: of the intervals this sentinel would
+    // have served at observe time, how many contained the truth.
+    covered: u64,
+    measured: u64,
+    // Degraded-widening state: the last DegradedStats::total() seen, and
+    // how many more interval requests stay widened.
+    last_degraded_total: u64,
+    degraded_hold_left: u32,
+}
+
+impl Default for DriftSentinel {
+    fn default() -> Self {
+        Self::new(DriftConfig::default())
+    }
+}
+
+impl DriftSentinel {
+    /// A cold sentinel.
+    pub fn new(config: DriftConfig) -> Self {
+        Self {
+            config,
+            baseline: Welford::new(),
+            cusum: 0.0,
+            triggered: false,
+            detections: 0,
+            forced_retrains: 0,
+            residuals: Vec::new(),
+            residual_next: 0,
+            scores: Vec::new(),
+            score_next: 0,
+            covered: 0,
+            measured: 0,
+            last_degraded_total: 0,
+            degraded_hold_left: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> DriftConfig {
+        self.config
+    }
+
+    /// Replaces the tuning without touching accumulated state (benches and
+    /// the soak harness sharpen the detector for short phases).
+    pub fn set_config(&mut self, config: DriftConfig) {
+        self.config = config;
+    }
+
+    /// Feeds one scored observation: the local model said `(log_mu,
+    /// log_sigma)` in `ln(1+secs)` space, the query actually took
+    /// `log_actual`. Updates coverage accounting (against the interval
+    /// that would have been served *before* absorbing this residual), the
+    /// residual window, the conformal window, and the detector.
+    pub fn observe_residual(&mut self, log_mu: f64, log_sigma: f64, log_actual: f64) {
+        let r = log_actual - log_mu;
+        if !r.is_finite() {
+            return;
+        }
+        // Coverage first: the interval in force at prediction time did not
+        // yet know this residual (split conformal accounting).
+        if log_sigma.is_finite() && log_sigma >= 0.0 {
+            let half = self.z_multiplier() * log_sigma;
+            let triple = [(log_actual, log_mu - half, log_mu + half)];
+            if let Some(c) = interval_coverage(&triple) {
+                self.measured += 1;
+                if c >= 1.0 {
+                    self.covered += 1;
+                }
+            }
+        }
+        let cap = self.config.window;
+        push_ring(&mut self.residuals, &mut self.residual_next, cap, r);
+        if log_sigma.is_finite() && log_sigma > MIN_SIGMA {
+            let z = r.abs() / log_sigma;
+            if z.is_finite() {
+                push_ring(&mut self.scores, &mut self.score_next, cap, z);
+            }
+        }
+        // One-sided CUSUM over |r|, normalized by the baseline the
+        // detector had *before* this sample (a shifted sample must not
+        // dilute the very baseline it is judged against).
+        let x = r.abs();
+        if self.baseline.count() >= self.config.min_samples {
+            let spread = self.baseline.std_dev().max(self.config.min_spread);
+            // Winsorized: a lone outlier contributes at most `clip − k`.
+            let normalized = ((x - self.baseline.mean()) / spread).min(self.config.cusum_clip);
+            let exceedance = normalized - self.config.cusum_k;
+            self.cusum = (self.cusum + exceedance).max(0.0);
+            if !self.triggered && self.cusum > self.config.cusum_lambda {
+                self.triggered = true;
+                self.detections = self.detections.saturating_add(1);
+            }
+        }
+        self.baseline.push(x);
+    }
+
+    /// The z-multiplier a calibrated interval should use right now: the
+    /// empirical `target_coverage`-quantile of recent conformal scores
+    /// (normal-theory fallback until the window has `min_scores`), times
+    /// the degraded widening when active.
+    pub fn z_multiplier(&self) -> f64 {
+        let base = if self.scores.len() >= self.config.min_scores as usize {
+            quantile(&self.scores, self.config.target_coverage).unwrap_or(self.config.fallback_z)
+        } else {
+            self.config.fallback_z
+        };
+        let widen = if self.degraded_hold_left > 0 {
+            self.config.degraded_widen
+        } else {
+            1.0
+        };
+        (base * widen).max(MIN_Z)
+    }
+
+    /// Reports the current [`crate::stage::DegradedStats::total`] before an
+    /// interval is formed: a fresh degraded event re-arms the widening for
+    /// `degraded_hold` interval requests; otherwise the hold decays by one.
+    pub fn note_degraded_total(&mut self, total: u64) {
+        if total > self.last_degraded_total {
+            self.last_degraded_total = total;
+            self.degraded_hold_left = self.config.degraded_hold;
+        } else {
+            self.degraded_hold_left = self.degraded_hold_left.saturating_sub(1);
+        }
+    }
+
+    /// Whether intervals are currently widened by the degraded policy.
+    pub fn degraded_active(&self) -> bool {
+        self.degraded_hold_left > 0
+    }
+
+    /// Whether the detector has fired and not yet been reset by a retrain.
+    pub fn drift_detected(&self) -> bool {
+        self.triggered
+    }
+
+    /// Lifetime count of detector firings.
+    pub fn detections(&self) -> u64 {
+        self.detections
+    }
+
+    /// Lifetime count of forced (out-of-band) retrains acknowledged via
+    /// [`DriftSentinel::note_forced_retrain`].
+    pub fn forced_retrains(&self) -> u64 {
+        self.forced_retrains
+    }
+
+    /// Empirical coverage of the intervals served so far (`None` until the
+    /// first measurable observation).
+    pub fn coverage(&self) -> Option<f64> {
+        if self.measured == 0 {
+            None
+        } else {
+            Some(self.covered as f64 / self.measured as f64)
+        }
+    }
+
+    /// Residuals the detector has absorbed since the last reset.
+    pub fn residuals_seen(&self) -> u64 {
+        self.baseline.count()
+    }
+
+    /// The current CUSUM statistic, in baseline-spread units (diagnostic:
+    /// how close the detector is to firing).
+    pub fn cusum_level(&self) -> f64 {
+        self.cusum
+    }
+
+    /// Mean/spread summary of the current residual window.
+    pub fn window_stats(&self) -> Welford {
+        let mut w = Welford::new();
+        for &r in &self.residuals {
+            w.push(r);
+        }
+        w
+    }
+
+    /// Counts one forced retrain.
+    pub fn note_forced_retrain(&mut self) {
+        self.forced_retrains = self.forced_retrains.saturating_add(1);
+    }
+
+    /// Clears the detector and the residual window after a retrain: the
+    /// old residual stream described the old model. The conformal score
+    /// window is deliberately **kept** — normalized scores transfer far
+    /// better than raw residuals, and holding the (wide) post-drift scores
+    /// keeps intervals conservative while the new model proves itself,
+    /// which is what preserves coverage through the step change.
+    pub fn reset_after_retrain(&mut self) {
+        self.baseline = Welford::new();
+        self.cusum = 0.0;
+        self.triggered = false;
+        self.residuals.clear();
+        self.residual_next = 0;
+    }
+
+    /// Encodes the sentinel as a stage-store section (CALIBRATION). All
+    /// floats as `to_bits` images via the section writer — the round trip
+    /// is bit-exact.
+    pub fn store_encode(&self, w: &mut SectionWriter) {
+        w.put_f64(self.config.cusum_k);
+        w.put_f64(self.config.cusum_lambda);
+        w.put_f64(self.config.cusum_clip);
+        w.put_f64(self.config.min_spread);
+        w.put_u64(self.config.min_samples);
+        w.put_u32(self.config.window);
+        w.put_f64(self.config.target_coverage);
+        w.put_f64(self.config.fallback_z);
+        w.put_u32(self.config.min_scores);
+        w.put_f64(self.config.degraded_widen);
+        w.put_u32(self.config.degraded_hold);
+        w.put_u64(self.baseline.count());
+        w.put_f64(self.baseline.mean());
+        w.put_f64(self.baseline.m2());
+        w.put_f64(self.cusum);
+        w.put_bool(self.triggered);
+        w.put_u64(self.detections);
+        w.put_u64(self.forced_retrains);
+        w.put_u64(self.covered);
+        w.put_u64(self.measured);
+        w.put_u64(self.last_degraded_total);
+        w.put_u32(self.degraded_hold_left);
+        w.put_u32(self.residual_next);
+        w.put_u32(self.score_next);
+        w.put_f64_slice(&self.residuals);
+        w.put_f64_slice(&self.scores);
+    }
+
+    /// Decodes a sentinel from its CALIBRATION section. Hostile-input
+    /// hardened: ring lengths and cursor indices are validated against the
+    /// declared window before the state is accepted.
+    pub fn store_decode(r: &mut SectionReader) -> Result<Self, StoreError> {
+        let config = DriftConfig {
+            cusum_k: r.f64()?,
+            cusum_lambda: r.f64()?,
+            cusum_clip: r.f64()?,
+            min_spread: r.f64()?,
+            min_samples: r.u64()?,
+            window: r.u32()?,
+            target_coverage: r.f64()?,
+            fallback_z: r.f64()?,
+            min_scores: r.u32()?,
+            degraded_widen: r.f64()?,
+            degraded_hold: r.u32()?,
+        };
+        let baseline = Welford::from_parts(r.u64()?, r.f64()?, r.f64()?);
+        let cusum = r.f64()?;
+        let triggered = r.bool()?;
+        let detections = r.u64()?;
+        let forced_retrains = r.u64()?;
+        let covered = r.u64()?;
+        let measured = r.u64()?;
+        let last_degraded_total = r.u64()?;
+        let degraded_hold_left = r.u32()?;
+        let residual_next = r.u32()?;
+        let score_next = r.u32()?;
+        let residuals = r.f64_vec()?;
+        let scores = r.f64_vec()?;
+        let cap = config.window as usize;
+        if residuals.len() > cap || scores.len() > cap {
+            return Err(StoreError::Malformed {
+                detail: format!(
+                    "calibration rings exceed window {}: {} residuals, {} scores",
+                    cap,
+                    residuals.len(),
+                    scores.len()
+                ),
+            });
+        }
+        if residual_next as usize > residuals.len() || score_next as usize > scores.len() {
+            return Err(StoreError::Malformed {
+                detail: "calibration ring cursor out of range".to_string(),
+            });
+        }
+        Ok(Self {
+            config,
+            baseline,
+            cusum,
+            triggered,
+            detections,
+            forced_retrains,
+            residuals,
+            residual_next,
+            scores,
+            score_next,
+            covered,
+            measured,
+            last_degraded_total,
+            degraded_hold_left,
+        })
+    }
+}
+
+/// Appends into a bounded ring: grow until `cap`, then overwrite the slot
+/// at `next` (the oldest element) and advance.
+fn push_ring(buf: &mut Vec<f64>, next: &mut u32, cap: u32, x: f64) {
+    if cap == 0 {
+        return;
+    }
+    if buf.len() < cap as usize {
+        buf.push(x);
+        *next = buf.len() as u32 % cap;
+    } else if let Some(slot) = buf.get_mut(*next as usize) {
+        *slot = x;
+        *next = (*next + 1) % cap;
+    }
+}
+
+// Legacy-era parity: snapshots written before the sentinel existed have no
+// `calibration` field, which the vendored serde surfaces as `Null`. A
+// hand-written impl maps that to a cold sentinel instead of an error, so
+// old JSON artefacts keep restoring (the store format handles the same
+// case by omitting the CALIBRATION section).
+impl serde::Deserialize for DriftSentinel {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        if matches!(v, serde::Value::Null) {
+            return Ok(Self::default());
+        }
+        let obj = serde::expect_object(v, "DriftSentinel")?;
+        Ok(Self {
+            config: serde::de_field(obj, "config", "DriftSentinel")?,
+            baseline: serde::de_field(obj, "baseline", "DriftSentinel")?,
+            cusum: serde::de_field(obj, "cusum", "DriftSentinel")?,
+            triggered: serde::de_field(obj, "triggered", "DriftSentinel")?,
+            detections: serde::de_field(obj, "detections", "DriftSentinel")?,
+            forced_retrains: serde::de_field(obj, "forced_retrains", "DriftSentinel")?,
+            residuals: serde::de_field(obj, "residuals", "DriftSentinel")?,
+            residual_next: serde::de_field(obj, "residual_next", "DriftSentinel")?,
+            scores: serde::de_field(obj, "scores", "DriftSentinel")?,
+            score_next: serde::de_field(obj, "score_next", "DriftSentinel")?,
+            covered: serde::de_field(obj, "covered", "DriftSentinel")?,
+            measured: serde::de_field(obj, "measured", "DriftSentinel")?,
+            last_degraded_total: serde::de_field(obj, "last_degraded_total", "DriftSentinel")?,
+            degraded_hold_left: serde::de_field(obj, "degraded_hold_left", "DriftSentinel")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sharp() -> DriftConfig {
+        DriftConfig {
+            min_samples: 10,
+            cusum_lambda: 4.0,
+            min_scores: 5,
+            ..DriftConfig::default()
+        }
+    }
+
+    #[test]
+    fn steady_residuals_never_trigger() {
+        let mut s = DriftSentinel::new(sharp());
+        for i in 0..500 {
+            // Small alternating noise around zero.
+            let r = if i % 2 == 0 { 0.05 } else { -0.05 };
+            s.observe_residual(1.0, 0.2, 1.0 + r);
+        }
+        assert!(!s.drift_detected());
+        assert_eq!(s.detections(), 0);
+        assert_eq!(s.residuals_seen(), 500);
+    }
+
+    #[test]
+    fn step_change_triggers_and_latches() {
+        let mut s = DriftSentinel::new(sharp());
+        for i in 0..100 {
+            let r = if i % 2 == 0 { 0.05 } else { -0.05 };
+            s.observe_residual(1.0, 0.2, 1.0 + r);
+        }
+        assert!(!s.drift_detected());
+        // The workload shifts: residuals jump to ~1.4 in log space.
+        let mut fired_at = None;
+        for i in 0..100 {
+            s.observe_residual(1.0, 0.2, 2.4);
+            if s.drift_detected() && fired_at.is_none() {
+                fired_at = Some(i);
+            }
+        }
+        let latency = fired_at.expect("detector must fire on a 4x step change");
+        assert!(latency < 20, "fired after {latency} shifted queries");
+        assert_eq!(
+            s.detections(),
+            1,
+            "latched: one detection, not one per sample"
+        );
+        // Reset heals the latch but keeps lifetime counters.
+        s.reset_after_retrain();
+        assert!(!s.drift_detected());
+        assert_eq!(s.detections(), 1);
+    }
+
+    #[test]
+    fn single_outlier_does_not_trigger() {
+        let mut s = DriftSentinel::new(sharp());
+        for i in 0..60 {
+            let r = if i % 2 == 0 { 0.05 } else { -0.05 };
+            s.observe_residual(1.0, 0.2, 1.0 + r);
+        }
+        // One monstrous heavy-tail query: 20 spreads over the baseline.
+        // Unwinsorized this alone would blow far past λ; clipped it adds
+        // at most `clip − k` and decays away on the next quiet samples.
+        s.observe_residual(1.0, 0.2, 4.0);
+        assert!(
+            !s.drift_detected(),
+            "a lone outlier must not read as drift (cusum {})",
+            s.cusum_level()
+        );
+        assert!(s.cusum_level() <= sharp().cusum_clip - sharp().cusum_k + 1e-12);
+        for i in 0..10 {
+            let r = if i % 2 == 0 { 0.05 } else { -0.05 };
+            s.observe_residual(1.0, 0.2, 1.0 + r);
+        }
+        assert_eq!(s.cusum_level(), 0.0, "quiet traffic drains the statistic");
+        assert_eq!(s.detections(), 0);
+    }
+
+    #[test]
+    fn detection_is_a_pure_function_of_residuals() {
+        let feed = |s: &mut DriftSentinel| {
+            for i in 0..200 {
+                let r = if i < 150 { 0.02 } else { 1.0 };
+                s.observe_residual(0.5, 0.1, 0.5 + r);
+            }
+        };
+        let mut a = DriftSentinel::new(sharp());
+        let mut b = DriftSentinel::new(sharp());
+        feed(&mut a);
+        feed(&mut b);
+        assert_eq!(a, b, "same residual stream, bit-identical state");
+        assert!(a.drift_detected());
+    }
+
+    #[test]
+    fn conformal_quantile_tracks_overconfident_sigma() {
+        let mut s = DriftSentinel::new(sharp());
+        // Model claims σ=0.1 but residuals are ±0.3: z ≈ 3 everywhere.
+        for i in 0..50 {
+            let r = if i % 2 == 0 { 0.3 } else { -0.3 };
+            s.observe_residual(1.0, 0.1, 1.0 + r);
+        }
+        let z = s.z_multiplier();
+        assert!((z - 3.0).abs() < 0.2, "calibrated z ≈ 3, got {z}");
+        // And the served interval half-width is z·σ ≈ 0.3 — honest again.
+    }
+
+    #[test]
+    fn fallback_z_before_enough_scores() {
+        let s = DriftSentinel::new(DriftConfig::default());
+        assert_eq!(s.z_multiplier(), DriftConfig::default().fallback_z);
+        assert_eq!(s.coverage(), None);
+    }
+
+    #[test]
+    fn degenerate_sigma_feeds_detector_but_not_calibrator() {
+        let mut s = DriftSentinel::new(sharp());
+        for _ in 0..50 {
+            s.observe_residual(1.0, 0.0, 1.3);
+        }
+        assert_eq!(s.residuals_seen(), 50);
+        // No scores formed: quantile still the fallback.
+        assert_eq!(s.z_multiplier(), sharp().fallback_z);
+        // σ=0 point intervals measured honestly: all missed.
+        assert_eq!(s.coverage(), Some(0.0));
+    }
+
+    #[test]
+    fn degraded_widening_arms_and_decays() {
+        let mut s = DriftSentinel::new(DriftConfig {
+            degraded_hold: 3,
+            degraded_widen: 2.0,
+            ..DriftConfig::default()
+        });
+        let base = s.z_multiplier();
+        s.note_degraded_total(1);
+        assert!(s.degraded_active());
+        assert!((s.z_multiplier() - base * 2.0).abs() < 1e-12);
+        s.note_degraded_total(1);
+        s.note_degraded_total(1);
+        s.note_degraded_total(1);
+        assert!(!s.degraded_active(), "hold decays without fresh events");
+        assert_eq!(s.z_multiplier(), base);
+        // A fresh event re-arms.
+        s.note_degraded_total(2);
+        assert!(s.degraded_active());
+    }
+
+    #[test]
+    fn coverage_accounts_served_intervals() {
+        let mut s = DriftSentinel::new(sharp());
+        // Well-calibrated: σ=0.5, residuals ±0.1 — fallback z=1.645 covers.
+        for i in 0..40 {
+            let r = if i % 2 == 0 { 0.1 } else { -0.1 };
+            s.observe_residual(1.0, 0.5, 1.0 + r);
+        }
+        assert_eq!(s.coverage(), Some(1.0));
+        assert_eq!(s.forced_retrains(), 0);
+    }
+
+    #[test]
+    fn ring_buffer_wraps() {
+        let mut s = DriftSentinel::new(DriftConfig {
+            window: 4,
+            min_scores: 2,
+            ..sharp()
+        });
+        for i in 0..10 {
+            s.observe_residual(1.0, 0.1, 1.0 + 0.01 * (i + 1) as f64);
+        }
+        // Window holds only the last 4 residuals.
+        assert_eq!(s.window_stats().count(), 4);
+        let m = s.window_stats().mean();
+        assert!((m - 0.085).abs() < 1e-12, "window mean {m}");
+    }
+
+    #[test]
+    fn store_round_trip_is_bit_exact() {
+        let mut s = DriftSentinel::new(sharp());
+        for i in 0..75 {
+            let r = if i < 60 { 0.07 } else { 0.9 };
+            s.observe_residual(1.0, 0.2, 1.0 + r);
+        }
+        s.note_degraded_total(3);
+        s.note_forced_retrain();
+        let mut w = SectionWriter::new();
+        s.store_encode(&mut w);
+        let bytes = w.finish();
+        let mut r = SectionReader::new(&bytes);
+        let back = DriftSentinel::store_decode(&mut r).expect("decode");
+        r.expect_end().expect("fully consumed");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn store_decode_rejects_hostile_cursors() {
+        let mut s = DriftSentinel::new(sharp());
+        s.observe_residual(1.0, 0.2, 1.5);
+        // Corrupt the cursor past the ring length.
+        s.residual_next = 99;
+        let mut w = SectionWriter::new();
+        s.store_encode(&mut w);
+        let bytes = w.finish();
+        let mut r = SectionReader::new(&bytes);
+        assert!(matches!(
+            DriftSentinel::store_decode(&mut r),
+            Err(StoreError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn serde_null_restores_cold_sentinel() {
+        use serde::Deserialize;
+        let cold = DriftSentinel::from_value(&serde::Value::Null).expect("null tolerated");
+        assert_eq!(cold, DriftSentinel::default());
+        // And a live round trip through the value tree is lossless.
+        let mut s = DriftSentinel::new(sharp());
+        for _ in 0..30 {
+            s.observe_residual(1.0, 0.2, 1.4);
+        }
+        let v = serde::Serialize::to_value(&s);
+        let back = DriftSentinel::from_value(&v).expect("round trip");
+        assert_eq!(back, s);
+    }
+}

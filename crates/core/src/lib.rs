@@ -27,6 +27,7 @@
 pub mod autowlm;
 pub mod benefit;
 pub mod cache;
+pub mod drift;
 pub mod global;
 pub mod local;
 pub mod persist;
@@ -39,6 +40,7 @@ pub mod sync;
 pub use autowlm::{AutoWlmConfig, AutoWlmPredictor};
 pub use benefit::{estimate_benefit, BenefitEstimate};
 pub use cache::{CacheConfig, CacheMode, ExecTimeCache};
+pub use drift::{DriftConfig, DriftSentinel};
 pub use global::{plan_to_tree_sample, GlobalModel, GlobalModelConfig, GLOBAL_SYS_DIM_BASE};
 pub use local::{LocalModel, LocalModelConfig, LocalPrediction};
 pub use persist::{PersistFaults, RestoreError};

@@ -27,12 +27,14 @@
 //! shard for every later request.
 
 use crate::cache::{CacheConfig, ExecTimeCache};
+use crate::drift::{DriftConfig, DriftSentinel};
 use crate::global::GlobalModel;
 use crate::local::{LocalModel, LocalModelConfig};
 use crate::pool::{PoolConfig, TrainingPool};
 use crate::predictor::{
     ExecTimePredictor, Prediction, PredictionSource, SystemContext, DEFAULT_PREDICTION_SECS,
 };
+use crate::to_log_space;
 use serde::{Deserialize, Serialize};
 use stage_plan::{plan_feature_vector, PhysicalPlan};
 use std::sync::Arc;
@@ -196,6 +198,11 @@ pub struct StageSnapshot {
     pub stats: RoutingStats,
     /// Degraded-mode counters (how often each tier was bypassed).
     pub degraded: DegradedStats,
+    /// Drift sentinel + conformal calibration state. Snapshots written
+    /// before the sentinel existed restore a cold one (the field's
+    /// hand-written `Deserialize` maps the missing-field `Null` to
+    /// `DriftSentinel::default()`).
+    pub calibration: DriftSentinel,
 }
 
 /// The hierarchical Stage predictor.
@@ -207,6 +214,7 @@ pub struct StagePredictor {
     global: Option<Arc<GlobalModel>>,
     stats: RoutingStats,
     degraded: DegradedStats,
+    drift: DriftSentinel,
     faults: Option<Arc<dyn ComponentFaults>>,
 }
 
@@ -221,6 +229,7 @@ impl StagePredictor {
             global: None,
             stats: RoutingStats::default(),
             degraded: DegradedStats::default(),
+            drift: DriftSentinel::default(),
             faults: None,
             config,
         }
@@ -280,6 +289,7 @@ impl StagePredictor {
             local: self.local.clone(),
             stats: self.stats,
             degraded: self.degraded,
+            calibration: self.drift.clone(),
         }
     }
 
@@ -296,6 +306,7 @@ impl StagePredictor {
             global: None,
             stats: snapshot.stats,
             degraded: snapshot.degraded,
+            drift: snapshot.calibration,
             faults: None,
         }
     }
@@ -332,6 +343,57 @@ impl StagePredictor {
             }
             _ => false,
         }
+    }
+
+    /// The drift sentinel (detector state, calibration window, coverage
+    /// accounting — read access for health loops and reports).
+    pub fn drift(&self) -> &DriftSentinel {
+        &self.drift
+    }
+
+    /// Replaces the drift/calibration tuning, keeping accumulated state
+    /// (benches and soak harnesses sharpen the detector for short runs).
+    pub fn set_drift_config(&mut self, config: DriftConfig) {
+        self.drift.set_config(config);
+    }
+
+    /// Whether the drift detector has fired since the last retrain — the
+    /// signal the serve health loop polls to force an out-of-band retrain.
+    pub fn drift_detected(&self) -> bool {
+        self.drift.drift_detected()
+    }
+
+    /// Forces an out-of-band retrain from the current pool (the health
+    /// loop's response to a drift detection). On success the detector and
+    /// residual window reset — the old residual stream described the old
+    /// model — while the conformal score window is kept so intervals stay
+    /// conservatively wide until the new model proves itself. Returns
+    /// `false` when the pool cannot train a model yet (nothing changes;
+    /// the detection stays latched so the next poll retries).
+    pub fn force_retrain(&mut self) -> bool {
+        let before = self.local.trainings();
+        self.local.retrain(&self.pool);
+        let trained = self.local.trainings() > before;
+        if trained {
+            self.drift.note_forced_retrain();
+            self.drift.reset_after_retrain();
+        }
+        trained
+    }
+
+    /// The calibrated prediction interval for `p`, in seconds: half-width
+    /// `ẑ·σ` in `ln(1+secs)` space where `ẑ` is the conformal quantile of
+    /// recent normalized residuals (not a fixed normal-theory constant),
+    /// widened by the configured multiplier while any degraded tier is
+    /// active. `None` when the producing stage measured no variance
+    /// (cache/default answers), exactly like
+    /// [`Prediction::confidence_interval`].
+    pub fn calibrated_interval(&mut self, p: &Prediction) -> Option<(f64, f64)> {
+        self.drift.note_degraded_total(self.degraded.total());
+        let var = p.log_variance?;
+        let half = self.drift.z_multiplier() * var.max(0.0).sqrt();
+        let mu = p.exec_secs.max(0.0).ln_1p();
+        Some(((mu - half).exp_m1().max(0.0), (mu + half).exp_m1().max(0.0)))
     }
 
     /// Component-wise memory breakdown `(cache, pool, local)` in bytes. The
@@ -529,11 +591,21 @@ impl ExecTimePredictor for StagePredictor {
     fn observe(&mut self, plan: &PhysicalPlan, sys: &SystemContext, actual_secs: f64) {
         let key = ExecTimeCache::key_of(plan);
         let was_cached = self.cache.contains(key);
+        let features = self.local_features(plan, sys);
+        // Drift sentinel: score the observation against the *current* local
+        // model, before cache/pool/retrain absorb it — the residual then
+        // measures what the shard would actually have mispredicted. Every
+        // observation is scored (cache hits included): a step change shows
+        // up on repeated queries too, and dedup must not blind the
+        // detector to them.
+        if let Some(lp) = self.local.predict(&features) {
+            self.drift
+                .observe_residual(lp.log_mean, lp.log_std(), to_log_space(actual_secs));
+        }
         self.cache.record(key, actual_secs);
         // Dedup via the cache (paper §4.3): only cache *misses* enter the
         // local training pool.
         if !was_cached || !self.config.routing.dedup_via_cache {
-            let features = self.local_features(plan, sys);
             self.pool.add(features, actual_secs);
             // Retrain interception: the fault oracle is consulted only when
             // this observation would actually trigger a retrain, so the
@@ -1004,6 +1076,92 @@ mod tests {
         assert!(s.local().is_trained(), "a slowed retrain still completes");
         assert_eq!(s.degraded_stats().retrains_slowed, 1);
         assert_eq!(s.degraded_stats().total(), 1);
+    }
+
+    #[test]
+    fn drift_detection_forces_retrain_and_recovers() {
+        let mut s = StagePredictor::new(quick_config());
+        // Steady workload: exec time tracks row count. The default config's
+        // warm-up (`min_samples`) must absorb the noisy residuals right
+        // after the first training without firing.
+        let mut max_cusum = 0.0f64;
+        for i in 1..=120 {
+            let rows = (i % 40 + 1) as f64 * 1e4;
+            s.observe(&plan(rows), &sys(), rows / 1e5);
+            max_cusum = max_cusum.max(s.drift().cusum_level());
+        }
+        assert!(s.local().is_trained());
+        assert!(
+            !s.drift_detected(),
+            "steady workload must not trigger (max cusum {max_cusum:.2})"
+        );
+        // Step change: the same plans now run 5x slower.
+        let mut shifted = 0u64;
+        while !s.drift_detected() && shifted < 400 {
+            let rows = (shifted % 40 + 1) as f64 * 1e4;
+            s.observe(&plan(rows), &sys(), 5.0 * rows / 1e5);
+            shifted += 1;
+        }
+        assert!(s.drift_detected(), "detector must fire on a 5x shift");
+        assert_eq!(s.drift().detections(), 1);
+        // The health loop's response: force an out-of-band retrain.
+        assert!(s.force_retrain());
+        assert!(!s.drift_detected(), "forced retrain clears the latch");
+        assert_eq!(s.drift().forced_retrains(), 1);
+    }
+
+    #[test]
+    fn force_retrain_on_empty_pool_is_a_noop() {
+        let mut s = StagePredictor::new(quick_config());
+        assert!(!s.force_retrain());
+        assert_eq!(s.drift().forced_retrains(), 0);
+    }
+
+    #[test]
+    fn calibrated_interval_brackets_and_widens_when_degraded() {
+        let mut s = StagePredictor::new(quick_config());
+        for i in 1..=60 {
+            let rows = i as f64 * 1e4;
+            s.observe(&plan(rows), &sys(), rows / 1e5);
+        }
+        let p = s.predict(&plan(3.33e5), &sys());
+        assert_eq!(p.source, PredictionSource::Local);
+        let (lo, hi) = s
+            .calibrated_interval(&p)
+            .expect("local answers carry variance");
+        assert!(lo <= p.exec_secs && p.exec_secs <= hi, "({lo}, {hi})");
+        // A cache answer has no variance, hence no interval.
+        let q = plan(1e4);
+        let pc = s.predict(&q, &sys());
+        assert_eq!(pc.source, PredictionSource::Cache);
+        assert_eq!(s.calibrated_interval(&pc), None);
+        // A degraded event widens the next intervals.
+        s.set_component_faults(Arc::new(ScriptedComponentFaults {
+            local_down: AtomicU64::new(1),
+            ..ScriptedComponentFaults::default()
+        }));
+        let pd = s.predict(&plan(7.77e5), &sys());
+        assert_eq!(pd.source, PredictionSource::Default);
+        let _ = s.calibrated_interval(&pd);
+        assert!(s.drift().degraded_active());
+        let (wlo, whi) = s.calibrated_interval(&p).expect("same local prediction");
+        assert!(
+            whi - wlo > hi - lo,
+            "degraded interval ({wlo}, {whi}) must be wider than ({lo}, {hi})"
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips_calibration_state() {
+        let mut s = StagePredictor::new(quick_config());
+        for i in 1..=70 {
+            let rows = i as f64 * 1e4;
+            s.observe(&plan(rows), &sys(), rows / 1e5);
+        }
+        assert!(s.drift().residuals_seen() > 0);
+        let restored = StagePredictor::from_snapshot(s.snapshot());
+        assert_eq!(restored.drift(), s.drift());
+        assert_eq!(restored.drift().coverage(), s.drift().coverage());
     }
 
     #[test]

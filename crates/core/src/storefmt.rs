@@ -32,6 +32,7 @@
 //! header read) to detect hot-swapped artefacts without re-parsing.
 
 use crate::cache::ExecTimeCache;
+use crate::drift::DriftSentinel;
 use crate::global::GlobalModel;
 use crate::local::LocalModel;
 use crate::persist::{self, PersistFaults, RestoreError};
@@ -55,6 +56,11 @@ pub const SECTION_POOL: u32 = 3;
 pub const SECTION_LOCAL: u32 = 4;
 /// Section id: routing + degraded counters.
 pub const SECTION_STATS: u32 = 5;
+/// Section id: drift sentinel + conformal calibration state. Absent in
+/// files written before the sentinel existed — restore then cold-starts
+/// the calibration (era parity with the serde path's missing-field
+/// default).
+pub const SECTION_CALIBRATION: u32 = 6;
 /// Section id: the fleet-shared global model (framed JSON envelope bytes;
 /// lives in its own single-section file, not in snapshot files).
 pub const SECTION_GLOBAL: u32 = 16;
@@ -128,12 +134,16 @@ pub fn snapshot_sections(snap: &StageSnapshot) -> Vec<(u32, Vec<u8>)> {
     stats.put_u64(snap.degraded.retrains_poisoned);
     stats.put_u64(snap.degraded.retrains_slowed);
 
+    let mut calibration = SectionWriter::new();
+    snap.calibration.store_encode(&mut calibration);
+
     vec![
         (SECTION_CONFIG, config.finish()),
         (SECTION_CACHE, cache.finish()),
         (SECTION_POOL, pool.finish()),
         (SECTION_LOCAL, local.finish()),
         (SECTION_STATS, stats.finish()),
+        (SECTION_CALIBRATION, calibration.finish()),
     ]
 }
 
@@ -178,6 +188,19 @@ fn decode_snapshot<'a>(
     };
     r.expect_end()?;
 
+    // CALIBRATION is optional: pre-drift files simply lack the section and
+    // restore a cold sentinel. When present, any damage is a hard decode
+    // error (quarantine), not a silent cold start.
+    let calibration = match section(SECTION_CALIBRATION) {
+        Some(bytes) => {
+            let mut r = SectionReader::new(bytes);
+            let c = DriftSentinel::store_decode(&mut r)?;
+            r.expect_end()?;
+            c
+        }
+        None => DriftSentinel::default(),
+    };
+
     let config = StageConfig {
         cache: cache.store_config(),
         pool: pool.store_config(),
@@ -192,6 +215,7 @@ fn decode_snapshot<'a>(
         local,
         stats,
         degraded,
+        calibration,
     })
 }
 

@@ -133,6 +133,13 @@ proptest! {
         let mut via_store = StagePredictor::from_snapshot(store_round_trip(&snap, &dir));
         let mut via_serde = StagePredictor::from_snapshot(serde_round_trip(&snap));
         assert_bit_identical(&mut via_serde, &mut via_store, "store vs serde");
+        // The drift sentinel / conformal calibrator (CALIBRATION section)
+        // must survive both envelopes bit-exactly: its Welford baseline and
+        // score ring drive interval widths after a warm restart.
+        prop_assert!(
+            via_store.drift() == &snap.calibration && via_serde.drift() == &snap.calibration,
+            "calibration state diverged across restore"
+        );
 
         // Both restored predictors keep learning identically (same retrain
         // cadence, same seeds) — restore is not a frozen copy.
@@ -283,8 +290,11 @@ fn dirty_checkpoint_skips_clean_sections() {
     let snap2 = s.snapshot();
     match save_stage_store_dirty(&snap2, &path).unwrap() {
         StoreCheckpoint::Sections { dirty } => {
+            // Cache/pool/stats plus the drift calibrator (which absorbs the
+            // new residual) may rewrite; the encoded local model and config
+            // must not.
             assert!(
-                (1..5).contains(&dirty),
+                (1..6).contains(&dirty),
                 "expected a partial rewrite, got {dirty} dirty sections"
             );
         }
@@ -295,6 +305,59 @@ fn dirty_checkpoint_skips_clean_sections() {
     let mut restored = StagePredictor::from_snapshot(load_stage_store(&path, None).unwrap());
     let mut reference = StagePredictor::from_snapshot(snap2);
     assert_bit_identical(&mut reference, &mut restored, "after dirty update");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The CALIBRATION section specifically: corrupting any byte inside it is
+/// a typed error + quarantine (never a silently reset calibrator), and a
+/// legacy file written *without* the section restores as a cold sentinel.
+#[test]
+fn calibration_section_corruption_quarantines_and_absence_is_cold_start() {
+    use stage_core::storefmt::SECTION_CALIBRATION;
+    use stage_core::DriftSentinel;
+
+    let dir = fresh_dir("calibration");
+    let path = dir.join("snapshot.store");
+    let sys = SystemContext::empty(2);
+    let mut s = warm_predictor(7, 45);
+    // Extra steady traffic so the calibrator holds a non-trivial score ring.
+    for i in 1..=40 {
+        let q = plan((i % 11 + 1) as f64 * 9.1e3);
+        s.observe(&q, &sys, (i % 5) as f64 * 0.3 + 0.1);
+    }
+    let snap = s.snapshot();
+    assert!(
+        snap.calibration.residuals_seen() > 0,
+        "warm-up never fed the drift sentinel"
+    );
+    save_stage_store(&snap, &path, None).unwrap();
+    let full = std::fs::read(&path).unwrap();
+
+    // Flip one byte in the middle of the CALIBRATION section payload.
+    let view = stage_store::StoreView::parse(&full).unwrap();
+    let sec = view.section(SECTION_CALIBRATION).expect("section missing");
+    assert!(!sec.is_empty());
+    let offset = sec.as_ptr() as usize - full.as_ptr() as usize;
+    let mut damaged = full.clone();
+    damaged[offset + sec.len() / 2] ^= 0x40;
+    std::fs::write(&path, &damaged).unwrap();
+    let err = load_stage_store(&path, None).unwrap_err();
+    assert!(
+        !matches!(err, RestoreError::Io(_)),
+        "expected typed damage, got {err}"
+    );
+    assert!(quarantine_path(&path).exists(), "no quarantine file");
+    let _ = std::fs::remove_file(quarantine_path(&path));
+
+    // A pre-calibration-era file (section absent) restores with a default
+    // sentinel rather than failing: serde-era parity for old snapshots.
+    let legacy: Vec<(u32, Vec<u8>)> = stage_core::storefmt::snapshot_sections(&snap)
+        .into_iter()
+        .filter(|(id, _)| *id != SECTION_CALIBRATION)
+        .collect();
+    std::fs::write(&path, stage_store::build_file(&legacy, 0)).unwrap();
+    let restored = load_stage_store(&path, None).unwrap();
+    assert_eq!(restored.calibration, DriftSentinel::default());
     let _ = std::fs::remove_dir_all(&dir);
 }
 

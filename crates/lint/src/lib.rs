@@ -100,6 +100,7 @@ const NO_PANIC_FILES: &[&str] = &[
     "crates/core/src/persist.rs",
     "crates/core/src/stage.rs",
     "crates/core/src/storefmt.rs",
+    "crates/core/src/drift.rs",
     "crates/store/src/lib.rs",
     "crates/store/src/format.rs",
     "crates/store/src/mmap.rs",
@@ -111,10 +112,12 @@ const NO_PANIC_FILES: &[&str] = &[
 ];
 
 /// `no-nondeterminism` covers every crate the fleet replay engine loads:
-/// models, workload synthesis, and the replay driver itself.
+/// models, the metric accumulators (which also feed the drift sentinel),
+/// workload synthesis, and the replay driver itself.
 const DETERMINISM_DIRS: &[&str] = &[
     "crates/core/src",
     "crates/gbdt/src",
+    "crates/metrics/src",
     "crates/nn/src",
     "crates/workload/src",
 ];

@@ -8,7 +8,9 @@
 /// interpolation between closest ranks (the "R-7" rule used by numpy's
 /// default `percentile`).
 ///
-/// Returns `None` for an empty slice or a `q` outside `[0, 1]`.
+/// Returns `None` for an empty slice, a `q` outside `[0, 1]`, or any NaN in
+/// `xs` (a NaN has no rank; the old behaviour was a panic deep inside the
+/// sort, which is unacceptable now that serving paths call this).
 ///
 /// ```
 /// use stage_metrics::quantile;
@@ -18,27 +20,35 @@
 /// assert_eq!(quantile(&xs, 1.0), Some(4.0));
 /// ```
 pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
-    if xs.is_empty() || !(0.0..=1.0).contains(&q) || q.is_nan() {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) || q.is_nan() || xs.iter().any(|x| x.is_nan()) {
         return None;
     }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(f64::total_cmp);
     Some(quantile_of_sorted(&sorted, q))
 }
 
 /// Like [`quantile`] but assumes `sorted` is already ascending, avoiding the
-/// sort. Panics in debug builds if the slice is not sorted.
+/// sort. Total and panic-free: an empty slice yields NaN, and `q` is clamped
+/// into `[0, 1]` (this sits under the serving drift calibrator, which is in
+/// stage-lint's transitive no-panic scope).
 pub fn quantile_of_sorted(sorted: &[f64], q: f64) -> f64 {
-    debug_assert!(!sorted.is_empty());
-    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    let (Some(&first), Some(&last)) = (sorted.first(), sorted.last()) else {
+        return f64::NAN;
+    };
     if sorted.len() == 1 {
-        return sorted[0];
+        return first;
     }
-    let pos = q * (sorted.len() - 1) as f64;
+    let max_pos = (sorted.len() - 1) as f64;
+    let pos = (q * max_pos).clamp(0.0, max_pos);
+    if !pos.is_finite() {
+        return f64::NAN;
+    }
     let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
     let frac = pos - lo as f64;
-    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+    let a = sorted.get(lo).copied().unwrap_or(last);
+    let b = sorted.get(lo + 1).copied().unwrap_or(last);
+    a + (b - a) * frac
 }
 
 /// Percentile convenience wrapper: `percentile(xs, 90.0)` == `quantile(xs, 0.9)`.
@@ -51,8 +61,11 @@ pub fn quantiles(xs: &[f64], qs: &[f64]) -> Option<Vec<f64>> {
     if xs.is_empty() {
         return None;
     }
+    if xs.iter().any(|x| x.is_nan()) {
+        return None;
+    }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(f64::total_cmp);
     qs.iter()
         .map(|&q| {
             if (0.0..=1.0).contains(&q) {
@@ -90,6 +103,21 @@ mod tests {
         assert_eq!(quantile(&[1.0], -0.1), None);
         assert_eq!(quantile(&[1.0], 1.1), None);
         assert_eq!(quantile(&[1.0], f64::NAN), None);
+    }
+
+    #[test]
+    fn nan_input_returns_none_instead_of_panicking() {
+        assert_eq!(quantile(&[1.0, f64::NAN, 3.0], 0.5), None);
+        assert_eq!(quantiles(&[f64::NAN], &[0.5]), None);
+    }
+
+    #[test]
+    fn quantile_of_sorted_is_total() {
+        assert!(quantile_of_sorted(&[], 0.5).is_nan());
+        assert_eq!(quantile_of_sorted(&[7.0], 0.9), 7.0);
+        // q outside [0,1] clamps instead of indexing out of bounds.
+        assert_eq!(quantile_of_sorted(&[1.0, 2.0], -3.0), 1.0);
+        assert_eq!(quantile_of_sorted(&[1.0, 2.0], 42.0), 2.0);
     }
 
     #[test]

@@ -133,6 +133,20 @@ pub enum Response {
         /// artefact was already current (no state change since the last
         /// checkpoint, or byte-identical sections).
         snapshots_skipped: u64,
+        /// Workload step-changes the drift sentinel has detected on this
+        /// instance (CUSUM threshold crossings) since start or restore.
+        drift_detections: u64,
+        /// Out-of-band retrains the health loop forced after a drift
+        /// detection (only successful retrains count).
+        forced_retrains: u64,
+        /// Background checkpoint passes that failed server-wide (the
+        /// health loop backs off exponentially while this climbs).
+        checkpoint_failures: u64,
+        /// Empirical coverage of the calibrated intervals served by this
+        /// instance (fraction of observed queries whose truth fell inside
+        /// the interval predicted for them); `None` until the first
+        /// residual lands.
+        interval_coverage: Option<f64>,
     },
     /// Answer to [`Request::Snapshot`].
     Snapshotted {
@@ -298,6 +312,10 @@ mod tests {
                 },
                 timed_out: 3,
                 snapshots_skipped: 4,
+                drift_detections: 1,
+                forced_retrains: 1,
+                checkpoint_failures: 2,
+                interval_coverage: Some(0.925),
             },
             Response::Snapshotted { instances: 2 },
             Response::ShuttingDown,

@@ -114,6 +114,27 @@ impl Shard {
         &self.predictor
     }
 
+    /// Calibrated prediction interval for `p` (conformal width from the
+    /// shard's drift sentinel, widened while degraded tiers are active).
+    pub fn calibrated_interval(&mut self, p: &Prediction) -> Option<(f64, f64)> {
+        self.predictor.calibrated_interval(p)
+    }
+
+    /// If this shard's drift sentinel is latched, forces an out-of-band
+    /// retrain and re-arms the detector. Returns whether a retrain
+    /// actually ran (an empty pool is a no-op that leaves the detector
+    /// latched for the next health-loop pass — the pool may fill).
+    pub fn force_retrain_if_drifted(&mut self) -> bool {
+        if !self.predictor.drift_detected() {
+            return false;
+        }
+        let retrained = self.predictor.force_retrain();
+        if retrained {
+            self.revision += 1;
+        }
+        retrained
+    }
+
     /// Checkpoint passes that skipped this shard because its artefact was
     /// already current.
     pub fn snapshots_skipped(&self) -> u64 {
@@ -223,6 +244,24 @@ impl ShardRegistry {
         let shard = shards.get(id as usize)?;
         let result = f(&mut shard.write());
         Some(result)
+    }
+
+    /// One health-loop pass over every shard: shards whose drift sentinel
+    /// latched since the last pass are retrained out of band (under their
+    /// own write lock, one at a time — serving on other shards continues).
+    /// Returns how many shards retrained. The cheap latched-or-not check
+    /// runs under the read lock so the common all-steady pass never blocks
+    /// a writer.
+    pub fn poll_drift(&self) -> u32 {
+        let mut retrained = 0;
+        let shards = self.shards.read();
+        for shard in shards.iter() {
+            let latched = shard.read().predictor.drift_detected();
+            if latched && shard.write().force_retrain_if_drifted() {
+                retrained += 1;
+            }
+        }
+        retrained
     }
 
     /// Snapshot path of instance `id` under `dir` (the mappable

@@ -256,9 +256,17 @@ struct Shared {
     /// thread on a hot-swap, read by tests and the next poll.
     global_generation: AtomicU64,
     local_addr: SocketAddr,
-    // Wakes the background checkpointer early (for shutdown).
+    // Wakes the background health loop early (for shutdown).
     checkpoint_gate: (OrderedMutex<()>, Condvar),
     request_deadline: Option<Duration>,
+    /// Background checkpoint passes that failed (server-wide). The health
+    /// loop backs off exponentially while this climbs; Stats reports it so
+    /// an operator sees a sick snapshot directory before a crash loses
+    /// warm state.
+    checkpoint_failures: AtomicU64,
+    /// Out-of-band retrains the health loop forced after drift detections,
+    /// summed over all shards (per-shard counts live on each sentinel).
+    forced_retrains: AtomicU64,
 }
 
 // Compile-time proof that everything crossing a thread boundary is safe to
@@ -384,7 +392,11 @@ fn serve_shard_verb(shared: &Shared, request: Request, arrived: Instant) -> Resp
                 .registry
                 .with_shard_write(instance, |shard| {
                     let p = shard.predict(&plan, &sys);
-                    let (interval_lo, interval_hi) = match p.confidence_interval(1.96) {
+                    // Conformal interval from the shard's drift sentinel:
+                    // width tracks the observed residual distribution (and
+                    // widens while degraded tiers answer) instead of the
+                    // fixed Gaussian 1.96σ the pre-drift server promised.
+                    let (interval_lo, interval_hi) = match shard.calibrated_interval(&p) {
                         Some((lo, hi)) => (Some(lo), Some(hi)),
                         None => (None, None),
                     };
@@ -413,7 +425,7 @@ fn serve_shard_verb(shared: &Shared, request: Request, arrived: Instant) -> Resp
                         .predict_batch(&plans, &sys)
                         .into_iter()
                         .map(|p| {
-                            let (interval_lo, interval_hi) = match p.confidence_interval(1.96) {
+                            let (interval_lo, interval_hi) = match shard.calibrated_interval(&p) {
                                 Some((lo, hi)) => (Some(lo), Some(hi)),
                                 None => (None, None),
                             };
@@ -487,6 +499,10 @@ fn serve_request(
                     degraded: shard.predictor().degraded_stats(),
                     timed_out: shard.timed_out(),
                     snapshots_skipped: shard.snapshots_skipped(),
+                    drift_detections: shard.predictor().drift().detections(),
+                    forced_retrains: shard.predictor().drift().forced_retrains(),
+                    checkpoint_failures: shared.checkpoint_failures.load(Ordering::Relaxed),
+                    interval_coverage: shard.predictor().drift().coverage(),
                 })
                 .unwrap_or_else(|| unknown_instance(instance, shared.registry.len())),
             false,
@@ -880,6 +896,8 @@ impl Server {
             local_addr,
             checkpoint_gate: (OrderedMutex::new(RANK_SESSION, ()), Condvar::new()),
             request_deadline: config.request_deadline,
+            checkpoint_failures: AtomicU64::new(0),
+            forced_retrains: AtomicU64::new(0),
         });
         // Map the shared global-model artefact before serving starts so the
         // first request already routes through it (a missing file is fine —
@@ -903,47 +921,79 @@ impl Server {
             loop_handles.push(handle);
         }
 
-        // One background thread drives both periodic duties: dirty-section
-        // checkpoints of the shards (when a cadence is configured) and the
-        // global-model generation poll (when an artefact path is
-        // configured). Either alone is enough to spawn it.
+        // One background health loop drives every periodic duty: the
+        // per-shard drift poll (forcing out-of-band retrains when a
+        // sentinel latches), dirty-section checkpoints (when a cadence is
+        // configured), and the global-model generation poll (when an
+        // artefact path is configured). It always spawns — drift health
+        // must not depend on persistence being enabled.
         let snapshot_cadence = match (&config.snapshot_dir, config.snapshot_every) {
             (Some(dir), Some(every)) => Some((dir.clone(), every)),
             _ => None,
         };
-        let checkpoint_handle = if snapshot_cadence.is_some() || shared.global_model_path.is_some()
-        {
+        let checkpoint_handle = {
             let shared = Arc::clone(&shared);
-            // The generation poll is a 64-byte header read; a sub-second
-            // cadence keeps hot-swap latency low without measurable cost.
+            // The generation poll is a 64-byte header read and the drift
+            // poll a latched-flag read per shard; a sub-second cadence
+            // keeps hot-swap and retrain latency low without measurable
+            // cost. A configured snapshot cadence paces the whole loop.
             let tick = snapshot_cadence
                 .as_ref()
                 .map_or(Duration::from_millis(200), |(_, every)| *every);
             Some(
                 std::thread::Builder::new()
-                    .name("serve-checkpointer".to_string())
-                    .spawn(move || loop {
-                        let (gate, cv) = &shared.checkpoint_gate;
-                        let guard = gate.lock();
-                        // The returned guard is dropped immediately so
-                        // no session-rank lock is held while the
-                        // checkpoint takes registry/shard locks below.
-                        let _ = sync::wait_timeout(cv, guard, tick);
-                        if shared.shutting_down.load(Ordering::SeqCst) {
-                            // The final checkpoint runs in `join` after
-                            // the drain completes.
-                            return;
-                        }
-                        shared.poll_global_model();
-                        if let Some((dir, _)) = &snapshot_cadence {
-                            if let Err(e) = shared.registry.save_snapshots(dir) {
-                                eprintln!("stage-serve: background checkpoint failed: {e}");
+                    .name("serve-health".to_string())
+                    .spawn(move || {
+                        // Bounded exponential backoff on checkpoint
+                        // failures: a sick snapshot directory (full disk,
+                        // yanked mount) must not burn a full encode of
+                        // every shard each tick. Skips double per
+                        // consecutive failure, capped at 32 ticks; any
+                        // success re-arms the full cadence.
+                        let mut consecutive_failures = 0u32;
+                        let mut skip_ticks = 0u64;
+                        loop {
+                            let (gate, cv) = &shared.checkpoint_gate;
+                            let guard = gate.lock();
+                            // The returned guard is dropped immediately so
+                            // no session-rank lock is held while the
+                            // checkpoint takes registry/shard locks below.
+                            let _ = sync::wait_timeout(cv, guard, tick);
+                            if shared.shutting_down.load(Ordering::SeqCst) {
+                                // The final checkpoint runs in `join` after
+                                // the drain completes.
+                                return;
+                            }
+                            shared.poll_global_model();
+                            let retrained = shared.registry.poll_drift();
+                            if retrained > 0 {
+                                shared
+                                    .forced_retrains
+                                    .fetch_add(u64::from(retrained), Ordering::Relaxed);
+                            }
+                            if let Some((dir, _)) = &snapshot_cadence {
+                                if skip_ticks > 0 {
+                                    skip_ticks -= 1;
+                                    continue;
+                                }
+                                match shared.registry.save_snapshots(dir) {
+                                    Ok(_) => consecutive_failures = 0,
+                                    Err(e) => {
+                                        shared.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
+                                        consecutive_failures =
+                                            consecutive_failures.saturating_add(1);
+                                        skip_ticks = (1u64 << consecutive_failures.min(5)) - 1;
+                                        eprintln!(
+                                            "stage-serve: background checkpoint failed ({e}); \
+                                             retrying in {} ticks",
+                                            skip_ticks + 1
+                                        );
+                                    }
+                                }
                             }
                         }
                     })?,
             )
-        } else {
-            None
         };
 
         let accept_handle = {
@@ -1012,6 +1062,17 @@ impl Server {
             u64::MAX => None,
             gen => Some(gen),
         }
+    }
+
+    /// Background checkpoint passes that failed so far (server-wide).
+    pub fn checkpoint_failures(&self) -> u64 {
+        self.shared.checkpoint_failures.load(Ordering::Relaxed)
+    }
+
+    /// Out-of-band retrains the health loop forced after drift detections,
+    /// summed over all shards.
+    pub fn forced_retrains(&self) -> u64 {
+        self.shared.forced_retrains.load(Ordering::Relaxed)
     }
 
     /// Requests answered [`Response::TimedOut`] so far, all instances.
@@ -1307,6 +1368,102 @@ mod tests {
         }
 
         server.shutdown();
+        server.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_restart_resumes_forced_retrain_after_kill_mid_recovery() {
+        use stage_core::{ExecTimePredictor as _, StageConfig, StagePredictor, SystemContext};
+
+        let mut stage_config = StageConfig::default();
+        stage_config.local.ensemble.n_members = 2;
+        stage_config.local.ensemble.member.n_estimators = 10;
+        stage_config.local.ensemble.seed = 5;
+        stage_config.local.min_train_examples = 20;
+        stage_config.local.retrain_interval = 200;
+
+        // Build the exact state a kill-9 mid-recovery leaves on disk: the
+        // sentinel latched on a workload shift, the checkpoint captured
+        // that, and the process died before the forced retrain landed.
+        let sys = SystemContext::empty(2);
+        let mut p = StagePredictor::new(stage_config.clone());
+        for i in 1..=120u32 {
+            let rows = f64::from(i % 40 + 1) * 1e4;
+            p.observe(&plan(rows), &sys, rows / 1e5);
+        }
+        assert!(!p.drift_detected(), "steady warm-up must stay quiet");
+        for i in 1..=120u32 {
+            let rows = f64::from(i % 40 + 1) * 1e4 + f64::from(i);
+            p.observe(&plan(rows), &sys, rows / 1e5 * 30.0);
+            if p.drift_detected() {
+                break;
+            }
+        }
+        assert!(p.drift_detected(), "the shift must latch the sentinel");
+        assert_eq!(p.drift().forced_retrains(), 0, "killed before the retrain");
+
+        let dir =
+            std::env::temp_dir().join(format!("stage-serve-kill9-retrain-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = p.snapshot();
+        stage_core::storefmt::save_stage_store(
+            &snap,
+            &crate::registry::ShardRegistry::snapshot_path(&dir, 0),
+            None,
+        )
+        .unwrap();
+        drop(p);
+
+        // Warm restart: the latch must survive the crash, and the health
+        // loop must finish the interrupted recovery on its own.
+        let server = Server::start(ServeConfig {
+            n_instances: 1,
+            stage: stage_config,
+            snapshot_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+
+        let s = client.stats(0).unwrap();
+        let Response::Stats {
+            drift_detections, ..
+        } = s
+        else {
+            panic!("expected Stats, got {s:?}");
+        };
+        assert!(
+            drift_detections >= 1,
+            "restored shard lost its drift detection"
+        );
+
+        let deadline = Instant::now() + Duration::from_secs(15);
+        loop {
+            let s = client.stats(0).unwrap();
+            let Response::Stats {
+                forced_retrains, ..
+            } = s
+            else {
+                panic!("expected Stats, got {s:?}");
+            };
+            if forced_retrains >= 1 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "health loop never completed the interrupted forced retrain"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+
+        // And the shard keeps serving calibrated answers after recovery.
+        let r = client.predict(0, &plan(1.55e5), &[0.0, 0.0]).unwrap();
+        assert!(matches!(r, Response::Predicted { .. }), "got {r:?}");
+
+        client.shutdown().unwrap();
+        drop(client);
         server.join().unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }

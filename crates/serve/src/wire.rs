@@ -503,6 +503,10 @@ pub fn encode_response(response: &Response, out: &mut Vec<u8>) {
             degraded,
             timed_out,
             snapshots_skipped,
+            drift_detections,
+            forced_retrains,
+            checkpoint_failures,
+            interval_coverage,
         } => {
             put_u8(out, RESP_STATS);
             put_u64(out, routing.cache);
@@ -520,6 +524,12 @@ pub fn encode_response(response: &Response, out: &mut Vec<u8>) {
             put_u64(out, degraded.retrains_slowed);
             put_u64(out, *timed_out);
             put_u64(out, *snapshots_skipped);
+            // Appended by the drift/calibration PR; decode-side bounds
+            // checks keep short (pre-drift) frames a typed error.
+            put_u64(out, *drift_detections);
+            put_u64(out, *forced_retrains);
+            put_u64(out, *checkpoint_failures);
+            put_opt_f64(out, *interval_coverage);
         }
         Response::Snapshotted { instances } => {
             put_u8(out, RESP_SNAPSHOTTED);
@@ -587,6 +597,10 @@ pub fn decode_response(payload: &[u8]) -> io::Result<Response> {
             },
             timed_out: cur.u64()?,
             snapshots_skipped: cur.u64()?,
+            drift_detections: cur.u64()?,
+            forced_retrains: cur.u64()?,
+            checkpoint_failures: cur.u64()?,
+            interval_coverage: cur.opt_f64()?,
         },
         RESP_SNAPSHOTTED => Response::Snapshotted {
             instances: cur.u32()?,
@@ -791,6 +805,10 @@ mod tests {
                 },
                 timed_out: 3,
                 snapshots_skipped: 9,
+                drift_detections: 2,
+                forced_retrains: 1,
+                checkpoint_failures: 4,
+                interval_coverage: Some(0.875),
             },
             Response::Snapshotted { instances: 2 },
             Response::ShuttingDown,

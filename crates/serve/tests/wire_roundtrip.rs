@@ -198,6 +198,10 @@ impl Strategy for ArbResponse {
                 },
                 timed_out: rng.next_u64(),
                 snapshots_skipped: rng.next_u64(),
+                drift_detections: rng.next_u64(),
+                forced_retrains: rng.next_u64(),
+                checkpoint_failures: rng.next_u64(),
+                interval_coverage: draw_opt_f64(rng, floats),
             },
             4 => Response::Snapshotted {
                 instances: rng.next_u64() as u32,

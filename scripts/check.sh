@@ -61,9 +61,17 @@ timeout 120 ./target/release/loadgen --smoke --codec json --out /tmp/bench_serve
 cargo build -q --release -p stage-bench --bin bench_store
 timeout 120 ./target/release/bench_store --smoke
 
-# Chaos smoke: the five-phase fault-injection soak at CI scale. Asserts
+# Chaos smoke: the six-phase fault-injection soak at CI scale (including
+# the workload step change that must trip the drift sentinel). Asserts
 # zero server panics, zero lost observes, and that every injected fault is
 # accounted for by a degraded-mode counter (DESIGN.md §10). The injection
 # caps quiesce every schedule, so the bound is generous, not load-bearing.
 cargo build -q --release -p stage-bench --bin chaos_soak
 timeout 300 ./target/release/chaos_soak --smoke --out /tmp/bench_chaos_smoke.json
+
+# Drift smoke: the shift/detect/force-retrain/recover episode against
+# StagePredictor directly (DESIGN.md §15). Gates detection on the
+# headline shift factor, post-retrain error below pre-retrain, interval
+# coverage within two points of nominal, and zero steady false alarms.
+cargo build -q --release -p stage-bench --bin bench_drift
+timeout 300 ./target/release/bench_drift --smoke --out /tmp/bench_drift_smoke.json
